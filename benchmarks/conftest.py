@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+experiment harness, asserts the shape claims, and appends the paper-vs-
+measured table to ``benchmarks/results.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated tables
+on disk next to the timing report.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    RESULTS_PATH.write_text("")
+    yield
+
+
+@pytest.fixture
+def record_table():
+    """Append an experiment's formatted table to the results file."""
+
+    def _record(result) -> None:
+        with RESULTS_PATH.open("a") as fh:
+            fh.write(result.format_table())
+            fh.write("\n\n")
+
+    return _record

@@ -1,0 +1,83 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_ablate_hardware_sync_principles(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablate_sync",), iterations=1, rounds=1
+    )
+    record_table(result)
+    full = result.row("full_design_mean_error").measured
+    trigger_only = result.row("trigger_only_mean_error").measured
+    timestamps_only = result.row("timestamps_only_mean_error").measured
+    neither = result.row("neither_mean_error").measured
+    # Both principles are needed: removing either inflates the error, and
+    # the full design beats every ablated variant.
+    assert full < timestamps_only < trigger_only
+    assert full < 1e-4
+    assert neither > 0.01
+
+
+def test_ablate_rpr_parameters(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablate_rpr",), iterations=1, rounds=1
+    )
+    record_table(result)
+    # A 128 B FIFO saturates the ICAP (the paper's sizing claim)...
+    assert result.row("fifo_128B_throughput").measured == pytest.approx(
+        result.row("fifo_512B_throughput").measured, rel=0.01
+    )
+    # ...a Tx slower than the ICAP rate starves it...
+    assert (
+        result.row("tx_2Bpc_throughput").measured
+        < 0.6 * result.row("tx_8Bpc_throughput").measured
+    )
+    # ...and per-burst handshakes cost more than half the throughput.
+    assert (
+        result.row("per_burst_handshake_throughput").measured
+        < 0.5 * result.row("fifo_128B_throughput").measured
+    )
+
+
+def test_ablate_cache_geometry(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablate_cache",), iterations=1, rounds=1
+    )
+    record_table(result)
+    # Traffic decreases monotonically with cache size and only reaches the
+    # optimum once the whole cloud fits — the "just add cache" cliff.
+    sizes = ["0.0625", "0.125", "0.25", "0.5", "1", "2"]
+    values = [result.row(f"cache_{s}x_cloud").measured for s in sizes]
+    assert values == sorted(values, reverse=True)
+    assert values[0] > 50.0
+    assert values[-1] == pytest.approx(1.0, abs=0.05)
+
+
+def test_ablate_em_resolution(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablate_em_resolution",), iterations=1, rounds=1
+    )
+    record_table(result)
+    coarse = result.row("lateral_1.0m_latency").measured
+    fine = result.row("lateral_0.2m_latency").measured
+    # Finer lateral granularity costs more — the root of the 33x gap.
+    assert fine > coarse
+
+
+def test_ablate_reactive_latency(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("ablate_reactive",), iterations=1, rounds=1
+    )
+    record_table(result)
+    reaches = [
+        result.row(f"latency_{ms}ms_reach").measured
+        for ms in (10, 30, 60, 100, 149)
+    ]
+    assert reaches == sorted(reaches)
+    # At the proactive path's own 149 ms there is no point in a "reactive"
+    # path at all: its coverage collapses toward the proactive range.
+    assert reaches[-1] > reaches[1] + 0.5
+    assert result.row("latency_30ms_reach").matches(rel_tol=0.05)

@@ -1,0 +1,15 @@
+"""Benchmark validating Eq. 1 / Fig. 3a boundaries in the closed loop."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_closedloop_avoidance_boundaries(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("closedloop",), iterations=1, rounds=1
+    )
+    record_table(result)
+    # Every boundary must land on the side Eq. 1 predicts.
+    for row in result.rows:
+        assert row.matches(rel_tol=1e-9), row.metric

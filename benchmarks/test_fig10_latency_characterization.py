@@ -1,0 +1,43 @@
+"""Benchmarks regenerating Fig. 10a, Fig. 10b, and the throughput claim."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig10a_latency_distribution(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig10a",), iterations=1, rounds=2
+    )
+    record_table(result)
+    assert result.row("best_case").matches(rel_tol=0.02)
+    assert result.row("mean").matches(rel_tol=0.02)
+    # Shape: mean close to best, long tail beyond it.
+    best = result.row("best_case").measured
+    mean = result.row("mean").measured
+    p99 = result.row("p99").measured
+    assert (mean - best) / best < 0.15
+    assert p99 > mean * 1.4
+    assert result.row("sensing_fraction").matches(rel_tol=0.06)
+    assert result.row("planning_fraction").measured < 0.03
+
+
+def test_fig10b_task_latencies(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig10b",), iterations=1, rounds=2
+    )
+    record_table(result)
+    for task in ("depth", "detection", "tracking", "localization"):
+        assert result.row(task).matches(rel_tol=0.05), task
+    assert result.row("detection_plus_tracking").matches(rel_tol=0.03)
+
+
+def test_throughput_pipelining(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("throughput",), iterations=1, rounds=2
+    )
+    record_table(result)
+    assert result.row("meets_10hz_requirement").measured == 1.0
+    assert 10.0 <= result.row("pipelined_throughput").measured <= 30.0
+    assert result.row("pipelining_gain").measured > 1.5
+    assert result.row("mean_latency_unchanged").matches(rel_tol=0.05)

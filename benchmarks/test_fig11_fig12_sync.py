@@ -1,0 +1,53 @@
+"""Benchmarks regenerating Fig. 11a, Fig. 11b, and Fig. 12."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig11a_depth_error_vs_sync(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig11a",), iterations=1, rounds=1
+    )
+    record_table(result)
+    assert result.row("depth_error_at_30ms").matches(rel_tol=0.10)
+    assert result.row("depth_error_at_150ms").matches(rel_tol=0.10)
+    # Shape: monotone growth over the Fig. 11a range.
+    curve = result.series["model_curve_ms_m"]
+    errors = [e for _, e in curve]
+    assert errors == sorted(errors)
+    # The real matcher confirms the direction.
+    assert (
+        result.row("matcher_offset_error").measured
+        > result.row("matcher_synced_error").measured
+    )
+
+
+def test_fig11b_localization_error_vs_sync(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig11b",), iterations=1, rounds=1
+    )
+    record_table(result)
+    assert result.row("model_error_at_40ms").matches(rel_tol=0.07)
+    assert result.row("model_error_at_20ms").matches(rel_tol=0.07)
+    curve = result.series["model_curve_s_m"]
+    errors = [e for _, e in curve]
+    assert errors == sorted(errors)
+    # The real VIO stays bounded (our 2-D substrate lacks the gravity
+    # channel; see DESIGN.md substitution table).
+    assert result.row("vio_baseline_max_error").measured < 4.0
+
+
+def test_fig12_sync_architectures(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig12",), iterations=1, rounds=1
+    )
+    record_table(result)
+    # Shape: software sync mis-pairs by tens of ms; hardware sync pairs
+    # coincident samples.
+    assert result.row("software_mean_pairing_error").measured > 0.01
+    assert result.row("hardware_max_pairing_error").measured < 1e-3
+    assert result.row("c0_pairs_with_imu_index").measured >= 2.0
+    # The synchronizer costs match Sec. VI-A3 exactly.
+    assert result.row("synchronizer_luts").matches(rel_tol=1e-9)
+    assert result.row("synchronizer_power").matches(rel_tol=1e-9)

@@ -1,0 +1,46 @@
+"""Benchmarks regenerating Fig. 3a, Fig. 3b, Table I, and Table II."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig3a_latency_requirement(benchmark, record_table):
+    result = benchmark(run_experiment, "fig3a")
+    record_table(result)
+    # Shape: requirement tightens as objects get closer, and the paper's
+    # anchors hold.
+    curve = result.series["requirement_curve"]
+    requirements = [r for _, r in curve]
+    assert requirements == sorted(requirements)
+    assert result.row("avoidance_range_at_mean_tcomp").matches(rel_tol=0.05)
+    assert result.row("braking_distance").matches(rel_tol=0.05)
+    assert result.row("computing_fraction_of_e2e").matches(rel_tol=0.05)
+
+
+def test_fig3b_driving_time(benchmark, record_table):
+    result = benchmark(run_experiment, "fig3b")
+    record_table(result)
+    curve = result.series["reduction_curve"]
+    losses = [h for _, h in curve]
+    assert losses == sorted(losses)  # more power, more loss
+    assert result.row("driving_time_with_ad").matches(rel_tol=0.02)
+    assert result.row("idle_server_revenue_loss").matches(rel_tol=0.05)
+    assert result.row("lidar_extra_loss").matches(rel_tol=0.10)
+    assert result.row("full_load_server_total_reduction").matches(rel_tol=0.05)
+
+
+def test_table1_power_breakdown(benchmark, record_table):
+    result = benchmark(run_experiment, "tab1")
+    record_table(result)
+    for row in result.rows:
+        assert row.matches(rel_tol=1e-9), row.metric
+
+
+def test_table2_cost_breakdown(benchmark, record_table):
+    result = benchmark(run_experiment, "tab2")
+    record_table(result)
+    for row in result.rows:
+        assert row.matches(rel_tol=1e-9), row.metric
+    # The headline: the LiDAR vehicle is >4x the camera vehicle's price.
+    assert result.row("retail_price_ratio").measured > 4.0

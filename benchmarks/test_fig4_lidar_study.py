@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Fig. 4a and Fig. 4b (the LiDAR case study)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig4a_reuse_histograms(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig4a",), iterations=1, rounds=1
+    )
+    record_table(result)
+    # Shape: abundant reuse, high per-point variation, scene-dependent
+    # distribution — the paper's three observations.
+    assert result.row("scene0_mean_reuse").measured > 2.0
+    assert result.row("scene0_reuse_cv").measured > 0.3
+    assert result.row("cross_scene_mean_shift").measured > 0.10
+    histogram = result.series["scene0_histogram"]
+    assert sum(count for _, count in histogram) > 0
+
+
+def test_fig4b_memory_traffic(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig4b",), iterations=1, rounds=1
+    )
+    record_table(result)
+    # Shape: every kernel needs far more off-chip traffic than the
+    # all-data-on-chip optimum (paper: up to ~500x at full scale).
+    for kernel in ("localization", "recognition", "reconstruction", "segmentation"):
+        assert result.row(f"{kernel}_norm_traffic").measured > 5.0, kernel
+    assert result.row("max_over_kernels").measured > 30.0

@@ -1,0 +1,50 @@
+"""Benchmarks regenerating Fig. 6, Fig. 8, and the Fig. 9 RPR numbers."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_platform_comparison(benchmark, record_table):
+    result = benchmark(run_experiment, "fig6")
+    record_table(result)
+    assert result.row("tx2_perception_cumulative").matches(rel_tol=0.01)
+    assert result.row("fpga_localization").matches(rel_tol=0.01)
+    # Shape: FPGA wins localization; TX2 is far behind the GPU on vision.
+    latency = dict(result.series["latency_s"])
+    assert latency[("localization", "fpga")] < latency[("localization", "gpu")]
+    assert latency[("depth", "fpga")] > latency[("depth", "gpu")]
+    assert latency[("detection", "tx2")] > 4 * latency[("detection", "gpu")]
+    # Shape: CPU is the slowest platform for the vision tasks.
+    for task in ("depth", "detection"):
+        for platform in ("gpu", "tx2", "fpga"):
+            assert latency[(task, "cpu")] > latency[(task, platform)]
+
+
+def test_fig8_mapping_strategies(benchmark, record_table):
+    result = benchmark(run_experiment, "fig8")
+    record_table(result)
+    assert result.row("both_on_gpu_perception").matches(rel_tol=0.02)
+    assert result.row("our_design_perception").matches(rel_tol=0.02)
+    assert result.row("perception_speedup").matches(rel_tol=0.05)
+    assert 0.18 <= result.row("end_to_end_reduction").measured <= 0.25
+    # Shape: every mapping placing scene understanding on TX2 is far worse.
+    mappings = dict(result.series["all_mappings"])
+    for label, latency in mappings.items():
+        if "scene_understanding@tx2" in label:
+            assert latency > 0.3
+
+
+def test_fig9_rpr_engine(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig9",), iterations=1, rounds=2
+    )
+    record_table(result)
+    assert result.row("engine_throughput").measured >= 350.0
+    assert result.row("reconfig_delay").measured < 0.003
+    assert result.row("reconfig_energy").matches(rel_tol=0.15)
+    assert result.row("speedup_vs_cpu_path").measured > 1_000.0
+    # Time-sharing the slot stays between tracking-only and extraction-only
+    # per-frame cost.
+    mean_frame = result.row("keyframe_schedule_mean_frame").measured
+    assert 0.010 < mean_frame < 0.020

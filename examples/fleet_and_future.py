@@ -1,0 +1,80 @@
+"""Sec. VII forward-looking studies: fleet TCO, edge offload, hourly RPR.
+
+The paper's conclusion sketches three future directions — a comprehensive
+TCO model, accelerator-level parallelism across edge/cloud, and RPR for
+infrequent tasks.  This example runs all three as implemented here.
+
+Usage::
+
+    python examples/fleet_and_future.py
+"""
+
+from repro.core import calibration
+from repro.core.fleet import FleetTcoModel, paper_compute_tiers
+from repro.core.latency_model import LatencyModel
+from repro.hw.offload import (
+    avoidance_range_with_offload,
+    cloud_datacenter,
+    edge_server,
+    offload_plan,
+)
+from repro.hw.rpr import hourly_task_swap_overhead
+
+
+def fleet_tco() -> None:
+    print("=== Fleet TCO: cost vs latency (Sec. VII) ===")
+    model = FleetTcoModel(fleet_size=10)
+    print(f"{'tier':<17} {'Tcomp':>7} {'unit $':>8} {'power':>7} "
+          f"{'safe':>5} {'trips/d':>8} {'profit $/d':>11}")
+    for tier, profit in model.compare_tiers():
+        safe = model.is_safe(tier)
+        trips = model.trips_per_vehicle_day(tier) if safe else 0.0
+        profit_str = f"{profit:11.2f}" if safe else "   UNSAFE  "
+        print(f"{tier.name:<17} {tier.mean_tcomp_s*1e3:5.0f}ms "
+              f"{tier.unit_cost_usd:>8,.0f} {tier.power_w:>6.0f}W "
+              f"{str(safe):>5} {trips:>8.1f} {profit_str}")
+    best = model.best_tier()
+    print(f"-> profit-optimal safe tier: {best.name}")
+
+
+def edge_cloud_offload() -> None:
+    print("\n=== Edge/cloud offload (accelerator-level parallelism) ===")
+    print(f"{'task':<14} {'local':>8} {'venue':>7} {'mean':>8} {'p99':>8} "
+          f"{'worthwhile':>11}")
+    for decision in offload_plan(seed=0):
+        print(f"{decision.task:<14} {decision.local_latency_s*1e3:6.1f}ms "
+              f"{decision.target:>7} {decision.offloaded_mean_s*1e3:6.1f}ms "
+              f"{decision.offloaded_p99_s*1e3:6.1f}ms "
+              f"{str(decision.worthwhile):>11}")
+    # Safety view: what offloading detection does to avoidance range.
+    from repro.hw.offload import evaluate_offload
+
+    decision = evaluate_offload("detection", 0.070, edge_server(), seed=0)
+    other = calibration.MEAN_COMPUTING_LATENCY_S - 0.070
+    mean_reach, tail_reach = avoidance_range_with_offload(decision, other)
+    local_reach = LatencyModel().min_avoidable_distance_m(
+        calibration.MEAN_COMPUTING_LATENCY_S
+    )
+    print(f"\navoidance range, detection offloaded to edge: "
+          f"mean {mean_reach:.2f} m, p99 {tail_reach:.2f} m "
+          f"(all-local: {local_reach:.2f} m)")
+    print("-> the network tail is a safety budget item, not just a mean")
+
+
+def rpr_infrequent_tasks() -> None:
+    print("\n=== RPR for infrequent tasks (hourly compression upload) ===")
+    result = hourly_task_swap_overhead(operating_hours=10.0)
+    print(f"swaps per day: {int(result['uses']) * 2} "
+          f"(task in + resident accel back, once per hour)")
+    print(f"total swap delay:  {result['total_swap_delay_s']*1e3:.1f} ms/day")
+    print(f"total swap energy: {result['total_swap_energy_j']*1e3:.1f} mJ/day")
+    print(f"always-resident static energy: "
+          f"{result['resident_static_energy_j']/1e3:.1f} kJ/day")
+    print(f"-> time-sharing saves {result['energy_saving_ratio']:,.0f}x "
+          f"the energy of a resident block")
+
+
+if __name__ == "__main__":
+    fleet_tco()
+    edge_cloud_offload()
+    rpr_infrequent_tasks()

@@ -1,0 +1,121 @@
+"""Hardware design-space exploration (paper Sec. V).
+
+Walks the paper's platform decisions: why mobile SoCs and automotive
+ASICs were rejected as the sensor hub, how tasks map onto the FPGA+server
+platform, what partial reconfiguration buys, and what the LiDAR-vs-camera
+choice costs in memory behavior.
+
+Usage::
+
+    python examples/platform_design_space.py
+"""
+
+from repro.core.units import MB
+from repro.hw import (
+    all_platforms,
+    automotive_asic_platform,
+    cpu_driven_reconfiguration,
+    enumerate_mappings,
+    evaluate_sensor_hub,
+    fig6_comparison,
+    paper_fpga_floorplan,
+    paper_localization_variants,
+    RprEngine,
+    RprManager,
+)
+from repro.hw.cache import CacheConfig, CacheSimulator
+from repro.lidar import run_kernel, simulate_lidar_scan
+
+
+def sensor_hub_selection() -> None:
+    print("=== Who can be the sensor hub? (Sec. V-A / V-B1) ===")
+    for name, platform in all_platforms().items():
+        verdict = evaluate_sensor_hub(platform)
+        status = "SUITABLE" if verdict.suitable else "rejected"
+        print(f"  {name:<5} [{status}] ${platform.unit_cost_usd:,.0f}")
+        for reason in verdict.reasons:
+            print(f"         - {reason}")
+    asic = automotive_asic_platform()
+    print(f"  automotive ASIC (PX2-class): ${asic.unit_cost_usd:,.0f} — "
+          f"cost alone disqualifies it")
+
+
+def task_mapping() -> None:
+    print("\n=== Task mapping (Fig. 8) ===")
+    print(f"{'mapping':<58} perception latency")
+    for mapping in sorted(
+        enumerate_mappings(), key=lambda m: m.perception_latency_s
+    ):
+        marker = "  <- our design" if (
+            dict(mapping.assignment)
+            == {"scene_understanding": "gpu", "localization": "fpga"}
+        ) else ""
+        print(f"{mapping.label:<58} {mapping.perception_latency_s*1e3:6.1f} ms{marker}")
+
+
+def platform_bars() -> None:
+    print("\n=== Fig. 6: per-task latency (ms) and energy (J) ===")
+    rows = fig6_comparison()
+    tasks = ("depth", "detection", "localization")
+    platforms = ("cpu", "gpu", "tx2", "fpga")
+    table = {(r.task, r.platform): r for r in rows}
+    print(f"{'task':<14}" + "".join(f"{p:>10}" for p in platforms))
+    for task in tasks:
+        cells = "".join(
+            f"{table[(task, p)].latency_s*1e3:>10.1f}" for p in platforms
+        )
+        print(f"{task:<14}{cells}   (latency ms)")
+        cells = "".join(
+            f"{table[(task, p)].energy_j:>10.2f}" for p in platforms
+        )
+        print(f"{'':<14}{cells}   (energy J)")
+
+
+def rpr_study() -> None:
+    print("\n=== Runtime partial reconfiguration (Sec. V-B3) ===")
+    engine = RprEngine()
+    event = engine.reconfigure(1 * MB)
+    cpu = cpu_driven_reconfiguration(1 * MB)
+    print(f"1 MB partial bitstream:")
+    print(f"  RPR engine: {event.delay_s*1e3:5.2f} ms "
+          f"({event.throughput_bps/MB:.0f} MB/s, {event.energy_j*1e3:.1f} mJ)")
+    print(f"  CPU path:   {cpu.delay_s:5.2f} s ({cpu.throughput_bps/1024:.0f} KB/s)")
+    manager = RprManager()
+    for bitstream in paper_localization_variants():
+        manager.register(bitstream)
+    for period in (2, 5, 10, 30):
+        manager.loaded = None
+        manager.n_reconfigs = 0
+        mean = manager.run_frame_schedule(keyframe_period=period, n_frames=300)
+        print(f"  keyframe every {period:>2} frames: mean frame "
+              f"{mean*1e3:5.2f} ms ({manager.n_reconfigs} swaps)")
+
+    floorplan = paper_fpga_floorplan()
+    print("FPGA floorplan utilization:")
+    for kind, util in floorplan.utilization().items():
+        print(f"  {kind:<10} {util:6.1%}")
+
+
+def lidar_memory_behavior() -> None:
+    print("\n=== Why not LiDAR: irregular memory behavior (Fig. 4b) ===")
+    scan = simulate_lidar_scan(n_beams=6, n_azimuth=90, seed=1).downsampled(0.8)
+    cloud_bytes = len(scan) * 16
+    config = CacheConfig(
+        size_bytes=max(1024, int(cloud_bytes / 8 // 256) * 256),
+        line_bytes=64,
+        associativity=4,
+    )
+    for kernel in ("localization", "recognition", "segmentation"):
+        result = run_kernel(kernel, scan)
+        sim = CacheSimulator(config)
+        stats = sim.run_trace(result.trace.byte_addresses())
+        print(f"  {kernel:<15} {stats.normalized_traffic:6.1f}x optimal traffic "
+              f"(hit rate {stats.hit_rate:.0%})")
+
+
+if __name__ == "__main__":
+    sensor_hub_selection()
+    task_mapping()
+    platform_bars()
+    rpr_study()
+    lidar_memory_behavior()

@@ -1,0 +1,50 @@
+"""Quickstart: the paper's headline numbers in five minutes.
+
+Runs the Sec. III analytical models, drives the closed-loop SoV against an
+obstacle, and regenerates one of the paper's figures.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import LatencyModel, EnergyModel, calibration
+from repro.core.units import to_hours, to_ms
+from repro.experiments import run_experiment
+from repro.runtime import obstacle_ahead_scenario
+
+
+def main() -> None:
+    # -- 1. The Eq. 1 latency model ----------------------------------------
+    latency = LatencyModel()
+    print("Eq. 1 — end-to-end latency model")
+    print(f"  braking distance at 5.6 m/s: {latency.braking_distance_m:.2f} m")
+    for tcomp_ms in (30, 164, 740):
+        reach = latency.min_avoidable_distance_m(tcomp_ms / 1000.0)
+        print(f"  Tcomp = {tcomp_ms:>3} ms -> avoids objects >= {reach:.2f} m away")
+    budget = latency.latency_requirement_s(5.0)
+    print(f"  to avoid objects at 5 m, Tcomp must be <= {to_ms(budget):.0f} ms")
+
+    # -- 2. The Eq. 2 energy model ------------------------------------------
+    energy = EnergyModel()
+    print("\nEq. 2 — driving-time model")
+    print(f"  driving time without AD: {to_hours(energy.base_driving_time_s):.1f} h")
+    print(f"  driving time with AD:    {to_hours(energy.driving_time_s):.1f} h")
+    loss = energy.revenue_time_lost_fraction(calibration.SERVER_IDLE_POWER_W)
+    print(f"  adding one idle server loses {loss:.1%} of the work day")
+
+    # -- 3. A closed-loop drive ----------------------------------------------
+    print("\nClosed loop — obstacle 5.9 m ahead, mean computing latency")
+    sov = obstacle_ahead_scenario(5.9, computing_latency_s=0.164)
+    result = sov.drive(4.0)
+    print(f"  stopped: {result.stopped}, collided: {result.collided}")
+    print(f"  final clearance: {result.min_obstacle_clearance_m:.2f} m")
+    print(f"  proactive fraction: {result.ops.proactive_fraction:.0%}")
+
+    # -- 4. Regenerate a paper figure ----------------------------------------
+    print()
+    print(run_experiment("fig8").format_table())
+
+
+if __name__ == "__main__":
+    main()

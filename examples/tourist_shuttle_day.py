@@ -1,0 +1,107 @@
+"""A day of operations at the tourist-site deployment (paper Sec. II/III).
+
+Models one vehicle's 10-hour day at the Japanese tourist site: battery
+budget, trip economics at the $1 fare, data uplink, cloud model upkeep,
+and the what-if analyses the paper walks through (add a server? switch to
+LiDAR?).
+
+Usage::
+
+    python examples/tourist_shuttle_day.py
+"""
+
+from repro.cloud import (
+    ModelTrainingService,
+    OnboardStorage,
+    paper_data_classes,
+    plan_uplink,
+)
+from repro.core import (
+    ConstraintSet,
+    DesignCandidate,
+    TcoModel,
+    calibration,
+    paper_camera_vehicle,
+)
+from repro.core.energy_model import PowerComponent
+from repro.core.units import TB, to_hours
+from repro.vehicle import Battery, lidar_variant, two_seater_pod
+
+
+def main() -> None:
+    pod = two_seater_pod()
+    energy = pod.energy_model()
+
+    print("=== Vehicle: 2-seater pod, Nara tourist site ===")
+    print(f"AD power: {pod.ad_power.total_power_w:.0f} W")
+    print(f"Sensor BOM: ${pod.sensor_bom.total_cost_usd:,.0f}")
+    print(f"Driving time on a charge: {to_hours(energy.driving_time_s):.1f} h")
+
+    # -- Battery through the day ------------------------------------------
+    battery = Battery()
+    hours_driven = 0.0
+    total_power = pod.vehicle_power_w + pod.ad_power.total_power_w
+    while battery.charge_j >= total_power * 3600.0 and hours_driven < 10.0:
+        battery.drain(total_power, 3600.0)
+        hours_driven += 1.0
+    print(f"\nHours driven before recharge: {hours_driven:.0f}")
+    print(f"State of charge at end: {battery.state_of_charge:.0%}")
+
+    # -- Trip economics -----------------------------------------------------
+    tco = TcoModel(vehicle=paper_camera_vehicle())
+    trips = 90
+    fare = calibration.FARE_PER_TRIP_USD
+    profit = tco.daily_profit_usd(fare, trips)
+    print(f"\n{trips} trips at ${fare:.2f}: daily profit ${profit:,.2f}")
+    print(f"Breakeven fare: ${tco.breakeven_fare_usd(trips):.2f}")
+
+    # -- What-if: add a second server ----------------------------------------
+    print("\n=== What-if: add a second compute server ===")
+    loss = energy.revenue_time_lost_fraction(calibration.SERVER_IDLE_POWER_W)
+    print(f"Idle power alone costs {loss:.1%} of the day "
+          f"({loss * hours_driven:.1f} h of driving)")
+
+    heavier = pod.ad_power.with_component(PowerComponent("server2", 149.0))
+    verdict = ConstraintSet().evaluate(
+        DesignCandidate(
+            computing_latency_s=calibration.MEAN_COMPUTING_LATENCY_S,
+            throughput_hz=10.0,
+            ad_power_inventory=heavier,
+            sensor_bom=pod.sensor_bom,
+        )
+    )
+    for row in verdict:
+        print(f"  {row}")
+
+    # -- What-if: switch to LiDAR ---------------------------------------------
+    print("\n=== What-if: the LiDAR variant ===")
+    lv = lidar_variant()
+    lv_energy = lv.energy_model()
+    print(f"AD power: {lv.ad_power.total_power_w:.0f} W "
+          f"(+{lv.ad_power.total_power_w - pod.ad_power.total_power_w:.0f} W)")
+    print(f"Driving time: {to_hours(lv_energy.driving_time_s):.1f} h "
+          f"(-{to_hours(energy.driving_time_s - lv_energy.driving_time_s):.1f} h)")
+    print(f"Retail price: ${lv.retail_price_usd:,.0f} vs ${pod.retail_price_usd:,.0f}")
+
+    # -- End of day: data and models -------------------------------------------
+    print("\n=== End of day: data uplink and model upkeep ===")
+    for decision in plan_uplink():
+        print(
+            f"  {decision.data_class}: {decision.transport} "
+            f"({decision.fraction_of_link:.1%} of link, fits={decision.fits})"
+        )
+    ssd = OnboardStorage(capacity_bytes=2 * TB)
+    ssd.record(1 * TB)  # the day's raw captures
+    print(f"  SSD fill before depot offload: {ssd.fill_fraction:.0%}")
+    ssd.offload()
+
+    training = ModelTrainingService(eval_scenes=3)
+    version = training.train("nara_japan", n_scenes=15)
+    print(
+        f"  retrained nara_japan detector v{version.version}: "
+        f"precision {version.precision:.2f}, recall {version.recall:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

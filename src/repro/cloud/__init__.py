@@ -1,0 +1,49 @@
+"""Offline cloud services: maps, model training, data uplink (Fig. 1)."""
+
+from .compression import (
+    CondensedLog,
+    compress_frame,
+    compression_ratio,
+    condense_log,
+    daily_raw_volume_bytes,
+    decompress_frame,
+)
+from .maps import DriveObservation, MapGenerationService, MapUpdate
+from .training import (
+    PAPER_DEPLOYMENTS,
+    ModelTrainingService,
+    ModelVersion,
+)
+from .uplink import (
+    DataClass,
+    Link,
+    OnboardStorage,
+    UplinkDecision,
+    cellular_link,
+    depot_link,
+    paper_data_classes,
+    plan_uplink,
+)
+
+__all__ = [
+    "CondensedLog",
+    "DataClass",
+    "DriveObservation",
+    "Link",
+    "MapGenerationService",
+    "MapUpdate",
+    "ModelTrainingService",
+    "ModelVersion",
+    "OnboardStorage",
+    "PAPER_DEPLOYMENTS",
+    "UplinkDecision",
+    "cellular_link",
+    "compress_frame",
+    "compression_ratio",
+    "condense_log",
+    "daily_raw_volume_bytes",
+    "decompress_frame",
+    "depot_link",
+    "paper_data_classes",
+    "plan_uplink",
+]

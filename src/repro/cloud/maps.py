@@ -1,0 +1,103 @@
+"""Cloud map generation and maintenance (paper Sec. II-B, Fig. 1).
+
+"Our cloud workloads include map generation ... we use OpenStreetMap and
+frequently annotate OSM with semantic information of the environment."
+Vehicles upload condensed drive observations; the map service aggregates
+them into lane-graph updates (new semantic annotations, changed speed
+limits) which are pushed back to the fleet.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..scene.lanes import LaneMap, LaneSegment
+
+
+@dataclass(frozen=True)
+class DriveObservation:
+    """One condensed observation from a vehicle's operational log."""
+
+    segment_id: str
+    kind: str  # e.g. "crosswalk", "slow_zone", "construction"
+    position_s_m: float
+    vehicle_id: str = "vehicle-0"
+
+
+@dataclass(frozen=True)
+class MapUpdate:
+    """One confirmed semantic annotation to push to the fleet."""
+
+    segment_id: str
+    annotation: str
+    confirmations: int
+
+
+class MapGenerationService:
+    """Aggregates fleet observations into confirmed map updates.
+
+    An annotation becomes confirmed once ``min_confirmations`` distinct
+    vehicles report the same (segment, kind, ~position) observation —
+    crowd-sourced map maintenance, the Tesla-style fleet-data loop the
+    paper references.
+    """
+
+    def __init__(
+        self, base_map: LaneMap, min_confirmations: int = 2, position_bin_m: float = 5.0
+    ) -> None:
+        if min_confirmations < 1:
+            raise ValueError("need at least one confirmation")
+        self.base_map = base_map
+        self.min_confirmations = min_confirmations
+        self.position_bin_m = position_bin_m
+        self._observations: Dict[Tuple[str, str, int], set] = defaultdict(set)
+        self._published: set = set()
+
+    def ingest(self, observation: DriveObservation) -> Optional[MapUpdate]:
+        """Ingest one observation; returns an update when confirmed."""
+        if observation.segment_id not in self.base_map.segment_ids:
+            raise KeyError(f"unknown segment {observation.segment_id!r}")
+        key = (
+            observation.segment_id,
+            observation.kind,
+            int(observation.position_s_m // self.position_bin_m),
+        )
+        self._observations[key].add(observation.vehicle_id)
+        if (
+            len(self._observations[key]) >= self.min_confirmations
+            and key not in self._published
+        ):
+            self._published.add(key)
+            annotation = (
+                f"{observation.kind}@"
+                f"{key[2] * self.position_bin_m:.0f}m"
+            )
+            self.base_map.annotate(observation.segment_id, annotation)
+            return MapUpdate(
+                segment_id=observation.segment_id,
+                annotation=annotation,
+                confirmations=len(self._observations[key]),
+            )
+        return None
+
+    def ingest_batch(
+        self, observations: Sequence[DriveObservation]
+    ) -> List[MapUpdate]:
+        updates = []
+        for observation in observations:
+            update = self.ingest(observation)
+            if update is not None:
+                updates.append(update)
+        return updates
+
+    @property
+    def pending_count(self) -> int:
+        """Observation groups seen but not yet confirmed."""
+        return sum(
+            1
+            for key, vehicles in self._observations.items()
+            if key not in self._published
+            and len(vehicles) < self.min_confirmations
+        )

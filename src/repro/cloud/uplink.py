@@ -1,0 +1,154 @@
+"""Vehicle-to-cloud data transport model (paper Sec. II-B).
+
+"Due to the limitation of communication bandwidth, the only data we upload
+to the cloud in real-time is the condensed operational log (once an hour),
+which is very small in size (a few KB).  The raw training data (e.g.,
+images) is enormous even after compression (as high as 1 TB per day) and,
+thus, the raw data is stored in the on-vehicle SSD and manually uploaded
+to the cloud at the end of each operational day."
+
+The model justifies this policy quantitatively: given a cellular link and
+a depot link, it computes whether each data class can ship in real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import calibration
+from ..core.units import GB, KB, MB, TB
+
+
+@dataclass(frozen=True)
+class DataClass:
+    """One category of data the vehicle produces."""
+
+    name: str
+    bytes_per_day: float
+    realtime_required: bool
+
+
+def paper_data_classes() -> List[DataClass]:
+    daily_ops_hours = calibration.DAILY_OPERATION_HOURS
+    logs_per_day = daily_ops_hours  # one condensed log per hour
+    return [
+        DataClass(
+            name="condensed_operational_log",
+            bytes_per_day=logs_per_day * calibration.LOG_UPLOAD_SIZE_BYTES,
+            realtime_required=True,
+        ),
+        DataClass(
+            name="raw_training_data",
+            bytes_per_day=calibration.RAW_DATA_PER_DAY_BYTES,
+            realtime_required=False,
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A transport channel."""
+
+    name: str
+    bandwidth_bps: float
+    available_hours_per_day: float
+
+    @property
+    def capacity_per_day_bytes(self) -> float:
+        return self.bandwidth_bps * self.available_hours_per_day * 3_600.0
+
+
+def cellular_link(bandwidth_mbit: float = 10.0) -> Link:
+    """An LTE-class link available during the 10-hour operating day."""
+    return Link(
+        name="cellular",
+        bandwidth_bps=bandwidth_mbit * 1e6 / 8.0,
+        available_hours_per_day=calibration.DAILY_OPERATION_HOURS,
+    )
+
+
+def depot_link(bandwidth_gbit: float = 1.0, hours: float = 10.0) -> Link:
+    """The end-of-day depot connection (wired/SSD swap)."""
+    return Link(
+        name="depot",
+        bandwidth_bps=bandwidth_gbit * 1e9 / 8.0,
+        available_hours_per_day=hours,
+    )
+
+
+@dataclass(frozen=True)
+class UplinkDecision:
+    """Where one data class should go."""
+
+    data_class: str
+    transport: str  # "realtime" | "store_and_forward"
+    fits: bool
+    fraction_of_link: float
+
+
+def plan_uplink(
+    data_classes: Optional[List[DataClass]] = None,
+    realtime: Optional[Link] = None,
+    bulk: Optional[Link] = None,
+) -> List[UplinkDecision]:
+    """Assign each data class to a transport, checking capacity.
+
+    Real-time-required classes must fit the cellular link; everything else
+    goes store-and-forward via the depot link — reproducing the paper's
+    policy as the *only* feasible assignment under realistic bandwidths.
+    """
+    data_classes = data_classes or paper_data_classes()
+    realtime = realtime or cellular_link()
+    bulk = bulk or depot_link()
+    decisions = []
+    for dc in data_classes:
+        if dc.realtime_required:
+            link = realtime
+            transport = "realtime"
+        else:
+            # Try real-time first; fall back to the depot when it can't fit.
+            if dc.bytes_per_day <= 0.5 * realtime.capacity_per_day_bytes:
+                link, transport = realtime, "realtime"
+            else:
+                link, transport = bulk, "store_and_forward"
+        fraction = dc.bytes_per_day / link.capacity_per_day_bytes
+        decisions.append(
+            UplinkDecision(
+                data_class=dc.name,
+                transport=transport,
+                fits=fraction <= 1.0,
+                fraction_of_link=fraction,
+            )
+        )
+    return decisions
+
+
+@dataclass
+class OnboardStorage:
+    """The on-vehicle SSD buffering raw data between depot visits."""
+
+    capacity_bytes: float = 2 * TB
+    used_bytes: float = 0.0
+
+    def record(self, n_bytes: float) -> None:
+        if n_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        if self.used_bytes + n_bytes > self.capacity_bytes:
+            raise RuntimeError("on-vehicle SSD full; raw capture must stop")
+        self.used_bytes += n_bytes
+
+    def offload(self) -> float:
+        """End-of-day depot offload; returns bytes shipped."""
+        shipped = self.used_bytes
+        self.used_bytes = 0.0
+        return shipped
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+    def days_until_full(self, bytes_per_day: float) -> float:
+        if bytes_per_day <= 0:
+            return float("inf")
+        return (self.capacity_bytes - self.used_bytes) / bytes_per_day

@@ -1,0 +1,91 @@
+"""Core analytical models from Sec. III of the paper.
+
+Public surface:
+
+* :mod:`repro.core.latency_model` — Eq. 1 end-to-end latency model.
+* :mod:`repro.core.energy_model` — Eq. 2 driving-time model, Table I.
+* :mod:`repro.core.cost_model` — Table II bill of materials and TCO.
+* :mod:`repro.core.constraints` — executable Sec. III constraint checklist.
+* :mod:`repro.core.calibration` — every constant the paper reports.
+"""
+
+from .calibration import TaskPlatformProfile, task_profile
+from .fleet import ComputeTier, FleetTcoModel, paper_compute_tiers
+from .thermal import (
+    CoolingSolution,
+    ThermalModel,
+    conventional_fans,
+    cooling_comparison,
+    liquid_cooling,
+    passive_cooling,
+)
+from .constraints import ConstraintResult, ConstraintSet, DesignCandidate
+from .cost_model import (
+    BillOfMaterials,
+    CostItem,
+    TcoModel,
+    VehicleCost,
+    camera_vehicle_sensors,
+    cost_comparison,
+    lidar_vehicle_sensors,
+    paper_camera_vehicle,
+    paper_lidar_vehicle,
+)
+from .energy_model import (
+    EnergyModel,
+    PowerComponent,
+    PowerInventory,
+    Scenario,
+    fig3b_scenarios,
+    paper_ad_inventory,
+    waymo_lidar_bank,
+)
+from .latency_model import (
+    LatencyBreakdown,
+    LatencyModel,
+    LatencyRequirementPoint,
+    computing_fraction,
+    end_to_end_latency_s,
+    paper_breakdown_best,
+    paper_breakdown_mean,
+)
+
+__all__ = [
+    "BillOfMaterials",
+    "ComputeTier",
+    "ConstraintResult",
+    "CoolingSolution",
+    "ConstraintSet",
+    "CostItem",
+    "DesignCandidate",
+    "EnergyModel",
+    "FleetTcoModel",
+    "LatencyBreakdown",
+    "LatencyModel",
+    "LatencyRequirementPoint",
+    "PowerComponent",
+    "PowerInventory",
+    "Scenario",
+    "TaskPlatformProfile",
+    "TcoModel",
+    "ThermalModel",
+    "VehicleCost",
+    "camera_vehicle_sensors",
+    "computing_fraction",
+    "conventional_fans",
+    "cooling_comparison",
+    "cost_comparison",
+    "end_to_end_latency_s",
+    "fig3b_scenarios",
+    "lidar_vehicle_sensors",
+    "liquid_cooling",
+    "paper_ad_inventory",
+    "passive_cooling",
+    "paper_breakdown_best",
+    "paper_breakdown_mean",
+    "paper_camera_vehicle",
+    "paper_compute_tiers",
+    "paper_lidar_vehicle",
+    "task_profile",
+    "waymo_lidar_bank",
+]

@@ -1,0 +1,170 @@
+"""Design-constraint checking (paper Sec. III).
+
+The paper's thesis is that the computing system must be designed against
+*end-to-end vehicle* constraints — latency, throughput, energy, thermal,
+and cost — rather than in isolation.  This module turns Sec. III into an
+executable checklist: a :class:`ConstraintSet` evaluates a candidate design
+(latency profile + power inventory + BOM) and reports which requirements
+hold, with margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import calibration
+from .cost_model import BillOfMaterials
+from .energy_model import EnergyModel, PowerInventory
+from .latency_model import LatencyModel
+
+
+@dataclass(frozen=True)
+class ConstraintResult:
+    """Outcome of evaluating one constraint."""
+
+    name: str
+    satisfied: bool
+    actual: float
+    limit: float
+    unit: str
+    note: str = ""
+
+    @property
+    def margin(self) -> float:
+        """Positive slack (limit - actual) in the constraint's unit.
+
+        For constraints where larger-is-better the caller flips the sign
+        before constructing the result, so margin is always slack.
+        """
+        return self.limit - self.actual
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.satisfied else "FAIL"
+        return (
+            f"[{status}] {self.name}: {self.actual:.4g} {self.unit} "
+            f"(limit {self.limit:.4g} {self.unit}) {self.note}"
+        )
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """A candidate SoV design to evaluate against the constraint set."""
+
+    computing_latency_s: float
+    throughput_hz: float
+    ad_power_inventory: PowerInventory
+    sensor_bom: Optional[BillOfMaterials] = None
+    peak_power_w: Optional[float] = None
+
+    @property
+    def ad_power_w(self) -> float:
+        return self.ad_power_inventory.total_power_w
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """The Sec. III requirements for a micromobility vehicle.
+
+    Parameters default to the paper's values:
+
+    * obstacles at ``min_object_distance_m`` (5 m) must be avoidable;
+    * control commands at >= 10 Hz;
+    * total computing power under 200 W (the thermal comfort bound the
+      paper states lets it use conventional cooling);
+    * AD driving-time loss per day under ``max_daily_time_loss_fraction``;
+    * sensor BOM under ``max_sensor_cost_usd``.
+    """
+
+    min_object_distance_m: float = calibration.PAPER_AVOIDANCE_RANGE_MEAN_M
+    min_throughput_hz: float = calibration.THROUGHPUT_REQUIREMENT_HZ
+    max_ad_power_w: float = 200.0
+    max_daily_time_loss_fraction: float = 0.25
+    max_sensor_cost_usd: float = 10_000.0
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+    energy_model: EnergyModel = field(default_factory=EnergyModel)
+
+    def evaluate(self, candidate: DesignCandidate) -> List[ConstraintResult]:
+        """Evaluate every constraint; returns one result per requirement."""
+        results = [
+            self._latency(candidate),
+            self._throughput(candidate),
+            self._power(candidate),
+            self._driving_time(candidate),
+        ]
+        if candidate.sensor_bom is not None:
+            results.append(self._cost(candidate))
+        return results
+
+    def satisfied(self, candidate: DesignCandidate) -> bool:
+        """True iff every constraint passes."""
+        return all(r.satisfied for r in self.evaluate(candidate))
+
+    def report(self, candidate: DesignCandidate) -> str:
+        """Human-readable multi-line evaluation report."""
+        return "\n".join(str(r) for r in self.evaluate(candidate))
+
+    # -- individual constraints ----------------------------------------------
+
+    def _latency(self, candidate: DesignCandidate) -> ConstraintResult:
+        limit = self.latency_model.latency_requirement_s(self.min_object_distance_m)
+        return ConstraintResult(
+            name="computing_latency",
+            satisfied=candidate.computing_latency_s <= limit,
+            actual=candidate.computing_latency_s,
+            limit=limit,
+            unit="s",
+            note=f"to avoid objects at {self.min_object_distance_m} m",
+        )
+
+    def _throughput(self, candidate: DesignCandidate) -> ConstraintResult:
+        # Larger-is-better: express as negated values so margin stays slack.
+        return ConstraintResult(
+            name="control_throughput",
+            satisfied=candidate.throughput_hz >= self.min_throughput_hz,
+            actual=-candidate.throughput_hz,
+            limit=-self.min_throughput_hz,
+            unit="Hz (negated)",
+            note="control commands per second",
+        )
+
+    def _power(self, candidate: DesignCandidate) -> ConstraintResult:
+        actual = candidate.peak_power_w or candidate.ad_power_w
+        return ConstraintResult(
+            name="ad_power",
+            satisfied=actual <= self.max_ad_power_w,
+            actual=actual,
+            limit=self.max_ad_power_w,
+            unit="W",
+            note="thermal comfort bound for conventional cooling",
+        )
+
+    def _driving_time(self, candidate: DesignCandidate) -> ConstraintResult:
+        model = EnergyModel(
+            battery_capacity_j=self.energy_model.battery_capacity_j,
+            vehicle_power_w=self.energy_model.vehicle_power_w,
+            ad_power_w=candidate.ad_power_w,
+        )
+        lost_fraction = (
+            model.reduced_driving_time_s
+            / (calibration.DAILY_OPERATION_HOURS * 3_600.0)
+        )
+        return ConstraintResult(
+            name="daily_driving_time_loss",
+            satisfied=lost_fraction <= self.max_daily_time_loss_fraction,
+            actual=lost_fraction,
+            limit=self.max_daily_time_loss_fraction,
+            unit="fraction",
+            note="driving time lost to the AD payload per day",
+        )
+
+    def _cost(self, candidate: DesignCandidate) -> ConstraintResult:
+        assert candidate.sensor_bom is not None
+        return ConstraintResult(
+            name="sensor_cost",
+            satisfied=candidate.sensor_bom.total_cost_usd <= self.max_sensor_cost_usd,
+            actual=candidate.sensor_bom.total_cost_usd,
+            limit=self.max_sensor_cost_usd,
+            unit="USD",
+            note="sensor bill of materials",
+        )

@@ -1,0 +1,184 @@
+"""Cost model of an autonomous vehicle (paper Sec. III-C, Table II).
+
+The paper frames vehicle cost like data-center TCO: the retail price is a
+function of the bill of materials plus indirect costs (servicing, cloud
+back-end).  This module provides a composable bill-of-materials, the two
+Table II configurations (camera-based vs LiDAR-based), and a simple TCO /
+fare model matching the paper's "$1 per trip" deployment example and the
+concluding-remarks TCO discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from . import calibration
+
+
+@dataclass(frozen=True)
+class CostItem:
+    """One bill-of-materials row (Table II)."""
+
+    name: str
+    unit_cost_usd: float
+    quantity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.unit_cost_usd < 0:
+            raise ValueError(f"{self.name}: cost must be non-negative")
+        if self.quantity < 0:
+            raise ValueError(f"{self.name}: quantity must be non-negative")
+
+    @property
+    def total_cost_usd(self) -> float:
+        return self.unit_cost_usd * self.quantity
+
+
+@dataclass(frozen=True)
+class BillOfMaterials:
+    """A named set of cost items, e.g. the sensor suite of one vehicle."""
+
+    items: Tuple[CostItem, ...]
+
+    @property
+    def total_cost_usd(self) -> float:
+        return sum(item.total_cost_usd for item in self.items)
+
+    def breakdown(self) -> Dict[str, float]:
+        return {item.name: item.total_cost_usd for item in self.items}
+
+    def with_item(self, item: CostItem) -> "BillOfMaterials":
+        return BillOfMaterials(self.items + (item,))
+
+
+def camera_vehicle_sensors() -> BillOfMaterials:
+    """Table II, top half: the paper's camera-based sensor suite."""
+    return BillOfMaterials(
+        (
+            CostItem("cameras_plus_imu", calibration.COST_CAMERA_IMU_RIG_USD),
+            CostItem(
+                "radar",
+                calibration.COST_RADAR_BANK_USD / calibration.NUM_RADARS,
+                quantity=calibration.NUM_RADARS,
+            ),
+            CostItem(
+                "sonar",
+                calibration.COST_SONAR_BANK_USD / calibration.NUM_SONARS,
+                quantity=calibration.NUM_SONARS,
+            ),
+            CostItem("gps", calibration.COST_GPS_USD),
+        )
+    )
+
+
+def lidar_vehicle_sensors() -> BillOfMaterials:
+    """Table II, bottom half: a Waymo-style LiDAR suite."""
+    return BillOfMaterials(
+        (
+            CostItem("long_range_lidar", calibration.COST_LIDAR_LONG_RANGE_USD),
+            CostItem(
+                "short_range_lidar",
+                calibration.COST_LIDAR_SHORT_RANGE_USD,
+                quantity=4,
+            ),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class VehicleCost:
+    """Retail price plus the sensor BOM it embeds (Table II)."""
+
+    name: str
+    sensors: BillOfMaterials
+    retail_price_usd: float
+
+    @property
+    def sensor_cost_usd(self) -> float:
+        return self.sensors.total_cost_usd
+
+    @property
+    def sensor_fraction(self) -> float:
+        """Share of the retail price attributable to sensors."""
+        if self.retail_price_usd == 0:
+            return 0.0
+        return self.sensor_cost_usd / self.retail_price_usd
+
+
+def paper_camera_vehicle() -> VehicleCost:
+    return VehicleCost(
+        name="camera_based",
+        sensors=camera_vehicle_sensors(),
+        retail_price_usd=calibration.COST_VEHICLE_RETAIL_USD,
+    )
+
+
+def paper_lidar_vehicle() -> VehicleCost:
+    return VehicleCost(
+        name="lidar_based",
+        sensors=lidar_vehicle_sensors(),
+        retail_price_usd=calibration.COST_LIDAR_VEHICLE_RETAIL_USD,
+    )
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """A simple total-cost-of-ownership model (concluding remarks).
+
+    Amortizes the vehicle over its service life and adds per-day operating
+    costs (cloud services, servicing, energy), yielding a required fare for
+    a target trip volume — the knob that lets the tourist site charge $1.
+    """
+
+    vehicle: VehicleCost
+    service_life_days: float = 5 * 365.0
+    cloud_cost_per_day_usd: float = 5.0
+    service_cost_per_day_usd: float = 10.0
+    energy_cost_per_kwh_usd: float = 0.15
+    energy_per_day_kwh: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.service_life_days <= 0:
+            raise ValueError("service life must be positive")
+
+    @property
+    def amortized_vehicle_cost_per_day_usd(self) -> float:
+        return self.vehicle.retail_price_usd / self.service_life_days
+
+    @property
+    def operating_cost_per_day_usd(self) -> float:
+        return (
+            self.cloud_cost_per_day_usd
+            + self.service_cost_per_day_usd
+            + self.energy_cost_per_kwh_usd * self.energy_per_day_kwh
+        )
+
+    @property
+    def total_cost_per_day_usd(self) -> float:
+        return self.amortized_vehicle_cost_per_day_usd + self.operating_cost_per_day_usd
+
+    def breakeven_fare_usd(self, trips_per_day: int) -> float:
+        """Fare at which daily revenue covers daily cost."""
+        if trips_per_day <= 0:
+            raise ValueError("trips per day must be positive")
+        return self.total_cost_per_day_usd / trips_per_day
+
+    def daily_profit_usd(self, fare_usd: float, trips_per_day: int) -> float:
+        return fare_usd * trips_per_day - self.total_cost_per_day_usd
+
+
+def cost_comparison() -> Dict[str, Dict[str, float]]:
+    """Table II as a dictionary for reports and benchmarks."""
+    cam = paper_camera_vehicle()
+    lidar = paper_lidar_vehicle()
+    return {
+        cam.name: {
+            **cam.sensors.breakdown(),
+            "retail_price": cam.retail_price_usd,
+        },
+        lidar.name: {
+            **lidar.sensors.breakdown(),
+            "retail_price": lidar.retail_price_usd,
+        },
+    }

@@ -1,0 +1,216 @@
+"""Energy and driving-time model (paper Sec. III-B, Eq. 2, Fig. 3b, Table I).
+
+The paper models the driving time lost to the autonomous-driving (AD)
+payload as::
+
+    Treduced = E / Pv  -  E / (Pv + Pad)                          (2)
+
+where ``E`` is battery capacity, ``Pv`` the base vehicle power, and ``Pad``
+the additional AD power.  This module provides Eq. 2, the Table I power
+breakdown as a composable inventory, and the what-if scenarios the paper
+walks through (adding a server idle/loaded, switching to a Waymo-style
+LiDAR bank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from . import calibration
+from .units import S_PER_HOUR, to_hours
+
+
+@dataclass(frozen=True)
+class PowerComponent:
+    """One row of a power inventory (Table I)."""
+
+    name: str
+    unit_power_w: float
+    quantity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.unit_power_w < 0:
+            raise ValueError(f"{self.name}: power must be non-negative")
+        if self.quantity < 0:
+            raise ValueError(f"{self.name}: quantity must be non-negative")
+
+    @property
+    def total_power_w(self) -> float:
+        return self.unit_power_w * self.quantity
+
+
+@dataclass(frozen=True)
+class PowerInventory:
+    """A named collection of power components; Table I is one of these."""
+
+    components: Tuple[PowerComponent, ...]
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(c.total_power_w for c in self.components)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component name -> total watts."""
+        return {c.name: c.total_power_w for c in self.components}
+
+    def with_component(self, component: PowerComponent) -> "PowerInventory":
+        """Return a new inventory with *component* appended."""
+        return PowerInventory(self.components + (component,))
+
+    def without(self, name: str) -> "PowerInventory":
+        """Return a new inventory with the named component removed."""
+        remaining = tuple(c for c in self.components if c.name != name)
+        if len(remaining) == len(self.components):
+            raise KeyError(f"no component named {name!r}")
+        return PowerInventory(remaining)
+
+
+def paper_ad_inventory() -> PowerInventory:
+    """Table I: the AD power inventory of the deployed vehicle (175 W)."""
+    return PowerInventory(
+        (
+            PowerComponent("server_dynamic", calibration.SERVER_DYNAMIC_POWER_W),
+            PowerComponent("server_idle", calibration.SERVER_IDLE_POWER_W),
+            PowerComponent("vision_module", calibration.VISION_MODULE_POWER_W),
+            PowerComponent(
+                "radar_bank",
+                calibration.RADAR_BANK_POWER_W / calibration.NUM_RADARS,
+                quantity=calibration.NUM_RADARS,
+            ),
+            PowerComponent(
+                "sonar_bank",
+                calibration.SONAR_BANK_POWER_W / calibration.NUM_SONARS,
+                quantity=calibration.NUM_SONARS,
+            ),
+        )
+    )
+
+
+def waymo_lidar_bank() -> PowerInventory:
+    """The LiDAR bank the paper contrasts with (1 long + 4 short, ~92 W)."""
+    return PowerInventory(
+        (
+            PowerComponent("lidar_long_range", calibration.LIDAR_LONG_RANGE_POWER_W),
+            PowerComponent(
+                "lidar_short_range",
+                calibration.LIDAR_SHORT_RANGE_POWER_W,
+                quantity=4,
+            ),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Eq. 2 driving-time model.
+
+    Parameters default to the paper's vehicle: 6 kW·h battery, 0.6 kW base
+    load, 175 W AD payload.
+    """
+
+    battery_capacity_j: float = calibration.BATTERY_CAPACITY_J
+    vehicle_power_w: float = calibration.VEHICLE_POWER_W
+    ad_power_w: float = calibration.AD_POWER_W
+
+    def __post_init__(self) -> None:
+        if self.battery_capacity_j <= 0:
+            raise ValueError("battery capacity must be positive")
+        if self.vehicle_power_w <= 0:
+            raise ValueError("vehicle power must be positive")
+        if self.ad_power_w < 0:
+            raise ValueError("AD power must be non-negative")
+
+    @property
+    def base_driving_time_s(self) -> float:
+        """Driving time with autonomy disabled: ``E / Pv`` (10 h)."""
+        return self.battery_capacity_j / self.vehicle_power_w
+
+    @property
+    def driving_time_s(self) -> float:
+        """Driving time with the AD payload: ``E / (Pv + Pad)`` (~7.7 h)."""
+        return self.battery_capacity_j / (self.vehicle_power_w + self.ad_power_w)
+
+    @property
+    def reduced_driving_time_s(self) -> float:
+        """Eq. 2: driving time lost to the AD payload."""
+        return self.base_driving_time_s - self.driving_time_s
+
+    def reduced_driving_time_for(self, ad_power_w: float) -> float:
+        """Eq. 2 evaluated at an alternative AD power (the Fig. 3b x-axis)."""
+        if ad_power_w < 0:
+            raise ValueError("AD power must be non-negative")
+        return self.base_driving_time_s - self.battery_capacity_j / (
+            self.vehicle_power_w + ad_power_w
+        )
+
+    def reduction_curve(
+        self, ad_powers_w: Iterable[float]
+    ) -> List[Tuple[float, float]]:
+        """The Fig. 3b curve: (Pad watts, reduced driving time hours)."""
+        return [
+            (p, to_hours(self.reduced_driving_time_for(p))) for p in ad_powers_w
+        ]
+
+    def with_extra_load(self, extra_power_w: float) -> "EnergyModel":
+        """A new model with *extra_power_w* added to the AD payload."""
+        return EnergyModel(
+            battery_capacity_j=self.battery_capacity_j,
+            vehicle_power_w=self.vehicle_power_w,
+            ad_power_w=self.ad_power_w + extra_power_w,
+        )
+
+    def revenue_time_lost_fraction(
+        self,
+        extra_power_w: float,
+        daily_operation_hours: float = calibration.DAILY_OPERATION_HOURS,
+    ) -> float:
+        """Fraction of a workday lost by adding *extra_power_w* of load.
+
+        The paper's example: an additional idle server (31 W) costs 0.3 h of
+        a 10-hour day, i.e. a 3% revenue loss.
+        """
+        if daily_operation_hours <= 0:
+            raise ValueError("daily operation must be positive")
+        lost_s = self.with_extra_load(extra_power_w).reduced_driving_time_s
+        lost_s -= self.reduced_driving_time_s
+        return to_hours(lost_s) / daily_operation_hours
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One labelled point on the Fig. 3b curve."""
+
+    name: str
+    ad_power_w: float
+    reduced_driving_time_h: float
+
+
+def fig3b_scenarios(model: EnergyModel | None = None) -> List[Scenario]:
+    """The four labelled operating points in Fig. 3b.
+
+    * the current system (175 W);
+    * the current system with a Waymo-style LiDAR bank added (+92 W);
+    * one additional server at idle (+31 W);
+    * one additional server at full load (+149 W dynamic+idle).
+    """
+    model = model or EnergyModel()
+    extra = {
+        "current_system": 0.0,
+        "use_lidar": waymo_lidar_bank().total_power_w
+        - calibration.CAMERA_BANK_POWER_W,
+        "plus_one_server_idle": calibration.SERVER_IDLE_POWER_W,
+        "plus_one_server_full_load": calibration.SERVER_IDLE_POWER_W
+        + calibration.SERVER_DYNAMIC_POWER_W,
+    }
+    scenarios = []
+    for name, extra_w in extra.items():
+        pad = model.ad_power_w + extra_w
+        scenarios.append(
+            Scenario(
+                name=name,
+                ad_power_w=pad,
+                reduced_driving_time_h=to_hours(model.reduced_driving_time_for(pad)),
+            )
+        )
+    return scenarios

@@ -1,0 +1,182 @@
+"""Fleet-level TCO model (paper Sec. VII, "'TCO' Model for Autonomous
+Vehicles").
+
+The conclusion sketches a future contribution: "a comprehensive cost model
+for autonomous vehicles, which could enable cost-effective optimization
+opportunities and reveal new design trade-offs such as cost vs. latency,
+similar in a way that the TCO model drives new optimizations in data
+centers."  This module builds that model on top of the Sec. III pieces:
+
+* per-vehicle cost = amortized vehicle + energy + servicing;
+* fleet-shared cost = cloud services (maps, training) amortized over the
+  fleet — the scale economics;
+* **cost vs latency**: a compute tier choice (cheap/slow vs pricey/fast)
+  changes Tcomp, which changes the avoidance range, which changes how
+  often the vehicle leaves the efficient proactive path — monetized as
+  trip throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from . import calibration
+from .energy_model import EnergyModel
+from .latency_model import LatencyModel
+
+
+@dataclass(frozen=True)
+class ComputeTier:
+    """One computing-platform option for the SoV."""
+
+    name: str
+    unit_cost_usd: float
+    mean_tcomp_s: float
+    power_w: float
+
+
+def paper_compute_tiers() -> List[ComputeTier]:
+    """Representative tiers bracketing the paper's design point."""
+    return [
+        ComputeTier("mobile_soc", 600.0, 0.90, 20.0),  # TX2-class: too slow
+        ComputeTier("our_platform", 2_000.0, 0.164, 129.0),  # FPGA + server
+        ComputeTier(
+            "automotive_asic", 10_000.0, 0.120, 250.0
+        ),  # PX2-class: fast, pricey, power-hungry
+        ComputeTier(
+            "dual_server", 4_000.0, 0.140, 278.0
+        ),  # extra server: small gain, big power
+    ]
+
+
+@dataclass(frozen=True)
+class FleetTcoModel:
+    """Fleet economics parameterized by the compute tier.
+
+    ``trip_length_m``/``fare_usd`` describe the service; the tier's
+    latency determines an *effective average speed*: segments where the
+    proactive path cannot cover an appearing obstacle force reactive
+    braking episodes that cost ``reactive_episode_s`` each, at a rate
+    proportional to how far the tier's avoidance range falls short of the
+    ideal sensing range.
+    """
+
+    fleet_size: int = 10
+    service_life_days: float = 5 * 365.0
+    operating_hours_per_day: float = calibration.DAILY_OPERATION_HOURS
+    trip_length_m: float = 1_200.0
+    fare_usd: float = calibration.FARE_PER_TRIP_USD
+    vehicle_base_cost_usd: float = 60_000.0
+    cloud_cost_per_day_usd: float = 120.0  # maps + training, fleet-shared
+    service_cost_per_vehicle_day_usd: float = 10.0
+    energy_cost_per_kwh_usd: float = 0.15
+    cruise_speed_mps: float = calibration.TYPICAL_SPEED_MPS
+    obstacle_rate_per_km: float = 2.0  # appearing obstacles per km
+    reactive_episode_s: float = 8.0  # time lost per forced hard stop
+    ideal_reach_m: float = 9.0  # a very fast system avoids everything here
+    max_safe_reach_m: float = 8.5  # tiers needing more room are unsafe
+
+    def __post_init__(self) -> None:
+        if self.fleet_size < 1:
+            raise ValueError("fleet must have at least one vehicle")
+
+    # -- latency -> service quality ------------------------------------------
+
+    def forced_stop_fraction(self, tier: ComputeTier) -> float:
+        """Fraction of appearing obstacles the proactive path cannot cover.
+
+        Obstacles appear uniformly in (braking floor, ideal reach); those
+        inside the tier's avoidance range force a reactive episode.
+        """
+        model = LatencyModel()
+        reach = model.min_avoidable_distance_m(tier.mean_tcomp_s)
+        floor = model.braking_distance_m
+        span = self.ideal_reach_m - floor
+        if span <= 0:
+            return 0.0
+        return min(1.0, max(0.0, (reach - floor) / span))
+
+    def is_safe(self, tier: ComputeTier) -> bool:
+        """Safety gate: the tier must cover obstacles appearing within the
+        sensing horizon — the reason the paper rejects mobile SoCs outright
+        rather than merely pricing their slowness (Sec. V-A)."""
+        reach = LatencyModel().min_avoidable_distance_m(tier.mean_tcomp_s)
+        return reach <= self.max_safe_reach_m
+
+    def effective_speed_mps(self, tier: ComputeTier) -> float:
+        """Average speed once reactive episodes are charged."""
+        stops_per_m = (
+            self.obstacle_rate_per_km / 1_000.0 * self.forced_stop_fraction(tier)
+        )
+        seconds_per_m = 1.0 / self.cruise_speed_mps + (
+            stops_per_m * self.reactive_episode_s
+        )
+        return 1.0 / seconds_per_m
+
+    def trips_per_vehicle_day(self, tier: ComputeTier) -> float:
+        # Driving hours are limited by the battery under the tier's power.
+        energy = EnergyModel(ad_power_w=calibration.AD_POWER_W
+                             - calibration.SERVER_DYNAMIC_POWER_W
+                             - calibration.SERVER_IDLE_POWER_W
+                             + tier.power_w)
+        driving_s = min(
+            energy.driving_time_s, self.operating_hours_per_day * 3_600.0
+        )
+        trip_s = self.trip_length_m / self.effective_speed_mps(tier)
+        return driving_s / trip_s
+
+    # -- money ------------------------------------------------------------------
+
+    def vehicle_cost_per_day_usd(self, tier: ComputeTier) -> float:
+        capital = (
+            self.vehicle_base_cost_usd + tier.unit_cost_usd
+        ) / self.service_life_days
+        energy_kwh = (
+            (calibration.VEHICLE_POWER_W + tier.power_w)
+            * self.operating_hours_per_day
+            / 1_000.0
+        )
+        return (
+            capital
+            + self.service_cost_per_vehicle_day_usd
+            + energy_kwh * self.energy_cost_per_kwh_usd
+        )
+
+    def fleet_cost_per_day_usd(self, tier: ComputeTier) -> float:
+        return (
+            self.fleet_size * self.vehicle_cost_per_day_usd(tier)
+            + self.cloud_cost_per_day_usd
+        )
+
+    def fleet_revenue_per_day_usd(self, tier: ComputeTier) -> float:
+        return (
+            self.fleet_size * self.trips_per_vehicle_day(tier) * self.fare_usd
+        )
+
+    def fleet_profit_per_day_usd(self, tier: ComputeTier) -> float:
+        return self.fleet_revenue_per_day_usd(tier) - self.fleet_cost_per_day_usd(
+            tier
+        )
+
+    def compare_tiers(
+        self, tiers: Optional[Iterable[ComputeTier]] = None
+    ) -> List[Tuple[ComputeTier, float]]:
+        """Tiers ranked by daily fleet profit (best first)."""
+        tiers = list(tiers) if tiers is not None else paper_compute_tiers()
+        ranked = [
+            (
+                tier,
+                self.fleet_profit_per_day_usd(tier)
+                if self.is_safe(tier)
+                else float("-inf"),
+            )
+            for tier in tiers
+        ]
+        ranked.sort(key=lambda pair: pair[1], reverse=True)
+        return ranked
+
+    def best_tier(
+        self, tiers: Optional[Iterable[ComputeTier]] = None
+    ) -> ComputeTier:
+        return self.compare_tiers(tiers)[0][0]

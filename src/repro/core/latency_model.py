@@ -1,0 +1,214 @@
+"""End-to-end latency model of an autonomous vehicle (paper Sec. III-A).
+
+The paper's Eq. 1 bounds the total reaction of the vehicle: the obstacle at
+distance ``D`` is avoided iff the distance covered while computing,
+transmitting, and mechanically reacting, plus the braking distance, does
+not exceed ``D``::
+
+    (Tcomp + Tdata + Tmech) * v  +  (1/2) * a * Tstop^2  <=  D     (1a)
+    Tstop = v / a                                                   (1b)
+
+Note that ``(1/2) * a * Tstop^2`` with ``Tstop = v/a`` equals ``v^2 / 2a``,
+the familiar braking distance.  This module provides the model in all the
+directions the paper uses it:
+
+* given a computing latency, the minimum avoidable obstacle distance;
+* given an obstacle distance, the maximum tolerable computing latency
+  (Fig. 3a);
+* the braking-distance lower bound (4 m at v=5.6 m/s, a=4 m/s^2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from . import calibration
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Analytical end-to-end latency model (Fig. 2 / Eq. 1).
+
+    Parameters
+    ----------
+    speed_mps:
+        Vehicle speed ``v`` when the event is sensed.
+    decel_mps2:
+        Brake deceleration ``a``.
+    data_latency_s:
+        CAN-bus transmission latency ``Tdata``.
+    mech_latency_s:
+        Mechanical reaction latency ``Tmech``.
+    """
+
+    speed_mps: float = calibration.TYPICAL_SPEED_MPS
+    decel_mps2: float = calibration.BRAKE_DECEL_MPS2
+    data_latency_s: float = calibration.CAN_BUS_LATENCY_S
+    mech_latency_s: float = calibration.MECHANICAL_LATENCY_S
+
+    def __post_init__(self) -> None:
+        if self.speed_mps < 0:
+            raise ValueError(f"speed must be non-negative, got {self.speed_mps}")
+        if self.decel_mps2 <= 0:
+            raise ValueError(f"deceleration must be positive, got {self.decel_mps2}")
+        if self.data_latency_s < 0 or self.mech_latency_s < 0:
+            raise ValueError("latencies must be non-negative")
+
+    # -- Eq. 1b -------------------------------------------------------------
+
+    @property
+    def stopping_time_s(self) -> float:
+        """``Tstop = v / a`` — time from full braking to standstill."""
+        return self.speed_mps / self.decel_mps2
+
+    @property
+    def braking_distance_m(self) -> float:
+        """Distance covered while braking: ``v^2 / 2a``.
+
+        This is the theoretical lower bound of obstacle avoidance — no
+        computing system, however fast, can avoid an object closer than
+        this (4 m for the paper's vehicle).
+        """
+        return self.speed_mps ** 2 / (2.0 * self.decel_mps2)
+
+    @property
+    def reaction_overhead_s(self) -> float:
+        """Non-computing latency: ``Tdata + Tmech``."""
+        return self.data_latency_s + self.mech_latency_s
+
+    # -- Eq. 1a, solved both ways --------------------------------------------
+
+    def stopping_distance_m(self, computing_latency_s: float) -> float:
+        """Total distance travelled from event to standstill.
+
+        The left-hand side of Eq. 1a: reaction distance plus braking
+        distance.
+        """
+        if computing_latency_s < 0:
+            raise ValueError("computing latency must be non-negative")
+        reaction = (computing_latency_s + self.reaction_overhead_s) * self.speed_mps
+        return reaction + self.braking_distance_m
+
+    def can_avoid(self, computing_latency_s: float, object_distance_m: float) -> bool:
+        """Whether an obstacle sensed at *object_distance_m* is avoidable."""
+        return self.stopping_distance_m(computing_latency_s) <= object_distance_m
+
+    def min_avoidable_distance_m(self, computing_latency_s: float) -> float:
+        """Closest obstacle distance avoidable at a given computing latency.
+
+        The paper: at the 164 ms mean latency, objects >= 5 m away are
+        avoidable; at the 740 ms worst case, >= 8.3 m.
+        """
+        return self.stopping_distance_m(computing_latency_s)
+
+    def latency_requirement_s(self, object_distance_m: float) -> float:
+        """Maximum tolerable ``Tcomp`` to avoid an obstacle at distance *D*.
+
+        Solves Eq. 1a for ``Tcomp`` (Fig. 3a).  Returns a negative number
+        when *D* is inside the physically unavoidable region (closer than
+        braking distance plus the distance covered during ``Tdata+Tmech``),
+        so callers can distinguish "impossible" from "zero budget".
+        """
+        if object_distance_m < 0:
+            raise ValueError("object distance must be non-negative")
+        if self.speed_mps == 0:
+            return float("inf")
+        slack_m = object_distance_m - self.braking_distance_m
+        return slack_m / self.speed_mps - self.reaction_overhead_s
+
+    def requirement_curve(
+        self, distances_m: Iterable[float]
+    ) -> List["LatencyRequirementPoint"]:
+        """Evaluate the Fig. 3a curve at each distance."""
+        return [
+            LatencyRequirementPoint(
+                object_distance_m=d,
+                computing_latency_requirement_s=self.latency_requirement_s(d),
+            )
+            for d in distances_m
+        ]
+
+
+@dataclass(frozen=True)
+class LatencyRequirementPoint:
+    """One <distance, Tcomp requirement> point on the Fig. 3a curve."""
+
+    object_distance_m: float
+    computing_latency_requirement_s: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any computing system could meet this point."""
+        return self.computing_latency_requirement_s >= 0
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """A sensing/perception/planning split of one pipeline iteration.
+
+    Mirrors Fig. 10a: the paper reports best-case, mean, and 99th-percentile
+    end-to-end computing latency, broken into the three serialized stages.
+    """
+
+    sensing_s: float
+    perception_s: float
+    planning_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.sensing_s + self.perception_s + self.planning_s
+
+    def fraction(self, stage: str) -> float:
+        """Fraction of the total attributable to *stage*."""
+        value = {
+            "sensing": self.sensing_s,
+            "perception": self.perception_s,
+            "planning": self.planning_s,
+        }.get(stage)
+        if value is None:
+            raise ValueError(f"unknown stage {stage!r}")
+        if self.total_s == 0:
+            return 0.0
+        return value / self.total_s
+
+
+def paper_breakdown_mean() -> LatencyBreakdown:
+    """The deployed vehicle's mean latency split (Sec. V-C)."""
+    return LatencyBreakdown(
+        sensing_s=calibration.SENSING_MEAN_LATENCY_S,
+        perception_s=calibration.PERCEPTION_MEAN_LATENCY_S,
+        planning_s=calibration.PLANNING_MEAN_LATENCY_S,
+    )
+
+
+def paper_breakdown_best() -> LatencyBreakdown:
+    """The deployed vehicle's best-case latency split (Sec. V-C)."""
+    return LatencyBreakdown(
+        sensing_s=calibration.SENSING_BEST_LATENCY_S,
+        perception_s=calibration.PERCEPTION_BEST_LATENCY_S,
+        planning_s=calibration.PLANNING_BEST_LATENCY_S,
+    )
+
+
+def end_to_end_latency_s(
+    computing_latency_s: float,
+    model: LatencyModel | None = None,
+) -> float:
+    """Computing + CAN + mechanical latency (excludes the braking phase).
+
+    The paper's headline "computing contributes 88% of the end-to-end
+    latency" uses this definition: 164 / (164 + 1 + 19) = 0.891.
+    """
+    model = model or LatencyModel()
+    return computing_latency_s + model.reaction_overhead_s
+
+
+def computing_fraction(
+    computing_latency_s: float, model: LatencyModel | None = None
+) -> float:
+    """Fraction of end-to-end latency attributable to computing."""
+    total = end_to_end_latency_s(computing_latency_s, model)
+    if total == 0:
+        return 0.0
+    return computing_latency_s / total

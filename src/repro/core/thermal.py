@@ -1,0 +1,111 @@
+"""Thermal model (paper Sec. III-B, "Thermal Constraint").
+
+"Since we have managed to optimize the total computing power consumption
+well under 200 W, thermal constraints do not appear to be a problem in
+various commercial deployment environments, where temperatures range from
+-20 C to +40 C.  Conventional cooling techniques (e.g., fans) for server
+systems are used."
+
+A simple steady-state model: the enclosure has a thermal resistance to
+ambient (lower with forced-air cooling); component temperature is ambient
+plus power times resistance.  The model answers the paper's two questions:
+does the 175 W payload stay under the component limit across the
+deployment ambient range with fans, and where does the budget break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from . import calibration
+
+#: The paper's deployment ambient range, degrees C.
+DEPLOYMENT_AMBIENT_RANGE_C = (-20.0, 40.0)
+
+
+@dataclass(frozen=True)
+class CoolingSolution:
+    """One cooling option with its thermal resistance and overhead."""
+
+    name: str
+    thermal_resistance_c_per_w: float
+    fan_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance_c_per_w <= 0:
+            raise ValueError("thermal resistance must be positive")
+        if self.fan_power_w < 0:
+            raise ValueError("fan power must be non-negative")
+
+
+def passive_cooling() -> CoolingSolution:
+    """A sealed, fanless enclosure."""
+    return CoolingSolution("passive", thermal_resistance_c_per_w=0.60)
+
+
+def conventional_fans() -> CoolingSolution:
+    """The paper's choice: server-style forced air."""
+    return CoolingSolution(
+        "conventional_fans", thermal_resistance_c_per_w=0.20, fan_power_w=8.0
+    )
+
+
+def liquid_cooling() -> CoolingSolution:
+    """The expensive option the paper avoids needing."""
+    return CoolingSolution(
+        "liquid", thermal_resistance_c_per_w=0.08, fan_power_w=25.0
+    )
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Steady-state enclosure thermal model."""
+
+    cooling: CoolingSolution
+    component_limit_c: float = 85.0  # commercial-grade silicon
+
+    def steady_state_temp_c(self, power_w: float, ambient_c: float) -> float:
+        """Component temperature at a dissipated power and ambient."""
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        total = power_w + self.cooling.fan_power_w
+        return ambient_c + total * self.cooling.thermal_resistance_c_per_w
+
+    def within_limit(self, power_w: float, ambient_c: float) -> bool:
+        return self.steady_state_temp_c(power_w, ambient_c) <= self.component_limit_c
+
+    def max_power_w(self, ambient_c: float) -> float:
+        """Largest payload that stays under the component limit."""
+        headroom = self.component_limit_c - ambient_c
+        if headroom <= 0:
+            return 0.0
+        return max(
+            0.0,
+            headroom / self.cooling.thermal_resistance_c_per_w
+            - self.cooling.fan_power_w,
+        )
+
+    def check_deployment_range(
+        self,
+        power_w: float = calibration.AD_POWER_W,
+        ambient_range_c: Tuple[float, float] = DEPLOYMENT_AMBIENT_RANGE_C,
+    ) -> bool:
+        """The Sec. III-B claim: OK across -20 C to +40 C."""
+        return all(
+            self.within_limit(power_w, ambient)
+            for ambient in ambient_range_c
+        )
+
+
+def cooling_comparison(
+    power_w: float = calibration.AD_POWER_W,
+    ambient_c: float = DEPLOYMENT_AMBIENT_RANGE_C[1],
+) -> List[Tuple[str, float, bool]]:
+    """(name, steady temp at the hot ambient, within limit) per option."""
+    rows = []
+    for cooling in (passive_cooling(), conventional_fans(), liquid_cooling()):
+        model = ThermalModel(cooling=cooling)
+        temp = model.steady_state_temp_c(power_w, ambient_c)
+        rows.append((cooling.name, temp, model.within_limit(power_w, ambient_c)))
+    return rows

@@ -1,0 +1,122 @@
+"""Unit helpers and physical constants used throughout the library.
+
+All internal computation uses SI base units: seconds, meters, watts,
+joules, kilograms, and US dollars for cost.  The helpers here exist so
+call-sites can state quantities in the units the paper uses (milliseconds,
+kilowatts, kW·h, mph, ...) without sprinkling conversion factors around.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+MS_PER_S = 1_000.0
+US_PER_S = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+S_PER_HOUR = 3_600.0
+S_PER_MINUTE = 60.0
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value / MS_PER_S
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value / US_PER_S
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * MS_PER_S
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * S_PER_HOUR
+
+
+def to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / S_PER_HOUR
+
+
+# ---------------------------------------------------------------------------
+# Speed / distance
+# ---------------------------------------------------------------------------
+
+MPH_PER_MPS = 2.23694
+MILES_PER_KM = 0.621371
+
+
+def mph(value: float) -> float:
+    """Convert miles-per-hour to meters-per-second."""
+    return value / MPH_PER_MPS
+
+
+def to_mph(mps: float) -> float:
+    """Convert meters-per-second to miles-per-hour."""
+    return mps * MPH_PER_MPS
+
+
+def km(value: float) -> float:
+    """Convert kilometers to meters."""
+    return value * 1_000.0
+
+
+def miles(value: float) -> float:
+    """Convert miles to meters."""
+    return value * 1_000.0 / MILES_PER_KM
+
+
+# ---------------------------------------------------------------------------
+# Energy / power
+# ---------------------------------------------------------------------------
+
+
+def kw(value: float) -> float:
+    """Convert kilowatts to watts."""
+    return value * 1_000.0
+
+
+def to_kw(watts: float) -> float:
+    """Convert watts to kilowatts."""
+    return watts / 1_000.0
+
+
+def kwh(value: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return value * 1_000.0 * S_PER_HOUR
+
+
+def to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / (1_000.0 * S_PER_HOUR)
+
+
+def mj(value: float) -> float:
+    """Convert millijoules to joules."""
+    return value / 1_000.0
+
+
+# ---------------------------------------------------------------------------
+# Data sizes (used by the RPR engine and the uplink model)
+# ---------------------------------------------------------------------------
+
+KB = 1_024
+MB = 1_024 * KB
+GB = 1_024 * MB
+TB = 1_024 * GB
+
+
+def mbps(value: float) -> float:
+    """Convert megabytes-per-second to bytes-per-second."""
+    return value * MB
+
+
+def kbps(value: float) -> float:
+    """Convert kilobytes-per-second to bytes-per-second."""
+    return value * KB

@@ -1,0 +1,34 @@
+"""Per-table/figure experiment harness.
+
+Each module registers experiments keyed by the paper artifact they
+regenerate.  ``python -m repro.experiments`` prints every paper-vs-measured
+table; ``python -m repro.experiments fig3a fig8`` runs a subset;
+``python -m repro.experiments --markdown`` emits EXPERIMENTS.md content.
+"""
+
+from . import (  # noqa: F401  (imports register the experiments)
+    ablations,
+    analytical,
+    closedloop_study,
+    extensions_study,
+    codesign_study,
+    latency_study,
+    lidar_study,
+    platform_study,
+    sync_study,
+)
+from .base import (
+    ExperimentResult,
+    Row,
+    experiment_ids,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Row",
+    "experiment_ids",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,86 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments                 # run everything, text tables
+    python -m repro.experiments fig3a fig8      # run a subset
+    python -m repro.experiments --markdown      # Markdown (EXPERIMENTS.md body)
+    python -m repro.experiments --list          # list experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiment_ids, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown tables"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each experiment's rows and series to CSV files",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for eid in experiment_ids():
+            print(eid)
+        return 0
+    targets = args.experiments or experiment_ids()
+    for eid in targets:
+        result = run_experiment(eid)
+        if args.markdown:
+            print(result.format_markdown())
+        else:
+            print(result.format_table())
+            print()
+        if args.csv:
+            _write_csv(result, args.csv)
+    return 0
+
+
+def _write_csv(result, directory: str) -> None:
+    """Dump one experiment's rows (and any series) as CSV files."""
+    import csv
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    rows_path = os.path.join(directory, f"{result.experiment_id}.csv")
+    with open(rows_path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["metric", "paper", "measured", "unit", "note"])
+        for row in result.rows:
+            writer.writerow(
+                [row.metric, row.paper, row.measured, row.unit, row.note]
+            )
+    for name, series in result.series.items():
+        series_path = os.path.join(
+            directory, f"{result.experiment_id}_{name}.csv"
+        )
+        with open(series_path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            for point in series:
+                if isinstance(point, (tuple, list)):
+                    writer.writerow(list(point))
+                else:
+                    writer.writerow([point])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

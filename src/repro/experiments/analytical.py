@@ -1,0 +1,192 @@
+"""Experiments for the Sec. III analytical models: Fig. 3a/3b, Tables I/II."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import calibration
+from ..core.cost_model import paper_camera_vehicle, paper_lidar_vehicle
+from ..core.energy_model import EnergyModel, fig3b_scenarios, paper_ad_inventory
+from ..core.latency_model import LatencyModel, computing_fraction
+from ..core.units import to_hours
+from .base import ExperimentResult, Row, register
+
+
+@register("fig3a")
+def fig3a() -> ExperimentResult:
+    """Computing-latency requirement vs obstacle distance (Eq. 1)."""
+    model = LatencyModel()
+    distances = np.linspace(4.0, 10.0, 25)
+    curve = [(float(d), model.latency_requirement_s(float(d))) for d in distances]
+    rows = [
+        Row(
+            "tcomp_requirement_at_5m",
+            calibration.MEAN_COMPUTING_LATENCY_S,
+            model.latency_requirement_s(5.0),
+            "s",
+            "paper: 164 ms mean Tcomp avoids objects at 5 m",
+        ),
+        Row(
+            "avoidance_range_at_mean_tcomp",
+            calibration.PAPER_AVOIDANCE_RANGE_MEAN_M,
+            model.min_avoidable_distance_m(calibration.MEAN_COMPUTING_LATENCY_S),
+            "m",
+        ),
+        Row(
+            "avoidance_range_at_worst_tcomp",
+            calibration.PAPER_AVOIDANCE_RANGE_WORST_M,
+            model.min_avoidable_distance_m(
+                calibration.WORST_CASE_COMPUTING_LATENCY_S
+            ),
+            "m",
+            "paper rounds braking distance to 4 m",
+        ),
+        Row(
+            "braking_distance",
+            calibration.PAPER_BRAKING_DISTANCE_M,
+            model.braking_distance_m,
+            "m",
+            "theoretical avoidance floor",
+        ),
+        Row(
+            "computing_fraction_of_e2e",
+            0.88,
+            computing_fraction(calibration.MEAN_COMPUTING_LATENCY_S, model),
+            "",
+            "computing share of end-to-end latency",
+        ),
+    ]
+    return ExperimentResult(
+        "fig3a",
+        "Computing latency requirement vs obstacle distance",
+        rows,
+        series={"requirement_curve": curve},
+    )
+
+
+@register("fig3b")
+def fig3b() -> ExperimentResult:
+    """Driving time reduction vs AD power (Eq. 2)."""
+    model = EnergyModel()
+    pads = np.linspace(150.0, 350.0, 21)
+    curve = [
+        (float(p), to_hours(model.reduced_driving_time_for(float(p))))
+        for p in pads
+    ]
+    scenarios = {s.name: s for s in fig3b_scenarios(model)}
+    rows = [
+        Row(
+            "driving_time_with_ad",
+            7.7,
+            to_hours(model.driving_time_s),
+            "h",
+            "paper: 10 h -> 7.7 h on a charge",
+        ),
+        Row(
+            "current_system_reduction",
+            2.3,
+            scenarios["current_system"].reduced_driving_time_h,
+            "h",
+        ),
+        Row(
+            "plus_idle_server_extra_loss",
+            0.3,
+            scenarios["plus_one_server_idle"].reduced_driving_time_h
+            - scenarios["current_system"].reduced_driving_time_h,
+            "h",
+            "paper: +31 W idle server costs 0.3 h",
+        ),
+        Row(
+            "idle_server_revenue_loss",
+            0.03,
+            model.revenue_time_lost_fraction(calibration.SERVER_IDLE_POWER_W),
+            "",
+            "3% of a 10-hour day",
+        ),
+        Row(
+            "lidar_extra_loss",
+            0.8,
+            scenarios["use_lidar"].reduced_driving_time_h
+            - scenarios["current_system"].reduced_driving_time_h,
+            "h",
+            "Waymo-style LiDAR bank",
+        ),
+        Row(
+            "full_load_server_total_reduction",
+            3.5,
+            scenarios["plus_one_server_full_load"].reduced_driving_time_h,
+            "h",
+        ),
+    ]
+    return ExperimentResult(
+        "fig3b",
+        "Driving time reduction vs AD power",
+        rows,
+        series={"reduction_curve": curve},
+    )
+
+
+@register("tab1")
+def tab1() -> ExperimentResult:
+    """Power breakdown of the vehicle (Table I)."""
+    inventory = paper_ad_inventory()
+    breakdown = inventory.breakdown()
+    rows = [
+        Row("server_dynamic", 118.0, breakdown["server_dynamic"], "W"),
+        Row("server_idle", 31.0, breakdown["server_idle"], "W"),
+        Row("vision_module", 11.0, breakdown["vision_module"], "W"),
+        Row("radar_bank", 13.0, breakdown["radar_bank"], "W", "6 radars"),
+        Row("sonar_bank", 2.0, breakdown["sonar_bank"], "W", "8 sonars"),
+        Row("total_ad_power", 175.0, inventory.total_power_w, "W"),
+        Row(
+            "vehicle_power",
+            600.0,
+            calibration.VEHICLE_POWER_W,
+            "W",
+            "without autonomy",
+        ),
+        Row(
+            "waymo_lidar_bank",
+            92.0,
+            calibration.WAYMO_LIDAR_BANK_POWER_W,
+            "W",
+            "1 long + 4 short range (not used by us)",
+        ),
+    ]
+    return ExperimentResult("tab1", "Power breakdown (Table I)", rows)
+
+
+@register("tab2")
+def tab2() -> ExperimentResult:
+    """Cost breakdown and LiDAR comparison (Table II)."""
+    cam = paper_camera_vehicle()
+    lidar = paper_lidar_vehicle()
+    cam_bd = cam.sensors.breakdown()
+    rows = [
+        Row("cameras_plus_imu", 1_000.0, cam_bd["cameras_plus_imu"], "USD"),
+        Row("radar_x6", 3_000.0, cam_bd["radar"], "USD"),
+        Row("sonar_x8", 1_600.0, cam_bd["sonar"], "USD"),
+        Row("gps", 1_000.0, cam_bd["gps"], "USD"),
+        Row("our_retail_price", 70_000.0, cam.retail_price_usd, "USD"),
+        Row(
+            "lidar_suite",
+            96_000.0,
+            lidar.sensor_cost_usd,
+            "USD",
+            "long-range + 4 short-range",
+        ),
+        Row(
+            "lidar_vehicle_retail",
+            300_000.0,
+            lidar.retail_price_usd,
+            "USD",
+            "paper: '>$300,000'",
+        ),
+        Row(
+            "retail_price_ratio",
+            300_000.0 / 70_000.0,
+            lidar.retail_price_usd / cam.retail_price_usd,
+            "x",
+        ),
+    ]
+    return ExperimentResult("tab2", "Cost breakdown (Table II)", rows)

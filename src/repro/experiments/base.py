@@ -1,0 +1,125 @@
+"""Experiment harness: paper-vs-measured reporting.
+
+Every table and figure in the paper's evaluation has one experiment module
+here.  An experiment produces :class:`Row` objects — a metric, the paper's
+value, our measured value, and a tolerance-free "shape" comment — and the
+harness renders them as aligned text tables (used by the benchmarks, the
+examples, and EXPERIMENTS.md generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Row:
+    """One paper-vs-measured comparison row."""
+
+    metric: str
+    paper: Optional[float]
+    measured: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def matches(self, rel_tol: float = 0.25) -> Optional[bool]:
+        """Whether measured is within *rel_tol* of the paper's value.
+
+        None when the paper gives no number for this metric.
+        """
+        if self.paper is None:
+            return None
+        if self.paper == 0:
+            return abs(self.measured) < 1e-9
+        return abs(self.measured - self.paper) / abs(self.paper) <= rel_tol
+
+
+@dataclass
+class ExperimentResult:
+    """All rows of one experiment plus free-form series."""
+
+    experiment_id: str
+    title: str
+    rows: List[Row]
+    series: Dict[str, List] = field(default_factory=dict)
+
+    def row(self, metric: str) -> Row:
+        for row in self.rows:
+            if row.metric == metric:
+                return row
+        raise KeyError(f"no row named {metric!r} in {self.experiment_id}")
+
+    def format_table(self) -> str:
+        """Aligned paper-vs-measured table."""
+        header = f"== {self.experiment_id}: {self.title} =="
+        lines = [header]
+        name_w = max((len(r.metric) for r in self.rows), default=10)
+        lines.append(
+            f"{'metric':<{name_w}}  {'paper':>12}  {'measured':>12}  unit"
+        )
+        for row in self.rows:
+            paper = "-" if row.paper is None else f"{row.paper:.4g}"
+            note = f"  # {row.note}" if row.note else ""
+            lines.append(
+                f"{row.metric:<{name_w}}  {paper:>12}  "
+                f"{row.measured:>12.4g}  {row.unit}{note}"
+            )
+        return "\n".join(lines)
+
+    def format_markdown(self) -> str:
+        """The same table in Markdown (for EXPERIMENTS.md)."""
+        lines = [
+            f"### {self.experiment_id} — {self.title}",
+            "",
+            "| metric | paper | measured | unit | note |",
+            "|---|---|---|---|---|",
+        ]
+        for row in self.rows:
+            paper = "—" if row.paper is None else f"{row.paper:.4g}"
+            lines.append(
+                f"| {row.metric} | {paper} | {row.measured:.4g} "
+                f"| {row.unit} | {row.note} |"
+            )
+        lines.append("")
+        return "\n".join(lines)
+
+
+#: The registry of experiment-compute callables, filled by each module.
+_REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment compute function."""
+
+    def wrap(fn: Callable[[], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def experiment_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    try:
+        fn = _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        ) from None
+    return fn()
+
+
+def run_all() -> List[ExperimentResult]:
+    return [run_experiment(eid) for eid in experiment_ids()]

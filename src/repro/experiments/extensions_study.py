@@ -1,0 +1,233 @@
+"""Experiments for the Sec. VII forward-looking extensions.
+
+These go beyond the paper's evaluation: they implement the directions the
+conclusion sketches (fleet TCO, edge/cloud offload, RPR for infrequent
+tasks) plus the Sec. III-B thermal constraint, and report the design
+points our models find.
+"""
+
+from __future__ import annotations
+
+from ..core import calibration
+from ..core.fleet import FleetTcoModel, paper_compute_tiers
+from ..core.thermal import ThermalModel, conventional_fans, cooling_comparison
+from ..hw.offload import offload_plan
+from ..hw.rpr import hourly_task_swap_overhead
+from .base import ExperimentResult, Row, register
+
+
+@register("fleet_tco")
+def fleet_tco() -> ExperimentResult:
+    """Fleet TCO: the cost-vs-latency tier choice (Sec. VII)."""
+    model = FleetTcoModel(fleet_size=10)
+    tiers = {t.name: t for t in paper_compute_tiers()}
+    ours = tiers["our_platform"]
+    rows = [
+        Row(
+            "best_tier_is_ours",
+            1.0,
+            1.0 if model.best_tier().name == "our_platform" else 0.0,
+            "bool",
+            "profit-optimal safe tier matches the paper's design point",
+        ),
+        Row(
+            "mobile_soc_safe",
+            0.0,
+            1.0 if model.is_safe(tiers["mobile_soc"]) else 0.0,
+            "bool",
+            "TX2-class latency gated out on safety, as in Sec. V-A",
+        ),
+        Row(
+            "our_trips_per_vehicle_day",
+            None,
+            model.trips_per_vehicle_day(ours),
+            "trips",
+        ),
+        Row(
+            "our_fleet_profit_per_day",
+            None,
+            model.fleet_profit_per_day_usd(ours),
+            "USD",
+            "10 vehicles at the $1 fare",
+        ),
+        Row(
+            "asic_profit_penalty",
+            None,
+            model.fleet_profit_per_day_usd(ours)
+            - model.fleet_profit_per_day_usd(tiers["automotive_asic"]),
+            "USD/day",
+            "what the PX2-class option would cost the fleet daily",
+        ),
+    ]
+    return ExperimentResult("fleet_tco", "Fleet TCO tier comparison", rows)
+
+
+@register("offload")
+def offload() -> ExperimentResult:
+    """Edge/cloud offload plan (Sec. VII ALP extension)."""
+    decisions = {d.task: d for d in offload_plan(seed=0)}
+    rows = []
+    for task, decision in sorted(decisions.items()):
+        rows.append(
+            Row(
+                f"{task}_venue_is_edge",
+                None,
+                1.0 if decision.target == "edge" else 0.0,
+                "bool",
+                f"local {decision.local_latency_s*1e3:.0f} ms -> "
+                f"{decision.target} {decision.offloaded_mean_s*1e3:.1f} ms "
+                f"(p99 {decision.offloaded_p99_s*1e3:.1f} ms)",
+            )
+        )
+    detection = decisions["detection"]
+    rows.append(
+        Row(
+            "detection_mean_speedup",
+            None,
+            detection.mean_speedup,
+            "x",
+            "only the heavy task clears the RTT bar",
+        )
+    )
+    return ExperimentResult("offload", "Edge/cloud offload plan", rows)
+
+
+@register("hourly_rpr")
+def hourly_rpr() -> ExperimentResult:
+    """RPR for infrequent tasks (Sec. VII)."""
+    result = hourly_task_swap_overhead(operating_hours=10.0)
+    rows = [
+        Row("swaps_per_day", 20.0, result["uses"] * 2, "swaps"),
+        Row("total_swap_delay", None, result["total_swap_delay_s"], "s/day"),
+        Row("total_swap_energy", None, result["total_swap_energy_j"], "J/day"),
+        Row(
+            "vs_resident_static_energy",
+            None,
+            result["energy_saving_ratio"],
+            "x",
+            "time-sharing vs a permanently resident block",
+        ),
+    ]
+    return ExperimentResult("hourly_rpr", "Hourly infrequent-task RPR", rows)
+
+
+@register("thermal")
+def thermal() -> ExperimentResult:
+    """Thermal constraint (Sec. III-B)."""
+    model = ThermalModel(cooling=conventional_fans())
+    rows = [
+        Row(
+            "fans_cover_deployment_range",
+            1.0,
+            1.0 if model.check_deployment_range(calibration.AD_POWER_W) else 0.0,
+            "bool",
+            "-20 C to +40 C with conventional fans",
+        ),
+        Row(
+            "fan_budget_at_40C",
+            None,
+            model.max_power_w(40.0),
+            "W",
+            "why 'well under 200 W' matters",
+        ),
+        Row(
+            "steady_temp_at_40C",
+            None,
+            model.steady_state_temp_c(calibration.AD_POWER_W, 40.0),
+            "C",
+        ),
+    ]
+    for name, temp, ok in cooling_comparison():
+        rows.append(
+            Row(
+                f"{name}_ok_at_40C",
+                None,
+                1.0 if ok else 0.0,
+                "bool",
+                f"steady state {temp:.0f} C",
+            )
+        )
+    return ExperimentResult("thermal", "Thermal constraint check", rows)
+
+
+@register("alp")
+def alp() -> ExperimentResult:
+    """Accelerator-level parallelism on explicit devices (Sec. VII)."""
+    from ..runtime.alp import AlpExecutor, single_device_assignment
+
+    paper = AlpExecutor(frame_rate_hz=10.0, seed=0).run(200)
+    single = AlpExecutor(
+        assignment=single_device_assignment("cpu"), frame_rate_hz=10.0, seed=0
+    ).run(100)
+    rows = [
+        Row("paper_platform_throughput", None, paper.throughput_hz, "Hz"),
+        Row(
+            "paper_platform_alp",
+            None,
+            paper.alp_parallelism,
+            "devices",
+            "average simultaneously-busy accelerators",
+        ),
+        Row(
+            "sensing_device_utilization",
+            None,
+            paper.device_utilization["fpga_sensing"],
+            "",
+            "sensing is the hottest device (Sec. V-C)",
+        ),
+        Row(
+            "gpu_utilization",
+            None,
+            paper.device_utilization["gpu"],
+            "",
+        ),
+        Row("single_device_throughput", None, single.throughput_hz, "Hz",
+            "everything on one CPU: under half the requirement"),
+        Row(
+            "alp_throughput_gain",
+            None,
+            paper.throughput_hz / single.throughput_hz,
+            "x",
+        ),
+    ]
+    return ExperimentResult(
+        "alp", "Accelerator-level parallelism across devices", rows
+    )
+
+
+@register("roofline")
+def roofline() -> ExperimentResult:
+    """Roofline classification of the workloads (Sec. VII / Gables)."""
+    from ..hw.roofline import lidar_acceleration_gap, roofline_analysis
+
+    points = {(p.workload, p.platform): p for p in roofline_analysis()}
+    rows = [
+        Row(
+            "pointcloud_memory_bound_on_gpu",
+            1.0,
+            1.0 if points[("pointcloud_kdtree", "gpu")].bound == "memory" else 0.0,
+            "bool",
+            "why LiDAR kernels lack 'mature acceleration solutions'",
+        ),
+        Row(
+            "dnn_compute_bound_on_gpu",
+            1.0,
+            1.0 if points[("detection_dnn", "gpu")].bound == "compute" else 0.0,
+            "bool",
+        ),
+        Row(
+            "gpu_speedup_asymmetry",
+            None,
+            lidar_acceleration_gap(),
+            "x",
+            "GPU helps dense vision this much more than point clouds",
+        ),
+        Row(
+            "dnn_ideal_runtime_gpu",
+            None,
+            points[("detection_dnn", "gpu")].ideal_runtime_s,
+            "s",
+            "roofline lower bound under the calibrated 70 ms",
+        ),
+    ]
+    return ExperimentResult("roofline", "Roofline workload classification", rows)

@@ -1,0 +1,170 @@
+"""Experiments for the SoV latency characterization: Fig. 10a/10b."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import calibration
+from ..runtime.dataflow import SovDataflow, paper_dataflow
+from ..runtime.scheduler import PipelinedExecutor
+from .base import ExperimentResult, Row, register
+
+
+@register("fig10a")
+def fig10a() -> ExperimentResult:
+    """End-to-end computing latency distribution (Fig. 10a)."""
+    dataflow = paper_dataflow()
+    rng = np.random.default_rng(0)
+    samples = []
+    stage_samples = {stage: [] for stage in SovDataflow.STAGES}
+    for _ in range(8_000):
+        latencies, total = dataflow.sample_iteration(rng)
+        samples.append(total)
+        for stage in SovDataflow.STAGES:
+            stage_samples[stage].append(
+                dataflow.stage_latency(stage, latencies)
+            )
+    samples = np.array(samples)
+    sensing_mean = float(np.mean(stage_samples["sensing"]))
+    rows = [
+        Row(
+            "best_case",
+            calibration.BEST_CASE_COMPUTING_LATENCY_S,
+            float(samples.min()),
+            "s",
+        ),
+        Row(
+            "mean",
+            calibration.MEAN_COMPUTING_LATENCY_S,
+            float(samples.mean()),
+            "s",
+        ),
+        Row(
+            "p99",
+            None,
+            float(np.percentile(samples, 99)),
+            "s",
+            "the long tail of Fig. 10a",
+        ),
+        Row(
+            "observed_max",
+            calibration.WORST_CASE_COMPUTING_LATENCY_S,
+            float(samples.max()),
+            "s",
+            "paper's worst case: 740 ms",
+        ),
+        Row(
+            "sensing_fraction",
+            0.50,
+            sensing_mean / float(samples.mean()),
+            "",
+            "sensing is ~50% of SoV latency",
+        ),
+        Row(
+            "planning_fraction",
+            0.018,
+            float(np.mean(stage_samples["planning"])) / float(samples.mean()),
+            "",
+            "planning is insignificant (~3 ms)",
+        ),
+    ]
+    return ExperimentResult(
+        "fig10a",
+        "Computing latency distribution",
+        rows,
+        series={
+            "percentiles": [
+                (q, float(np.percentile(samples, q)))
+                for q in (0, 25, 50, 75, 90, 99, 99.9, 100)
+            ]
+        },
+    )
+
+
+@register("fig10b")
+def fig10b() -> ExperimentResult:
+    """Average-case latencies of perception tasks (Fig. 10b)."""
+    dataflow = paper_dataflow()
+    rng = np.random.default_rng(1)
+    task_samples = {name: [] for name in dataflow.task_names}
+    for _ in range(8_000):
+        latencies, _total = dataflow.sample_iteration(rng)
+        for name, value in latencies.items():
+            task_samples[name].append(value)
+    rows = []
+    for task, paper_value in calibration.FIG10B_TASK_LATENCIES_S.items():
+        rows.append(
+            Row(
+                task,
+                paper_value,
+                float(np.mean(task_samples[task])),
+                "s",
+            )
+        )
+    detection_tracking = float(
+        np.mean(task_samples["detection"]) + np.mean(task_samples["tracking"])
+    )
+    rows.append(
+        Row(
+            "detection_plus_tracking",
+            0.077,
+            detection_tracking,
+            "s",
+            "serialized pair dictates perception latency",
+        )
+    )
+    rows.append(
+        Row(
+            "localization_median",
+            calibration.LOCALIZATION_MEDIAN_S,
+            float(np.median(task_samples["localization"])),
+            "s",
+        )
+    )
+    return ExperimentResult(
+        "fig10b", "Average-case perception task latencies", rows
+    )
+
+
+@register("throughput")
+def throughput() -> ExperimentResult:
+    """Pipeline throughput (Sec. III-A, Sec. V-C)."""
+    executor = PipelinedExecutor(frame_rate_hz=15.0, seed=0)
+    report = executor.run(400)
+    serialized = executor.serialized_throughput_hz()
+    rows = [
+        Row(
+            "pipelined_throughput",
+            None,
+            report.throughput_hz,
+            "Hz",
+            "paper operating range: 10-30 Hz",
+        ),
+        Row(
+            "meets_10hz_requirement",
+            1.0,
+            1.0 if report.meets_throughput_requirement() else 0.0,
+            "bool",
+        ),
+        Row(
+            "serialized_throughput",
+            None,
+            serialized,
+            "Hz",
+            "without pipelining: 1 / mean latency",
+        ),
+        Row(
+            "pipelining_gain",
+            None,
+            report.throughput_hz / serialized,
+            "x",
+        ),
+        Row(
+            "mean_latency_unchanged",
+            calibration.MEAN_COMPUTING_LATENCY_S,
+            report.stats.mean_s,
+            "s",
+            "pipelining helps throughput, not latency",
+        ),
+    ]
+    return ExperimentResult("throughput", "Pipeline throughput", rows)

@@ -1,0 +1,219 @@
+"""Experiments for sensor synchronization: Fig. 11a, Fig. 11b, Fig. 12."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import calibration
+from ..perception.depth_error import StereoSyncErrorModel, fig11a_curve
+from ..perception.stereo import ElasLikeMatcher, depth_error_from_pair
+from ..perception.vio import (
+    CameraImuSyncErrorModel,
+    VisualInertialOdometry,
+    trajectory_error_m,
+)
+from ..scene.kitti_like import SequenceGenerator, make_stereo_pair
+from ..scene.trajectory import CircuitTrajectory
+from ..scene.world import Landmark, World
+from ..sensors.base import SensorClock
+from ..sync.hardware_sync import HardwareSyncSimulation, SynchronizerSpec
+from ..sync.software_sync import SoftwareSyncSimulation, paper_mismatch_example
+from .base import ExperimentResult, Row, register
+
+
+@register("fig11a")
+def fig11a() -> ExperimentResult:
+    """Depth estimation error vs stereo sync error (Fig. 11a)."""
+    model = StereoSyncErrorModel()
+    curve = fig11a_curve(model)
+    # Empirical confirmation on the real matcher: time-offset stereo pairs
+    # (apparent lateral shift) inflate measured depth error.
+    matcher = ElasLikeMatcher(max_disparity_px=22)
+    synced = depth_error_from_pair(
+        make_stereo_pair(shape=(48, 96), seed=3), matcher
+    )
+    offset = depth_error_from_pair(
+        make_stereo_pair(shape=(48, 96), seed=3, lateral_shift_px=4.0), matcher
+    )
+    rows = [
+        Row(
+            "depth_error_at_30ms",
+            calibration.SYNC_30MS_DEPTH_ERROR_M,
+            model.depth_error_m(0.030),
+            "m",
+            "paper: 'could be over 5 m' at 30 ms",
+        ),
+        Row(
+            "depth_error_at_150ms",
+            13.0,
+            model.depth_error_m(0.150),
+            "m",
+            "Fig. 11a right edge",
+        ),
+        Row("depth_error_at_0ms", 0.0, model.depth_error_m(0.0), "m"),
+        Row(
+            "matcher_synced_error",
+            None,
+            synced,
+            "m",
+            "real block matcher, synchronized pair",
+        ),
+        Row(
+            "matcher_offset_error",
+            None,
+            offset,
+            "m",
+            "real block matcher, offset pair (larger)",
+        ),
+    ]
+    return ExperimentResult(
+        "fig11a",
+        "Depth error vs stereo synchronization error",
+        rows,
+        series={"model_curve_ms_m": curve},
+    )
+
+
+def _ring_world(seed: int = 0, n: int = 600) -> World:
+    rng = np.random.default_rng(seed)
+    return World(
+        landmarks=[
+            Landmark(
+                i,
+                float(r * math.cos(t)),
+                float(r * math.sin(t)),
+                float(z),
+            )
+            for i, (t, r, z) in enumerate(
+                zip(
+                    rng.uniform(0, 2 * math.pi, n),
+                    rng.uniform(20.0, 45.0, n),
+                    rng.uniform(0.5, 5.0, n),
+                )
+            )
+        ]
+    )
+
+
+@register("fig11b")
+def fig11b() -> ExperimentResult:
+    """Localization error vs camera/IMU sync error (Fig. 11b).
+
+    Magnitudes come from the first-order drift-rate model (|v| |omega| t_d,
+    the gravity-coupling channel a planar substrate cannot host — see
+    DESIGN.md); the real VIO provides the synchronized baseline and the
+    consistent-odometry lower bound for offset runs.
+    """
+    model = CameraImuSyncErrorModel()
+    world = _ring_world()
+    traj = CircuitTrajectory(radius_m=15.0, speed_mps=5.6)
+    vio_errors = {}
+    for offset in (0.0, 0.020, 0.040):
+        gen = SequenceGenerator(
+            traj, world=world, camera_rate_hz=10.0, seed=1
+        )
+        seq = gen.generate(duration_s=33.7, camera_time_offset_s=offset)
+        estimates = VisualInertialOdometry().run(seq)
+        vio_errors[offset] = trajectory_error_m(estimates, seq)[1]
+    rows = [
+        Row(
+            "model_error_at_40ms",
+            calibration.SYNC_40MS_LOCALIZATION_ERROR_M,
+            model.localization_error_m(0.040),
+            "m",
+            "paper: 'as much as 10 m' at 40 ms",
+        ),
+        Row(
+            "model_error_at_20ms",
+            5.0,
+            model.localization_error_m(0.020),
+            "m",
+            "half the 40 ms divergence",
+        ),
+        Row("model_error_at_0ms", 0.0, model.localization_error_m(0.0), "m"),
+        Row(
+            "vio_baseline_max_error",
+            None,
+            vio_errors[0.0],
+            "m",
+            "real VIO, synchronized (noise-driven drift only)",
+        ),
+        Row(
+            "vio_40ms_max_error",
+            None,
+            vio_errors[0.040],
+            "m",
+            "real VIO lower bound (no gravity channel in 2-D)",
+        ),
+    ]
+    return ExperimentResult(
+        "fig11b",
+        "Localization error vs camera/IMU synchronization error",
+        rows,
+        series={
+            "model_curve_s_m": model.curve([0.0, 0.01, 0.02, 0.03, 0.04]),
+        },
+    )
+
+
+@register("fig12")
+def fig12() -> ExperimentResult:
+    """Software vs hardware synchronization architecture (Fig. 12)."""
+    software = SoftwareSyncSimulation(
+        camera_clock=SensorClock(offset_s=0.02),
+        imu_clock=SensorClock(offset_s=-0.01),
+        seed=0,
+    ).report(duration_s=10.0)
+    hardware = HardwareSyncSimulation(seed=0).report(duration_s=10.0)
+    skew, offset = paper_mismatch_example(seed=3)
+    spec = SynchronizerSpec()
+    rows = [
+        Row(
+            "software_mean_pairing_error",
+            None,
+            software.mean_abs_offset_s,
+            "s",
+            "app-layer sync with variable pipeline delays",
+        ),
+        Row(
+            "software_max_pairing_error",
+            None,
+            software.max_abs_offset_s,
+            "s",
+        ),
+        Row(
+            "hardware_max_pairing_error",
+            None,
+            hardware.max_abs_offset_s,
+            "s",
+            "near-sensor timestamps + common trigger",
+        ),
+        Row(
+            "improvement",
+            None,
+            software.mean_abs_offset_s / max(hardware.mean_abs_offset_s, 1e-9),
+            "x",
+        ),
+        Row(
+            "c0_pairs_with_imu_index",
+            7.0,
+            float(skew),
+            "samples",
+            "the paper's C0<->M7 mis-association anecdote",
+        ),
+        Row("synchronizer_luts", 1_443.0, float(spec.luts), "LUTs"),
+        Row("synchronizer_registers", 1_587.0, float(spec.registers), "FFs"),
+        Row("synchronizer_power", 5e-3, spec.power_w, "W"),
+        Row(
+            "synchronizer_added_latency",
+            1e-3,
+            spec.added_latency_s,
+            "s",
+            "paper: less than 1 ms",
+        ),
+    ]
+    return ExperimentResult(
+        "fig12", "Software vs hardware sensor synchronization", rows
+    )

@@ -1,0 +1,168 @@
+"""FPGA resource accounting (paper Sec. V-B2, V-B3, VI-A3).
+
+The Zynq hosts several blocks simultaneously — the localization
+accelerator (200K LUTs, 120K FFs, 600 BRAMs, 800 DSPs), the hardware
+synchronizer (1,443 LUTs, 1,587 FFs), and the RPR engine (~400 LUTs/FFs) —
+so a resource accountant verifies placements fit the device and sums
+power.  Runtime partial reconfiguration additionally lets two bitstreams
+*time-share* one region, which the accountant models as a reconfigurable
+slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core import calibration
+
+RESOURCE_KINDS = ("luts", "registers", "brams", "dsps")
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A bundle of FPGA resources."""
+
+    luts: int = 0
+    registers: int = 0
+    brams: int = 0
+    dsps: int = 0
+
+    def __post_init__(self) -> None:
+        for kind in RESOURCE_KINDS:
+            if getattr(self, kind) < 0:
+                raise ValueError(f"{kind} must be non-negative")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            **{k: getattr(self, k) + getattr(other, k) for k in RESOURCE_KINDS}
+        )
+
+    def fits_within(self, budget: "ResourceVector") -> bool:
+        return all(
+            getattr(self, k) <= getattr(budget, k) for k in RESOURCE_KINDS
+        )
+
+    def utilization(self, budget: "ResourceVector") -> Dict[str, float]:
+        out = {}
+        for kind in RESOURCE_KINDS:
+            cap = getattr(budget, kind)
+            out[kind] = 0.0 if cap == 0 else getattr(self, kind) / cap
+        return out
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, int]) -> "ResourceVector":
+        return cls(**{k: int(values.get(k, 0)) for k in RESOURCE_KINDS})
+
+
+@dataclass(frozen=True)
+class AcceleratorBlock:
+    """One placed accelerator."""
+
+    name: str
+    resources: ResourceVector
+    power_w: float
+    reconfigurable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0:
+            raise ValueError("power must be non-negative")
+
+
+def localization_accelerator() -> AcceleratorBlock:
+    """Sec. V-B2: ~200K LUTs, 120K registers, 600 BRAMs, 800 DSPs, <6 W."""
+    return AcceleratorBlock(
+        name="localization",
+        resources=ResourceVector.from_dict(calibration.LOCALIZATION_ACCEL_RESOURCES),
+        power_w=calibration.LOCALIZATION_ACCEL_POWER_W,
+    )
+
+
+def hardware_synchronizer_block() -> AcceleratorBlock:
+    """Sec. VI-A3: 1,443 LUTs, 1,587 registers, 5 mW."""
+    return AcceleratorBlock(
+        name="synchronizer",
+        resources=ResourceVector.from_dict(calibration.SYNCHRONIZER_RESOURCES),
+        power_w=calibration.SYNCHRONIZER_POWER_W,
+    )
+
+
+def rpr_engine_block() -> AcceleratorBlock:
+    """Sec. V-B3: ~400 FFs and ~400 LUTs."""
+    return AcceleratorBlock(
+        name="rpr_engine",
+        resources=ResourceVector.from_dict(calibration.RPR_ENGINE_RESOURCES),
+        power_w=0.05,
+    )
+
+
+class FpgaDevice:
+    """A device with a budget and a set of placed blocks."""
+
+    def __init__(self, budget: Optional[ResourceVector] = None) -> None:
+        self.budget = budget or ResourceVector.from_dict(
+            calibration.ZYNQ_RESOURCE_BUDGET
+        )
+        self._blocks: Dict[str, AcceleratorBlock] = {}
+
+    def place(self, block: AcceleratorBlock) -> None:
+        """Place a block; raises when it does not fit."""
+        if block.name in self._blocks:
+            raise ValueError(f"block {block.name!r} already placed")
+        used = self.used_resources + block.resources
+        if not used.fits_within(self.budget):
+            raise ValueError(
+                f"placing {block.name!r} exceeds the device budget: "
+                f"{used} > {self.budget}"
+            )
+        self._blocks[block.name] = block
+
+    def remove(self, name: str) -> AcceleratorBlock:
+        try:
+            return self._blocks.pop(name)
+        except KeyError:
+            raise KeyError(f"no block named {name!r}") from None
+
+    @property
+    def blocks(self) -> List[AcceleratorBlock]:
+        return list(self._blocks.values())
+
+    @property
+    def used_resources(self) -> ResourceVector:
+        total = ResourceVector()
+        for block in self._blocks.values():
+            total = total + block.resources
+        return total
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(block.power_w for block in self._blocks.values())
+
+    def utilization(self) -> Dict[str, float]:
+        return self.used_resources.utilization(self.budget)
+
+
+def paper_fpga_floorplan() -> FpgaDevice:
+    """The deployed Zynq contents: localization accel + synchronizer + RPR."""
+    device = FpgaDevice()
+    device.place(localization_accelerator())
+    device.place(hardware_synchronizer_block())
+    device.place(rpr_engine_block())
+    return device
+
+
+def spatial_sharing_cost(
+    blocks: List[AcceleratorBlock],
+) -> Tuple[ResourceVector, float]:
+    """Area and power of hosting all blocks *simultaneously*.
+
+    The alternative the paper rejects (Sec. V-B3): "Spatially sharing the
+    FPGA is not only area-inefficient, but also power-inefficient as the
+    unused portion of the FPGA consumes non-trivial static power."
+    """
+    area = ResourceVector()
+    power = 0.0
+    for block in blocks:
+        area = area + block.resources
+        power += block.power_w
+    return area, power

@@ -1,0 +1,161 @@
+"""Algorithm-to-hardware mapping exploration (paper Sec. V-B2, Fig. 8).
+
+Perception splits into two independent task groups:
+
+* *scene understanding* — depth estimation in parallel with the serialized
+  detection -> tracking chain; its latency is
+  ``max(depth, detection + tracking)``;
+* *localization* — the VIO pipeline.
+
+Since the groups run in parallel, perception latency is the max of the two.
+This module enumerates mappings of the groups onto {gpu, fpga, tx2},
+applies the contention model when both land on the same device, and
+reproduces every bar of Fig. 8 plus the derived claims (1.6x perception
+speedup, ~23% end-to-end reduction).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core import calibration
+from ..core.calibration import task_profile
+from .contention import ContentionModel, gpu_contention_model
+
+TASK_GROUPS = ("scene_understanding", "localization")
+MAPPABLE_PLATFORMS = ("gpu", "fpga", "tx2")
+
+
+def scene_understanding_alone_s(platform: str) -> float:
+    """Scene-understanding latency on *platform*, no contention.
+
+    ``max(depth, detection + tracking)`` — depth runs in parallel with the
+    serialized detection->tracking chain (Sec. IV).
+    """
+    depth = task_profile("depth", platform).latency_s
+    detection = task_profile("detection", platform).latency_s
+    tracking = task_profile("tracking", platform).latency_s
+    return max(depth, detection + tracking)
+
+
+def localization_alone_s(platform: str) -> float:
+    return task_profile("localization", platform).latency_s
+
+
+_ALONE_LATENCY = {
+    "scene_understanding": scene_understanding_alone_s,
+    "localization": localization_alone_s,
+}
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """One Fig. 8 configuration."""
+
+    assignment: Tuple[Tuple[str, str], ...]  # ((group, platform), ...)
+    group_latencies_s: Tuple[Tuple[str, float], ...]
+    perception_latency_s: float
+
+    @property
+    def label(self) -> str:
+        return " + ".join(f"{g}@{p}" for g, p in self.assignment)
+
+    def latency_of(self, group: str) -> float:
+        for name, latency in self.group_latencies_s:
+            if name == group:
+                return latency
+        raise KeyError(group)
+
+
+def evaluate_mapping(
+    assignment: Dict[str, str],
+    contention: Optional[ContentionModel] = None,
+) -> MappingResult:
+    """Perception latency under a group->platform assignment."""
+    contention = contention or gpu_contention_model()
+    unknown = set(assignment) - set(TASK_GROUPS)
+    if unknown:
+        raise ValueError(f"unknown task groups {sorted(unknown)}")
+    if set(assignment) != set(TASK_GROUPS):
+        raise ValueError(f"assignment must cover all of {TASK_GROUPS}")
+    for platform in assignment.values():
+        if platform not in MAPPABLE_PLATFORMS:
+            raise ValueError(f"unknown platform {platform!r}")
+    latencies = []
+    for group, platform in assignment.items():
+        alone = _ALONE_LATENCY[group](platform)
+        co_residents = [
+            g for g, p in assignment.items() if p == platform and g != group
+        ]
+        latencies.append(
+            (group, contention.shared_latency_s(group, alone, co_residents))
+        )
+    return MappingResult(
+        assignment=tuple(sorted(assignment.items())),
+        group_latencies_s=tuple(latencies),
+        perception_latency_s=max(latency for _, latency in latencies),
+    )
+
+
+def enumerate_mappings(
+    platforms: Iterable[str] = MAPPABLE_PLATFORMS,
+    contention: Optional[ContentionModel] = None,
+) -> List[MappingResult]:
+    """Every (scene_understanding, localization) placement — Fig. 8's bars."""
+    platforms = list(platforms)
+    results = []
+    for su_platform, loc_platform in itertools.product(platforms, repeat=2):
+        results.append(
+            evaluate_mapping(
+                {
+                    "scene_understanding": su_platform,
+                    "localization": loc_platform,
+                },
+                contention,
+            )
+        )
+    return results
+
+
+def best_mapping(
+    platforms: Iterable[str] = MAPPABLE_PLATFORMS,
+    contention: Optional[ContentionModel] = None,
+) -> MappingResult:
+    """The latency-optimal placement (the paper's: SU on GPU, loc on FPGA)."""
+    return min(
+        enumerate_mappings(platforms, contention),
+        key=lambda r: r.perception_latency_s,
+    )
+
+
+@dataclass(frozen=True)
+class OffloadImpact:
+    """The paper's derived claims about offloading localization to FPGA."""
+
+    shared_perception_s: float
+    offloaded_perception_s: float
+    perception_speedup: float
+    end_to_end_reduction: float
+
+
+def fpga_offload_impact(
+    sensing_s: float = calibration.SENSING_MEAN_LATENCY_S,
+    planning_s: float = calibration.PLANNING_MEAN_LATENCY_S,
+) -> OffloadImpact:
+    """Quantify Sec. V-B2: 120 ms -> 77 ms perception, 1.6x, ~23% e2e."""
+    shared = evaluate_mapping(
+        {"scene_understanding": "gpu", "localization": "gpu"}
+    ).perception_latency_s
+    offloaded = evaluate_mapping(
+        {"scene_understanding": "gpu", "localization": "fpga"}
+    ).perception_latency_s
+    before = sensing_s + shared + planning_s
+    after = sensing_s + offloaded + planning_s
+    return OffloadImpact(
+        shared_perception_s=shared,
+        offloaded_perception_s=offloaded,
+        perception_speedup=shared / offloaded,
+        end_to_end_reduction=(before - after) / before,
+    )

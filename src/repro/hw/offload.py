@@ -1,0 +1,174 @@
+"""Edge/cloud task-offload model (paper Sec. VII, "Horizontal,
+Cross-Accelerator Optimization").
+
+"Soon on-vehicle processing tasks might be offloaded to edge servers or
+even the cloud.  Efforts that exploit ALP while taking into account
+constraints arising in different contexts would significantly improve
+on-vehicle processing."
+
+The model asks the end-to-end question Eq. 1 forces: does offloading a
+task reduce the *vehicle's* computing latency once network transport is
+accounted?  An :class:`OffloadTarget` has compute speedup and a network
+round-trip distribution; the planner decides per-task whether offloading
+helps, and the safety analysis checks what a network-tail frame does to
+the avoidance range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import calibration
+from ..core.latency_model import LatencyModel
+
+
+@dataclass(frozen=True)
+class OffloadTarget:
+    """An edge or cloud execution venue."""
+
+    name: str
+    compute_speedup: float  # task runs this much faster than on-vehicle
+    rtt_mean_s: float
+    rtt_jitter_s: float  # uniform band above the mean
+    availability: float = 1.0  # probability the link is usable at all
+
+    def __post_init__(self) -> None:
+        if self.compute_speedup <= 0:
+            raise ValueError("speedup must be positive")
+        if self.rtt_mean_s < 0 or self.rtt_jitter_s < 0:
+            raise ValueError("RTT must be non-negative")
+        if not 0.0 <= self.availability <= 1.0:
+            raise ValueError("availability must be in [0, 1]")
+
+    def sample_rtt_s(self, rng: np.random.Generator) -> float:
+        return self.rtt_mean_s + float(rng.uniform(0.0, self.rtt_jitter_s))
+
+
+def edge_server(rtt_mean_s: float = 0.010, jitter_s: float = 0.020) -> OffloadTarget:
+    """A roadside edge server: big GPU, LAN-ish latency."""
+    return OffloadTarget(
+        name="edge", compute_speedup=4.0, rtt_mean_s=rtt_mean_s,
+        rtt_jitter_s=jitter_s, availability=0.98,
+    )
+
+
+def cloud_datacenter(
+    rtt_mean_s: float = 0.060, jitter_s: float = 0.120
+) -> OffloadTarget:
+    """A regional cloud: huge compute, WAN latency and jitter."""
+    return OffloadTarget(
+        name="cloud", compute_speedup=10.0, rtt_mean_s=rtt_mean_s,
+        rtt_jitter_s=jitter_s, availability=0.95,
+    )
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """Whether offloading one task helps, and by how much."""
+
+    task: str
+    target: str
+    local_latency_s: float
+    offloaded_mean_s: float
+    offloaded_p99_s: float
+    worthwhile: bool
+
+    @property
+    def mean_speedup(self) -> float:
+        return self.local_latency_s / self.offloaded_mean_s
+
+
+def evaluate_offload(
+    task: str,
+    local_latency_s: float,
+    target: OffloadTarget,
+    n_samples: int = 4_000,
+    seed: int = 0,
+    tail_percentile: float = 99.0,
+) -> OffloadDecision:
+    """Monte-Carlo the offloaded latency: RTT + remote compute.
+
+    A frame that finds the link unavailable falls back to local execution
+    (it still must be processed — safety does not wait for the network).
+    ``worthwhile`` requires both the mean *and* the tail to beat local
+    execution: Eq. 1 is a worst-case constraint, so a fat network tail
+    disqualifies an otherwise-faster venue.
+    """
+    if local_latency_s <= 0:
+        raise ValueError("local latency must be positive")
+    rng = np.random.default_rng(seed)
+    remote_compute = local_latency_s / target.compute_speedup
+    samples = np.empty(n_samples)
+    for i in range(n_samples):
+        if rng.random() > target.availability:
+            samples[i] = local_latency_s  # fallback
+        else:
+            samples[i] = remote_compute + target.sample_rtt_s(rng)
+    mean = float(samples.mean())
+    p99 = float(np.percentile(samples, tail_percentile))
+    return OffloadDecision(
+        task=task,
+        target=target.name,
+        local_latency_s=local_latency_s,
+        offloaded_mean_s=mean,
+        offloaded_p99_s=p99,
+        worthwhile=mean < local_latency_s and p99 < local_latency_s * 1.05,
+    )
+
+
+def offload_plan(
+    task_latencies_s: Optional[Dict[str, float]] = None,
+    targets: Optional[Iterable[OffloadTarget]] = None,
+    seed: int = 0,
+) -> List[OffloadDecision]:
+    """Best venue per task (possibly 'stay local')."""
+    task_latencies_s = task_latencies_s or dict(
+        calibration.FIG10B_TASK_LATENCIES_S
+    )
+    targets = list(targets) if targets is not None else [
+        edge_server(),
+        cloud_datacenter(),
+    ]
+    decisions = []
+    for task, local in sorted(task_latencies_s.items()):
+        best: Optional[OffloadDecision] = None
+        for target in targets:
+            decision = evaluate_offload(task, local, target, seed=seed)
+            if decision.worthwhile and (
+                best is None or decision.offloaded_mean_s < best.offloaded_mean_s
+            ):
+                best = decision
+        if best is None:
+            best = OffloadDecision(
+                task=task,
+                target="local",
+                local_latency_s=local,
+                offloaded_mean_s=local,
+                offloaded_p99_s=local,
+                worthwhile=False,
+            )
+        decisions.append(best)
+    return decisions
+
+
+def avoidance_range_with_offload(
+    decision: OffloadDecision,
+    other_stages_s: float,
+    latency_model: Optional[LatencyModel] = None,
+) -> Tuple[float, float]:
+    """(mean, tail) avoidance ranges when this task is on the offload path.
+
+    ``other_stages_s`` is the rest of the computing latency.  The tail
+    matters: Eq. 1 must hold for the *slow* frames too.
+    """
+    model = latency_model or LatencyModel()
+    mean_reach = model.min_avoidable_distance_m(
+        other_stages_s + decision.offloaded_mean_s
+    )
+    tail_reach = model.min_avoidable_distance_m(
+        other_stages_s + decision.offloaded_p99_s
+    )
+    return mean_reach, tail_reach

@@ -1,0 +1,36 @@
+"""LiDAR case-study substrate: clouds, kd-tree, ICP, kernels, reuse."""
+
+from .kdtree import AccessTrace, KdTree
+from .kernels import (
+    ALL_KERNELS,
+    KernelResult,
+    localization_kernel,
+    recognition_kernel,
+    reconstruction_kernel,
+    run_kernel,
+    segmentation_kernel,
+)
+from .pointcloud import Box, PointCloud, rotation_z, simulate_lidar_scan
+from .registration import IcpResult, icp
+from .reuse import ReuseHistogram, distribution_divergence, reuse_histogram
+
+__all__ = [
+    "ALL_KERNELS",
+    "AccessTrace",
+    "Box",
+    "IcpResult",
+    "KdTree",
+    "KernelResult",
+    "PointCloud",
+    "ReuseHistogram",
+    "distribution_divergence",
+    "icp",
+    "localization_kernel",
+    "recognition_kernel",
+    "reconstruction_kernel",
+    "reuse_histogram",
+    "rotation_z",
+    "run_kernel",
+    "segmentation_kernel",
+    "simulate_lidar_scan",
+]

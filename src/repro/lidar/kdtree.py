@@ -1,0 +1,187 @@
+"""A kd-tree built from scratch, with memory-access tracing.
+
+The paper attributes LiDAR processing inefficiency to "irregular kernels
+(e.g., neighbor search)" whose memory behaviour defeats caches (Fig. 4).
+To *measure* that, this kd-tree records every point it touches during a
+query into an optional :class:`AccessTrace` — the trace feeds both the
+reuse-frequency histogram (Fig. 4a) and the cache simulator (Fig. 4b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class AccessTrace:
+    """A flat record of point indices touched, in order."""
+
+    indices: List[int] = field(default_factory=list)
+
+    def record(self, index: int) -> None:
+        self.indices.append(index)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def reuse_counts(self, n_points: int) -> np.ndarray:
+        """Per-point access counts over the whole trace."""
+        counts = np.zeros(n_points, dtype=np.int64)
+        for i in self.indices:
+            counts[i] += 1
+        return counts
+
+    def byte_addresses(self, point_bytes: int = 16) -> np.ndarray:
+        """Trace as byte addresses (points stored contiguously).
+
+        A LiDAR point with intensity is typically 16 bytes (x, y, z,
+        intensity as float32).
+        """
+        return np.asarray(self.indices, dtype=np.int64) * point_bytes
+
+
+@dataclass
+class _Node:
+    index: int  # index of the splitting point
+    axis: int
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class KdTree:
+    """3-D kd-tree over an Nx3 array with nearest/radius queries."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError("points must be Nx3")
+        self.points = points
+        indices = list(range(len(points)))
+        self._root = self._build(indices, depth=0)
+
+    def _build(self, indices: List[int], depth: int) -> Optional[_Node]:
+        if not indices:
+            return None
+        axis = depth % 3
+        indices.sort(key=lambda i: self.points[i, axis])
+        mid = len(indices) // 2
+        node = _Node(index=indices[mid], axis=axis)
+        node.left = self._build(indices[:mid], depth + 1)
+        node.right = self._build(indices[mid + 1 :], depth + 1)
+        return node
+
+    # -- queries ---------------------------------------------------------
+
+    def nearest(
+        self, query: Sequence[float], trace: Optional[AccessTrace] = None
+    ) -> Tuple[int, float]:
+        """Index and distance of the nearest point to *query*."""
+        if self._root is None:
+            raise ValueError("empty tree")
+        q = np.asarray(query, dtype=np.float64)
+        best: List = [-1, float("inf")]
+        self._nearest(self._root, q, best, trace)
+        return best[0], best[1]
+
+    def _nearest(
+        self,
+        node: Optional[_Node],
+        q: np.ndarray,
+        best: List,
+        trace: Optional[AccessTrace],
+    ) -> None:
+        if node is None:
+            return
+        if trace is not None:
+            trace.record(node.index)
+        p = self.points[node.index]
+        d = float(np.linalg.norm(p - q))
+        if d < best[1]:
+            best[0], best[1] = node.index, d
+        diff = q[node.axis] - p[node.axis]
+        near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+        self._nearest(near, q, best, trace)
+        if abs(diff) < best[1]:
+            self._nearest(far, q, best, trace)
+
+    def radius_search(
+        self,
+        query: Sequence[float],
+        radius_m: float,
+        trace: Optional[AccessTrace] = None,
+    ) -> List[int]:
+        """Indices of all points within *radius_m* of *query*."""
+        if radius_m <= 0:
+            raise ValueError("radius must be positive")
+        q = np.asarray(query, dtype=np.float64)
+        out: List[int] = []
+        self._radius(self._root, q, radius_m, out, trace)
+        return out
+
+    def _radius(
+        self,
+        node: Optional[_Node],
+        q: np.ndarray,
+        radius: float,
+        out: List[int],
+        trace: Optional[AccessTrace],
+    ) -> None:
+        if node is None:
+            return
+        if trace is not None:
+            trace.record(node.index)
+        p = self.points[node.index]
+        if float(np.linalg.norm(p - q)) <= radius:
+            out.append(node.index)
+        diff = q[node.axis] - p[node.axis]
+        near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+        self._radius(near, q, radius, out, trace)
+        if abs(diff) <= radius:
+            self._radius(far, q, radius, out, trace)
+
+    def k_nearest(
+        self,
+        query: Sequence[float],
+        k: int,
+        trace: Optional[AccessTrace] = None,
+    ) -> List[Tuple[int, float]]:
+        """The *k* nearest points as (index, distance), closest first.
+
+        Simple bounded-list implementation; adequate for the small k used
+        by normal estimation.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        q = np.asarray(query, dtype=np.float64)
+        heap: List[Tuple[float, int]] = []
+        self._k_nearest(self._root, q, k, heap, trace)
+        heap.sort()
+        return [(i, d) for d, i in heap]
+
+    def _k_nearest(
+        self,
+        node: Optional[_Node],
+        q: np.ndarray,
+        k: int,
+        heap: List[Tuple[float, int]],
+        trace: Optional[AccessTrace],
+    ) -> None:
+        if node is None:
+            return
+        if trace is not None:
+            trace.record(node.index)
+        p = self.points[node.index]
+        d = float(np.linalg.norm(p - q))
+        heap.append((d, node.index))
+        heap.sort()
+        if len(heap) > k:
+            heap.pop()
+        diff = q[node.axis] - p[node.axis]
+        near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+        self._k_nearest(near, q, k, heap, trace)
+        worst = heap[-1][0] if len(heap) == k else float("inf")
+        if abs(diff) < worst:
+            self._k_nearest(far, q, k, heap, trace)

@@ -1,0 +1,182 @@
+"""Point-cloud container and synthetic LiDAR scans (paper Sec. III-D).
+
+The paper's LiDAR case study rests on one structural fact: "LiDAR generates
+irregular point clouds, which consist of sparse points arbitrarily spread
+across the 3D space."  We reproduce that structure by simulating a spinning
+LiDAR: rays cast at fixed angular increments against a scene of ground
+plane, walls, and objects produce clouds whose spatial density falls off
+with range and clusters on surfaces — the irregularity that defeats
+conventional memory optimizations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PointCloud:
+    """An N x 3 array of points with convenience operations."""
+
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        if self.points.ndim != 2 or self.points.shape[1] != 3:
+            raise ValueError(f"points must be Nx3, got {self.points.shape}")
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def centroid(self) -> np.ndarray:
+        if len(self) == 0:
+            raise ValueError("empty cloud has no centroid")
+        return self.points.mean(axis=0)
+
+    def transformed(self, rotation: np.ndarray, translation: np.ndarray) -> "PointCloud":
+        """Apply a rigid transform: ``p' = R p + t``."""
+        rotation = np.asarray(rotation, dtype=np.float64)
+        translation = np.asarray(translation, dtype=np.float64)
+        if rotation.shape != (3, 3) or translation.shape != (3,):
+            raise ValueError("rotation must be 3x3 and translation length-3")
+        return PointCloud(self.points @ rotation.T + translation)
+
+    def downsampled(self, voxel_m: float) -> "PointCloud":
+        """Voxel-grid downsampling: one centroid per occupied voxel."""
+        if voxel_m <= 0:
+            raise ValueError("voxel size must be positive")
+        if len(self) == 0:
+            return PointCloud(self.points.copy())
+        keys = np.floor(self.points / voxel_m).astype(np.int64)
+        _, inverse = np.unique(keys, axis=0, return_inverse=True)
+        n_voxels = inverse.max() + 1
+        sums = np.zeros((n_voxels, 3))
+        counts = np.zeros(n_voxels)
+        np.add.at(sums, inverse, self.points)
+        np.add.at(counts, inverse, 1.0)
+        return PointCloud(sums / counts[:, None])
+
+    def with_noise(self, sigma_m: float, seed: int = 0) -> "PointCloud":
+        rng = np.random.default_rng(seed)
+        return PointCloud(self.points + rng.normal(0.0, sigma_m, self.points.shape))
+
+
+def rotation_z(angle_rad: float) -> np.ndarray:
+    """Rotation matrix about the z axis."""
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box obstacle for the ray-cast scene."""
+
+    center: Tuple[float, float, float]
+    size: Tuple[float, float, float]
+
+
+def _ray_box_distance(
+    origin: np.ndarray, direction: np.ndarray, box: Box
+) -> Optional[float]:
+    """Slab-method ray/AABB intersection; returns hit distance or None."""
+    lo = np.array(box.center) - np.array(box.size) / 2.0
+    hi = np.array(box.center) + np.array(box.size) / 2.0
+    t_near, t_far = 0.0, float("inf")
+    for axis in range(3):
+        if abs(direction[axis]) < 1e-12:
+            if origin[axis] < lo[axis] or origin[axis] > hi[axis]:
+                return None
+            continue
+        t1 = (lo[axis] - origin[axis]) / direction[axis]
+        t2 = (hi[axis] - origin[axis]) / direction[axis]
+        t1, t2 = min(t1, t2), max(t1, t2)
+        t_near, t_far = max(t_near, t1), min(t_far, t2)
+        if t_near > t_far:
+            return None
+    return t_near if t_near > 1e-9 else None
+
+
+def simulate_lidar_scan(
+    sensor_height_m: float = 1.8,
+    n_beams: int = 16,
+    n_azimuth: int = 360,
+    max_range_m: float = 60.0,
+    boxes: Optional[Sequence[Box]] = None,
+    wall_distance_m: float = 25.0,
+    noise_m: float = 0.01,
+    seed: int = 0,
+) -> PointCloud:
+    """Simulate one spinning-LiDAR sweep.
+
+    Beams span elevations from -15 to +5 degrees (a Puck-like pattern).
+    Each ray hits the nearest of: a box obstacle, the surrounding square
+    wall, or the ground plane.  Misses are dropped, which is what makes the
+    clouds *sparse and irregular*.
+    """
+    rng = np.random.default_rng(seed)
+    boxes = list(boxes) if boxes is not None else _default_boxes(seed)
+    elevations = np.deg2rad(np.linspace(-15.0, 5.0, n_beams))
+    azimuths = np.linspace(0.0, 2.0 * math.pi, n_azimuth, endpoint=False)
+    origin = np.array([0.0, 0.0, sensor_height_m])
+    points: List[np.ndarray] = []
+    for elev in elevations:
+        ce, se = math.cos(elev), math.sin(elev)
+        for az in azimuths:
+            direction = np.array([ce * math.cos(az), ce * math.sin(az), se])
+            best: Optional[float] = None
+            for box in boxes:
+                t = _ray_box_distance(origin, direction, box)
+                if t is not None and (best is None or t < best):
+                    best = t
+            # Ground plane z=0.
+            if direction[2] < -1e-9:
+                t_ground = -origin[2] / direction[2]
+                if best is None or t_ground < best:
+                    best = t_ground
+            # Square wall at +-wall_distance in x and y.
+            for axis in (0, 1):
+                if abs(direction[axis]) > 1e-9:
+                    for sign in (-1.0, 1.0):
+                        t_wall = (sign * wall_distance_m - origin[axis]) / direction[
+                            axis
+                        ]
+                        if t_wall > 1e-9 and (best is None or t_wall < best):
+                            # Check the hit is within the square extent.
+                            other = 1 - axis
+                            coord = origin[other] + t_wall * direction[other]
+                            if abs(coord) <= wall_distance_m:
+                                best = t_wall
+            if best is None or best > max_range_m:
+                continue
+            hit = origin + best * direction
+            hit = hit + rng.normal(0.0, noise_m, 3)
+            points.append(hit)
+    if not points:
+        return PointCloud(np.zeros((0, 3)))
+    return PointCloud(np.array(points))
+
+
+def _default_boxes(seed: int) -> List[Box]:
+    rng = np.random.default_rng(seed + 100)
+    boxes = []
+    for _ in range(6):
+        cx = float(rng.uniform(-18.0, 18.0))
+        cy = float(rng.uniform(-18.0, 18.0))
+        if math.hypot(cx, cy) < 3.0:
+            cx += 5.0
+        boxes.append(
+            Box(
+                center=(cx, cy, float(rng.uniform(0.5, 1.5))),
+                size=(
+                    float(rng.uniform(0.5, 3.0)),
+                    float(rng.uniform(0.5, 3.0)),
+                    float(rng.uniform(1.0, 3.0)),
+                ),
+            )
+        )
+    return boxes

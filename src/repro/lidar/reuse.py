@@ -1,0 +1,87 @@
+"""Data-reuse frequency analysis (paper Fig. 4a).
+
+Fig. 4a histograms "the number of points (y) that is reused certain times
+(x)" while running LiDAR localization on two different scenes.  The paper's
+conclusions, which our analysis must reproduce:
+
+* reuse opportunity is abundant (most points are touched many times), but
+* reuse counts vary wildly across points within a cloud, and
+* the distribution shifts between clouds of different scenes —
+  so "conventional memory optimizations are likely ineffective".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .kdtree import AccessTrace
+
+
+@dataclass(frozen=True)
+class ReuseHistogram:
+    """Histogram of per-point access counts."""
+
+    bin_edges: np.ndarray  # len B+1
+    counts: np.ndarray  # len B, number of points per reuse-frequency bin
+    per_point_counts: np.ndarray
+
+    @property
+    def total_points(self) -> int:
+        return int(self.per_point_counts.size)
+
+    @property
+    def mean_reuse(self) -> float:
+        return float(self.per_point_counts.mean())
+
+    @property
+    def std_reuse(self) -> float:
+        return float(self.per_point_counts.std())
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Reuse irregularity: std / mean of per-point access counts."""
+        mean = self.mean_reuse
+        return float("inf") if mean == 0 else self.std_reuse / mean
+
+    def as_points(self) -> List[Tuple[float, int]]:
+        """Fig. 4a-style <x, y> points: (reuse frequency, number of points)."""
+        centers = 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+        return [(float(c), int(n)) for c, n in zip(centers, self.counts)]
+
+
+def reuse_histogram(
+    trace: AccessTrace, n_points: int, n_bins: int = 20
+) -> ReuseHistogram:
+    """Build the Fig. 4a histogram from an access trace."""
+    if n_points <= 0:
+        raise ValueError("n_points must be positive")
+    per_point = trace.reuse_counts(n_points)
+    hi = max(1, int(per_point.max()))
+    counts, edges = np.histogram(per_point, bins=n_bins, range=(0, hi))
+    return ReuseHistogram(
+        bin_edges=edges, counts=counts, per_point_counts=per_point
+    )
+
+
+def distribution_divergence(a: ReuseHistogram, b: ReuseHistogram) -> float:
+    """Total-variation distance between two reuse distributions in [0, 1].
+
+    Quantifies the paper's "the number of reuses varies significantly ...
+    across two point clouds": near 0 means the scenes stress memory the
+    same way (a fixed prefetch/pinning policy could work), near 1 means
+    they differ completely.
+
+    Both histograms are re-binned onto a common support before comparing.
+    """
+    hi = max(
+        int(a.per_point_counts.max()), int(b.per_point_counts.max()), 1
+    )
+    bins = np.linspace(0, hi, 21)
+    pa, _ = np.histogram(a.per_point_counts, bins=bins)
+    pb, _ = np.histogram(b.per_point_counts, bins=bins)
+    pa = pa / max(pa.sum(), 1)
+    pb = pb / max(pb.sum(), 1)
+    return float(0.5 * np.abs(pa - pb).sum())

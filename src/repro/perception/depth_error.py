@@ -1,0 +1,76 @@
+"""Stereo synchronization-error -> depth-error model (paper Fig. 11a).
+
+When the two cameras of a stereo pair expose at instants ``dt`` apart, any
+lateral relative motion between vehicle and scene shifts the second image
+by ``f * v_lat * dt / Z`` pixels — indistinguishable from disparity.  The
+corrupted disparity maps to a wrong depth::
+
+    d        = f * B / Z
+    d_err    = f * v_lat * dt / Z
+    Z_meas   = f * B / (d + d_err)
+    error(dt) = |Z - Z_meas|
+
+Defaults are calibrated to the paper's anchors: a 25 m object and 1 m/s
+lateral relative motion give ~5 m error at 30 ms and ~13 m at 150 ms —
+the endpoints of the Fig. 11a curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+
+@dataclass(frozen=True)
+class StereoSyncErrorModel:
+    """Closed-form Fig. 11a curve."""
+
+    focal_px: float = 320.0
+    baseline_m: float = 0.12
+    object_depth_m: float = 25.0
+    lateral_speed_mps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.focal_px, self.baseline_m, self.object_depth_m) <= 0:
+            raise ValueError("geometry parameters must be positive")
+        if self.lateral_speed_mps < 0:
+            raise ValueError("speed must be non-negative")
+
+    @property
+    def true_disparity_px(self) -> float:
+        return self.focal_px * self.baseline_m / self.object_depth_m
+
+    def disparity_error_px(self, sync_error_s: float) -> float:
+        """Apparent-motion pixels induced by the temporal offset."""
+        if sync_error_s < 0:
+            raise ValueError("sync error must be non-negative")
+        return (
+            self.focal_px
+            * self.lateral_speed_mps
+            * sync_error_s
+            / self.object_depth_m
+        )
+
+    def measured_depth_m(self, sync_error_s: float) -> float:
+        corrupted = self.true_disparity_px + self.disparity_error_px(sync_error_s)
+        return self.focal_px * self.baseline_m / corrupted
+
+    def depth_error_m(self, sync_error_s: float) -> float:
+        """The Fig. 11a y-axis: absolute depth error at one sync offset."""
+        return abs(self.object_depth_m - self.measured_depth_m(sync_error_s))
+
+    def curve(
+        self, sync_errors_s: Iterable[float]
+    ) -> List[Tuple[float, float]]:
+        """(sync error s, depth error m) points across the Fig. 11a range."""
+        return [(dt, self.depth_error_m(dt)) for dt in sync_errors_s]
+
+
+def fig11a_curve(
+    model: StereoSyncErrorModel | None = None,
+    sync_errors_ms: Iterable[float] = (30, 50, 70, 90, 110, 130, 150),
+) -> List[Tuple[float, float]]:
+    """The paper's Fig. 11a sweep: 30-150 ms offsets."""
+    model = model or StereoSyncErrorModel()
+    return [(ms, model.depth_error_m(ms / 1_000.0)) for ms in sync_errors_ms]

@@ -1,0 +1,131 @@
+"""The localization image front-end: keyframes vs tracked frames
+(paper Sec. V-B3).
+
+"Our localization algorithm relies on salient features; features in key
+frames are extracted by a feature extraction algorithm [ORB-style],
+whereas features in non-key frames are tracked from previous frames
+[LK-style]; the latter executes in 10 ms, 50% faster than the former."
+
+The front-end decides per frame which variant runs — a new keyframe when
+too few features survive tracking or a maximum gap is reached — and, when
+given an :class:`repro.hw.rpr.RprManager`, charges the FPGA swap cost of
+switching accelerator variants, closing the loop with the RPR study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..hw.rpr import RprManager, paper_localization_variants
+from .features import ImageFeature, extract_features, track_features
+
+
+@dataclass(frozen=True)
+class FrontEndFrame:
+    """Per-frame front-end output."""
+
+    frame_index: int
+    is_keyframe: bool
+    features: Tuple[ImageFeature, ...]
+    tracked_fraction: float
+    latency_s: float
+
+
+class LocalizationFrontEnd:
+    """Keyframe-extraction / feature-tracking arbitration."""
+
+    def __init__(
+        self,
+        min_features: int = 20,
+        max_keyframe_gap: int = 10,
+        max_features: int = 60,
+        rpr_manager: Optional[RprManager] = None,
+    ) -> None:
+        if min_features < 1 or max_keyframe_gap < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.min_features = min_features
+        self.max_keyframe_gap = max_keyframe_gap
+        self.max_features = max_features
+        if rpr_manager is None:
+            rpr_manager = RprManager()
+            for bitstream in paper_localization_variants():
+                rpr_manager.register(bitstream)
+        self.rpr = rpr_manager
+        self._features: List[ImageFeature] = []
+        self._prev_image: Optional[np.ndarray] = None
+        self._frames_since_keyframe = 0
+        self._frame_index = 0
+        self.keyframes = 0
+        self.tracked_frames = 0
+
+    def process(self, image: np.ndarray) -> FrontEndFrame:
+        """Run one frame through the front-end."""
+        needs_keyframe = (
+            self._prev_image is None
+            or len(self._features) < self.min_features
+            or self._frames_since_keyframe >= self.max_keyframe_gap
+        )
+        if needs_keyframe:
+            result = self._extract(image)
+        else:
+            result = self._track(image)
+            # Tracking collapse triggers an immediate re-extraction.
+            if len(result.features) < self.min_features:
+                result = self._extract(image)
+        self._prev_image = image
+        self._frame_index += 1
+        return result
+
+    # -- variants -----------------------------------------------------------
+
+    def _extract(self, image: np.ndarray) -> FrontEndFrame:
+        latency = self.rpr.execute("feature_extraction")
+        self._features = extract_features(
+            image, max_features=self.max_features
+        )
+        self._frames_since_keyframe = 0
+        self.keyframes += 1
+        return FrontEndFrame(
+            frame_index=self._frame_index,
+            is_keyframe=True,
+            features=tuple(self._features),
+            tracked_fraction=1.0,
+            latency_s=latency,
+        )
+
+    def _track(self, image: np.ndarray) -> FrontEndFrame:
+        latency = self.rpr.execute("feature_tracking")
+        assert self._prev_image is not None
+        results = track_features(self._prev_image, image, self._features)
+        survivors: List[ImageFeature] = []
+        for feature, result in zip(self._features, results):
+            if result is None or not result.converged:
+                continue
+            survivors.append(
+                ImageFeature(
+                    u_px=result.u_px,
+                    v_px=result.v_px,
+                    response=feature.response,
+                )
+            )
+        tracked_fraction = (
+            len(survivors) / len(self._features) if self._features else 0.0
+        )
+        self._features = survivors
+        self._frames_since_keyframe += 1
+        self.tracked_frames += 1
+        return FrontEndFrame(
+            frame_index=self._frame_index,
+            is_keyframe=False,
+            features=tuple(survivors),
+            tracked_fraction=tracked_fraction,
+            latency_s=latency,
+        )
+
+    @property
+    def keyframe_fraction(self) -> float:
+        total = self.keyframes + self.tracked_frames
+        return 1.0 if total == 0 else self.keyframes / total

@@ -1,0 +1,212 @@
+"""Radar tracking and vision-radar spatial synchronization (Sec. VI-B).
+
+The paper replaces compute-intensive visual tracking (KCF) with radar:
+"Radar ... directly measures the relative radial velocity of an object and
+combines consecutive observations of the same target into a trajectory."
+The catch: "Radars do not detect objects.  Therefore, we must match objects
+detected by vision algorithms with objects tracked by Radars.  We call
+this spatial synchronization."
+
+Two components:
+
+* :class:`RadarTracker` — builds tracks from raw detections with
+  constant-velocity Kalman filters and gated nearest-neighbor association
+  (Hungarian assignment).
+* :func:`spatial_synchronization` — projects radar tracks into the camera
+  frame and optimally matches them against vision detections — the ~1 ms
+  computation that replaces per-frame KCF.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from ..sensors.radar import RadarDetection
+from .detection import Detection
+from .kcf import BoundingBox
+
+
+@dataclass
+class RadarTrack:
+    """One tracked target: constant-velocity KF in the radar frame."""
+
+    track_id: int
+    state: np.ndarray  # [x, y, vx, vy]
+    covariance: np.ndarray
+    age: int = 1
+    missed: int = 0
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        return (float(self.state[0]), float(self.state[1]))
+
+    @property
+    def velocity(self) -> Tuple[float, float]:
+        return (float(self.state[2]), float(self.state[3]))
+
+    @property
+    def speed_mps(self) -> float:
+        return math.hypot(*self.velocity)
+
+
+class RadarTracker:
+    """Multi-target tracker over per-sweep radar detections."""
+
+    def __init__(
+        self,
+        gate_m: float = 3.0,
+        position_noise_m: float = 0.3,
+        process_noise: float = 0.5,
+        max_missed: int = 5,
+    ) -> None:
+        self.gate_m = gate_m
+        self.position_noise_m = position_noise_m
+        self.process_noise = process_noise
+        self.max_missed = max_missed
+        self.tracks: List[RadarTrack] = []
+        self._next_id = 0
+
+    def step(self, detections: Sequence[RadarDetection], dt_s: float) -> None:
+        """Advance all tracks by *dt_s* and fuse one sweep of detections."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        self._predict(dt_s)
+        points = [d.to_cartesian() for d in detections]
+        assignments = self._associate(points)
+        assigned_tracks = {i for i, _ in assignments}
+        assigned_detections = set()
+        for track_idx, det_idx in assignments:
+            self._update(self.tracks[track_idx], points[det_idx])
+            assigned_detections.add(det_idx)
+        for idx, track in enumerate(self.tracks):
+            if idx not in assigned_tracks:
+                track.missed += 1
+        for det_idx, point in enumerate(points):
+            if det_idx not in assigned_detections:
+                self._spawn(point)
+        self.tracks = [t for t in self.tracks if t.missed <= self.max_missed]
+
+    def _predict(self, dt_s: float) -> None:
+        f = np.eye(4)
+        f[0, 2] = f[1, 3] = dt_s
+        q = np.diag([0.25 * dt_s ** 4] * 2 + [dt_s ** 2] * 2) * self.process_noise
+        for track in self.tracks:
+            track.state = f @ track.state
+            track.covariance = f @ track.covariance @ f.T + q
+            track.age += 1
+
+    def _associate(
+        self, points: Sequence[Tuple[float, float]]
+    ) -> List[Tuple[int, int]]:
+        """Hungarian assignment of detections to tracks with gating."""
+        if not self.tracks or not points:
+            return []
+        cost = np.zeros((len(self.tracks), len(points)))
+        for i, track in enumerate(self.tracks):
+            tx, ty = track.position
+            for j, (px, py) in enumerate(points):
+                cost[i, j] = math.hypot(tx - px, ty - py)
+        rows, cols = linear_sum_assignment(cost)
+        return [
+            (int(r), int(c))
+            for r, c in zip(rows, cols)
+            if cost[r, c] <= self.gate_m
+        ]
+
+    def _update(self, track: RadarTrack, point: Tuple[float, float]) -> None:
+        h = np.zeros((2, 4))
+        h[0, 0] = h[1, 1] = 1.0
+        r = np.eye(2) * self.position_noise_m ** 2
+        z = np.array(point)
+        innovation = z - h @ track.state
+        s = h @ track.covariance @ h.T + r
+        gain = track.covariance @ h.T @ np.linalg.inv(s)
+        track.state = track.state + gain @ innovation
+        track.covariance = (np.eye(4) - gain @ h) @ track.covariance
+        track.missed = 0
+
+    def _spawn(self, point: Tuple[float, float]) -> None:
+        state = np.array([point[0], point[1], 0.0, 0.0])
+        covariance = np.diag([1.0, 1.0, 4.0, 4.0])
+        self.tracks.append(
+            RadarTrack(
+                track_id=self._next_id, state=state, covariance=covariance
+            )
+        )
+        self._next_id += 1
+
+
+# ---------------------------------------------------------------------------
+# Spatial synchronization: radar tracks <-> vision detections
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CameraProjection:
+    """Minimal camera model for projecting radar-frame points to pixels."""
+
+    focal_px: float = 320.0
+    cx_px: float = 160.0
+    image_width_px: int = 320
+
+    def project(self, forward_m: float, lateral_m: float) -> Optional[float]:
+        """Horizontal pixel of a radar-frame point; None when behind."""
+        if forward_m <= 0:
+            return None
+        return self.cx_px + self.focal_px * (-lateral_m) / forward_m
+
+
+@dataclass(frozen=True)
+class SpatialMatch:
+    """One vision-detection <-> radar-track association."""
+
+    detection_index: int
+    track_id: int
+    pixel_distance: float
+    track_velocity: Tuple[float, float]
+
+
+def spatial_synchronization(
+    detections: Sequence[Detection],
+    tracks: Sequence[RadarTrack],
+    camera: Optional[CameraProjection] = None,
+    gate_px: float = 40.0,
+) -> List[SpatialMatch]:
+    """Project radar tracks into the image and match vision detections.
+
+    "Our spatial synchronization finishes on the CPU in 1 ms, 100x more
+    lightweight than KCF" — the computation is just a projection, a small
+    cost matrix, and a Hungarian assignment.
+    """
+    camera = camera or CameraProjection()
+    if not detections or not tracks:
+        return []
+    projections: List[Optional[float]] = [
+        camera.project(t.position[0], t.position[1]) for t in tracks
+    ]
+    big = 1e9
+    cost = np.full((len(detections), len(tracks)), big)
+    for i, det in enumerate(detections):
+        det_u = det.box.center[0]
+        for j, u in enumerate(projections):
+            if u is None:
+                continue
+            cost[i, j] = abs(det_u - u)
+    rows, cols = linear_sum_assignment(cost)
+    matches = []
+    for r, c in zip(rows, cols):
+        if cost[r, c] <= gate_px:
+            matches.append(
+                SpatialMatch(
+                    detection_index=int(r),
+                    track_id=tracks[c].track_id,
+                    pixel_distance=float(cost[r, c]),
+                    track_velocity=tracks[c].velocity,
+                )
+            )
+    return matches

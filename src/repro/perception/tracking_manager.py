@@ -1,0 +1,169 @@
+"""Tracking-path arbitration: radar first, KCF fallback (paper Sec. IV).
+
+"Tracking is mostly done by a Radar ..., but we use the Kernelized
+Correlation Filter (KCF) as the baseline tracking algorithm when Radar
+signals are unstable."  This manager implements that policy: it monitors
+radar detection continuity per target and hands individual targets to KCF
+trackers while their radar track is unhealthy, handing them back once the
+radar recovers — accounting the compute cost of each mode as it goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import calibration
+from ..sensors.radar import RadarDetection
+from .detection import Detection
+from .kcf import BoundingBox, KcfTracker
+from .radar_tracking import (
+    CameraProjection,
+    RadarTracker,
+    SpatialMatch,
+    spatial_synchronization,
+)
+
+
+@dataclass(frozen=True)
+class TrackedTarget:
+    """The manager's per-frame output for one target."""
+
+    target_key: int
+    box: BoundingBox
+    velocity: Optional[Tuple[float, float]]
+    mode: str  # "radar" | "kcf"
+
+
+@dataclass
+class TrackingModeStats:
+    """Compute accounting across modes."""
+
+    radar_frames: int = 0
+    kcf_frames: int = 0
+
+    @property
+    def radar_fraction(self) -> float:
+        total = self.radar_frames + self.kcf_frames
+        return 1.0 if total == 0 else self.radar_frames / total
+
+    def estimated_compute_s(
+        self,
+        spatial_sync_s: float = calibration.SPATIAL_SYNC_LATENCY_S,
+        kcf_s: float = calibration.SPATIAL_SYNC_LATENCY_S
+        * calibration.PAPER_KCF_OVER_SPATIAL_SYNC,
+    ) -> float:
+        """Total tracking compute under the calibrated per-mode costs."""
+        return self.radar_frames * spatial_sync_s + self.kcf_frames * kcf_s
+
+
+class TrackingManager:
+    """Radar-first multi-target tracking with per-target KCF fallback."""
+
+    def __init__(
+        self,
+        camera: Optional[CameraProjection] = None,
+        unstable_after_misses: int = 2,
+        recover_after_hits: int = 2,
+    ) -> None:
+        if unstable_after_misses < 1 or recover_after_hits < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.camera = camera or CameraProjection()
+        self.radar_tracker = RadarTracker(max_missed=unstable_after_misses + 3)
+        self.unstable_after_misses = unstable_after_misses
+        self.recover_after_hits = recover_after_hits
+        self.stats = TrackingModeStats()
+        self._kcf: Dict[int, KcfTracker] = {}
+        self._recovery_streak: Dict[int, int] = {}
+
+    def step(
+        self,
+        frame: np.ndarray,
+        detections: Sequence[Detection],
+        radar_detections: Sequence[RadarDetection],
+        dt_s: float,
+    ) -> List[TrackedTarget]:
+        """Process one synchronized camera frame + radar sweep."""
+        self.radar_tracker.step(radar_detections, dt_s)
+        matches = spatial_synchronization(
+            detections, self.radar_tracker.tracks, self.camera
+        )
+        matched_by_track = {m.track_id: m for m in matches}
+        outputs: List[TrackedTarget] = []
+        for track in self.radar_tracker.tracks:
+            healthy = track.missed < self.unstable_after_misses
+            match = matched_by_track.get(track.track_id)
+            if healthy and match is not None:
+                outputs.append(
+                    self._radar_mode(track.track_id, match, detections, frame)
+                )
+            elif track.track_id in self._kcf or match is not None:
+                outputs.append(
+                    self._kcf_mode(track.track_id, match, detections, frame)
+                )
+            if healthy:
+                self._recovery_streak[track.track_id] = (
+                    self._recovery_streak.get(track.track_id, 0) + 1
+                )
+                if (
+                    self._recovery_streak[track.track_id]
+                    >= self.recover_after_hits
+                ):
+                    # Radar recovered: drop the KCF fallback for this target.
+                    self._kcf.pop(track.track_id, None)
+            else:
+                self._recovery_streak[track.track_id] = 0
+        return outputs
+
+    # -- modes --------------------------------------------------------------
+
+    def _radar_mode(
+        self,
+        track_id: int,
+        match: SpatialMatch,
+        detections: Sequence[Detection],
+        frame: np.ndarray,
+    ) -> TrackedTarget:
+        self.stats.radar_frames += 1
+        box = detections[match.detection_index].box
+        # Keep a warm KCF template so a fallback starts from a fresh box.
+        tracker = self._kcf.get(track_id)
+        if tracker is None:
+            tracker = KcfTracker()
+            tracker.init(frame, box)
+            self._kcf[track_id] = tracker
+        return TrackedTarget(
+            target_key=track_id,
+            box=box,
+            velocity=match.track_velocity,
+            mode="radar",
+        )
+
+    def _kcf_mode(
+        self,
+        track_id: int,
+        match: Optional[SpatialMatch],
+        detections: Sequence[Detection],
+        frame: np.ndarray,
+    ) -> TrackedTarget:
+        self.stats.kcf_frames += 1
+        tracker = self._kcf.get(track_id)
+        if tracker is None:
+            # No warm template: bootstrap from the vision detection.
+            assert match is not None
+            tracker = KcfTracker()
+            tracker.init(frame, detections[match.detection_index].box)
+            self._kcf[track_id] = tracker
+            box = tracker.box
+        else:
+            box = tracker.update(frame)
+        return TrackedTarget(
+            target_key=track_id, box=box, velocity=None, mode="kcf"
+        )
+
+    @property
+    def active_fallbacks(self) -> int:
+        """Targets currently carrying a KCF tracker."""
+        return len(self._kcf)

@@ -1,0 +1,29 @@
+"""Planning: lane-level MPC, EM baseline, collision, prediction, reactive."""
+
+from .collision import CollisionReport, TrajectoryPoint, check_trajectory
+from .em_planner import EmPlan, EmPlanner
+from .mpc import MpcPlanner, Plan, PlanCandidate
+from .prediction import (
+    PredictedState,
+    TrackedObject,
+    predict_constant_velocity,
+    predictions_at,
+)
+from .reactive import ReactiveDecision, ReactivePath
+
+__all__ = [
+    "CollisionReport",
+    "EmPlan",
+    "EmPlanner",
+    "MpcPlanner",
+    "Plan",
+    "PlanCandidate",
+    "PredictedState",
+    "ReactiveDecision",
+    "ReactivePath",
+    "TrackedObject",
+    "TrajectoryPoint",
+    "check_trajectory",
+    "predict_constant_velocity",
+    "predictions_at",
+]

@@ -1,0 +1,86 @@
+"""Collision checking along candidate trajectories (paper Fig. 5).
+
+The "Collision Detection" block: given a time-stamped ego trajectory and
+the predicted states of surrounding objects (plus static obstacles), decide
+whether any point comes within the safety margin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..scene.world import Obstacle
+from .prediction import PredictedState
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One time-stamped pose on a candidate ego trajectory."""
+
+    time_s: float
+    x_m: float
+    y_m: float
+    speed_mps: float = 0.0
+
+
+@dataclass(frozen=True)
+class CollisionReport:
+    """Result of checking one trajectory."""
+
+    collides: bool
+    first_collision_time_s: Optional[float] = None
+    colliding_object_id: Optional[int] = None
+    min_clearance_m: float = float("inf")
+
+
+def check_trajectory(
+    trajectory: Sequence[TrajectoryPoint],
+    predictions: Sequence[PredictedState],
+    static_obstacles: Sequence[Obstacle] = (),
+    ego_radius_m: float = 0.8,
+    safety_margin_m: float = 0.3,
+    time_tolerance_s: float = 0.06,
+) -> CollisionReport:
+    """Check an ego trajectory against moving predictions and static
+    obstacles.
+
+    Moving objects are compared only at matching horizon instants (within
+    ``time_tolerance_s``); static obstacles are checked at every point.
+    """
+    if ego_radius_m <= 0:
+        raise ValueError("ego radius must be positive")
+    min_clearance = float("inf")
+    for point in trajectory:
+        for obstacle in static_obstacles:
+            clearance = (
+                math.hypot(point.x_m - obstacle.x_m, point.y_m - obstacle.y_m)
+                - obstacle.radius_m
+                - ego_radius_m
+            )
+            min_clearance = min(min_clearance, clearance)
+            if clearance < safety_margin_m:
+                return CollisionReport(
+                    collides=True,
+                    first_collision_time_s=point.time_s,
+                    colliding_object_id=-1 - obstacle.obstacle_id,
+                    min_clearance_m=min_clearance,
+                )
+        for pred in predictions:
+            if abs(pred.time_s - point.time_s) > time_tolerance_s:
+                continue
+            clearance = (
+                math.hypot(point.x_m - pred.x_m, point.y_m - pred.y_m)
+                - pred.radius_m
+                - ego_radius_m
+            )
+            min_clearance = min(min_clearance, clearance)
+            if clearance < safety_margin_m:
+                return CollisionReport(
+                    collides=True,
+                    first_collision_time_s=point.time_s,
+                    colliding_object_id=pred.object_id,
+                    min_clearance_m=min_clearance,
+                )
+    return CollisionReport(collides=False, min_clearance_m=min_clearance)

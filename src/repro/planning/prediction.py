@@ -1,0 +1,81 @@
+"""Action/traffic prediction (paper Fig. 5).
+
+The planning module consumes "object velocity, position, & class" from
+perception and predicts where agents will be over the planning horizon.
+Micromobility deployments (campuses, tourist sites) involve pedestrians
+and carts whose short-horizon motion is well captured by constant-velocity
+extrapolation — the same law the world simulator uses, so the predictor is
+exact in the nominal case and degrades gracefully when agents maneuver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TrackedObject:
+    """Perception's view of one object (from radar tracking / detection)."""
+
+    object_id: int
+    x_m: float
+    y_m: float
+    vx_mps: float
+    vy_mps: float
+    radius_m: float = 0.5
+    label: str = "object"
+
+    @property
+    def speed_mps(self) -> float:
+        return math.hypot(self.vx_mps, self.vy_mps)
+
+
+@dataclass(frozen=True)
+class PredictedState:
+    """One object's predicted position at a horizon instant."""
+
+    object_id: int
+    time_s: float
+    x_m: float
+    y_m: float
+    radius_m: float
+
+
+def predict_constant_velocity(
+    objects: Sequence[TrackedObject],
+    horizon_s: float,
+    dt_s: float = 0.1,
+    inflation_mps: float = 0.3,
+) -> List[PredictedState]:
+    """Constant-velocity forecasts on a time grid.
+
+    ``inflation_mps`` grows each object's radius over time to account for
+    prediction uncertainty (an object could deviate from the constant-
+    velocity assumption by roughly this speed).
+    """
+    if horizon_s <= 0 or dt_s <= 0:
+        raise ValueError("horizon and dt must be positive")
+    states = []
+    steps = int(round(horizon_s / dt_s))
+    for k in range(1, steps + 1):
+        t = k * dt_s
+        for obj in objects:
+            states.append(
+                PredictedState(
+                    object_id=obj.object_id,
+                    time_s=t,
+                    x_m=obj.x_m + obj.vx_mps * t,
+                    y_m=obj.y_m + obj.vy_mps * t,
+                    radius_m=obj.radius_m + inflation_mps * t,
+                )
+            )
+    return states
+
+
+def predictions_at(
+    states: Sequence[PredictedState], time_s: float, tolerance_s: float = 1e-6
+) -> List[PredictedState]:
+    """The subset of predictions at one horizon instant."""
+    return [s for s in states if abs(s.time_s - time_s) <= tolerance_s]

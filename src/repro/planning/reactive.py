@@ -1,0 +1,81 @@
+"""The reactive path — the last line of defense (paper Sec. IV, Fig. 5).
+
+Radar (and sonar) distance readings bypass the computing system: when the
+nearest obstruction is inside the stopping envelope, the reactive path
+sends a full-brake command directly to the ECU, overriding the proactive
+pipeline.  Its end-to-end latency is ~30 ms (vs the proactive best case of
+149 ms), letting the vehicle react to objects 4.1 m away — approaching the
+4 m braking-distance limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core import calibration
+from ..core.latency_model import LatencyModel
+from ..vehicle.dynamics import ControlCommand
+
+
+@dataclass(frozen=True)
+class ReactiveDecision:
+    """Outcome of one reactive-path evaluation."""
+
+    triggered: bool
+    distance_m: Optional[float]
+    threshold_m: float
+    command: Optional[ControlCommand] = None
+
+
+@dataclass
+class ReactivePath:
+    """Distance-threshold brake override.
+
+    The trigger threshold is the avoidance range achievable at the
+    reactive path's own latency (Eq. 1 with Tcomp = 30 ms), padded by a
+    small margin.  Anything closer cannot be avoided even by this path, so
+    the threshold is also the earliest-useful trigger point — braking
+    sooner than necessary hurts ride quality (Sec. V-C: staying proactive
+    "directly translates to better passenger experience").
+    """
+
+    latency_s: float = calibration.REACTIVE_PATH_LATENCY_S
+    margin_m: float = 0.3
+    latency_model: LatencyModel = field(default_factory=LatencyModel)
+    triggers: int = field(default=0, init=False)
+
+    @property
+    def threshold_m(self) -> float:
+        return (
+            self.latency_model.min_avoidable_distance_m(self.latency_s)
+            + self.margin_m
+        )
+
+    def evaluate(
+        self, nearest_distance_m: Optional[float], now_s: float
+    ) -> ReactiveDecision:
+        """Evaluate one radar/sonar reading.
+
+        ``nearest_distance_m`` is None when no obstruction is in view.
+        """
+        threshold = self.threshold_m
+        if nearest_distance_m is None or nearest_distance_m > threshold:
+            return ReactiveDecision(
+                triggered=False,
+                distance_m=nearest_distance_m,
+                threshold_m=threshold,
+            )
+        self.triggers += 1
+        command = ControlCommand(
+            steer_rad=0.0,
+            accel_mps2=-self.latency_model.decel_mps2,
+            timestamp_s=now_s + self.latency_s,
+            source="reactive",
+        )
+        return ReactiveDecision(
+            triggered=True,
+            distance_m=nearest_distance_m,
+            threshold_m=threshold,
+            command=command,
+        )

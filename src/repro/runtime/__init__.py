@@ -1,0 +1,37 @@
+"""The SoV runtime: dataflow, pipelined scheduler, CAN bus, closed loop."""
+
+from .alp import AlpExecutor, AlpReport, paper_assignment, paper_devices, single_device_assignment
+from .canbus import CanBus, CanMessage
+from .dataflow import LatencyDistribution, SovDataflow, Task, paper_dataflow
+from .sensor_hub import FpgaSensorHub
+from .scheduler import FrameTiming, PipelinedExecutor, PipelineReport
+from .sov import (
+    DriveResult,
+    SovConfig,
+    SystemsOnAVehicle,
+    obstacle_ahead_scenario,
+)
+from .telemetry import LatencyStats, OperationsLog
+
+__all__ = [
+    "AlpExecutor",
+    "AlpReport",
+    "CanBus",
+    "CanMessage",
+    "DriveResult",
+    "FpgaSensorHub",
+    "FrameTiming",
+    "LatencyDistribution",
+    "LatencyStats",
+    "OperationsLog",
+    "PipelineReport",
+    "PipelinedExecutor",
+    "SovConfig",
+    "SovDataflow",
+    "SystemsOnAVehicle",
+    "Task",
+    "obstacle_ahead_scenario",
+    "paper_assignment",
+    "paper_devices",
+    "single_device_assignment",
+]

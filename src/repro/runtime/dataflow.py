@@ -1,0 +1,240 @@
+"""The on-vehicle software dataflow graph (paper Fig. 5, Sec. IV).
+
+Encodes the paper's task structure and its task-level parallelism (TLP):
+
+* sensing -> perception -> planning are serialized (all on the critical
+  path);
+* within perception, localization and scene understanding are independent;
+* within scene understanding, depth estimation is independent of the
+  detection -> tracking chain, which is serialized.
+
+Each task carries a latency distribution; the graph computes critical
+paths, stage latencies, and end-to-end samples — the machinery behind the
+Fig. 10 characterization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..core import calibration
+
+
+@dataclass(frozen=True)
+class LatencyDistribution:
+    """A shifted-lognormal latency model: ``best + LogNormal(mu, sigma)``.
+
+    The shift is the best case; the lognormal excess produces the long
+    tail the paper observes ("the mean latency (164 ms) is close to the
+    best-case latency (149 ms), but a long tail exists").  A zero
+    ``excess_mean_s`` makes the task deterministic.
+    """
+
+    best_s: float
+    excess_mean_s: float = 0.0
+    sigma: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.best_s < 0 or self.excess_mean_s < 0 or self.sigma <= 0:
+            raise ValueError("latency parameters must be non-negative")
+
+    @property
+    def mean_s(self) -> float:
+        return self.best_s + self.excess_mean_s
+
+    @property
+    def _mu(self) -> float:
+        # mean of LogNormal(mu, sigma) = exp(mu + sigma^2/2)
+        return math.log(max(self.excess_mean_s, 1e-12)) - self.sigma ** 2 / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.excess_mean_s == 0.0:
+            return self.best_s
+        return self.best_s + float(rng.lognormal(self._mu, self.sigma))
+
+    def percentile(self, q: float) -> float:
+        """Analytical percentile (q in [0, 100])."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if self.excess_mean_s == 0.0:
+            return self.best_s
+        from scipy.stats import norm
+
+        z = norm.ppf(q / 100.0)
+        return self.best_s + math.exp(self._mu + self.sigma * z)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the dataflow graph."""
+
+    name: str
+    stage: str  # "sensing" | "perception" | "planning"
+    latency: LatencyDistribution
+
+
+class SovDataflow:
+    """The Fig. 5 task graph with latency semantics."""
+
+    STAGES = ("sensing", "perception", "planning")
+
+    def __init__(self, tasks: Sequence[Task], edges: Sequence[Tuple[str, str]]):
+        self._tasks: Dict[str, Task] = {}
+        self._graph = nx.DiGraph()
+        for task in tasks:
+            if task.name in self._tasks:
+                raise ValueError(f"duplicate task {task.name!r}")
+            if task.stage not in self.STAGES:
+                raise ValueError(f"unknown stage {task.stage!r}")
+            self._tasks[task.name] = task
+            self._graph.add_node(task.name)
+        for u, v in edges:
+            if u not in self._tasks or v not in self._tasks:
+                raise KeyError(f"edge ({u!r}, {v!r}) references unknown task")
+            self._graph.add_edge(u, v)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            raise ValueError("dataflow graph must be acyclic")
+
+    @property
+    def task_names(self) -> List[str]:
+        return list(self._tasks)
+
+    def task(self, name: str) -> Task:
+        return self._tasks[name]
+
+    def dependencies(self, name: str) -> List[str]:
+        return list(self._graph.predecessors(name))
+
+    def independent_pairs(self) -> List[Tuple[str, str]]:
+        """Task pairs with no path between them — the exploitable TLP."""
+        pairs = []
+        names = self.task_names
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if not nx.has_path(self._graph, a, b) and not nx.has_path(
+                    self._graph, b, a
+                ):
+                    pairs.append((a, b))
+        return pairs
+
+    def critical_path(
+        self, latencies: Optional[Mapping[str, float]] = None
+    ) -> Tuple[List[str], float]:
+        """Longest path by task latency (mean latency by default)."""
+        weights = latencies or {
+            name: task.latency.mean_s for name, task in self._tasks.items()
+        }
+        finish: Dict[str, float] = {}
+        parent: Dict[str, Optional[str]] = {}
+        for node in nx.topological_sort(self._graph):
+            preds = list(self._graph.predecessors(node))
+            if preds:
+                best_pred = max(preds, key=lambda p: finish[p])
+                start = finish[best_pred]
+                parent[node] = best_pred
+            else:
+                start = 0.0
+                parent[node] = None
+            finish[node] = start + weights[node]
+        end = max(finish, key=lambda n: finish[n])
+        path = [end]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])
+        return list(reversed(path)), finish[end]
+
+    def sample_iteration(
+        self, rng: np.random.Generator
+    ) -> Tuple[Dict[str, float], float]:
+        """Sample one pipeline iteration; returns (per-task, end-to-end)."""
+        latencies = {
+            name: task.latency.sample(rng) for name, task in self._tasks.items()
+        }
+        _path, total = self.critical_path(latencies)
+        return latencies, total
+
+    def stage_latency(
+        self, stage: str, latencies: Mapping[str, float]
+    ) -> float:
+        """Critical-path latency *within* one stage."""
+        members = [n for n, t in self._tasks.items() if t.stage == stage]
+        if not members:
+            return 0.0
+        sub = self._graph.subgraph(members)
+        finish: Dict[str, float] = {}
+        for node in nx.topological_sort(sub):
+            preds = list(sub.predecessors(node))
+            start = max((finish[p] for p in preds), default=0.0)
+            finish[node] = start + latencies[node]
+        return max(finish.values())
+
+
+def paper_dataflow(seed_irrelevant: int = 0) -> SovDataflow:
+    """The deployed vehicle's dataflow with calibrated latencies.
+
+    Task latencies reflect the FPGA-offloaded configuration (Sec. V-B2):
+    localization on the FPGA (24 ms median), scene understanding on the
+    GPU (depth 35 ms; detection 70 ms -> tracking 7 ms), sensing 74 ms
+    best-case with the dominant share of the tail, planning 3 ms.
+    """
+    fig10b = calibration.FIG10B_TASK_LATENCIES_S
+    tasks = [
+        Task(
+            "sensing",
+            "sensing",
+            LatencyDistribution(
+                best_s=calibration.SENSING_BEST_LATENCY_S,
+                excess_mean_s=calibration.SENSING_MEAN_LATENCY_S
+                - calibration.SENSING_BEST_LATENCY_S,
+            ),
+        ),
+        Task(
+            "localization",
+            "perception",
+            LatencyDistribution(
+                best_s=0.020,
+                excess_mean_s=fig10b["localization"] - 0.020,
+                sigma=1.1,
+            ),
+        ),
+        Task(
+            "depth",
+            "perception",
+            LatencyDistribution(best_s=0.030, excess_mean_s=fig10b["depth"] - 0.030),
+        ),
+        Task(
+            "detection",
+            "perception",
+            LatencyDistribution(
+                best_s=0.065, excess_mean_s=fig10b["detection"] - 0.065
+            ),
+        ),
+        Task(
+            "tracking",
+            "perception",
+            LatencyDistribution(
+                best_s=0.006, excess_mean_s=fig10b["tracking"] - 0.006, sigma=0.8
+            ),
+        ),
+        Task(
+            "planning",
+            "planning",
+            LatencyDistribution(
+                best_s=calibration.PLANNING_MEAN_LATENCY_S, excess_mean_s=0.0
+            ),
+        ),
+    ]
+    edges = [
+        ("sensing", "localization"),
+        ("sensing", "depth"),
+        ("sensing", "detection"),
+        ("detection", "tracking"),
+        ("localization", "planning"),
+        ("depth", "planning"),
+        ("tracking", "planning"),
+    ]
+    return SovDataflow(tasks, edges)

@@ -1,0 +1,283 @@
+"""The closed-loop Systems-on-a-Vehicle (paper Sec. V).
+
+Integrates everything: the world, perception surrogates, the MPC planner
+(proactive path), the reactive path, the CAN bus, the ECU/actuator, the
+vehicle dynamics, the battery, and the sampled computing-latency model.
+The control loop runs at the paper's 10 Hz; each proactive command reaches
+the actuator after ``Tcomp`` (sampled from the calibrated dataflow) +
+``Tdata`` (CAN) + ``Tmech`` (actuator), so Eq. 1 plays out mechanically in
+closed loop rather than analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import calibration
+from ..planning.mpc import MpcPlanner
+from ..planning.prediction import TrackedObject
+from ..planning.reactive import ReactivePath
+from ..scene.lanes import LaneMap, straight_corridor
+from ..scene.world import Agent, Obstacle, World
+from ..vehicle.actuator import Actuator, EngineControlUnit
+from ..vehicle.battery import Battery
+from ..vehicle.dynamics import BicycleModel, ControlCommand, VehicleState
+from .canbus import CanBus
+from .dataflow import SovDataflow, paper_dataflow
+from .telemetry import LatencyStats, OperationsLog
+
+
+@dataclass
+class SovConfig:
+    """Closed-loop simulation parameters."""
+
+    control_rate_hz: float = calibration.THROUGHPUT_REQUIREMENT_HZ
+    reactive_rate_hz: float = 20.0
+    sim_dt_s: float = 0.005
+    sensing_range_m: float = 40.0
+    reactive_enabled: bool = True
+    #: Probability that the vision pipeline misses an entity on a given
+    #: control tick (Sec. III-C safety scenario 2: "vision algorithms
+    #: produce wrong results, e.g., missing an object").  The reactive
+    #: path still sees it through radar/sonar.
+    vision_miss_prob: float = 0.0
+    fixed_computing_latency_s: Optional[float] = None
+    ad_power_w: float = calibration.AD_POWER_W
+    vehicle_power_w: float = calibration.VEHICLE_POWER_W
+    seed: int = 0
+
+
+@dataclass
+class DriveResult:
+    """Outcome of one closed-loop drive."""
+
+    final_state: VehicleState
+    ops: OperationsLog
+    latency: LatencyStats
+    min_obstacle_clearance_m: float
+    stopped: bool
+
+    @property
+    def collided(self) -> bool:
+        return self.ops.collisions > 0
+
+
+@dataclass
+class _PendingCommand:
+    apply_at_s: float
+    command: ControlCommand
+
+
+class SystemsOnAVehicle:
+    """The full on-vehicle system in closed loop."""
+
+    def __init__(
+        self,
+        world: World,
+        lane_map: Optional[LaneMap] = None,
+        initial_state: Optional[VehicleState] = None,
+        config: Optional[SovConfig] = None,
+        dataflow: Optional[SovDataflow] = None,
+    ) -> None:
+        self.world = world
+        self.lane_map = lane_map or straight_corridor(length_m=200.0, n_lanes=1)
+        self.config = config or SovConfig()
+        self.state = initial_state or VehicleState(
+            speed_mps=calibration.TYPICAL_SPEED_MPS
+        )
+        self.model = BicycleModel()
+        self.planner = MpcPlanner(lane_map=self.lane_map, model=self.model)
+        self.reactive = ReactivePath()
+        self.can_bus = CanBus()
+        self.ecu = EngineControlUnit()
+        self.actuator = Actuator()
+        self.battery = Battery()
+        self.dataflow = dataflow or paper_dataflow()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.latency = LatencyStats()
+        self.ops = OperationsLog()
+        self._pending: List[_PendingCommand] = []
+
+    # -- perception surrogate -------------------------------------------------
+
+    def _perceive(self) -> Tuple[List[TrackedObject], List[Obstacle]]:
+        """Perception output: tracked agents and visible static obstacles.
+
+        In the full system this comes from detection + radar tracking; in
+        the closed loop we read the world within sensing range (perception
+        accuracy is characterized separately in :mod:`repro.perception`).
+        """
+        objects = []
+        obstacles = []
+        for entity in self.world.entities_in_range(
+            self.state.x_m, self.state.y_m, self.config.sensing_range_m
+        ):
+            if (
+                self.config.vision_miss_prob > 0.0
+                and self._rng.random() < self.config.vision_miss_prob
+            ):
+                continue  # a missed detection: the planner never sees it
+            if isinstance(entity, Agent):
+                objects.append(
+                    TrackedObject(
+                        object_id=entity.agent_id,
+                        x_m=entity.x_m,
+                        y_m=entity.y_m,
+                        vx_mps=entity.vx_mps,
+                        vy_mps=entity.vy_mps,
+                        radius_m=entity.radius_m,
+                        label=entity.kind,
+                    )
+                )
+            else:
+                obstacles.append(entity)
+        return objects, obstacles
+
+    def _forward_distance_m(self) -> Optional[float]:
+        """Radar/sonar forward range for the reactive path."""
+        hit = self.world.nearest_obstruction(
+            self.state.x_m,
+            self.state.y_m,
+            self.state.heading_rad,
+            fov_rad=math.radians(40.0),
+        )
+        return None if hit is None else hit[0]
+
+    # -- control paths ---------------------------------------------------------
+
+    def _proactive_tick(self, now_s: float) -> None:
+        from ..planning.prediction import predict_constant_velocity
+
+        objects, obstacles = self._perceive()
+        predictions = predict_constant_velocity(
+            objects, horizon_s=self.planner.horizon_s, dt_s=self.planner.dt_s
+        ) if objects else []
+        plan = self.planner.plan(
+            self.state,
+            predictions=predictions,
+            static_obstacles=obstacles,
+            now_s=now_s,
+        )
+        if self.config.fixed_computing_latency_s is not None:
+            tcomp = self.config.fixed_computing_latency_s
+            self.latency.record(tcomp)
+        else:
+            latencies, tcomp = self.dataflow.sample_iteration(self._rng)
+            self.latency.record(
+                tcomp,
+                {
+                    stage: self.dataflow.stage_latency(stage, latencies)
+                    for stage in SovDataflow.STAGES
+                },
+            )
+        # The command leaves the computing platform Tcomp after sensing.
+        message = self.can_bus.send(plan.command, now_s + tcomp)
+        self._pending.append(
+            _PendingCommand(
+                apply_at_s=self.actuator.ready_at(message.deliver_at_s),
+                command=plan.command,
+            )
+        )
+        self.ops.control_ticks += 1
+
+    def _reactive_tick(self, now_s: float) -> None:
+        decision = self.reactive.evaluate(self._forward_distance_m(), now_s)
+        if decision.triggered and decision.command is not None:
+            # Reactive signals enter the ECU directly; the 30 ms reactive
+            # latency already covers sensing + transport (Sec. IV).
+            self._pending.append(
+                _PendingCommand(
+                    apply_at_s=self.actuator.ready_at(
+                        decision.command.timestamp_s
+                    ),
+                    command=decision.command,
+                )
+            )
+            self.ops.reactive_overrides += 1
+
+    # -- the loop ---------------------------------------------------------------
+
+    def drive(self, duration_s: float) -> DriveResult:
+        """Run the closed loop for *duration_s* of simulated time."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        cfg = self.config
+        dt = cfg.sim_dt_s
+        control_period = 1.0 / cfg.control_rate_hz
+        reactive_period = 1.0 / cfg.reactive_rate_hz
+        next_control = 0.0
+        next_reactive = 0.0
+        now = 0.0
+        min_clearance = float("inf")
+        steps = int(round(duration_s / dt))
+        for _ in range(steps):
+            if now >= next_control:
+                self._proactive_tick(now)
+                next_control += control_period
+            if cfg.reactive_enabled and now >= next_reactive:
+                self._reactive_tick(now)
+                next_reactive += reactive_period
+            # Deliver commands whose actuation time has come.
+            due = [p for p in self._pending if p.apply_at_s <= now]
+            self._pending = [p for p in self._pending if p.apply_at_s > now]
+            for pending in sorted(due, key=lambda p: p.apply_at_s):
+                self.ecu.receive(pending.command)
+            command = self.ecu.active_command(now) or ControlCommand()
+            previous = self.state
+            self.state = self.model.step(self.state, command, dt)
+            self.world.advance(dt)
+            self.ops.distance_m += math.hypot(
+                self.state.x_m - previous.x_m, self.state.y_m - previous.y_m
+            )
+            self.ops.energy_j += (
+                cfg.vehicle_power_w + cfg.ad_power_w
+            ) * dt
+            self.battery.drain(cfg.vehicle_power_w + cfg.ad_power_w, dt)
+            for obstacle in self.world.obstacles:
+                clearance = obstacle.distance_to(self.state.x_m, self.state.y_m)
+                min_clearance = min(min_clearance, clearance)
+                if clearance <= 0.0:
+                    self.ops.collisions += 1
+            now += dt
+        return DriveResult(
+            final_state=self.state,
+            ops=self.ops,
+            latency=self.latency,
+            min_obstacle_clearance_m=min_clearance,
+            stopped=self.state.speed_mps < 0.05,
+        )
+
+
+def obstacle_ahead_scenario(
+    object_distance_m: float,
+    computing_latency_s: Optional[float] = None,
+    reactive_enabled: bool = True,
+    initial_speed_mps: float = calibration.TYPICAL_SPEED_MPS,
+    seed: int = 0,
+) -> SystemsOnAVehicle:
+    """The Eq. 1 validation scenario: a single-lane corridor with an
+    obstacle that is *object_distance_m* ahead when the drive starts.
+
+    With a single lane the planner cannot swerve; the run measures whether
+    the vehicle stops in time — the closed-loop counterpart of Fig. 3a.
+    """
+    if object_distance_m <= 0:
+        raise ValueError("object distance must be positive")
+    world = World(
+        obstacles=[Obstacle(object_distance_m, 0.0, radius_m=0.4)]
+    )
+    config = SovConfig(
+        fixed_computing_latency_s=computing_latency_s,
+        reactive_enabled=reactive_enabled,
+        seed=seed,
+    )
+    return SystemsOnAVehicle(
+        world=world,
+        lane_map=straight_corridor(length_m=300.0, n_lanes=1),
+        initial_state=VehicleState(speed_mps=initial_speed_mps),
+        config=config,
+    )

@@ -1,0 +1,55 @@
+"""World simulation substrate: lane maps, worlds, trajectories, datasets."""
+
+from .dataset_io import load_sequence, save_sequence
+from .kitti_like import (
+    CameraIntrinsics,
+    DriveSequence,
+    FeatureObservation,
+    Frame,
+    ImuSample,
+    SequenceGenerator,
+    StereoPair,
+    make_disparity_scene,
+    make_stereo_pair,
+    project_landmark,
+)
+from .lanes import LaneMap, LaneSegment, campus_loop, straight_corridor
+from .trajectory import (
+    CircuitTrajectory,
+    FigureEightTrajectory,
+    StraightTrajectory,
+    Trajectory,
+    TrajectorySample,
+    WaypointTrajectory,
+)
+from .world import Agent, Landmark, Obstacle, World, make_urban_block
+
+__all__ = [
+    "Agent",
+    "CameraIntrinsics",
+    "CircuitTrajectory",
+    "DriveSequence",
+    "FeatureObservation",
+    "FigureEightTrajectory",
+    "Frame",
+    "ImuSample",
+    "Landmark",
+    "LaneMap",
+    "LaneSegment",
+    "Obstacle",
+    "SequenceGenerator",
+    "StereoPair",
+    "StraightTrajectory",
+    "Trajectory",
+    "TrajectorySample",
+    "WaypointTrajectory",
+    "load_sequence",
+    "save_sequence",
+    "World",
+    "campus_loop",
+    "make_disparity_scene",
+    "make_stereo_pair",
+    "make_urban_block",
+    "project_landmark",
+    "straight_corridor",
+]

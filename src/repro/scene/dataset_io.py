@@ -1,0 +1,159 @@
+"""Dataset serialization: save/load KITTI-like drive sequences.
+
+The paper's cloud loop stores captured drives on the vehicle SSD and
+replays them offline (training, simulation — Fig. 1).  This module gives
+:class:`repro.scene.kitti_like.DriveSequence` a stable on-disk format
+(a single ``.npz``), so synthetic datasets can be generated once and
+shared/replayed like KITTI logs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+import numpy as np
+
+from .kitti_like import (
+    CameraIntrinsics,
+    DriveSequence,
+    FeatureObservation,
+    Frame,
+    ImuSample,
+)
+from .world import Landmark
+
+_FORMAT_VERSION = 1
+
+
+def save_sequence(sequence: DriveSequence, path: Union[str, os.PathLike]) -> None:
+    """Write a drive sequence to a ``.npz`` file.
+
+    Frames are stored as flat arrays plus an index of per-frame
+    observation counts — compact and fast to load.
+    """
+    frame_meta = np.array(
+        [
+            (f.index, f.trigger_time_s, f.position[0], f.position[1], f.heading_rad)
+            for f in sequence.frames
+        ],
+        dtype=np.float64,
+    ).reshape(len(sequence.frames), 5)
+    observation_counts = np.array(
+        [len(f.observations) for f in sequence.frames], dtype=np.int64
+    )
+    observations = np.array(
+        [
+            (
+                o.landmark_id,
+                o.u_px,
+                o.v_px,
+                np.nan if o.depth_m is None else o.depth_m,
+            )
+            for f in sequence.frames
+            for o in f.observations
+        ],
+        dtype=np.float64,
+    ).reshape(-1, 4)
+    imu = np.array(
+        [
+            (s.trigger_time_s, s.accel_body[0], s.accel_body[1], s.yaw_rate_rps)
+            for s in sequence.imu
+        ],
+        dtype=np.float64,
+    ).reshape(len(sequence.imu), 4)
+    landmarks = np.array(
+        [(lm.landmark_id, lm.x_m, lm.y_m, lm.z_m) for lm in sequence.landmarks],
+        dtype=np.float64,
+    ).reshape(len(sequence.landmarks), 4)
+    camera = np.array(
+        [
+            sequence.camera.focal_px,
+            sequence.camera.cx_px,
+            sequence.camera.cy_px,
+            sequence.camera.width_px,
+            sequence.camera.height_px,
+        ],
+        dtype=np.float64,
+    )
+    np.savez_compressed(
+        path,
+        version=np.array([_FORMAT_VERSION]),
+        frame_meta=frame_meta,
+        observation_counts=observation_counts,
+        observations=observations,
+        imu=imu,
+        landmarks=landmarks,
+        camera=camera,
+    )
+
+
+def load_sequence(path: Union[str, os.PathLike]) -> DriveSequence:
+    """Read a drive sequence written by :func:`save_sequence`."""
+    with np.load(path) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset version {version}; "
+                f"this library reads version {_FORMAT_VERSION}"
+            )
+        frame_meta = data["frame_meta"]
+        observation_counts = data["observation_counts"]
+        observations = data["observations"]
+        imu = data["imu"]
+        landmarks = data["landmarks"]
+        camera_values = data["camera"]
+    camera = CameraIntrinsics(
+        focal_px=float(camera_values[0]),
+        cx_px=float(camera_values[1]),
+        cy_px=float(camera_values[2]),
+        width_px=int(camera_values[3]),
+        height_px=int(camera_values[4]),
+    )
+    frames: List[Frame] = []
+    cursor = 0
+    for meta, count in zip(frame_meta, observation_counts):
+        frame_observations = []
+        for row in observations[cursor : cursor + int(count)]:
+            depth = None if np.isnan(row[3]) else float(row[3])
+            frame_observations.append(
+                FeatureObservation(
+                    landmark_id=int(row[0]),
+                    u_px=float(row[1]),
+                    v_px=float(row[2]),
+                    depth_m=depth,
+                )
+            )
+        cursor += int(count)
+        frames.append(
+            Frame(
+                index=int(meta[0]),
+                trigger_time_s=float(meta[1]),
+                position=(float(meta[2]), float(meta[3])),
+                heading_rad=float(meta[4]),
+                observations=tuple(frame_observations),
+            )
+        )
+    imu_samples = tuple(
+        ImuSample(
+            trigger_time_s=float(row[0]),
+            accel_body=(float(row[1]), float(row[2])),
+            yaw_rate_rps=float(row[3]),
+        )
+        for row in imu
+    )
+    landmark_objects = tuple(
+        Landmark(
+            landmark_id=int(row[0]),
+            x_m=float(row[1]),
+            y_m=float(row[2]),
+            z_m=float(row[3]),
+        )
+        for row in landmarks
+    )
+    return DriveSequence(
+        frames=tuple(frames),
+        imu=imu_samples,
+        landmarks=landmark_objects,
+        camera=camera,
+    )

@@ -1,0 +1,333 @@
+"""KITTI-like synthetic dataset generator.
+
+The paper notes (Sec. VI-A) that "widely-adopted benchmarks and datasets
+such as KITTI manually synchronize sensors so that researchers could focus
+on algorithmic developments."  We generate the equivalent synthetic data —
+stereo image pairs with ground-truth disparity, feature tracks, IMU
+streams, and ground-truth poses — with *controllable* synchronization, so
+both the perfectly-synced and deliberately-offset cases can be produced.
+
+Two product families:
+
+* :func:`make_stereo_pair` — a textured synthetic stereo pair plus its
+  ground-truth disparity map, consumed by the ELAS-like matcher.
+* :class:`SequenceGenerator` — a full drive: poses, landmark feature
+  tracks per frame, and IMU samples, consumed by VIO and the sync study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .trajectory import Trajectory
+from .world import Landmark, World, make_urban_block
+
+# ---------------------------------------------------------------------------
+# Stereo imagery with ground-truth disparity
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StereoPair:
+    """A rectified stereo pair with dense ground-truth disparity."""
+
+    left: np.ndarray
+    right: np.ndarray
+    disparity_gt: np.ndarray
+    focal_px: float
+    baseline_m: float
+
+    def depth_gt(self) -> np.ndarray:
+        """Ground-truth depth (meters); inf where disparity is zero."""
+        with np.errstate(divide="ignore"):
+            return np.where(
+                self.disparity_gt > 0,
+                self.focal_px * self.baseline_m / np.maximum(self.disparity_gt, 1e-9),
+                np.inf,
+            )
+
+
+def _smooth_texture(rng: np.random.Generator, shape: Tuple[int, int]) -> np.ndarray:
+    """Band-limited random texture: white noise box-blurred twice.
+
+    Stereo block matching needs locally distinctive texture; pure white
+    noise aliases and uniform regions are ambiguous, so smoothed noise is
+    the standard synthetic middle ground.
+    """
+    img = rng.standard_normal(shape)
+    kernel = np.ones(5) / 5.0
+    for _ in range(2):
+        img = np.apply_along_axis(
+            lambda row: np.convolve(row, kernel, mode="same"), 1, img
+        )
+        img = np.apply_along_axis(
+            lambda col: np.convolve(col, kernel, mode="same"), 0, img
+        )
+    img -= img.min()
+    peak = img.max()
+    if peak > 0:
+        img /= peak
+    return (img * 255.0).astype(np.float64)
+
+
+def make_disparity_scene(
+    shape: Tuple[int, int] = (96, 128),
+    background_disparity_px: float = 4.0,
+    objects: int = 3,
+    max_object_disparity_px: float = 20.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """A ground-truth disparity map: planar background + box foregrounds."""
+    rng = np.random.default_rng(seed)
+    h, w = shape
+    disparity = np.full(shape, background_disparity_px, dtype=np.float64)
+    for _ in range(objects):
+        oh = int(rng.integers(h // 8, h // 3))
+        ow = int(rng.integers(w // 8, w // 3))
+        top = int(rng.integers(0, h - oh))
+        left = int(rng.integers(0, w - ow - int(max_object_disparity_px)))
+        disparity[top : top + oh, left : left + ow] = float(
+            rng.uniform(background_disparity_px + 2.0, max_object_disparity_px)
+        )
+    return disparity
+
+
+def make_stereo_pair(
+    shape: Tuple[int, int] = (96, 128),
+    focal_px: float = 320.0,
+    baseline_m: float = 0.12,
+    seed: int = 0,
+    disparity: Optional[np.ndarray] = None,
+    lateral_shift_px: float = 0.0,
+) -> StereoPair:
+    """Synthesize a rectified stereo pair from a disparity map.
+
+    The right image is the left image warped by the (integer) ground-truth
+    disparity.  ``lateral_shift_px`` additionally shifts the *right* image,
+    modeling the apparent motion of the scene between two *unsynchronized*
+    exposures (the Fig. 11a experiment).
+    """
+    if disparity is None:
+        disparity = make_disparity_scene(shape, seed=seed)
+    if disparity.shape != shape:
+        raise ValueError("disparity shape must match image shape")
+    rng = np.random.default_rng(seed + 1)
+    left = _smooth_texture(rng, shape)
+    h, w = shape
+    right = np.zeros_like(left)
+    cols = np.arange(w)
+    total_shift = np.rint(disparity + lateral_shift_px).astype(int)
+    for r in range(h):
+        src = cols + total_shift[r]
+        valid = (src >= 0) & (src < w)
+        right[r, valid] = left[r, src[valid]]
+    return StereoPair(
+        left=left,
+        right=right,
+        disparity_gt=disparity.copy(),
+        focal_px=focal_px,
+        baseline_m=baseline_m,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Drive sequences: poses + feature tracks + IMU
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Pinhole intrinsics of the synthetic forward camera."""
+
+    focal_px: float = 320.0
+    cx_px: float = 160.0
+    cy_px: float = 120.0
+    width_px: int = 320
+    height_px: int = 240
+
+    def in_view(self, u: float, v: float) -> bool:
+        return 0 <= u < self.width_px and 0 <= v < self.height_px
+
+
+@dataclass(frozen=True)
+class FeatureObservation:
+    """One landmark seen in one frame.
+
+    ``depth_m`` is the stereo-measured forward distance to the landmark
+    (None for monocular-only observations).  The paper's rig carries stereo
+    pairs precisely so perception gets per-feature depth (Sec. V-B1).
+    """
+
+    landmark_id: int
+    u_px: float
+    v_px: float
+    depth_m: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One camera frame: true capture time, true pose, features."""
+
+    index: int
+    trigger_time_s: float
+    position: Tuple[float, float]
+    heading_rad: float
+    observations: Tuple[FeatureObservation, ...]
+
+
+@dataclass(frozen=True)
+class ImuSample:
+    """One IMU sample in the body frame."""
+
+    trigger_time_s: float
+    accel_body: Tuple[float, float]
+    yaw_rate_rps: float
+
+
+@dataclass(frozen=True)
+class DriveSequence:
+    """A complete synthetic drive."""
+
+    frames: Tuple[Frame, ...]
+    imu: Tuple[ImuSample, ...]
+    landmarks: Tuple[Landmark, ...]
+    camera: CameraIntrinsics
+
+    def ground_truth_positions(self) -> np.ndarray:
+        return np.array([f.position for f in self.frames])
+
+
+def project_landmark(
+    camera: CameraIntrinsics,
+    position: Tuple[float, float],
+    heading_rad: float,
+    landmark: Landmark,
+    camera_height_m: float = 1.2,
+    min_depth_m: float = 0.5,
+    max_depth_m: float = 60.0,
+) -> Optional[Tuple[float, float]]:
+    """Project a world landmark into the forward camera; None if not visible.
+
+    World frame: x/y ground plane, z up.  Camera frame: z forward along the
+    vehicle heading, x right, y down.
+    """
+    dx = landmark.x_m - position[0]
+    dy = landmark.y_m - position[1]
+    # Rotate into the body frame (heading -> forward axis).
+    forward = dx * math.cos(heading_rad) + dy * math.sin(heading_rad)
+    lateral = -dx * math.sin(heading_rad) + dy * math.cos(heading_rad)
+    if not (min_depth_m <= forward <= max_depth_m):
+        return None
+    u = camera.cx_px + camera.focal_px * (-lateral) / forward
+    v = camera.cy_px + camera.focal_px * (camera_height_m - landmark.z_m) / forward
+    if not camera.in_view(u, v):
+        return None
+    return (u, v)
+
+
+def landmark_forward_distance(
+    position: Tuple[float, float], heading_rad: float, landmark: Landmark
+) -> float:
+    """Forward (optical-axis) distance from the camera to a landmark."""
+    dx = landmark.x_m - position[0]
+    dy = landmark.y_m - position[1]
+    return dx * math.cos(heading_rad) + dy * math.sin(heading_rad)
+
+
+class SequenceGenerator:
+    """Generates :class:`DriveSequence` objects from a trajectory + world.
+
+    ``camera_time_offset_s`` delays the *camera* triggers relative to the
+    IMU clock while keeping the recorded timestamps nominal — exactly the
+    out-of-sync condition of Fig. 11b: the data says "t" but the image was
+    really captured at "t + offset".
+    """
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        world: Optional[World] = None,
+        camera: Optional[CameraIntrinsics] = None,
+        camera_rate_hz: float = 30.0,
+        imu_rate_hz: float = 240.0,
+        pixel_noise_px: float = 0.3,
+        depth_noise_frac: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if camera_rate_hz <= 0 or imu_rate_hz <= 0:
+            raise ValueError("rates must be positive")
+        self.trajectory = trajectory
+        self.world = world or make_urban_block(seed=seed)
+        self.camera = camera or CameraIntrinsics()
+        self.camera_rate_hz = camera_rate_hz
+        self.imu_rate_hz = imu_rate_hz
+        self.pixel_noise_px = pixel_noise_px
+        self.depth_noise_frac = depth_noise_frac
+        self._rng = np.random.default_rng(seed)
+
+    def generate(
+        self,
+        duration_s: float,
+        camera_time_offset_s: float = 0.0,
+        imu_noise_accel: float = 0.02,
+        imu_noise_gyro: float = 0.002,
+    ) -> DriveSequence:
+        frames = []
+        n_frames = int(duration_s * self.camera_rate_hz)
+        for i in range(n_frames):
+            nominal_t = i / self.camera_rate_hz
+            actual_t = nominal_t + camera_time_offset_s
+            sample = self.trajectory.sample(actual_t)
+            observations = []
+            for lm in self.world.landmarks:
+                uv = project_landmark(
+                    self.camera, sample.position, sample.heading_rad, lm
+                )
+                if uv is None:
+                    continue
+                u = uv[0] + self._rng.normal(0.0, self.pixel_noise_px)
+                v = uv[1] + self._rng.normal(0.0, self.pixel_noise_px)
+                depth = landmark_forward_distance(
+                    sample.position, sample.heading_rad, lm
+                )
+                depth *= 1.0 + self._rng.normal(0.0, self.depth_noise_frac)
+                observations.append(
+                    FeatureObservation(lm.landmark_id, u, v, depth_m=depth)
+                )
+            frames.append(
+                Frame(
+                    index=i,
+                    trigger_time_s=nominal_t,
+                    position=sample.position,
+                    heading_rad=sample.heading_rad,
+                    observations=tuple(observations),
+                )
+            )
+        imu = []
+        n_imu = int(duration_s * self.imu_rate_hz)
+        for j in range(n_imu):
+            t = j / self.imu_rate_hz
+            sample = self.trajectory.sample(t)
+            ax, ay = sample.acceleration
+            # World-frame acceleration into body frame.
+            c, s = math.cos(sample.heading_rad), math.sin(sample.heading_rad)
+            a_fwd = ax * c + ay * s + self._rng.normal(0.0, imu_noise_accel)
+            a_lat = -ax * s + ay * c + self._rng.normal(0.0, imu_noise_accel)
+            imu.append(
+                ImuSample(
+                    trigger_time_s=t,
+                    accel_body=(a_fwd, a_lat),
+                    yaw_rate_rps=sample.yaw_rate_rps
+                    + self._rng.normal(0.0, imu_noise_gyro),
+                )
+            )
+        return DriveSequence(
+            frames=tuple(frames),
+            imu=tuple(imu),
+            landmarks=tuple(self.world.landmarks),
+            camera=self.camera,
+        )

@@ -1,0 +1,176 @@
+"""Ground-truth trajectory generators.
+
+The VIO / sensor-sync experiments (Fig. 11b) need smooth vehicle
+trajectories with known position, velocity, acceleration, and angular rate
+at any time — that is what the IMU and camera models sample, and what
+localization error is measured against.  Trajectories are continuous-time
+callables, so sensors can be triggered at arbitrary (and deliberately
+mis-synchronized) instants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrajectorySample:
+    """Full kinematic state at one instant."""
+
+    time_s: float
+    position: Tuple[float, float]
+    velocity: Tuple[float, float]
+    acceleration: Tuple[float, float]
+    heading_rad: float
+    yaw_rate_rps: float
+
+
+class Trajectory:
+    """Base class: differentiable planar trajectory.
+
+    Subclasses implement :meth:`position_at`; derivatives are computed by
+    central differences so any smooth path works.
+    """
+
+    _EPS_S = 1e-4
+
+    def position_at(self, t_s: float) -> Tuple[float, float]:
+        raise NotImplementedError
+
+    def velocity_at(self, t_s: float) -> Tuple[float, float]:
+        (x0, y0) = self.position_at(t_s - self._EPS_S)
+        (x1, y1) = self.position_at(t_s + self._EPS_S)
+        return ((x1 - x0) / (2 * self._EPS_S), (y1 - y0) / (2 * self._EPS_S))
+
+    def acceleration_at(self, t_s: float) -> Tuple[float, float]:
+        (vx0, vy0) = self.velocity_at(t_s - self._EPS_S)
+        (vx1, vy1) = self.velocity_at(t_s + self._EPS_S)
+        return ((vx1 - vx0) / (2 * self._EPS_S), (vy1 - vy0) / (2 * self._EPS_S))
+
+    def heading_at(self, t_s: float) -> float:
+        vx, vy = self.velocity_at(t_s)
+        return math.atan2(vy, vx)
+
+    def yaw_rate_at(self, t_s: float) -> float:
+        h0 = self.heading_at(t_s - self._EPS_S)
+        h1 = self.heading_at(t_s + self._EPS_S)
+        diff = math.fmod(h1 - h0 + math.pi, 2 * math.pi)
+        if diff <= 0:
+            diff += 2 * math.pi
+        return (diff - math.pi) / (2 * self._EPS_S)
+
+    def sample(self, t_s: float) -> TrajectorySample:
+        return TrajectorySample(
+            time_s=t_s,
+            position=self.position_at(t_s),
+            velocity=self.velocity_at(t_s),
+            acceleration=self.acceleration_at(t_s),
+            heading_rad=self.heading_at(t_s),
+            yaw_rate_rps=self.yaw_rate_at(t_s),
+        )
+
+    def samples(self, times_s: Sequence[float]) -> List[TrajectorySample]:
+        return [self.sample(t) for t in times_s]
+
+
+class StraightTrajectory(Trajectory):
+    """Constant-velocity straight line along a fixed heading."""
+
+    def __init__(self, speed_mps: float = 5.6, heading_rad: float = 0.0) -> None:
+        if speed_mps < 0:
+            raise ValueError("speed must be non-negative")
+        self.speed_mps = speed_mps
+        self.heading_rad = heading_rad
+
+    def position_at(self, t_s: float) -> Tuple[float, float]:
+        return (
+            self.speed_mps * t_s * math.cos(self.heading_rad),
+            self.speed_mps * t_s * math.sin(self.heading_rad),
+        )
+
+
+class CircuitTrajectory(Trajectory):
+    """Constant-speed circular circuit (the tourist-site loop).
+
+    Circular motion has persistent excitation in both accelerometer and
+    gyroscope — the canonical trajectory for exposing VIO timestamp errors
+    (Fig. 11b plots a loop of roughly this size).
+    """
+
+    def __init__(self, radius_m: float = 40.0, speed_mps: float = 5.6) -> None:
+        if radius_m <= 0 or speed_mps < 0:
+            raise ValueError("radius must be positive and speed non-negative")
+        self.radius_m = radius_m
+        self.speed_mps = speed_mps
+
+    @property
+    def angular_rate_rps(self) -> float:
+        return self.speed_mps / self.radius_m
+
+    def position_at(self, t_s: float) -> Tuple[float, float]:
+        theta = self.angular_rate_rps * t_s
+        return (
+            self.radius_m * math.cos(theta),
+            self.radius_m * math.sin(theta),
+        )
+
+
+class FigureEightTrajectory(Trajectory):
+    """A lemniscate — alternating turn directions stress yaw handling."""
+
+    def __init__(self, scale_m: float = 30.0, period_s: float = 60.0) -> None:
+        if scale_m <= 0 or period_s <= 0:
+            raise ValueError("scale and period must be positive")
+        self.scale_m = scale_m
+        self.period_s = period_s
+
+    def position_at(self, t_s: float) -> Tuple[float, float]:
+        theta = 2.0 * math.pi * t_s / self.period_s
+        return (
+            self.scale_m * math.sin(theta),
+            self.scale_m * math.sin(theta) * math.cos(theta),
+        )
+
+
+class WaypointTrajectory(Trajectory):
+    """Constant-speed traversal of a waypoint polyline.
+
+    Positions are piecewise-linear in time; useful for lane-following
+    scenarios generated from a :class:`repro.scene.lanes.LaneMap` route.
+    """
+
+    def __init__(
+        self, waypoints: Sequence[Tuple[float, float]], speed_mps: float = 5.6
+    ) -> None:
+        if len(waypoints) < 2:
+            raise ValueError("need at least two waypoints")
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        self.waypoints = [tuple(map(float, w)) for w in waypoints]
+        self.speed_mps = speed_mps
+        self._cumlen = [0.0]
+        for a, b in zip(self.waypoints, self.waypoints[1:]):
+            self._cumlen.append(
+                self._cumlen[-1] + math.hypot(b[0] - a[0], b[1] - a[1])
+            )
+
+    @property
+    def total_length_m(self) -> float:
+        return self._cumlen[-1]
+
+    @property
+    def duration_s(self) -> float:
+        return self.total_length_m / self.speed_mps
+
+    def position_at(self, t_s: float) -> Tuple[float, float]:
+        s = max(0.0, min(self.total_length_m, self.speed_mps * t_s))
+        idx = int(np.searchsorted(self._cumlen, s, side="right")) - 1
+        idx = max(0, min(idx, len(self.waypoints) - 2))
+        seg_len = self._cumlen[idx + 1] - self._cumlen[idx]
+        t = 0.0 if seg_len == 0 else (s - self._cumlen[idx]) / seg_len
+        a, b = self.waypoints[idx], self.waypoints[idx + 1]
+        return (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))

@@ -1,0 +1,37 @@
+"""Sensor substrate: clocks, cameras, IMU, GPS, radar, sonar, and the rig."""
+
+from .base import Sensor, SensorClock, SensorSample
+from .camera import (
+    Camera,
+    CameraFrame,
+    CameraTimingModel,
+    StereoRigGeometry,
+    make_stereo_pair_cameras,
+)
+from .gps import GnssFix, Gps, OutageWindow
+from .imu import Imu, ImuReading
+from .radar import Radar, RadarDetection
+from .rig import SensorRig, build_rig
+from .sonar import Sonar, SonarPing
+
+__all__ = [
+    "Camera",
+    "CameraFrame",
+    "CameraTimingModel",
+    "GnssFix",
+    "Gps",
+    "Imu",
+    "ImuReading",
+    "OutageWindow",
+    "Radar",
+    "RadarDetection",
+    "Sensor",
+    "SensorClock",
+    "SensorRig",
+    "SensorSample",
+    "Sonar",
+    "SonarPing",
+    "StereoRigGeometry",
+    "build_rig",
+    "make_stereo_pair_cameras",
+]

@@ -1,0 +1,116 @@
+"""Sensor abstractions: clocks, samples, and the sensor base class.
+
+The paper's central sensing insight (Sec. VI-A) is that each sensor
+"operates under their own timer, which might not be synchronized with each
+other" — so clocks are first-class here.  A :class:`SensorClock` has a
+frequency error (drift) and an initial phase offset; sensors triggered from
+their own clocks therefore fire at slightly different instants, which is
+precisely the failure mode the hardware synchronizer removes by triggering
+everything from a single GPS-initialized timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SensorClock:
+    """A local oscillator with drift and offset.
+
+    ``local_time = (true_time + offset) * (1 + drift_ppm * 1e-6)``
+
+    Consumer-grade oscillators drift by tens of ppm; the paper's fix is not
+    to improve the oscillators but to derive all triggers from one source.
+    """
+
+    offset_s: float = 0.0
+    drift_ppm: float = 0.0
+
+    def local_from_true(self, true_time_s: float) -> float:
+        return (true_time_s + self.offset_s) * (1.0 + self.drift_ppm * 1e-6)
+
+    def true_from_local(self, local_time_s: float) -> float:
+        return local_time_s / (1.0 + self.drift_ppm * 1e-6) - self.offset_s
+
+    def sync_to(self, reference_true_time_s: float) -> None:
+        """Zero the offset at a reference instant (GPS time initialization).
+
+        Drift is a hardware property and persists; only the phase is reset.
+        """
+        self.offset_s = 0.0
+
+
+@dataclass(frozen=True)
+class SensorSample:
+    """One sensor sample with its true capture time and recorded timestamp.
+
+    ``trigger_time_s`` is ground truth — when the physical event was
+    captured.  ``timestamp_s`` is what the processing pipeline *believes*;
+    the gap between them is exactly what the synchronization study
+    (Sec. VI-A) quantifies.
+    """
+
+    sensor_name: str
+    trigger_time_s: float
+    timestamp_s: float
+    payload: Any = None
+
+    @property
+    def timestamp_error_s(self) -> float:
+        return self.timestamp_s - self.trigger_time_s
+
+
+class Sensor:
+    """Base class for all sensors: rate, clock, and trigger bookkeeping."""
+
+    def __init__(
+        self,
+        name: str,
+        rate_hz: float,
+        clock: Optional[SensorClock] = None,
+        seed: int = 0,
+    ) -> None:
+        if rate_hz <= 0:
+            raise ValueError(f"{name}: rate must be positive")
+        self.name = name
+        self.rate_hz = rate_hz
+        self.clock = clock or SensorClock()
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def period_s(self) -> float:
+        return 1.0 / self.rate_hz
+
+    def self_trigger_times(self, duration_s: float) -> List[float]:
+        """True-time instants at which this sensor fires from its own clock.
+
+        The sensor fires when its *local* clock crosses multiples of the
+        period; expressed in true time that is
+        ``true_from_local(k * period)``.
+        """
+        n = int(duration_s * self.rate_hz) + 1
+        times = [self.clock.true_from_local(k * self.period_s) for k in range(n)]
+        return [t for t in times if 0.0 <= t <= duration_s]
+
+    def capture(self, true_time_s: float) -> SensorSample:
+        """Capture a sample at a true-time instant.
+
+        Subclasses override :meth:`measure` to produce the payload; the
+        recorded timestamp defaults to the sensor's own local clock reading
+        (to be replaced by hardware-synchronized timestamps when a
+        synchronizer is in charge).
+        """
+        return SensorSample(
+            sensor_name=self.name,
+            trigger_time_s=true_time_s,
+            timestamp_s=self.clock.local_from_true(true_time_s),
+            payload=self.measure(true_time_s),
+        )
+
+    def measure(self, true_time_s: float) -> Any:
+        """Produce the sensor payload at a true-time instant."""
+        raise NotImplementedError

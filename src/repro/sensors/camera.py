@@ -1,0 +1,179 @@
+"""Camera sensor model (paper Sec. V-B1, Sec. VI-A).
+
+Each vehicle carries two stereo pairs (4 cameras).  The model produces
+feature observations (projected world landmarks) rather than rendered
+pixels — that is what VIO and the sync study consume — and carries the
+exposure/readout delay model of Fig. 12b: the instant a frame reaches the
+sensor interface is the trigger time plus *constant* exposure and
+transmission delays (compensatable in software), while the ISP and kernel
+stages add *variable* delays (not compensatable; modelled in
+:mod:`repro.sync.delays`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+from ..scene.kitti_like import (
+    CameraIntrinsics,
+    FeatureObservation,
+    landmark_forward_distance,
+    project_landmark,
+)
+from ..scene.trajectory import Trajectory
+from ..scene.world import World
+from .base import Sensor, SensorClock
+
+
+@dataclass(frozen=True)
+class CameraTimingModel:
+    """Constant delays between trigger and arrival at the sensor interface.
+
+    Sec. VI-A2: "the moment that a frame reaches the sensor interface is
+    delayed by the camera exposure time and the image transmission time.
+    Critically, these delays are constant and could be easily derived from
+    the camera sensor specification."
+    """
+
+    exposure_s: float = 0.005
+    readout_s: float = 0.008  # analog-buffer readout + MIPI/CSI-2 transfer
+
+    @property
+    def constant_delay_s(self) -> float:
+        return self.exposure_s + self.readout_s
+
+
+@dataclass(frozen=True)
+class CameraFrame:
+    """Payload of one camera sample: feature observations."""
+
+    observations: Tuple[FeatureObservation, ...]
+    position: Tuple[float, float]
+    heading_rad: float
+
+
+class Camera(Sensor):
+    """A forward-looking pinhole camera on a moving vehicle.
+
+    The camera pose is the vehicle pose (from a ground-truth trajectory)
+    plus a lateral mount offset — giving the two cameras of a stereo pair
+    their baseline separation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        trajectory: Trajectory,
+        world: World,
+        intrinsics: Optional[CameraIntrinsics] = None,
+        lateral_offset_m: float = 0.0,
+        rate_hz: float = 30.0,
+        pixel_noise_px: float = 0.3,
+        depth_noise_frac: float = 0.02,
+        timing: Optional[CameraTimingModel] = None,
+        clock: Optional[SensorClock] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, rate_hz, clock, seed)
+        self.trajectory = trajectory
+        self.world = world
+        self.intrinsics = intrinsics or CameraIntrinsics()
+        self.lateral_offset_m = lateral_offset_m
+        self.pixel_noise_px = pixel_noise_px
+        #: Stereo-derived per-feature depth noise (fraction of range); the
+        #: paired camera provides the disparity (Sec. V-B1).
+        self.depth_noise_frac = depth_noise_frac
+        self.timing = timing or CameraTimingModel()
+
+    def mount_position(self, true_time_s: float) -> Tuple[float, float, float]:
+        """World position and heading of the camera at an instant."""
+        sample = self.trajectory.sample(true_time_s)
+        x, y = sample.position
+        h = sample.heading_rad
+        # Offset perpendicular to heading (positive = left).
+        x += -math.sin(h) * self.lateral_offset_m
+        y += math.cos(h) * self.lateral_offset_m
+        return (x, y, h)
+
+    def measure(self, true_time_s: float) -> CameraFrame:
+        x, y, h = self.mount_position(true_time_s)
+        observations: List[FeatureObservation] = []
+        for lm in self.world.landmarks:
+            uv = project_landmark(self.intrinsics, (x, y), h, lm)
+            if uv is None:
+                continue
+            depth = landmark_forward_distance((x, y), h, lm)
+            depth *= 1.0 + self._rng.normal(0.0, self.depth_noise_frac)
+            observations.append(
+                FeatureObservation(
+                    lm.landmark_id,
+                    uv[0] + self._rng.normal(0.0, self.pixel_noise_px),
+                    uv[1] + self._rng.normal(0.0, self.pixel_noise_px),
+                    depth_m=depth,
+                )
+            )
+        return CameraFrame(tuple(observations), position=(x, y), heading_rad=h)
+
+    def interface_arrival_time_s(self, trigger_time_s: float) -> float:
+        """When the frame reaches the SoC's sensor interface (Fig. 12b)."""
+        return trigger_time_s + self.timing.constant_delay_s
+
+
+@dataclass(frozen=True)
+class StereoRigGeometry:
+    """Geometry of one stereo pair."""
+
+    baseline_m: float = 0.12
+    focal_px: float = 320.0
+
+    def depth_from_disparity(self, disparity_px: float) -> float:
+        if disparity_px <= 0:
+            return float("inf")
+        return self.focal_px * self.baseline_m / disparity_px
+
+    def disparity_from_depth(self, depth_m: float) -> float:
+        if depth_m <= 0:
+            raise ValueError("depth must be positive")
+        return self.focal_px * self.baseline_m / depth_m
+
+
+def make_stereo_pair_cameras(
+    trajectory: Trajectory,
+    world: World,
+    geometry: Optional[StereoRigGeometry] = None,
+    name_prefix: str = "front",
+    rate_hz: float = 30.0,
+    clock: Optional[SensorClock] = None,
+    seed: int = 0,
+) -> Tuple[Camera, Camera]:
+    """Build the left/right cameras of one stereo pair.
+
+    By default both cameras share one clock — the hardware-triggered
+    arrangement.  Pass per-camera clocks (by constructing cameras directly)
+    to model free-running stereo (the Fig. 11a pathology).
+    """
+    geometry = geometry or StereoRigGeometry()
+    half = geometry.baseline_m / 2.0
+    shared_clock = clock or SensorClock()
+    left = Camera(
+        f"{name_prefix}_left",
+        trajectory,
+        world,
+        lateral_offset_m=half,
+        rate_hz=rate_hz,
+        clock=shared_clock,
+        seed=seed,
+    )
+    right = Camera(
+        f"{name_prefix}_right",
+        trajectory,
+        world,
+        lateral_offset_m=-half,
+        rate_hz=rate_hz,
+        clock=shared_clock,
+        seed=seed + 1,
+    )
+    return left, right

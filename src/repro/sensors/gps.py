@@ -1,0 +1,93 @@
+"""GPS/GNSS sensor model (paper Sec. VI-B, Fig. 12c).
+
+The GPS plays two roles in the paper's design:
+
+1. Its atomic time initializes the hardware synchronizer's common timer
+   (Sec. VI-A2).
+2. Its position fixes anchor the GPS-VIO fusion (Sec. VI-B), with two
+   failure modes the paper names: signal outage (underground tunnels) and
+   multipath (reflections near structures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..scene.trajectory import Trajectory
+from .base import Sensor, SensorClock
+
+
+@dataclass(frozen=True)
+class GnssFix:
+    """One GNSS position fix."""
+
+    position: Tuple[float, float]
+    valid: bool
+    multipath: bool = False
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """An interval during which GNSS is unavailable (e.g. a tunnel)."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("outage must end after it starts")
+
+    def contains(self, t_s: float) -> bool:
+        return self.start_s <= t_s <= self.end_s
+
+
+class Gps(Sensor):
+    """A GNSS receiver with noise, outages, and multipath excursions.
+
+    * Nominal fixes: position + Gaussian noise (``noise_m``).
+    * During an :class:`OutageWindow`: ``valid=False`` fixes.
+    * Multipath: with probability ``multipath_prob`` per fix, the position
+      error jumps by ``multipath_error_m`` in a random direction.
+    """
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        rate_hz: float = 10.0,
+        noise_m: float = 0.5,
+        outages: Optional[List[OutageWindow]] = None,
+        multipath_prob: float = 0.0,
+        multipath_error_m: float = 8.0,
+        clock: Optional[SensorClock] = None,
+        seed: int = 0,
+        name: str = "gps",
+    ) -> None:
+        super().__init__(name, rate_hz, clock, seed)
+        self.trajectory = trajectory
+        self.noise_m = noise_m
+        self.outages = outages or []
+        self.multipath_prob = multipath_prob
+        self.multipath_error_m = multipath_error_m
+
+    def in_outage(self, true_time_s: float) -> bool:
+        return any(w.contains(true_time_s) for w in self.outages)
+
+    def measure(self, true_time_s: float) -> GnssFix:
+        if self.in_outage(true_time_s):
+            return GnssFix(position=(float("nan"), float("nan")), valid=False)
+        x, y = self.trajectory.position_at(true_time_s)
+        x += self._rng.normal(0.0, self.noise_m)
+        y += self._rng.normal(0.0, self.noise_m)
+        multipath = bool(self._rng.random() < self.multipath_prob)
+        if multipath:
+            angle = self._rng.uniform(0.0, 2.0 * np.pi)
+            x += self.multipath_error_m * np.cos(angle)
+            y += self.multipath_error_m * np.sin(angle)
+        return GnssFix(position=(x, y), valid=True, multipath=multipath)
+
+    def atomic_time(self, true_time_s: float) -> float:
+        """Satellite atomic time — the synchronizer's reference (exact)."""
+        return true_time_s

@@ -1,0 +1,82 @@
+"""IMU sensor model (paper Table III, Sec. VI-A).
+
+A 240 Hz accelerometer + gyroscope with the standard consumer-IMU error
+model: white noise plus a slowly-walking bias.  The bias random walk is
+what makes pure inertial integration drift — the reason VIO needs camera
+corrections and the GPS-VIO fusion of Sec. VI-B needs GNSS anchoring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..scene.trajectory import Trajectory
+from .base import Sensor, SensorClock
+
+
+@dataclass(frozen=True)
+class ImuReading:
+    """Body-frame specific force and yaw rate."""
+
+    accel_body: Tuple[float, float]  # (forward, lateral) m/s^2
+    yaw_rate_rps: float
+
+
+class Imu(Sensor):
+    """Accelerometer + gyroscope on the vehicle body.
+
+    Noise parameters are representative of an automotive MEMS part; each
+    IMU sample is 20 bytes (Sec. VI-A2), cheap enough to timestamp in the
+    hardware synchronizer.
+    """
+
+    SAMPLE_BYTES = 20
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        rate_hz: float = 240.0,
+        accel_noise_mps2: float = 0.02,
+        gyro_noise_rps: float = 0.002,
+        accel_bias_walk: float = 0.0005,
+        gyro_bias_walk: float = 0.00005,
+        clock: Optional[SensorClock] = None,
+        seed: int = 0,
+        name: str = "imu",
+    ) -> None:
+        super().__init__(name, rate_hz, clock, seed)
+        self.trajectory = trajectory
+        self.accel_noise_mps2 = accel_noise_mps2
+        self.gyro_noise_rps = gyro_noise_rps
+        self.accel_bias_walk = accel_bias_walk
+        self.gyro_bias_walk = gyro_bias_walk
+        self._accel_bias = np.zeros(2)
+        self._gyro_bias = 0.0
+
+    def measure(self, true_time_s: float) -> ImuReading:
+        sample = self.trajectory.sample(true_time_s)
+        ax, ay = sample.acceleration
+        c, s = math.cos(sample.heading_rad), math.sin(sample.heading_rad)
+        a_fwd = ax * c + ay * s
+        a_lat = -ax * s + ay * c
+        # Bias random walk (per-sample step) + white noise.
+        self._accel_bias += self._rng.normal(0.0, self.accel_bias_walk, size=2)
+        self._gyro_bias += self._rng.normal(0.0, self.gyro_bias_walk)
+        noise_a = self._rng.normal(0.0, self.accel_noise_mps2, size=2)
+        noise_g = self._rng.normal(0.0, self.gyro_noise_rps)
+        return ImuReading(
+            accel_body=(
+                a_fwd + self._accel_bias[0] + noise_a[0],
+                a_lat + self._accel_bias[1] + noise_a[1],
+            ),
+            yaw_rate_rps=sample.yaw_rate_rps + self._gyro_bias + noise_g,
+        )
+
+    @property
+    def bias_state(self) -> Tuple[Tuple[float, float], float]:
+        """Current (accel bias, gyro bias) — useful for tests."""
+        return ((float(self._accel_bias[0]), float(self._accel_bias[1])), self._gyro_bias)

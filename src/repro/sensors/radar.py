@@ -1,0 +1,126 @@
+"""Radar sensor model (paper Sec. IV, Sec. VI-B).
+
+Radar serves two purposes in the paper's design:
+
+1. The *reactive path*: the distance to the nearest object ahead goes
+   straight to the ECU, bypassing the computing system (Sec. IV).
+2. *Tracking*: radar "directly measures the relative radial velocity of an
+   object and combines consecutive observations of the same target into a
+   trajectory", replacing compute-intensive visual tracking (Sec. VI-B).
+
+The model returns per-target detections (range, bearing, radial velocity)
+for entities in the field of view, with per-detection noise and a dropout
+probability — the "unstable radar signal" case where the KCF fallback
+kicks in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+from ..scene.trajectory import Trajectory
+from ..scene.world import Agent, World
+from .base import Sensor, SensorClock
+
+
+@dataclass(frozen=True)
+class RadarDetection:
+    """One radar return, in the radar's polar frame."""
+
+    range_m: float
+    bearing_rad: float
+    radial_velocity_mps: float
+    target_id: int  # ground-truth identity (hidden from consumers)
+
+    def to_cartesian(self) -> Tuple[float, float]:
+        """Position in the radar frame (x forward, y left)."""
+        return (
+            self.range_m * math.cos(self.bearing_rad),
+            self.range_m * math.sin(self.bearing_rad),
+        )
+
+
+class Radar(Sensor):
+    """A forward automotive radar mounted at a yaw offset on the vehicle.
+
+    The six radars of the paper's rig differ only in ``mount_yaw_rad``.
+    """
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        world: World,
+        mount_yaw_rad: float = 0.0,
+        rate_hz: float = 20.0,
+        max_range_m: float = 60.0,
+        fov_rad: float = math.radians(90.0),
+        range_noise_m: float = 0.15,
+        velocity_noise_mps: float = 0.1,
+        dropout_prob: float = 0.0,
+        clock: Optional[SensorClock] = None,
+        seed: int = 0,
+        name: str = "radar",
+    ) -> None:
+        super().__init__(name, rate_hz, clock, seed)
+        self.trajectory = trajectory
+        self.world = world
+        self.mount_yaw_rad = mount_yaw_rad
+        self.max_range_m = max_range_m
+        self.fov_rad = fov_rad
+        self.range_noise_m = range_noise_m
+        self.velocity_noise_mps = velocity_noise_mps
+        self.dropout_prob = dropout_prob
+
+    def measure(self, true_time_s: float) -> List[RadarDetection]:
+        sample = self.trajectory.sample(true_time_s)
+        ex, ey = sample.position
+        evx, evy = sample.velocity
+        boresight = sample.heading_rad + self.mount_yaw_rad
+        detections: List[RadarDetection] = []
+        for entity in [*self.world.obstacles, *self.world.agents]:
+            dx, dy = entity.x_m - ex, entity.y_m - ey
+            rng = math.hypot(dx, dy)
+            if rng > self.max_range_m or rng < 1e-6:
+                continue
+            bearing = _wrap(math.atan2(dy, dx) - boresight)
+            if abs(bearing) > self.fov_rad / 2.0:
+                continue
+            if self._rng.random() < self.dropout_prob:
+                continue
+            if isinstance(entity, Agent):
+                tvx, tvy = entity.vx_mps, entity.vy_mps
+                target_id = entity.agent_id
+            else:
+                tvx = tvy = 0.0
+                target_id = -1 - entity.obstacle_id  # obstacles negative
+            # Radial velocity: relative velocity projected on the ray.
+            rvx, rvy = tvx - evx, tvy - evy
+            radial = (rvx * dx + rvy * dy) / rng
+            detections.append(
+                RadarDetection(
+                    range_m=rng + self._rng.normal(0.0, self.range_noise_m),
+                    bearing_rad=bearing
+                    + self._rng.normal(0.0, math.radians(0.5)),
+                    radial_velocity_mps=radial
+                    + self._rng.normal(0.0, self.velocity_noise_mps),
+                    target_id=target_id,
+                )
+            )
+        return detections
+
+    def nearest_ahead_m(self, true_time_s: float) -> Optional[float]:
+        """Range of the closest detection — the reactive path's input."""
+        detections = self.measure(true_time_s)
+        if not detections:
+            return None
+        return min(d.range_m for d in detections)
+
+
+def _wrap(angle_rad: float) -> float:
+    wrapped = math.fmod(angle_rad + math.pi, 2.0 * math.pi)
+    if wrapped <= 0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi

@@ -1,0 +1,134 @@
+"""The full sensor rig of the paper's vehicle (Fig. 7 left column).
+
+Two stereo camera pairs (front/back, 4 cameras), one IMU, one GPS, six
+radars, and eight sonars.  The rig can be built in two timing modes:
+
+* ``independent_clocks=True`` — every sensor free-runs on its own drifting
+  oscillator: the pre-synchronizer world of Fig. 12a.
+* ``independent_clocks=False`` — cameras and IMU share one clock, the
+  hardware-synchronized arrangement of Fig. 12c.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core import calibration
+from ..scene.trajectory import Trajectory
+from ..scene.world import World, make_urban_block
+from .base import Sensor, SensorClock
+from .camera import Camera, StereoRigGeometry, make_stereo_pair_cameras
+from .gps import Gps
+from .imu import Imu
+from .radar import Radar
+from .sonar import Sonar
+
+
+@dataclass
+class SensorRig:
+    """All sensors on one vehicle."""
+
+    cameras: List[Camera]
+    imu: Imu
+    gps: Gps
+    radars: List[Radar]
+    sonars: List[Sonar]
+
+    @property
+    def all_sensors(self) -> List[Sensor]:
+        return [*self.cameras, self.imu, self.gps, *self.radars, *self.sonars]
+
+    def sensor_by_name(self, name: str) -> Sensor:
+        for sensor in self.all_sensors:
+            if sensor.name == name:
+                return sensor
+        raise KeyError(f"no sensor named {name!r}")
+
+    def front_stereo(self) -> List[Camera]:
+        return [c for c in self.cameras if c.name.startswith("front")]
+
+    def forward_radar(self) -> Radar:
+        """The boresight radar used by the reactive path."""
+        return min(self.radars, key=lambda r: abs(r.mount_yaw_rad))
+
+
+def build_rig(
+    trajectory: Trajectory,
+    world: Optional[World] = None,
+    independent_clocks: bool = True,
+    clock_offset_spread_s: float = 0.05,
+    clock_drift_spread_ppm: float = 30.0,
+    seed: int = 0,
+) -> SensorRig:
+    """Assemble the paper's sensor configuration.
+
+    With ``independent_clocks`` each sensor gets a random offset (uniform
+    in ±``clock_offset_spread_s``) and drift (±``clock_drift_spread_ppm``)
+    — consumer oscillators that were never told a common epoch.
+    """
+    world = world or make_urban_block(seed=seed)
+    rng = np.random.default_rng(seed)
+
+    def new_clock() -> SensorClock:
+        if not independent_clocks:
+            return SensorClock()
+        return SensorClock(
+            offset_s=float(rng.uniform(-clock_offset_spread_s, clock_offset_spread_s)),
+            drift_ppm=float(
+                rng.uniform(-clock_drift_spread_ppm, clock_drift_spread_ppm)
+            ),
+        )
+
+    shared = SensorClock()
+    geometry = StereoRigGeometry()
+    cameras: List[Camera] = []
+    for prefix, heading in (("front", 0.0), ("back", math.pi)):
+        left, right = make_stereo_pair_cameras(
+            trajectory,
+            world,
+            geometry=geometry,
+            name_prefix=prefix,
+            rate_hz=calibration.CAMERA_RATE_HZ,
+            clock=shared if not independent_clocks else new_clock(),
+            seed=seed + (0 if prefix == "front" else 10),
+        )
+        if independent_clocks:
+            # Free-running stereo: the right camera gets its own clock too.
+            right.clock = new_clock()
+        cameras.extend([left, right])
+
+    imu = Imu(
+        trajectory,
+        rate_hz=calibration.IMU_RATE_HZ,
+        clock=shared if not independent_clocks else new_clock(),
+        seed=seed + 20,
+    )
+    gps = Gps(trajectory, clock=SensorClock(), seed=seed + 30)
+
+    radars = [
+        Radar(
+            trajectory,
+            world,
+            mount_yaw_rad=math.radians(yaw_deg),
+            clock=new_clock(),
+            seed=seed + 40 + i,
+            name=f"radar_{i}",
+        )
+        for i, yaw_deg in enumerate((0.0, 60.0, 120.0, 180.0, 240.0, 300.0))
+    ]
+    sonars = [
+        Sonar(
+            trajectory,
+            world,
+            mount_yaw_rad=2.0 * math.pi * i / calibration.NUM_SONARS,
+            clock=new_clock(),
+            seed=seed + 60 + i,
+            name=f"sonar_{i}",
+        )
+        for i in range(calibration.NUM_SONARS)
+    ]
+    return SensorRig(cameras=cameras, imu=imu, gps=gps, radars=radars, sonars=sonars)

@@ -1,0 +1,61 @@
+"""Sonar sensor model (paper Table I, Sec. IV).
+
+Eight short-range ultrasonic sensors ring the vehicle.  Each reports a
+single distance to the nearest surface within its cone — the second input
+to the reactive path ("Radar (and Sonar when available)").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..scene.trajectory import Trajectory
+from ..scene.world import World
+from .base import Sensor, SensorClock
+
+
+@dataclass(frozen=True)
+class SonarPing:
+    """One sonar reading; ``distance_m`` is None when nothing is in range."""
+
+    distance_m: Optional[float]
+
+
+class Sonar(Sensor):
+    """A single ultrasonic ranger mounted at a yaw offset."""
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        world: World,
+        mount_yaw_rad: float = 0.0,
+        rate_hz: float = 20.0,
+        max_range_m: float = 5.0,
+        fov_rad: float = math.radians(30.0),
+        noise_m: float = 0.02,
+        clock: Optional[SensorClock] = None,
+        seed: int = 0,
+        name: str = "sonar",
+    ) -> None:
+        super().__init__(name, rate_hz, clock, seed)
+        self.trajectory = trajectory
+        self.world = world
+        self.mount_yaw_rad = mount_yaw_rad
+        self.max_range_m = max_range_m
+        self.fov_rad = fov_rad
+        self.noise_m = noise_m
+
+    def measure(self, true_time_s: float) -> SonarPing:
+        sample = self.trajectory.sample(true_time_s)
+        x, y = sample.position
+        boresight = sample.heading_rad + self.mount_yaw_rad
+        hit = self.world.nearest_obstruction(x, y, boresight, self.fov_rad)
+        if hit is None:
+            return SonarPing(distance_m=None)
+        distance, _entity = hit
+        if distance > self.max_range_m:
+            return SonarPing(distance_m=None)
+        noisy = max(0.0, distance + self._rng.normal(0.0, self.noise_m))
+        return SonarPing(distance_m=noisy)

@@ -1,0 +1,26 @@
+"""Sensor synchronization: delay models, software and hardware strategies."""
+
+from .delays import DelayStage, PipelineModel, camera_pipeline, imu_pipeline
+from .hardware_sync import (
+    HardwareSynchronizer,
+    HardwareSyncSimulation,
+    SynchronizerSpec,
+)
+from .matching import MatchedPair, SyncReport, TimedRecord, associate_nearest
+from .software_sync import SoftwareSyncSimulation, paper_mismatch_example
+
+__all__ = [
+    "DelayStage",
+    "HardwareSyncSimulation",
+    "HardwareSynchronizer",
+    "MatchedPair",
+    "PipelineModel",
+    "SoftwareSyncSimulation",
+    "SyncReport",
+    "SynchronizerSpec",
+    "TimedRecord",
+    "associate_nearest",
+    "camera_pipeline",
+    "imu_pipeline",
+    "paper_mismatch_example",
+]

@@ -1,0 +1,125 @@
+"""Sensor processing-pipeline delay models (paper Fig. 12a/12b).
+
+A frame travels: exposure -> transmission -> sensor interface -> ISP ->
+DRAM -> kernel/driver -> application.  The paper's key observation is the
+split between *fixed* delays (exposure, transmission — derivable from the
+sensor datasheet and compensatable in software) and *variable* delays (ISP
+~±10 ms, and up to ~±100 ms once the CPU software stack is included) that
+software-only synchronization cannot compensate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import calibration
+
+
+@dataclass(frozen=True)
+class DelayStage:
+    """One pipeline stage with a fixed delay plus uniform jitter.
+
+    ``variation_s`` is the full width of the jitter band: the sampled
+    delay is ``fixed_s + U(0, variation_s)``.
+    """
+
+    name: str
+    fixed_s: float
+    variation_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fixed_s < 0 or self.variation_s < 0:
+            raise ValueError(f"{self.name}: delays must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.variation_s == 0.0:
+            return self.fixed_s
+        return self.fixed_s + float(rng.uniform(0.0, self.variation_s))
+
+    @property
+    def is_variable(self) -> bool:
+        return self.variation_s > 0.0
+
+
+@dataclass
+class PipelineModel:
+    """An ordered chain of delay stages from trigger to a tap point."""
+
+    stages: List[DelayStage]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def fixed_delay_s(self) -> float:
+        """Total fixed delay — what software can compensate."""
+        return sum(s.fixed_s for s in self.stages)
+
+    @property
+    def max_variation_s(self) -> float:
+        """Worst-case total jitter — what software cannot compensate."""
+        return sum(s.variation_s for s in self.stages)
+
+    def sample_delay_s(self, up_to_stage: Optional[str] = None) -> float:
+        """Sample one end-to-end delay, optionally stopping after a stage."""
+        total = 0.0
+        for stage in self.stages:
+            total += stage.sample(self._rng)
+            if stage.name == up_to_stage:
+                return total
+        if up_to_stage is not None:
+            raise KeyError(f"no stage named {up_to_stage!r}")
+        return total
+
+    def arrival_time_s(
+        self, trigger_time_s: float, up_to_stage: Optional[str] = None
+    ) -> float:
+        return trigger_time_s + self.sample_delay_s(up_to_stage)
+
+    def stage_names(self) -> List[str]:
+        return [s.name for s in self.stages]
+
+
+def camera_pipeline(seed: int = 0) -> PipelineModel:
+    """The camera stack of Fig. 12b.
+
+    Exposure and transmission are fixed; the ISP varies by ~10 ms and the
+    kernel/driver + application layers add up to ~100 ms of variation in
+    total (Sec. VI-A1: "As we move up the software stack on CPU, the
+    temporal variation could be as much as 100 ms").
+    """
+    isp_var = calibration.ISP_LATENCY_VARIATION_S
+    app_var = calibration.APP_LATENCY_VARIATION_S - isp_var
+    return PipelineModel(
+        stages=[
+            DelayStage("exposure", fixed_s=0.005),
+            DelayStage("transmission", fixed_s=0.008),
+            DelayStage("sensor_interface", fixed_s=0.001, variation_s=0.001),
+            DelayStage("isp", fixed_s=0.010, variation_s=isp_var),
+            DelayStage("dram", fixed_s=0.002, variation_s=0.002),
+            DelayStage("kernel_driver", fixed_s=0.005, variation_s=app_var / 2),
+            DelayStage("application", fixed_s=0.005, variation_s=app_var / 2),
+        ],
+        seed=seed,
+    )
+
+
+def imu_pipeline(seed: int = 0) -> PipelineModel:
+    """The IMU stack of Fig. 12b: fast transmission, variable CPU code.
+
+    "the data transmission delay is relatively constant but the CPU code
+    introduces variable latency."
+    """
+    return PipelineModel(
+        stages=[
+            DelayStage("transmission", fixed_s=0.0005),
+            DelayStage("driver", fixed_s=0.001, variation_s=0.004),
+            DelayStage("runtime", fixed_s=0.001, variation_s=0.010),
+            DelayStage("application", fixed_s=0.001, variation_s=0.010),
+        ],
+        seed=seed,
+    )

@@ -1,0 +1,91 @@
+"""Sample association and synchronization-error metrics.
+
+Both synchronization strategies end with the same application-level step:
+pair each camera frame with the IMU sample "at the same time".  The
+difference is which timestamps they pair on.  This module provides the
+pairing (nearest-timestamp association) and the metric that the Fig. 11/12
+experiments report: the *true trigger-time offset* between paired samples
+— how far apart in the real world the two paired measurements actually
+were.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimedRecord:
+    """One delivered sample: what the app sees vs. ground truth."""
+
+    sensor_name: str
+    trigger_time_s: float  # ground truth capture instant
+    app_timestamp_s: float  # timestamp the application pairs on
+    sequence_index: int = 0
+
+
+@dataclass(frozen=True)
+class MatchedPair:
+    """One camera<->IMU association made by the application."""
+
+    camera: TimedRecord
+    imu: TimedRecord
+
+    @property
+    def true_offset_s(self) -> float:
+        """How far apart the paired samples really were (signed)."""
+        return self.camera.trigger_time_s - self.imu.trigger_time_s
+
+    @property
+    def index_skew(self) -> int:
+        """How many IMU periods the association is off by."""
+        return self.imu.sequence_index - self.camera.sequence_index * 8
+
+
+def associate_nearest(
+    cameras: Sequence[TimedRecord], imus: Sequence[TimedRecord]
+) -> List[MatchedPair]:
+    """Pair each camera record with the IMU record of nearest timestamp.
+
+    This is the application-layer policy of Fig. 12a: "Sensor samples that
+    have the same timestamp are then treated as capturing the same event."
+    """
+    if not imus:
+        return []
+    imu_times = np.array([r.app_timestamp_s for r in imus])
+    order = np.argsort(imu_times)
+    sorted_times = imu_times[order]
+    pairs = []
+    for cam in cameras:
+        pos = int(np.searchsorted(sorted_times, cam.app_timestamp_s))
+        candidates = [c for c in (pos - 1, pos) if 0 <= c < len(sorted_times)]
+        best = min(
+            candidates, key=lambda c: abs(sorted_times[c] - cam.app_timestamp_s)
+        )
+        pairs.append(MatchedPair(camera=cam, imu=imus[int(order[best])]))
+    return pairs
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """Summary statistics of association quality."""
+
+    mean_abs_offset_s: float
+    max_abs_offset_s: float
+    rms_offset_s: float
+    n_pairs: int
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[MatchedPair]) -> "SyncReport":
+        if not pairs:
+            return cls(0.0, 0.0, 0.0, 0)
+        offsets = np.array([p.true_offset_s for p in pairs])
+        return cls(
+            mean_abs_offset_s=float(np.mean(np.abs(offsets))),
+            max_abs_offset_s=float(np.max(np.abs(offsets))),
+            rms_offset_s=float(np.sqrt(np.mean(offsets ** 2))),
+            n_pairs=len(pairs),
+        )

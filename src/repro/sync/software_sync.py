@@ -1,0 +1,106 @@
+"""Software-only (application-layer) synchronization — the broken baseline.
+
+Fig. 12a: each sensor free-runs on its own clock; samples traverse their
+variable-latency pipelines; the application timestamps each sample *when it
+arrives at the application*, then pairs camera and IMU samples by nearest
+timestamp.  Two error sources compound:
+
+1. independent triggering — the sensors never captured the same instant;
+2. variable pipeline latency — arrival order scrambles, so the pairing
+   itself picks the wrong IMU sample (the paper's C0-paired-with-M7
+   example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+from ..core import calibration
+from ..sensors.base import SensorClock
+from .delays import PipelineModel, camera_pipeline, imu_pipeline
+from .matching import MatchedPair, SyncReport, TimedRecord, associate_nearest
+
+
+@dataclass
+class SoftwareSyncSimulation:
+    """Simulate application-layer sync over a time window.
+
+    Parameters
+    ----------
+    camera_clock, imu_clock:
+        Free-running sensor clocks (offset + drift).
+    camera_pipe, imu_pipe:
+        Delay models from trigger to application.
+    """
+
+    camera_clock: SensorClock
+    imu_clock: SensorClock
+    camera_pipe: Optional[PipelineModel] = None
+    imu_pipe: Optional[PipelineModel] = None
+    camera_rate_hz: float = calibration.CAMERA_RATE_HZ
+    imu_rate_hz: float = calibration.IMU_RATE_HZ
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.camera_pipe = self.camera_pipe or camera_pipeline(seed=self.seed)
+        self.imu_pipe = self.imu_pipe or imu_pipeline(seed=self.seed + 1)
+
+    def _trigger_times(
+        self, clock: SensorClock, rate_hz: float, duration_s: float
+    ) -> List[float]:
+        n = int(duration_s * rate_hz) + 1
+        times = [clock.true_from_local(k / rate_hz) for k in range(n)]
+        return [t for t in times if 0.0 <= t <= duration_s]
+
+    def run(self, duration_s: float) -> List[MatchedPair]:
+        """Deliver all samples and perform the app-layer association."""
+        cam_records = []
+        for i, trig in enumerate(
+            self._trigger_times(self.camera_clock, self.camera_rate_hz, duration_s)
+        ):
+            arrival = self.camera_pipe.arrival_time_s(trig)
+            cam_records.append(
+                TimedRecord(
+                    sensor_name="camera",
+                    trigger_time_s=trig,
+                    app_timestamp_s=arrival,
+                    sequence_index=i,
+                )
+            )
+        imu_records = []
+        for j, trig in enumerate(
+            self._trigger_times(self.imu_clock, self.imu_rate_hz, duration_s)
+        ):
+            arrival = self.imu_pipe.arrival_time_s(trig)
+            imu_records.append(
+                TimedRecord(
+                    sensor_name="imu",
+                    trigger_time_s=trig,
+                    app_timestamp_s=arrival,
+                    sequence_index=j,
+                )
+            )
+        return associate_nearest(cam_records, imu_records)
+
+    def report(self, duration_s: float) -> SyncReport:
+        return SyncReport.from_pairs(self.run(duration_s))
+
+
+def paper_mismatch_example(seed: int = 0) -> Tuple[int, float]:
+    """Reproduce the Fig. 12b anecdote: C0 pairs with a late IMU sample.
+
+    Returns ``(index_skew, true_offset_s)`` for the first camera frame: how
+    many IMU periods away from M0 the chosen partner is, and the real time
+    gap.  With the paper's delay variabilities the skew is several periods
+    (the text's example is 7).
+    """
+    sim = SoftwareSyncSimulation(
+        camera_clock=SensorClock(),
+        imu_clock=SensorClock(),
+        seed=seed,
+    )
+    pairs = sim.run(duration_s=0.5)
+    first = pairs[0]
+    return (first.imu.sequence_index, first.true_offset_s)

@@ -1,0 +1,26 @@
+"""Vehicle substrate: dynamics, actuation, battery, and configurations."""
+
+from .actuator import Actuator, EngineControlUnit
+from .battery import Battery, BatteryDepletedError
+from .configs import VehicleConfig, eight_seater_shuttle, lidar_variant, two_seater_pod
+from .dynamics import (
+    BicycleModel,
+    ControlCommand,
+    VehicleState,
+    simulate_straight_line_stop,
+)
+
+__all__ = [
+    "Actuator",
+    "Battery",
+    "BatteryDepletedError",
+    "BicycleModel",
+    "ControlCommand",
+    "EngineControlUnit",
+    "VehicleConfig",
+    "VehicleState",
+    "eight_seater_shuttle",
+    "lidar_variant",
+    "simulate_straight_line_stop",
+    "two_seater_pod",
+]

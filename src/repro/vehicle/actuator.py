@@ -1,0 +1,83 @@
+"""ECU and actuator model (paper Fig. 2, Fig. 5, Fig. 7).
+
+Control commands reach the Engine Control Unit over the CAN bus
+(~1 ms, modelled in :mod:`repro.runtime.canbus`); the ECU and actuator are
+tightly integrated ("ns-level delay") but the *mechanical* components take
+~19 ms to start reacting.  The ECU also implements the reactive-path
+override: radar/sonar emergency signals bypass the computing system and
+take priority over proactive commands (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core import calibration
+from .dynamics import ControlCommand
+
+
+@dataclass
+class EngineControlUnit:
+    """The vehicle's ECU: arbitration between proactive and reactive paths.
+
+    The ECU holds the most recent command per source.  A reactive command,
+    once received, overrides proactive commands until it expires
+    (``reactive_hold_s``) — the paper's "last line of defense" semantics.
+    """
+
+    reactive_hold_s: float = 0.5
+    _proactive: Optional[ControlCommand] = field(default=None, init=False)
+    _reactive: Optional[ControlCommand] = field(default=None, init=False)
+    _log: List[ControlCommand] = field(default_factory=list, init=False)
+
+    def receive(self, command: ControlCommand) -> None:
+        """Accept a command from either path."""
+        self._log.append(command)
+        if command.source == "reactive":
+            self._reactive = command
+        else:
+            self._proactive = command
+
+    def active_command(self, now_s: float) -> Optional[ControlCommand]:
+        """The command currently driving the actuator.
+
+        Reactive commands win while fresh; otherwise the latest proactive
+        command applies.
+        """
+        if (
+            self._reactive is not None
+            and now_s - self._reactive.timestamp_s <= self.reactive_hold_s
+        ):
+            return self._reactive
+        return self._proactive
+
+    @property
+    def override_active(self) -> bool:
+        return self._reactive is not None
+
+    def clear_override(self) -> None:
+        """Drop the standing reactive override (vehicle back to proactive)."""
+        self._reactive = None
+
+    @property
+    def command_log(self) -> List[ControlCommand]:
+        return list(self._log)
+
+
+@dataclass(frozen=True)
+class Actuator:
+    """Mechanical actuation with the paper's ~19 ms reaction latency.
+
+    ``ready_at(command_arrival_s)`` is when the mechanical components start
+    reacting to a command that arrived at the ECU at *command_arrival_s*.
+    """
+
+    mech_latency_s: float = calibration.MECHANICAL_LATENCY_S
+
+    def __post_init__(self) -> None:
+        if self.mech_latency_s < 0:
+            raise ValueError("mechanical latency must be non-negative")
+
+    def ready_at(self, command_arrival_s: float) -> float:
+        return command_arrival_s + self.mech_latency_s

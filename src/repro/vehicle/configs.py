@@ -1,0 +1,99 @@
+"""Complete vehicle configurations (paper Sec. II-A, Tables I & II).
+
+Bundles the dynamics, power inventory, and sensor bill-of-materials into
+named configurations: the paper's 2-seater pod and 8-seater shuttle, plus
+the hypothetical LiDAR variant used in the Fig. 3b / Table II comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import calibration
+from ..core.cost_model import (
+    BillOfMaterials,
+    camera_vehicle_sensors,
+    lidar_vehicle_sensors,
+)
+from ..core.energy_model import (
+    EnergyModel,
+    PowerComponent,
+    PowerInventory,
+    paper_ad_inventory,
+    waymo_lidar_bank,
+)
+from .dynamics import BicycleModel
+
+
+@dataclass(frozen=True)
+class VehicleConfig:
+    """A named, fully-specified vehicle design."""
+
+    name: str
+    seats: int
+    dynamics: BicycleModel
+    ad_power: PowerInventory
+    sensor_bom: BillOfMaterials
+    retail_price_usd: float
+    battery_capacity_j: float = calibration.BATTERY_CAPACITY_J
+    vehicle_power_w: float = calibration.VEHICLE_POWER_W
+
+    def energy_model(self) -> EnergyModel:
+        """Eq. 2 model parameterized by this configuration."""
+        return EnergyModel(
+            battery_capacity_j=self.battery_capacity_j,
+            vehicle_power_w=self.vehicle_power_w,
+            ad_power_w=self.ad_power.total_power_w,
+        )
+
+
+def two_seater_pod() -> VehicleConfig:
+    """The paper's 2-seater pod for private transportation."""
+    return VehicleConfig(
+        name="two_seater_pod",
+        seats=2,
+        dynamics=BicycleModel(wheelbase_m=1.8),
+        ad_power=paper_ad_inventory(),
+        sensor_bom=camera_vehicle_sensors(),
+        retail_price_usd=calibration.COST_VEHICLE_RETAIL_USD,
+    )
+
+
+def eight_seater_shuttle() -> VehicleConfig:
+    """The paper's 8-seater shuttle for public services.
+
+    Same compute/sensor stack; longer wheelbase and a higher base load from
+    the heavier body (passenger weight is a non-trivial fraction of the
+    2-seater's weight, Sec. III-B footnote).
+    """
+    return VehicleConfig(
+        name="eight_seater_shuttle",
+        seats=8,
+        dynamics=BicycleModel(wheelbase_m=3.2),
+        ad_power=paper_ad_inventory(),
+        sensor_bom=camera_vehicle_sensors(),
+        retail_price_usd=calibration.COST_VEHICLE_RETAIL_USD,
+        vehicle_power_w=calibration.VEHICLE_POWER_W * 1.5,
+    )
+
+
+def lidar_variant() -> VehicleConfig:
+    """The hypothetical LiDAR-equipped variant (Sec. III-D comparison).
+
+    Swaps the camera bank for a Waymo-style LiDAR bank in both the power
+    inventory and the BOM.
+    """
+    power = paper_ad_inventory()
+    for component in waymo_lidar_bank().components:
+        power = power.with_component(component)
+    bom = camera_vehicle_sensors()
+    for item in lidar_vehicle_sensors().items:
+        bom = bom.with_item(item)
+    return VehicleConfig(
+        name="lidar_variant",
+        seats=2,
+        dynamics=BicycleModel(wheelbase_m=1.8),
+        ad_power=power,
+        sensor_bom=bom,
+        retail_price_usd=calibration.COST_LIDAR_VEHICLE_RETAIL_USD,
+    )

@@ -1,0 +1,157 @@
+"""Tests for the offline cloud services (paper Sec. II-B, Fig. 1)."""
+
+import pytest
+
+from repro.cloud.maps import DriveObservation, MapGenerationService
+from repro.cloud.training import PAPER_DEPLOYMENTS, ModelTrainingService
+from repro.cloud.uplink import (
+    DataClass,
+    OnboardStorage,
+    cellular_link,
+    depot_link,
+    paper_data_classes,
+    plan_uplink,
+)
+from repro.core.units import KB, TB
+from repro.scene.lanes import straight_corridor
+
+
+class TestUplink:
+    def test_paper_policy_emerges(self):
+        # Logs go real-time; 1 TB/day raw data must store-and-forward.
+        decisions = {d.data_class: d for d in plan_uplink()}
+        log = decisions["condensed_operational_log"]
+        raw = decisions["raw_training_data"]
+        assert log.transport == "realtime" and log.fits
+        assert raw.transport == "store_and_forward"
+
+    def test_log_volume_is_tiny(self):
+        classes = {c.name: c for c in paper_data_classes()}
+        # 10 logs/day at a few KB each.
+        assert classes["condensed_operational_log"].bytes_per_day < 100 * KB
+        assert classes["raw_training_data"].bytes_per_day == pytest.approx(
+            1 * TB
+        )
+
+    def test_raw_data_cannot_fit_cellular(self):
+        cellular = cellular_link()
+        raw = [c for c in paper_data_classes() if c.name == "raw_training_data"][0]
+        assert raw.bytes_per_day > cellular.capacity_per_day_bytes
+
+    def test_small_bulk_data_may_go_realtime(self):
+        small = DataClass("thumbnails", bytes_per_day=100e6, realtime_required=False)
+        decisions = plan_uplink([small])
+        assert decisions[0].transport == "realtime"
+
+    def test_storage_accounting(self):
+        ssd = OnboardStorage(capacity_bytes=2 * TB)
+        ssd.record(1 * TB)
+        assert ssd.fill_fraction == pytest.approx(0.5)
+        assert ssd.days_until_full(1 * TB) == pytest.approx(1.0)
+        shipped = ssd.offload()
+        assert shipped == 1 * TB
+        assert ssd.used_bytes == 0.0
+
+    def test_storage_overflow_raises(self):
+        ssd = OnboardStorage(capacity_bytes=10.0)
+        with pytest.raises(RuntimeError):
+            ssd.record(11.0)
+
+    def test_storage_validation(self):
+        with pytest.raises(ValueError):
+            OnboardStorage().record(-1.0)
+
+    def test_depot_link_ships_a_day_of_raw_data(self):
+        # 1 TB over a 1 Gbit/s depot link in under 10 hours.
+        assert depot_link().capacity_per_day_bytes > 1 * TB
+
+
+class TestMapGeneration:
+    @pytest.fixture
+    def service(self) -> MapGenerationService:
+        return MapGenerationService(
+            base_map=straight_corridor(), min_confirmations=2
+        )
+
+    def test_single_observation_is_pending(self, service):
+        update = service.ingest(
+            DriveObservation("lane0", "crosswalk", 40.0, vehicle_id="v1")
+        )
+        assert update is None
+        assert service.pending_count == 1
+
+    def test_confirmation_publishes_annotation(self, service):
+        service.ingest(DriveObservation("lane0", "crosswalk", 40.0, "v1"))
+        update = service.ingest(
+            DriveObservation("lane0", "crosswalk", 41.0, "v2")
+        )
+        assert update is not None
+        assert update.confirmations == 2
+        assert any(
+            "crosswalk" in a for a in service.base_map.segment("lane0").annotations
+        )
+
+    def test_same_vehicle_does_not_confirm(self, service):
+        service.ingest(DriveObservation("lane0", "crosswalk", 40.0, "v1"))
+        update = service.ingest(
+            DriveObservation("lane0", "crosswalk", 40.0, "v1")
+        )
+        assert update is None
+
+    def test_no_duplicate_publication(self, service):
+        observations = [
+            DriveObservation("lane0", "crosswalk", 40.0, f"v{i}")
+            for i in range(4)
+        ]
+        updates = service.ingest_batch(observations)
+        assert len(updates) == 1
+
+    def test_position_bins_separate_annotations(self, service):
+        service.ingest(DriveObservation("lane0", "crosswalk", 10.0, "v1"))
+        service.ingest(DriveObservation("lane0", "crosswalk", 80.0, "v2"))
+        # Different bins: neither is confirmed.
+        assert service.pending_count == 2
+
+    def test_unknown_segment_rejected(self, service):
+        with pytest.raises(KeyError):
+            service.ingest(DriveObservation("lane9", "crosswalk", 0.0))
+
+    def test_invalid_confirmations(self):
+        with pytest.raises(ValueError):
+            MapGenerationService(straight_corridor(), min_confirmations=0)
+
+
+class TestModelTraining:
+    def test_training_produces_accurate_model(self):
+        service = ModelTrainingService(eval_scenes=4)
+        version = service.train("nara_japan", n_scenes=20)
+        assert version.version == 1
+        assert version.precision >= 0.9
+        assert version.recall >= 0.9
+        assert version.f1 >= 0.9
+
+    def test_retraining_bumps_version(self):
+        service = ModelTrainingService(eval_scenes=3)
+        service.train("shenzhen_china", n_scenes=15)
+        v2 = service.train("shenzhen_china", n_scenes=15)
+        assert v2.version == 2
+        assert len(service.history("shenzhen_china")) == 2
+
+    def test_latest_returns_most_recent(self):
+        service = ModelTrainingService(eval_scenes=3)
+        service.train("fribourg_switzerland", n_scenes=15)
+        v2 = service.train("fribourg_switzerland", n_scenes=15)
+        assert service.latest("fribourg_switzerland") is v2
+
+    def test_latest_unknown_deployment_raises(self):
+        with pytest.raises(KeyError):
+            ModelTrainingService().latest("atlantis")
+
+    def test_retrain_trigger(self):
+        service = ModelTrainingService()
+        assert service.should_retrain("x", field_precision=0.7, field_recall=0.95)
+        assert not service.should_retrain("x", field_precision=0.95, field_recall=0.9)
+
+    def test_paper_deployments_enumerated(self):
+        # Sec. II-A: US, Japan (x2), China, Switzerland.
+        assert len(PAPER_DEPLOYMENTS) == 5

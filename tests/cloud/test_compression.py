@@ -1,0 +1,127 @@
+"""Tests for the frame codec and condensed operational logs (Sec. II-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.compression import (
+    CondensedLog,
+    _varint_decode,
+    _varint_encode,
+    _unzigzag,
+    _zigzag,
+    compress_frame,
+    compression_ratio,
+    condense_log,
+    daily_raw_volume_bytes,
+    decompress_frame,
+)
+from repro.core.units import KB, TB
+from repro.runtime.telemetry import LatencyStats, OperationsLog
+
+
+def structured_frame() -> np.ndarray:
+    frame = np.full((120, 160), 180, dtype=np.uint8)
+    frame[60:, :] = 90
+    frame[30:50, 20:45] = 30
+    return frame
+
+
+class TestVarints:
+    @given(values=st.lists(st.integers(0, 1 << 40), max_size=50))
+    def test_roundtrip(self, values):
+        assert _varint_decode(bytes(_varint_encode(values))) == values
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _varint_encode([-1])
+
+    @given(value=st.integers(-(1 << 30), 1 << 30))
+    def test_zigzag_roundtrip(self, value):
+        assert _unzigzag(_zigzag(value)) == value
+
+
+class TestFrameCodec:
+    def test_lossless_on_structured_frame(self):
+        frame = structured_frame()
+        np.testing.assert_array_equal(
+            decompress_frame(compress_frame(frame)), frame
+        )
+
+    def test_structured_frames_compress_well(self):
+        assert compression_ratio(structured_frame()) > 10.0
+
+    def test_speckled_frames_compress_modestly(self):
+        rng = np.random.default_rng(1)
+        frame = structured_frame()
+        mask = rng.random(frame.shape) < 0.05
+        frame[mask] = rng.integers(0, 255, int(mask.sum()))
+        assert 1.5 < compression_ratio(frame) < 10.0
+
+    def test_noise_does_not_compress(self):
+        # The paper's point: camera data is "enormous even after
+        # compression" — real texture defeats lossless coding.
+        rng = np.random.default_rng(2)
+        noise = rng.integers(0, 255, (64, 64)).astype(np.uint8)
+        assert compression_ratio(noise) < 1.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_lossless_property(self, seed):
+        rng = np.random.default_rng(seed)
+        frame = rng.integers(0, 255, (24, 32)).astype(np.uint8)
+        np.testing.assert_array_equal(
+            decompress_frame(compress_frame(frame)), frame
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            compress_frame(np.zeros((4, 4, 3)))
+
+    def test_daily_volume_is_terabyte_scale(self):
+        # Sec. II-B: "as high as 1 TB per day" even compressed.
+        volume = daily_raw_volume_bytes()
+        assert volume > 1 * TB
+
+
+class TestCondensedLog:
+    def make_inputs(self):
+        ops = OperationsLog(
+            control_ticks=36_000,
+            reactive_overrides=150,
+            distance_m=20_000.0,
+            energy_j=2.8e6,
+        )
+        latency = LatencyStats()
+        for i in range(200):
+            latency.record(0.15 + (i % 20) * 1e-3, {"sensing": 0.08})
+        return ops, latency
+
+    def test_log_is_a_few_kb_at_most(self):
+        # Sec. II-B: the hourly log is "very small in size (a few KB)".
+        ops, latency = self.make_inputs()
+        log = condense_log(ops, latency)
+        assert log.size_bytes < 4 * KB
+
+    def test_roundtrip_preserves_summary(self):
+        ops, latency = self.make_inputs()
+        log = condense_log(ops, latency, vehicle_id="nara-3", hour_index=7)
+        data = log.to_dict()
+        assert data["vehicle_id"] == "nara-3"
+        assert data["hour"] == 7
+        assert data["control_ticks"] == 36_000
+        assert data["latency"]["count"] == 200
+        assert "sensing" in data["latency"]["stage_means_ms"]
+
+    def test_log_without_latency_samples(self):
+        log = condense_log(OperationsLog(), LatencyStats())
+        assert "latency" not in log.to_dict()
+
+    def test_hourly_uplink_fits_comfortably(self):
+        # One log per hour over cellular: a rounding error of the link.
+        from repro.cloud.uplink import cellular_link
+
+        ops, latency = self.make_inputs()
+        log = condense_log(ops, latency)
+        daily_log_bytes = 10 * log.size_bytes
+        assert daily_log_bytes < 1e-4 * cellular_link().capacity_per_day_bytes

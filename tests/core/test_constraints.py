@@ -1,0 +1,97 @@
+"""Tests for the Sec. III constraint checklist."""
+
+import pytest
+
+from repro.core import calibration
+from repro.core.constraints import ConstraintSet, DesignCandidate
+from repro.core.cost_model import camera_vehicle_sensors, lidar_vehicle_sensors
+from repro.core.energy_model import PowerComponent, PowerInventory, paper_ad_inventory
+
+
+def paper_candidate(**overrides) -> DesignCandidate:
+    defaults = dict(
+        computing_latency_s=calibration.MEAN_COMPUTING_LATENCY_S,
+        throughput_hz=10.0,
+        ad_power_inventory=paper_ad_inventory(),
+        sensor_bom=camera_vehicle_sensors(),
+    )
+    defaults.update(overrides)
+    return DesignCandidate(**defaults)
+
+
+class TestPaperDesign:
+    def test_paper_design_satisfies_all_constraints(self):
+        cs = ConstraintSet()
+        candidate = paper_candidate()
+        report = {r.name: r for r in cs.evaluate(candidate)}
+        assert all(r.satisfied for r in report.values()), cs.report(candidate)
+        assert set(report) == {
+            "computing_latency",
+            "control_throughput",
+            "ad_power",
+            "daily_driving_time_loss",
+            "sensor_cost",
+        }
+
+    def test_worst_case_latency_fails_5m_requirement(self):
+        cs = ConstraintSet()
+        bad = paper_candidate(
+            computing_latency_s=calibration.WORST_CASE_COMPUTING_LATENCY_S
+        )
+        results = {r.name: r for r in cs.evaluate(bad)}
+        assert not results["computing_latency"].satisfied
+
+    def test_low_throughput_fails(self):
+        cs = ConstraintSet()
+        bad = paper_candidate(throughput_hz=5.0)
+        results = {r.name: r for r in cs.evaluate(bad)}
+        assert not results["control_throughput"].satisfied
+
+    def test_lidar_sensor_suite_fails_cost(self):
+        cs = ConstraintSet()
+        bad = paper_candidate(sensor_bom=lidar_vehicle_sensors())
+        results = {r.name: r for r in cs.evaluate(bad)}
+        assert not results["sensor_cost"].satisfied
+
+    def test_second_server_fails_power_budget(self):
+        cs = ConstraintSet()
+        heavy_inventory = paper_ad_inventory().with_component(
+            PowerComponent("second_server", 149.0)
+        )
+        bad = paper_candidate(ad_power_inventory=heavy_inventory)
+        results = {r.name: r for r in cs.evaluate(bad)}
+        assert not results["ad_power"].satisfied
+
+    def test_peak_power_overrides_average(self):
+        cs = ConstraintSet()
+        bad = paper_candidate(peak_power_w=500.0)
+        results = {r.name: r for r in cs.evaluate(bad)}
+        assert not results["ad_power"].satisfied
+
+    def test_missing_bom_skips_cost_check(self):
+        cs = ConstraintSet()
+        candidate = paper_candidate(sensor_bom=None)
+        names = {r.name for r in cs.evaluate(candidate)}
+        assert "sensor_cost" not in names
+
+    def test_satisfied_helper(self):
+        cs = ConstraintSet()
+        assert cs.satisfied(paper_candidate())
+        assert not cs.satisfied(paper_candidate(throughput_hz=1.0))
+
+    def test_report_is_readable(self):
+        text = ConstraintSet().report(paper_candidate())
+        assert "PASS" in text
+        assert "computing_latency" in text
+
+
+class TestMargins:
+    def test_latency_margin_positive_for_paper_design(self):
+        cs = ConstraintSet()
+        results = {r.name: r for r in cs.evaluate(paper_candidate())}
+        assert results["computing_latency"].margin > 0
+
+    def test_margin_is_limit_minus_actual(self):
+        cs = ConstraintSet()
+        r = {x.name: x for x in cs.evaluate(paper_candidate())}["ad_power"]
+        assert r.margin == pytest.approx(r.limit - r.actual)

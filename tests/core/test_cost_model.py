@@ -1,0 +1,120 @@
+"""Tests for the Table II cost model (paper Sec. III-C)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import calibration
+from repro.core.cost_model import (
+    BillOfMaterials,
+    CostItem,
+    TcoModel,
+    camera_vehicle_sensors,
+    cost_comparison,
+    lidar_vehicle_sensors,
+    paper_camera_vehicle,
+    paper_lidar_vehicle,
+)
+
+
+class TestTable2:
+    def test_camera_sensor_suite_cost(self):
+        # Table II: $1,000 + $3,000 + $1,600 + $1,000 = $6,600.
+        assert camera_vehicle_sensors().total_cost_usd == pytest.approx(6_600.0)
+
+    def test_lidar_suite_cost(self):
+        # Table II: $80,000 + 4 x $4,000 = $96,000.
+        assert lidar_vehicle_sensors().total_cost_usd == pytest.approx(96_000.0)
+
+    def test_retail_price_gap_exceeds_4x(self):
+        cam, lidar = paper_camera_vehicle(), paper_lidar_vehicle()
+        assert lidar.retail_price_usd / cam.retail_price_usd > 4.0
+
+    def test_lidar_sensors_alone_exceed_whole_camera_vehicle(self):
+        # The paper's core cost argument: one long-range LiDAR ($80k)
+        # costs more than our entire $70k vehicle.
+        assert (
+            calibration.COST_LIDAR_LONG_RANGE_USD
+            > paper_camera_vehicle().retail_price_usd
+        )
+
+    def test_camera_imu_80x_cheaper_than_long_range_lidar(self):
+        ratio = (
+            calibration.COST_LIDAR_LONG_RANGE_USD
+            / calibration.COST_CAMERA_IMU_RIG_USD
+        )
+        assert ratio == pytest.approx(80.0)
+
+    def test_sensor_fraction_small_for_camera_vehicle(self):
+        assert paper_camera_vehicle().sensor_fraction < 0.10
+
+    def test_comparison_dict_has_both_vehicles(self):
+        comp = cost_comparison()
+        assert set(comp) == {"camera_based", "lidar_based"}
+        assert comp["camera_based"]["retail_price"] == 70_000.0
+        assert comp["lidar_based"]["retail_price"] == 300_000.0
+
+
+class TestBom:
+    def test_quantity_multiplies(self):
+        item = CostItem("radar", 500.0, quantity=6)
+        assert item.total_cost_usd == 3_000.0
+
+    def test_with_item_appends(self):
+        bom = camera_vehicle_sensors().with_item(CostItem("lidar", 80_000.0))
+        assert bom.total_cost_usd == pytest.approx(86_600.0)
+
+    def test_breakdown_keys(self):
+        assert set(camera_vehicle_sensors().breakdown()) == {
+            "cameras_plus_imu",
+            "radar",
+            "sonar",
+            "gps",
+        }
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostItem("bad", -1.0)
+
+    def test_negative_quantity_rejected(self):
+        with pytest.raises(ValueError):
+            CostItem("bad", 1.0, quantity=-1)
+
+    @given(costs=st.lists(st.floats(0.0, 1e5), min_size=1, max_size=8))
+    def test_total_is_sum(self, costs):
+        bom = BillOfMaterials(
+            tuple(CostItem(f"item{i}", c) for i, c in enumerate(costs))
+        )
+        assert bom.total_cost_usd == pytest.approx(sum(costs))
+
+
+class TestTco:
+    def test_one_dollar_fare_is_achievable(self):
+        # Sec. III-C: the tourist site charges $1/trip; with the paper's
+        # price and a plausible trip volume the fare covers cost.
+        tco = TcoModel(vehicle=paper_camera_vehicle())
+        assert tco.breakeven_fare_usd(trips_per_day=80) <= 1.0
+
+    def test_lidar_vehicle_cannot_hit_one_dollar(self):
+        tco = TcoModel(vehicle=paper_lidar_vehicle())
+        assert tco.breakeven_fare_usd(trips_per_day=80) > 1.0
+
+    def test_profit_sign_flips_at_breakeven(self):
+        tco = TcoModel(vehicle=paper_camera_vehicle())
+        fare = tco.breakeven_fare_usd(trips_per_day=50)
+        assert tco.daily_profit_usd(fare, 50) == pytest.approx(0.0, abs=1e-9)
+        assert tco.daily_profit_usd(fare + 0.1, 50) > 0
+        assert tco.daily_profit_usd(fare - 0.1, 50) < 0
+
+    def test_total_cost_components(self):
+        tco = TcoModel(vehicle=paper_camera_vehicle())
+        assert tco.total_cost_per_day_usd == pytest.approx(
+            tco.amortized_vehicle_cost_per_day_usd + tco.operating_cost_per_day_usd
+        )
+
+    def test_zero_trips_rejected(self):
+        with pytest.raises(ValueError):
+            TcoModel(vehicle=paper_camera_vehicle()).breakeven_fare_usd(0)
+
+    def test_nonpositive_life_rejected(self):
+        with pytest.raises(ValueError):
+            TcoModel(vehicle=paper_camera_vehicle(), service_life_days=0)

@@ -1,0 +1,173 @@
+"""Tests for the Eq. 2 energy model (paper Sec. III-B, Fig. 3b, Table I)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import calibration
+from repro.core.energy_model import (
+    EnergyModel,
+    PowerComponent,
+    PowerInventory,
+    fig3b_scenarios,
+    paper_ad_inventory,
+    waymo_lidar_bank,
+)
+from repro.core.units import hours, to_hours
+
+
+@pytest.fixture
+def model() -> EnergyModel:
+    return EnergyModel()
+
+
+class TestDrivingTime:
+    def test_base_driving_time_is_10_hours(self, model):
+        assert to_hours(model.base_driving_time_s) == pytest.approx(10.0)
+
+    def test_ad_driving_time_is_7_7_hours(self, model):
+        # Sec. III-B: "reduces the driving time on a single charge from 10
+        # hours to 7.7 hours".
+        assert to_hours(model.driving_time_s) == pytest.approx(7.74, abs=0.05)
+
+    def test_reduction_matches_eq2(self, model):
+        expected = model.base_driving_time_s - model.driving_time_s
+        assert model.reduced_driving_time_s == pytest.approx(expected)
+
+    def test_zero_ad_power_loses_nothing(self):
+        assert EnergyModel(ad_power_w=0.0).reduced_driving_time_s == 0.0
+
+
+class TestPaperScenarios:
+    def test_idle_server_costs_point_3_hours(self, model):
+        # Sec. III-B: +31 W idle server -> driving time reduced by 0.3 h.
+        with_server = model.with_extra_load(calibration.SERVER_IDLE_POWER_W)
+        delta_h = to_hours(
+            with_server.reduced_driving_time_s - model.reduced_driving_time_s
+        )
+        assert delta_h == pytest.approx(0.3, abs=0.05)
+
+    def test_idle_server_loses_3_percent_revenue(self, model):
+        frac = model.revenue_time_lost_fraction(calibration.SERVER_IDLE_POWER_W)
+        assert frac == pytest.approx(0.03, abs=0.005)
+
+    def test_full_load_server_loses_3_5_hours_total(self, model):
+        # Fig. 3b: with a second server at full load, total reduction ~3.5 h.
+        loaded = model.with_extra_load(
+            calibration.SERVER_IDLE_POWER_W + calibration.SERVER_DYNAMIC_POWER_W
+        )
+        assert to_hours(loaded.reduced_driving_time_s) == pytest.approx(3.5, abs=0.2)
+
+    def test_lidar_costs_additional_0_8_hours(self, model):
+        # Sec. III-D: Waymo's LiDAR bank would cost a further 0.8 h/charge.
+        extra = waymo_lidar_bank().total_power_w - calibration.CAMERA_BANK_POWER_W
+        with_lidar = model.with_extra_load(extra)
+        delta_h = to_hours(
+            with_lidar.reduced_driving_time_s - model.reduced_driving_time_s
+        )
+        assert delta_h == pytest.approx(0.8, abs=0.1)
+
+    def test_fig3b_scenarios_are_ordered(self, model):
+        by_name = {s.name: s for s in fig3b_scenarios(model)}
+        assert set(by_name) == {
+            "current_system",
+            "use_lidar",
+            "plus_one_server_idle",
+            "plus_one_server_full_load",
+        }
+        assert (
+            by_name["current_system"].reduced_driving_time_h
+            < by_name["plus_one_server_idle"].reduced_driving_time_h
+            < by_name["use_lidar"].reduced_driving_time_h
+            < by_name["plus_one_server_full_load"].reduced_driving_time_h
+        )
+
+    def test_reduction_curve_covers_fig3b_range(self, model):
+        curve = model.reduction_curve([150.0, 250.0, 350.0])
+        hours_vals = [h for _, h in curve]
+        # Fig. 3b y-axis spans roughly 2.0 - 3.6 hours.
+        assert hours_vals[0] == pytest.approx(2.0, abs=0.1)
+        assert hours_vals[-1] == pytest.approx(3.7, abs=0.15)
+
+
+class TestPowerInventory:
+    def test_table1_total_is_175w(self):
+        # Table I: total AD power 175 W (118+31+11+13+2).
+        assert paper_ad_inventory().total_power_w == pytest.approx(
+            calibration.AD_POWER_W
+        )
+
+    def test_breakdown_names(self):
+        names = set(paper_ad_inventory().breakdown())
+        assert names == {
+            "server_dynamic",
+            "server_idle",
+            "vision_module",
+            "radar_bank",
+            "sonar_bank",
+        }
+
+    def test_server_dominates(self):
+        bd = paper_ad_inventory().breakdown()
+        server = bd["server_dynamic"] + bd["server_idle"]
+        assert server > sum(bd.values()) / 2
+
+    def test_waymo_bank_is_92w(self):
+        # Sec. III-D: 1 long-range + 4 short-range LiDARs ~ 92 W.
+        assert waymo_lidar_bank().total_power_w == pytest.approx(92.0)
+
+    def test_with_component_appends(self):
+        inv = paper_ad_inventory().with_component(PowerComponent("extra", 10.0))
+        assert inv.total_power_w == pytest.approx(185.0)
+
+    def test_without_removes(self):
+        inv = paper_ad_inventory().without("sonar_bank")
+        assert inv.total_power_w == pytest.approx(173.0)
+
+    def test_without_unknown_raises(self):
+        with pytest.raises(KeyError):
+            paper_ad_inventory().without("flux_capacitor")
+
+
+class TestValidation:
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(battery_capacity_j=0.0)
+
+    def test_nonpositive_vehicle_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(vehicle_power_w=0.0)
+
+    def test_negative_ad_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(ad_power_w=-1.0)
+
+    def test_negative_component_power_rejected(self):
+        with pytest.raises(ValueError):
+            PowerComponent("bad", -1.0)
+
+    def test_negative_query_power_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().reduced_driving_time_for(-5.0)
+
+
+class TestProperties:
+    @given(pad=st.floats(0.0, 2_000.0))
+    def test_reduction_monotone_in_ad_power(self, pad):
+        m = EnergyModel()
+        assert m.reduced_driving_time_for(pad + 1.0) > m.reduced_driving_time_for(pad)
+
+    @given(pad=st.floats(0.0, 2_000.0))
+    def test_reduction_bounded_by_base_time(self, pad):
+        m = EnergyModel()
+        assert 0.0 <= m.reduced_driving_time_for(pad) < m.base_driving_time_s
+
+    @given(
+        capacity=st.floats(1e6, 1e9),
+        pv=st.floats(100.0, 5_000.0),
+        pad=st.floats(0.0, 1_000.0),
+    )
+    def test_eq2_identity(self, capacity, pv, pad):
+        m = EnergyModel(battery_capacity_j=capacity, vehicle_power_w=pv, ad_power_w=pad)
+        assert m.reduced_driving_time_s == pytest.approx(
+            capacity / pv - capacity / (pv + pad)
+        )

@@ -1,0 +1,90 @@
+"""Tests for the fleet TCO model (paper Sec. VII extension)."""
+
+import pytest
+
+from repro.core.fleet import ComputeTier, FleetTcoModel, paper_compute_tiers
+
+
+@pytest.fixture
+def model() -> FleetTcoModel:
+    return FleetTcoModel()
+
+
+def tier(name: str) -> ComputeTier:
+    return {t.name: t for t in paper_compute_tiers()}[name]
+
+
+class TestSafetyGate:
+    def test_mobile_soc_is_unsafe(self, model):
+        # TX2-class Tcomp (~900 ms) needs >9 m of warning — beyond the
+        # sensing horizon, the reason the paper rejects it (Sec. V-A).
+        assert not model.is_safe(tier("mobile_soc"))
+
+    def test_paper_platform_is_safe(self, model):
+        assert model.is_safe(tier("our_platform"))
+
+    def test_unsafe_tier_never_wins(self, model):
+        ranked = model.compare_tiers()
+        assert ranked[-1][0].name == "mobile_soc"
+        assert ranked[-1][1] == float("-inf")
+
+
+class TestLatencyToThroughput:
+    def test_faster_compute_fewer_forced_stops(self, model):
+        fast, slow = tier("automotive_asic"), tier("our_platform")
+        assert model.forced_stop_fraction(fast) < model.forced_stop_fraction(
+            slow
+        )
+
+    def test_forced_stops_slow_the_vehicle(self, model):
+        ours = tier("our_platform")
+        assert model.effective_speed_mps(ours) < model.cruise_speed_mps
+
+    def test_zero_latency_restores_cruise_speed(self, model):
+        instant = ComputeTier("oracle", 1.0, 1e-6, 1.0)
+        # Reach approaches the braking floor: nearly no forced stops.
+        assert model.forced_stop_fraction(instant) < 0.05
+        assert model.effective_speed_mps(instant) == pytest.approx(
+            model.cruise_speed_mps, rel=0.01
+        )
+
+
+class TestEconomics:
+    def test_paper_platform_wins_the_fleet_comparison(self, model):
+        # The paper's design point is the profit-optimal safe tier:
+        # the ASIC's speed doesn't pay for its capital + power, and the
+        # mobile SoC is gated out on safety.
+        assert model.best_tier().name == "our_platform"
+
+    def test_power_reduces_trips(self, model):
+        low_power = ComputeTier("low", 2_000.0, 0.164, 50.0)
+        high_power = ComputeTier("high", 2_000.0, 0.164, 300.0)
+        assert model.trips_per_vehicle_day(low_power) > model.trips_per_vehicle_day(
+            high_power
+        )
+
+    def test_cost_components_positive(self, model):
+        ours = tier("our_platform")
+        assert model.vehicle_cost_per_day_usd(ours) > 0
+        assert model.fleet_cost_per_day_usd(ours) > model.vehicle_cost_per_day_usd(
+            ours
+        )
+
+    def test_fleet_scale_amortizes_cloud(self):
+        small = FleetTcoModel(fleet_size=1)
+        large = FleetTcoModel(fleet_size=50)
+        ours = tier("our_platform")
+        per_vehicle_small = small.fleet_cost_per_day_usd(ours) / 1
+        per_vehicle_large = large.fleet_cost_per_day_usd(ours) / 50
+        assert per_vehicle_large < per_vehicle_small
+
+    def test_profit_is_revenue_minus_cost(self, model):
+        ours = tier("our_platform")
+        assert model.fleet_profit_per_day_usd(ours) == pytest.approx(
+            model.fleet_revenue_per_day_usd(ours)
+            - model.fleet_cost_per_day_usd(ours)
+        )
+
+    def test_invalid_fleet_size(self):
+        with pytest.raises(ValueError):
+            FleetTcoModel(fleet_size=0)

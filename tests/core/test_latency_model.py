@@ -1,0 +1,183 @@
+"""Tests for the Eq. 1 latency model (paper Sec. III-A, Fig. 2/3a)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import calibration
+from repro.core.latency_model import (
+    LatencyBreakdown,
+    LatencyModel,
+    computing_fraction,
+    end_to_end_latency_s,
+    paper_breakdown_best,
+    paper_breakdown_mean,
+)
+
+
+@pytest.fixture
+def model() -> LatencyModel:
+    return LatencyModel()
+
+
+class TestBrakingPhysics:
+    def test_stopping_time_matches_v_over_a(self, model):
+        assert model.stopping_time_s == pytest.approx(5.6 / 4.0)
+
+    def test_braking_distance_is_4m_for_paper_vehicle(self, model):
+        # Sec. III-A: "the vehicle's braking distance is 4 m".
+        assert model.braking_distance_m == pytest.approx(3.92, abs=0.1)
+
+    def test_braking_distance_equals_half_a_tstop_squared(self, model):
+        # Eq. 1a's kinetic term with Tstop = v/a is exactly v^2 / 2a.
+        lhs = 0.5 * model.decel_mps2 * model.stopping_time_s ** 2
+        assert lhs == pytest.approx(model.braking_distance_m)
+
+    def test_zero_speed_stops_instantly(self):
+        m = LatencyModel(speed_mps=0.0)
+        assert m.braking_distance_m == 0.0
+        assert m.stopping_distance_m(1.0) == 0.0
+
+
+class TestAvoidanceRanges:
+    def test_mean_latency_avoids_5m_objects(self, model):
+        # Sec. III-A: 164 ms mean latency -> avoid objects >= 5 m away.
+        d = model.min_avoidable_distance_m(calibration.MEAN_COMPUTING_LATENCY_S)
+        assert d == pytest.approx(calibration.PAPER_AVOIDANCE_RANGE_MEAN_M, abs=0.1)
+
+    def test_worst_case_latency_avoids_8_3m_objects(self, model):
+        # The paper rounds the 3.92 m braking distance to 4 m when quoting
+        # 8.3 m, so the exact model lands at 8.18 m.
+        d = model.min_avoidable_distance_m(calibration.WORST_CASE_COMPUTING_LATENCY_S)
+        assert d == pytest.approx(calibration.PAPER_AVOIDANCE_RANGE_WORST_M, abs=0.15)
+
+    def test_reactive_path_approaches_braking_limit(self, model):
+        # Sec. IV: the 30 ms reactive path avoids objects 4.1 m away.
+        d = model.min_avoidable_distance_m(calibration.REACTIVE_PATH_LATENCY_S)
+        assert d == pytest.approx(
+            calibration.PAPER_AVOIDANCE_RANGE_REACTIVE_M, abs=0.1
+        )
+        assert d > model.braking_distance_m
+
+    def test_can_avoid_is_consistent_with_min_distance(self, model):
+        tcomp = 0.2
+        d = model.min_avoidable_distance_m(tcomp)
+        assert model.can_avoid(tcomp, d + 0.01)
+        assert not model.can_avoid(tcomp, d - 0.01)
+
+
+class TestRequirementCurve:
+    def test_fig3a_anchor_164ms_at_5m(self, model):
+        # Fig. 3a: proactive avoidance at 5 m needs Tcomp < 164 ms.
+        req = model.latency_requirement_s(5.0)
+        assert req == pytest.approx(0.164, abs=0.01)
+
+    def test_requirement_tightens_with_distance(self, model):
+        reqs = [model.latency_requirement_s(d) for d in (9.0, 6.0, 5.0, 4.5)]
+        assert reqs == sorted(reqs, reverse=True)
+
+    def test_infeasible_inside_braking_distance(self, model):
+        assert model.latency_requirement_s(3.0) < 0
+
+    def test_curve_points_carry_feasibility(self, model):
+        points = model.requirement_curve([3.0, 5.0, 9.0])
+        assert [p.feasible for p in points] == [False, True, True]
+
+    def test_requirement_inverts_min_avoidable_distance(self, model):
+        tcomp = 0.3
+        d = model.min_avoidable_distance_m(tcomp)
+        assert model.latency_requirement_s(d) == pytest.approx(tcomp)
+
+    def test_zero_speed_has_infinite_budget(self):
+        assert math.isinf(LatencyModel(speed_mps=0.0).latency_requirement_s(1.0))
+
+
+class TestEndToEnd:
+    def test_computing_is_88_percent_of_end_to_end(self, model):
+        # Contribution list: "computing ... contributes to 88% of the
+        # end-to-end latency".
+        frac = computing_fraction(calibration.MEAN_COMPUTING_LATENCY_S, model)
+        assert frac == pytest.approx(0.88, abs=0.02)
+
+    def test_end_to_end_adds_can_and_mechanical(self, model):
+        total = end_to_end_latency_s(0.164, model)
+        assert total == pytest.approx(0.164 + 0.001 + 0.019)
+
+    def test_zero_latency_zero_fraction(self, model):
+        assert computing_fraction(0.0, model) == 0.0
+
+
+class TestBreakdown:
+    def test_paper_mean_sums_to_164ms(self):
+        assert paper_breakdown_mean().total_s == pytest.approx(0.164)
+
+    def test_paper_best_sums_to_149ms(self):
+        assert paper_breakdown_best().total_s == pytest.approx(0.149)
+
+    def test_sensing_is_about_half(self):
+        # Contribution list: "Sensing ... constitutes almost 50% of the SoV
+        # latency".
+        assert paper_breakdown_mean().fraction("sensing") == pytest.approx(
+            0.51, abs=0.03
+        )
+
+    def test_planning_is_insignificant(self):
+        assert paper_breakdown_mean().fraction("planning") < 0.03
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(ValueError):
+            paper_breakdown_mean().fraction("actuation")
+
+    def test_zero_breakdown_fraction(self):
+        assert LatencyBreakdown(0, 0, 0).fraction("sensing") == 0.0
+
+
+class TestValidation:
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(speed_mps=-1.0)
+
+    def test_nonpositive_decel_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(decel_mps2=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(mech_latency_s=-0.1)
+
+    def test_negative_tcomp_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().stopping_distance_m(-0.1)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel().latency_requirement_s(-1.0)
+
+
+class TestProperties:
+    @given(
+        v=st.floats(0.1, 30.0),
+        a=st.floats(0.5, 10.0),
+        tcomp=st.floats(0.0, 2.0),
+    )
+    def test_stopping_distance_monotone_in_latency(self, v, a, tcomp):
+        m = LatencyModel(speed_mps=v, decel_mps2=a)
+        assert m.stopping_distance_m(tcomp + 0.1) > m.stopping_distance_m(tcomp)
+
+    @given(
+        v=st.floats(0.1, 30.0),
+        a=st.floats(0.5, 10.0),
+        d=st.floats(0.0, 200.0),
+    )
+    def test_requirement_roundtrip(self, v, a, d):
+        m = LatencyModel(speed_mps=v, decel_mps2=a)
+        req = m.latency_requirement_s(d)
+        if req >= 0:
+            # Meeting the requirement exactly means stopping exactly at D.
+            assert m.stopping_distance_m(req) == pytest.approx(d, rel=1e-9, abs=1e-9)
+
+    @given(v=st.floats(0.1, 30.0), a=st.floats(0.5, 10.0))
+    def test_braking_distance_never_exceeded_by_faster_compute(self, v, a):
+        m = LatencyModel(speed_mps=v, decel_mps2=a)
+        assert m.stopping_distance_m(0.0) >= m.braking_distance_m

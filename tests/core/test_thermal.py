@@ -1,0 +1,84 @@
+"""Tests for the thermal model (paper Sec. III-B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import calibration
+from repro.core.thermal import (
+    DEPLOYMENT_AMBIENT_RANGE_C,
+    CoolingSolution,
+    ThermalModel,
+    conventional_fans,
+    cooling_comparison,
+    liquid_cooling,
+    passive_cooling,
+)
+
+
+class TestPaperClaims:
+    def test_fans_cover_the_deployment_range(self):
+        # Sec. III-B: under 200 W, "thermal constraints do not appear to be
+        # a problem" from -20 C to +40 C with conventional fans.
+        model = ThermalModel(cooling=conventional_fans())
+        assert model.check_deployment_range(calibration.AD_POWER_W)
+
+    def test_fans_budget_exceeds_200w(self):
+        # The "well under 200 W" framing: the fan budget at the hottest
+        # ambient is just above 200 W, so 175 W has margin.
+        model = ThermalModel(cooling=conventional_fans())
+        assert model.max_power_w(40.0) > 200.0
+
+    def test_passive_cooling_fails(self):
+        model = ThermalModel(cooling=passive_cooling())
+        assert not model.within_limit(calibration.AD_POWER_W, 40.0)
+
+    def test_liquid_cooling_unnecessary(self):
+        # Liquid works but fans already suffice — the paper's point.
+        rows = {name: ok for name, _temp, ok in cooling_comparison()}
+        assert rows["conventional_fans"]
+        assert rows["liquid"]
+        assert not rows["passive"]
+
+
+class TestModel:
+    def test_steady_state_linear_in_power(self):
+        model = ThermalModel(cooling=conventional_fans())
+        t100 = model.steady_state_temp_c(100.0, 20.0)
+        t200 = model.steady_state_temp_c(200.0, 20.0)
+        assert t200 - t100 == pytest.approx(
+            100.0 * conventional_fans().thermal_resistance_c_per_w
+        )
+
+    def test_fan_power_counts_as_heat(self):
+        fans = conventional_fans()
+        model = ThermalModel(cooling=fans)
+        assert model.steady_state_temp_c(0.0, 20.0) == pytest.approx(
+            20.0 + fans.fan_power_w * fans.thermal_resistance_c_per_w
+        )
+
+    def test_max_power_inverts_within_limit(self):
+        model = ThermalModel(cooling=conventional_fans())
+        budget = model.max_power_w(40.0)
+        assert model.within_limit(budget - 1.0, 40.0)
+        assert not model.within_limit(budget + 1.0, 40.0)
+
+    def test_no_headroom_above_limit(self):
+        model = ThermalModel(cooling=conventional_fans(), component_limit_c=85.0)
+        assert model.max_power_w(90.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoolingSolution("bad", thermal_resistance_c_per_w=0.0)
+        with pytest.raises(ValueError):
+            CoolingSolution("bad", 0.1, fan_power_w=-1.0)
+        with pytest.raises(ValueError):
+            ThermalModel(cooling=conventional_fans()).steady_state_temp_c(
+                -1.0, 20.0
+            )
+
+    @given(power=st.floats(0.0, 500.0), ambient=st.floats(-20.0, 40.0))
+    def test_monotone_in_power_and_ambient(self, power, ambient):
+        model = ThermalModel(cooling=conventional_fans())
+        t = model.steady_state_temp_c(power, ambient)
+        assert model.steady_state_temp_c(power + 10.0, ambient) > t
+        assert model.steady_state_temp_c(power, ambient + 5.0) > t

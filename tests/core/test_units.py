@@ -1,0 +1,51 @@
+"""Tests for unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import units
+
+
+class TestConversions:
+    def test_ms_roundtrip(self):
+        assert units.to_ms(units.ms(164.0)) == pytest.approx(164.0)
+
+    def test_hours_roundtrip(self):
+        assert units.to_hours(units.hours(7.7)) == pytest.approx(7.7)
+
+    def test_mph_roundtrip(self):
+        assert units.to_mph(units.mph(20.0)) == pytest.approx(20.0)
+
+    def test_20mph_is_under_9_mps(self):
+        # The paper's vehicles are capped at 20 mph ~= 8.9 m/s.
+        assert units.mph(20.0) == pytest.approx(8.94, abs=0.01)
+
+    def test_kwh_roundtrip(self):
+        assert units.to_kwh(units.kwh(6.0)) == pytest.approx(6.0)
+
+    def test_kwh_value(self):
+        assert units.kwh(1.0) == pytest.approx(3.6e6)
+
+    def test_kw(self):
+        assert units.kw(0.6) == 600.0
+        assert units.to_kw(175.0) == 0.175
+
+    def test_data_sizes(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+        assert units.mbps(350) == 350 * units.MB
+        assert units.kbps(300) == 300 * units.KB
+
+    def test_mj(self):
+        assert units.mj(2.1) == pytest.approx(2.1e-3)
+
+    def test_us(self):
+        assert units.us(1000.0) == pytest.approx(1e-3)
+
+    def test_km_miles(self):
+        assert units.km(1.0) == 1000.0
+        assert units.miles(5.0) == pytest.approx(8046.7, abs=1.0)
+
+    @given(x=st.floats(0.0, 1e6))
+    def test_ms_inverse_property(self, x):
+        assert units.to_ms(units.ms(x)) == pytest.approx(x, rel=1e-12)

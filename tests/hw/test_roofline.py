@@ -1,0 +1,103 @@
+"""Tests for the roofline model (paper Sec. VII / Gables reference)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.roofline import (
+    Roofline,
+    Workload,
+    lidar_acceleration_gap,
+    paper_rooflines,
+    paper_workloads,
+    roofline_analysis,
+)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        r = Roofline("x", peak_gflops=100.0, bandwidth_gbps=10.0)
+        assert r.ridge_intensity == 10.0
+        assert r.bound(5.0) == "memory"
+        assert r.bound(20.0) == "compute"
+
+    def test_attainable_caps_at_peak(self):
+        r = Roofline("x", 100.0, 10.0)
+        assert r.attainable_gflops(5.0) == 50.0
+        assert r.attainable_gflops(1_000.0) == 100.0
+
+    def test_runtime_inverse_of_attainable(self):
+        r = Roofline("x", 100.0, 10.0)
+        assert r.runtime_s(gflop=50.0, intensity=1_000.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Roofline("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Roofline("x", 1.0, 1.0).attainable_gflops(0.0)
+        with pytest.raises(ValueError):
+            Roofline("x", 1.0, 1.0).runtime_s(0.0, 1.0)
+
+    @given(
+        peak=st.floats(1.0, 1e4),
+        bw=st.floats(1.0, 1e3),
+        intensity=st.floats(0.01, 1e3),
+    )
+    def test_attainable_never_exceeds_either_roof(self, peak, bw, intensity):
+        r = Roofline("x", peak, bw)
+        attainable = r.attainable_gflops(intensity)
+        assert attainable <= peak + 1e-9
+        assert attainable <= intensity * bw + 1e-9
+
+
+class TestPaperAnalysis:
+    def test_pointcloud_is_memory_bound_everywhere(self):
+        # Sec. III-D: irregular kernels "lead to inefficient memory
+        # behaviors" — bandwidth-bound on every platform.
+        points = {
+            (p.workload, p.platform): p for p in roofline_analysis()
+        }
+        for platform in ("cpu", "gpu", "tx2", "fpga"):
+            assert points[("pointcloud_kdtree", platform)].bound == "memory"
+
+    def test_dnn_is_compute_bound_on_gpu(self):
+        points = {
+            (p.workload, p.platform): p for p in roofline_analysis()
+        }
+        assert points[("detection_dnn", "gpu")].bound == "compute"
+
+    def test_gpu_speedup_asymmetry(self):
+        # The GPU accelerates dense vision far more than point clouds —
+        # the quantified Sec. III-D argument.
+        assert lidar_acceleration_gap() > 3.0
+
+    def test_gpu_fastest_for_dnn(self):
+        points = {
+            (p.workload, p.platform): p for p in roofline_analysis()
+        }
+        gpu_runtime = points[("detection_dnn", "gpu")].ideal_runtime_s
+        for platform in ("cpu", "tx2", "fpga"):
+            assert gpu_runtime < points[("detection_dnn", platform)].ideal_runtime_s
+
+    def test_ideal_runtimes_bound_calibrated_latencies(self):
+        # Rooflines are ideals: every calibrated Fig. 6 latency must be
+        # slower than (or equal to) its roofline bound.
+        from repro.core.calibration import task_profile
+
+        points = {
+            (p.workload, p.platform): p for p in roofline_analysis()
+        }
+        mapping = {
+            "detection_dnn": "detection",
+            "depth_elas": "depth",
+            "localization_vio": "localization",
+        }
+        for workload, task in mapping.items():
+            for platform in ("cpu", "gpu", "tx2", "fpga"):
+                ideal = points[(workload, platform)].ideal_runtime_s
+                measured = task_profile(task, platform).latency_s
+                assert measured >= ideal * 0.9, (workload, platform)
+
+    def test_analysis_covers_grid(self):
+        assert len(roofline_analysis()) == len(paper_rooflines()) * len(
+            paper_workloads()
+        )

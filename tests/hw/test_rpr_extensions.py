@@ -1,0 +1,37 @@
+"""Tests for the Sec. VII RPR extension: hourly infrequent-task swapping."""
+
+import pytest
+
+from repro.hw.rpr import RprEngine, hourly_task_swap_overhead
+
+
+class TestHourlySwap:
+    def test_ten_uses_in_a_ten_hour_day(self):
+        result = hourly_task_swap_overhead(operating_hours=10.0)
+        assert result["uses"] == 10.0
+
+    def test_swap_overhead_is_negligible(self):
+        # 20 reconfigurations cost ~50 ms and ~40 mJ across a whole day.
+        result = hourly_task_swap_overhead(operating_hours=10.0)
+        assert result["total_swap_delay_s"] < 0.1
+        assert result["total_swap_energy_j"] < 0.1
+
+    def test_beats_resident_static_power_by_orders(self):
+        # The alternative — keeping the compression block resident —
+        # burns static power all day.
+        result = hourly_task_swap_overhead(operating_hours=10.0)
+        assert result["energy_saving_ratio"] > 1_000.0
+
+    def test_scales_with_operating_hours(self):
+        short = hourly_task_swap_overhead(operating_hours=2.0)
+        long = hourly_task_swap_overhead(operating_hours=10.0)
+        assert long["total_swap_energy_j"] > short["total_swap_energy_j"]
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError):
+            hourly_task_swap_overhead(operating_hours=0.0)
+
+    def test_custom_engine_is_used(self):
+        engine = RprEngine()
+        hourly_task_swap_overhead(operating_hours=3.0, engine=engine)
+        assert len(engine.history) == 6  # 3 uses x 2 swaps

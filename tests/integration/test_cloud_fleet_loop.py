@@ -1,0 +1,91 @@
+"""Integration: the Fig. 1 fleet-cloud loop across multiple vehicles.
+
+Vehicles drive, produce condensed logs and map observations; the cloud
+confirms map updates across vehicles, retrains the site detector, and the
+uplink carries exactly what its policy allows — the whole Fig. 1 cycle.
+"""
+
+import pytest
+
+from repro.cloud import (
+    DriveObservation,
+    MapGenerationService,
+    ModelTrainingService,
+    OnboardStorage,
+    condense_log,
+    daily_raw_volume_bytes,
+    plan_uplink,
+)
+from repro.core.units import KB, TB
+from repro.runtime import SovConfig, SystemsOnAVehicle
+from repro.scene.lanes import straight_corridor
+from repro.scene.world import Obstacle, World
+from repro.vehicle.dynamics import VehicleState
+
+
+class TestFleetCloudLoop:
+    def drive_one_vehicle(self, seed: int):
+        world = World(obstacles=[Obstacle(60.0, 0.3, 0.5)])
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=400.0, n_lanes=2),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(seed=seed),
+        )
+        result = sov.drive(6.0)
+        return sov, result
+
+    def test_full_cycle(self):
+        lane_map = straight_corridor(length_m=400.0, n_lanes=2)
+        map_service = MapGenerationService(base_map=lane_map, min_confirmations=2)
+        training = ModelTrainingService(eval_scenes=3)
+        uplink_total_bytes = 0.0
+
+        updates = []
+        for vehicle_index in range(3):
+            sov, result = self.drive_one_vehicle(seed=vehicle_index)
+            assert not result.collided
+
+            # 1. Hourly condensed log: small, ships real-time.
+            log = condense_log(
+                result.ops,
+                result.latency,
+                vehicle_id=f"fishers-{vehicle_index}",
+            )
+            assert log.size_bytes < 4 * KB
+            uplink_total_bytes += log.size_bytes
+
+            # 2. Raw data stays on the SSD until the depot.
+            ssd = OnboardStorage(capacity_bytes=2 * TB)
+            ssd.record(daily_raw_volume_bytes(hours=0.1))
+            assert ssd.fill_fraction < 1.0
+
+            # 3. The vehicle reports a semantic observation.
+            updates.extend(
+                map_service.ingest_batch(
+                    [
+                        DriveObservation(
+                            "lane0",
+                            "slow_zone",
+                            58.0,
+                            vehicle_id=f"fishers-{vehicle_index}",
+                        )
+                    ]
+                )
+            )
+
+        # Cross-vehicle confirmation published exactly one map update.
+        assert len(updates) == 1
+        assert any(
+            "slow_zone" in a for a in lane_map.segment("lane0").annotations
+        )
+
+        # 4. The cloud retrains the site model and it stays deployable.
+        version = training.train("fishers_indiana", n_scenes=15)
+        assert version.precision >= 0.9 and version.recall >= 0.9
+
+        # 5. The uplink policy is respected end to end.
+        decisions = {d.data_class: d for d in plan_uplink()}
+        assert decisions["condensed_operational_log"].fits
+        assert decisions["raw_training_data"].transport == "store_and_forward"
+        assert uplink_total_bytes < 100 * KB

@@ -1,0 +1,177 @@
+"""Cross-module integration tests: the paper's claims exercised end-to-end."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import LatencyModel, calibration
+from repro.perception.fusion import GpsVioFusion
+from repro.perception.vio import VisualInertialOdometry, trajectory_error_m
+from repro.runtime import SovConfig, SystemsOnAVehicle, obstacle_ahead_scenario
+from repro.scene.kitti_like import SequenceGenerator
+from repro.scene.lanes import straight_corridor
+from repro.scene.trajectory import CircuitTrajectory
+from repro.scene.world import Landmark, Obstacle, World
+from repro.sensors.gps import Gps, OutageWindow
+from repro.vehicle.dynamics import VehicleState
+
+
+class TestAnalyticalVsClosedLoop:
+    """Eq. 1's analytical boundary must agree with the full simulation."""
+
+    @pytest.mark.parametrize("tcomp", [0.080, 0.164, 0.300])
+    def test_boundary_agreement(self, tcomp):
+        analytical = LatencyModel().min_avoidable_distance_m(tcomp)
+        radius = 0.4
+        # Just outside the boundary: avoided.
+        safe = obstacle_ahead_scenario(
+            analytical + radius + 0.45, computing_latency_s=tcomp,
+            reactive_enabled=False,
+        )
+        assert not safe.drive(4.5).collided
+        # Well inside: collision.
+        unsafe = obstacle_ahead_scenario(
+            analytical + radius - 0.55, computing_latency_s=tcomp,
+            reactive_enabled=False,
+        )
+        assert unsafe.drive(4.5).collided
+
+
+class TestVioToFusionPipeline:
+    """Real VIO output feeding the GPS-VIO EKF (Sec. VI-B end to end)."""
+
+    def _ring_world(self, seed=0, n=600):
+        rng = np.random.default_rng(seed)
+        return World(
+            landmarks=[
+                Landmark(
+                    i, float(r * math.cos(t)), float(r * math.sin(t)), float(z)
+                )
+                for i, (t, r, z) in enumerate(
+                    zip(
+                        rng.uniform(0, 2 * math.pi, n),
+                        rng.uniform(20.0, 45.0, n),
+                        rng.uniform(0.5, 5.0, n),
+                    )
+                )
+            ]
+        )
+
+    def test_fusion_bounds_vio_drift_through_outage(self):
+        trajectory = CircuitTrajectory(radius_m=15.0, speed_mps=5.6)
+        world = self._ring_world()
+        gen = SequenceGenerator(
+            trajectory, world=world, camera_rate_hz=10.0, seed=2
+        )
+        sequence = gen.generate(duration_s=30.0)
+        estimates = VisualInertialOdometry().run(sequence)
+
+        gps = Gps(
+            trajectory,
+            rate_hz=1.0,
+            noise_m=0.4,
+            outages=[OutageWindow(10.0, 20.0)],
+            seed=3,
+        )
+        fusion = GpsVioFusion(
+            initial_position=sequence.frames[0].position, initial_sigma_m=0.5
+        )
+        fused_errors = []
+        prev = estimates[0]
+        next_fix_time = 0.0
+        for estimate, frame in zip(estimates[1:], sequence.frames[1:]):
+            fusion.predict_with_vio(
+                estimate.x_m - prev.x_m, estimate.y_m - prev.y_m, estimate.time_s
+            )
+            prev = estimate
+            if estimate.time_s >= next_fix_time:
+                fusion.update_with_gnss(
+                    gps.capture(estimate.time_s).payload, estimate.time_s
+                )
+                next_fix_time += 1.0
+            truth = frame.position
+            fused_errors.append(
+                math.hypot(
+                    fusion.position[0] - truth[0], fusion.position[1] - truth[1]
+                )
+            )
+        vio_mean, _vio_max = trajectory_error_m(estimates, sequence)
+        fused_mean = float(np.mean(fused_errors))
+        # Fusion must not be worse than raw VIO, and must stay bounded
+        # even through the 10 s GNSS outage.
+        assert fused_mean <= vio_mean + 0.2
+        assert max(fused_errors) < 5.0
+
+
+class TestSovWithDynamicWorld:
+    def test_moving_agents_and_obstacles_together(self):
+        world = World(
+            obstacles=[Obstacle(40.0, 0.3, 0.5)],
+            agents=[],
+        )
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=300.0, n_lanes=2),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(seed=7),
+        )
+        result = sov.drive(10.0)
+        assert not result.collided
+        assert result.ops.distance_m > 30.0
+
+    def test_latency_statistics_match_calibration(self):
+        sov = SystemsOnAVehicle(
+            world=World(),
+            lane_map=straight_corridor(length_m=500.0, n_lanes=1),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(seed=8),
+        )
+        result = sov.drive(15.0)
+        assert result.latency.mean_s == pytest.approx(0.164, abs=0.02)
+        assert result.latency.best_s >= 0.148
+
+    def test_battery_drains_proportionally(self):
+        sov = SystemsOnAVehicle(
+            world=World(),
+            lane_map=straight_corridor(length_m=500.0, n_lanes=1),
+            initial_state=VehicleState(speed_mps=5.6),
+        )
+        result = sov.drive(5.0)
+        expected_energy = (600.0 + 175.0) * 5.0
+        assert sov.battery.capacity_j - sov.battery.charge_j == pytest.approx(
+            expected_energy, rel=0.01
+        )
+
+
+class TestPaperNarrativeChain:
+    """The paper's argument chain, checked as one story."""
+
+    def test_latency_energy_cost_chain(self):
+        # 1. The mean Tcomp meets the 5 m avoidance requirement...
+        model = LatencyModel()
+        assert model.latency_requirement_s(5.0) >= 0.164 - 0.011
+        # 2. ...on a power budget that keeps 7.7 h of driving...
+        from repro.core import EnergyModel
+
+        energy = EnergyModel()
+        assert energy.driving_time_s / 3600.0 > 7.5
+        # 3. ...with a sensor suite an order of magnitude cheaper than
+        #    a single long-range LiDAR.
+        from repro.core import camera_vehicle_sensors
+
+        suite = camera_vehicle_sensors().total_cost_usd
+        assert calibration.COST_LIDAR_LONG_RANGE_USD / suite > 10.0
+
+    def test_codesign_chain(self):
+        # Offloading localization to the FPGA speeds perception 1.6x, and
+        # the freed latency keeps the vehicle on the proactive path.
+        from repro.hw import fpga_offload_impact
+
+        impact = fpga_offload_impact()
+        assert impact.perception_speedup > 1.5
+        before = calibration.SENSING_MEAN_LATENCY_S + impact.shared_perception_s + 0.003
+        after = calibration.SENSING_MEAN_LATENCY_S + impact.offloaded_perception_s + 0.003
+        reach_before = LatencyModel().min_avoidable_distance_m(before)
+        reach_after = LatencyModel().min_avoidable_distance_m(after)
+        assert reach_after < reach_before  # closer objects become avoidable

@@ -1,0 +1,76 @@
+"""Stress scenarios for the closed-loop SoV: compound hazards."""
+
+import pytest
+
+from repro.runtime import SovConfig, SystemsOnAVehicle
+from repro.scene.lanes import straight_corridor
+from repro.scene.world import Agent, Obstacle, World
+from repro.vehicle.dynamics import VehicleState
+
+
+class TestCompoundHazards:
+    def test_obstacle_and_crossing_pedestrian(self):
+        # A parked obstacle forces a lane change while a pedestrian crosses
+        # farther down: the vehicle must handle both without collision.
+        world = World(
+            obstacles=[Obstacle(25.0, 0.0, 0.6)],
+            agents=[Agent(1, 55.0, -7.0, 0.0, 1.0)],
+        )
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=400.0, n_lanes=2),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(seed=11),
+        )
+        result = sov.drive(12.0)
+        assert not result.collided
+        assert result.final_state.x_m > 35.0  # made it past the obstacle
+
+    def test_gauntlet_of_obstacles(self):
+        # Alternating obstacles force repeated lane changes.
+        world = World(
+            obstacles=[
+                Obstacle(25.0, 0.0, 0.6),
+                Obstacle(50.0, 2.5, 0.6),
+                Obstacle(75.0, 0.0, 0.6),
+            ]
+        )
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=400.0, n_lanes=2),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(seed=12),
+        )
+        result = sov.drive(20.0)
+        assert not result.collided
+        assert result.final_state.x_m > 80.0  # threaded all three
+
+    def test_pedestrian_walking_along_the_lane(self):
+        # A slow pedestrian walking ahead in-lane: the vehicle follows or
+        # passes without contact.
+        world = World(agents=[Agent(1, 15.0, 0.0, 1.0, 0.0)])
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=400.0, n_lanes=2),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(seed=13),
+        )
+        result = sov.drive(10.0)
+        assert not result.collided
+
+    def test_sudden_cutin_triggers_reactive(self):
+        # An agent cuts across immediately ahead: within the proactive
+        # path's blind window, only the reactive path can respond.
+        world = World(agents=[Agent(1, 8.0, -2.0, 0.0, 2.5, radius_m=0.4)])
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=400.0, n_lanes=1),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(seed=14),
+        )
+        result = sov.drive(6.0)
+        # The reactive path fires; contact may be unavoidable by physics
+        # (the agent enters inside the braking envelope), but the vehicle
+        # must at least brake hard.
+        assert result.ops.reactive_overrides > 0
+        assert result.final_state.speed_mps < 5.6

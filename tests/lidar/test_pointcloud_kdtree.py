@@ -1,0 +1,159 @@
+"""Tests for point clouds and the kd-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lidar.kdtree import AccessTrace, KdTree
+from repro.lidar.pointcloud import Box, PointCloud, rotation_z, simulate_lidar_scan
+
+
+class TestPointCloud:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((5, 2)))
+
+    def test_len_and_centroid(self):
+        pc = PointCloud(np.array([[0.0, 0.0, 0.0], [2.0, 2.0, 2.0]]))
+        assert len(pc) == 2
+        np.testing.assert_allclose(pc.centroid, [1.0, 1.0, 1.0])
+
+    def test_empty_centroid_raises(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((0, 3))).centroid
+
+    def test_rigid_transform(self):
+        pc = PointCloud(np.array([[1.0, 0.0, 0.0]]))
+        out = pc.transformed(rotation_z(np.pi / 2), np.array([0.0, 0.0, 1.0]))
+        np.testing.assert_allclose(out.points[0], [0.0, 1.0, 1.0], atol=1e-12)
+
+    def test_transform_validation(self):
+        pc = PointCloud(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            pc.transformed(np.eye(2), np.zeros(3))
+
+    def test_voxel_downsample_reduces(self):
+        rng = np.random.default_rng(0)
+        pc = PointCloud(rng.uniform(0, 1, (500, 3)))
+        down = pc.downsampled(0.5)
+        assert 0 < len(down) <= 8
+
+    def test_downsample_preserves_sparse_points(self):
+        pc = PointCloud(np.array([[0.0, 0.0, 0.0], [10.0, 10.0, 10.0]]))
+        assert len(pc.downsampled(1.0)) == 2
+
+    def test_downsample_invalid_voxel(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((1, 3))).downsampled(0.0)
+
+    def test_noise_changes_points(self):
+        pc = PointCloud(np.zeros((10, 3)))
+        noisy = pc.with_noise(0.1, seed=1)
+        assert not np.allclose(noisy.points, 0.0)
+
+
+class TestLidarScan:
+    def test_scan_produces_points(self):
+        scan = simulate_lidar_scan(n_beams=8, n_azimuth=90)
+        assert len(scan) > 100
+
+    def test_reproducible(self):
+        a = simulate_lidar_scan(n_beams=4, n_azimuth=45, seed=3)
+        b = simulate_lidar_scan(n_beams=4, n_azimuth=45, seed=3)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_points_within_range(self):
+        scan = simulate_lidar_scan(n_beams=4, n_azimuth=60, max_range_m=60.0)
+        ranges = np.linalg.norm(scan.points - [0, 0, 1.8], axis=1)
+        assert ranges.max() <= 60.5  # noise margin
+
+    def test_box_produces_closer_hits(self):
+        box = Box(center=(5.0, 0.0, 1.0), size=(2.0, 2.0, 2.0))
+        scan = simulate_lidar_scan(
+            n_beams=8, n_azimuth=180, boxes=[box], noise_m=0.0
+        )
+        # Some rays should stop at the box face at x ~= 4.
+        near_box = np.abs(scan.points[:, 0] - 4.0) < 0.2
+        assert near_box.any()
+
+    def test_irregular_density(self):
+        # The paper: points are "sparse ... arbitrarily spread".  Verify the
+        # radial density is non-uniform (CV of per-ring counts is large).
+        scan = simulate_lidar_scan(n_beams=16, n_azimuth=180)
+        ranges = np.linalg.norm(scan.points[:, :2], axis=1)
+        counts, _ = np.histogram(ranges, bins=10, range=(0, 30))
+        assert counts.std() / max(counts.mean(), 1) > 0.5
+
+
+class TestKdTree:
+    def test_nearest_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-10, 10, (200, 3))
+        tree = KdTree(pts)
+        for _ in range(20):
+            q = rng.uniform(-10, 10, 3)
+            idx, dist = tree.nearest(q)
+            brute = np.linalg.norm(pts - q, axis=1)
+            assert idx == int(np.argmin(brute))
+            assert dist == pytest.approx(float(brute.min()))
+
+    def test_radius_matches_bruteforce(self):
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(-5, 5, (150, 3))
+        tree = KdTree(pts)
+        q = np.zeros(3)
+        found = set(tree.radius_search(q, 3.0))
+        brute = set(np.where(np.linalg.norm(pts, axis=1) <= 3.0)[0])
+        assert found == brute
+
+    def test_k_nearest_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(-5, 5, (100, 3))
+        tree = KdTree(pts)
+        q = rng.uniform(-5, 5, 3)
+        result = [i for i, _ in tree.k_nearest(q, 5)]
+        brute = list(np.argsort(np.linalg.norm(pts - q, axis=1))[:5])
+        assert result == brute
+
+    def test_trace_records_visits(self):
+        pts = np.random.default_rng(4).uniform(-5, 5, (100, 3))
+        tree = KdTree(pts)
+        trace = AccessTrace()
+        tree.nearest([0.0, 0.0, 0.0], trace=trace)
+        assert len(trace) > 0
+        assert len(trace) < 100  # pruning works
+
+    def test_empty_tree_raises(self):
+        tree = KdTree(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            tree.nearest([0, 0, 0])
+
+    def test_invalid_args(self):
+        tree = KdTree(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            tree.radius_search([0, 0, 0], -1.0)
+        with pytest.raises(ValueError):
+            tree.k_nearest([0, 0, 0], 0)
+        with pytest.raises(ValueError):
+            KdTree(np.zeros((3, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_nearest_property(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(-3, 3, (50, 3))
+        tree = KdTree(pts)
+        q = rng.uniform(-3, 3, 3)
+        idx, dist = tree.nearest(q)
+        assert dist <= np.linalg.norm(pts - q, axis=1).min() + 1e-12
+
+
+class TestAccessTrace:
+    def test_reuse_counts(self):
+        trace = AccessTrace(indices=[0, 1, 1, 2, 2, 2])
+        counts = trace.reuse_counts(4)
+        assert list(counts) == [1, 2, 3, 0]
+
+    def test_byte_addresses(self):
+        trace = AccessTrace(indices=[0, 2])
+        assert list(trace.byte_addresses(point_bytes=16)) == [0, 32]

@@ -1,0 +1,153 @@
+"""Tests for ICP registration, the Fig. 4b kernels, and reuse analysis."""
+
+import numpy as np
+import pytest
+
+from repro.lidar.kdtree import AccessTrace
+from repro.lidar.kernels import (
+    ALL_KERNELS,
+    recognition_kernel,
+    reconstruction_kernel,
+    run_kernel,
+    segmentation_kernel,
+)
+from repro.lidar.pointcloud import PointCloud, rotation_z, simulate_lidar_scan
+from repro.lidar.registration import icp
+from repro.lidar.reuse import distribution_divergence, reuse_histogram
+
+
+@pytest.fixture(scope="module")
+def scan() -> PointCloud:
+    return simulate_lidar_scan(n_beams=6, n_azimuth=60, seed=0).downsampled(1.0)
+
+
+class TestIcp:
+    def test_recovers_known_transform(self, scan):
+        rotation = rotation_z(0.05)
+        translation = np.array([0.4, -0.2, 0.0])
+        moved = scan.transformed(rotation, translation)
+        result = icp(scan, moved, max_iterations=50)
+        # Applying the recovered transform to the source lands on target.
+        aligned = result.apply(scan)
+        err = np.linalg.norm(aligned.points - moved.points, axis=1).mean()
+        assert err < 0.05
+        assert result.rmse_m < 0.05
+
+    def test_identity_converges_immediately(self, scan):
+        result = icp(scan, scan)
+        assert result.converged
+        assert result.rmse_m < 1e-6
+        np.testing.assert_allclose(result.rotation, np.eye(3), atol=1e-9)
+
+    def test_trace_recorded_when_requested(self, scan):
+        with_trace = icp(scan, scan, record_trace=True)
+        without = icp(scan, scan)
+        assert with_trace.trace is not None and len(with_trace.trace) > 0
+        assert without.trace is None
+
+    def test_empty_cloud_rejected(self):
+        empty = PointCloud(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            icp(empty, empty)
+
+    def test_noisy_alignment(self, scan):
+        moved = scan.transformed(rotation_z(0.03), np.array([0.2, 0.1, 0.0]))
+        noisy = moved.with_noise(0.02, seed=1)
+        result = icp(scan, noisy, max_iterations=50)
+        assert result.rmse_m < 0.1
+
+
+class TestKernels:
+    def test_all_kernels_run_and_trace(self, scan):
+        for name in ALL_KERNELS:
+            result = run_kernel(name, scan)
+            assert result.name == name
+            assert len(result.trace) > 0, name
+
+    def test_unknown_kernel_rejected(self, scan):
+        with pytest.raises(ValueError):
+            run_kernel("teleportation", scan)
+
+    def test_recognition_histogram_counts_points(self, scan):
+        result = recognition_kernel(scan)
+        assert result.output["histogram"].sum() == len(scan)
+
+    def test_recognition_too_small_cloud(self):
+        tiny = PointCloud(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            recognition_kernel(tiny, k_neighbors=8)
+
+    def test_reconstruction_edges_are_valid(self, scan):
+        result = reconstruction_kernel(scan)
+        n = len(scan)
+        for a, b in result.output["edges"]:
+            assert 0 <= a < b < n
+
+    def test_segmentation_partitions_cloud(self):
+        # Two well-separated blobs -> two clusters.
+        rng = np.random.default_rng(0)
+        blob1 = rng.normal(0.0, 0.2, (30, 3))
+        blob2 = rng.normal(10.0, 0.2, (30, 3))
+        cloud = PointCloud(np.vstack([blob1, blob2]))
+        result = segmentation_kernel(cloud, cluster_radius_m=1.0)
+        assert len(result.output) == 2
+        sizes = sorted(len(c) for c in result.output)
+        assert sizes == [30, 30]
+
+    def test_segmentation_filters_small_clusters(self):
+        rng = np.random.default_rng(1)
+        blob = rng.normal(0.0, 0.2, (30, 3))
+        outlier = np.array([[50.0, 50.0, 50.0]])
+        cloud = PointCloud(np.vstack([blob, outlier]))
+        result = segmentation_kernel(cloud, min_cluster_size=5)
+        assert len(result.output) == 1
+
+
+class TestReuse:
+    def test_histogram_totals(self, scan):
+        result = run_kernel("localization", scan)
+        hist = reuse_histogram(result.trace, result.n_points)
+        assert hist.total_points == result.n_points
+        assert hist.counts.sum() == result.n_points
+
+    def test_reuse_is_abundant_but_irregular(self, scan):
+        # The paper: "the data reuse opportunity is abundant, [but] the
+        # number of reuses varies significantly ... across points".
+        result = run_kernel("localization", scan)
+        hist = reuse_histogram(result.trace, result.n_points)
+        assert hist.mean_reuse > 2.0  # abundant
+        assert hist.coefficient_of_variation > 0.3  # irregular
+
+    def test_two_scenes_have_different_distributions(self):
+        # Fig. 4a overlays two frames from different scenes; the paper's
+        # point is that reuse statistics shift between clouds, so a fixed
+        # pinning/prefetch policy tuned on one cloud misfits the other.
+        scan_a = simulate_lidar_scan(n_beams=6, n_azimuth=60, seed=0).downsampled(1.0)
+        scan_b = simulate_lidar_scan(
+            n_beams=8, n_azimuth=120, seed=42, wall_distance_m=15.0
+        ).downsampled(0.8)
+        ha = reuse_histogram(
+            run_kernel("localization", scan_a).trace, len(scan_a)
+        )
+        hb = reuse_histogram(
+            run_kernel("localization", scan_b).trace, len(scan_b)
+        )
+        assert distribution_divergence(ha, hb) > 0.01
+        # Mean reuse shifts by well over 10% between the scenes.
+        assert abs(ha.mean_reuse - hb.mean_reuse) / ha.mean_reuse > 0.10
+
+    def test_divergence_of_identical_is_zero(self, scan):
+        result = run_kernel("localization", scan)
+        hist = reuse_histogram(result.trace, result.n_points)
+        assert distribution_divergence(hist, hist) == 0.0
+
+    def test_histogram_as_points(self, scan):
+        result = run_kernel("localization", scan)
+        hist = reuse_histogram(result.trace, result.n_points, n_bins=10)
+        points = hist.as_points()
+        assert len(points) == 10
+        assert sum(y for _, y in points) == result.n_points
+
+    def test_invalid_n_points(self):
+        with pytest.raises(ValueError):
+            reuse_histogram(AccessTrace(), 0)

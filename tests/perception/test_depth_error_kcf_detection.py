@@ -1,0 +1,198 @@
+"""Tests for the Fig. 11a model, KCF tracking, and the detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perception.depth_error import StereoSyncErrorModel, fig11a_curve
+from repro.perception.detection import (
+    Detection,
+    LogisticModel,
+    evaluate_detector,
+    make_scene,
+    non_max_suppression,
+    patch_features,
+    train_detector,
+)
+from repro.perception.kcf import BoundingBox, KcfTracker
+
+
+class TestStereoSyncErrorModel:
+    def test_paper_anchor_30ms_gives_5m(self):
+        # Fig. 11a: "Even if the two cameras are off by only 30 ms, the
+        # depth estimation error could be over 5 m."
+        model = StereoSyncErrorModel()
+        assert model.depth_error_m(0.030) == pytest.approx(5.0, abs=0.3)
+
+    def test_paper_range_150ms_gives_13m(self):
+        model = StereoSyncErrorModel()
+        assert model.depth_error_m(0.150) == pytest.approx(13.0, abs=1.0)
+
+    def test_zero_offset_zero_error(self):
+        assert StereoSyncErrorModel().depth_error_m(0.0) == 0.0
+
+    def test_error_monotone_in_offset(self):
+        model = StereoSyncErrorModel()
+        errors = [model.depth_error_m(t) for t in (0.01, 0.05, 0.10, 0.15)]
+        assert errors == sorted(errors)
+
+    def test_fig11a_curve_spans_paper_axis(self):
+        curve = fig11a_curve()
+        assert curve[0][0] == 30 and curve[-1][0] == 150
+        assert 4.5 < curve[0][1] < 5.5
+        assert 12.0 < curve[-1][1] < 15.0
+
+    def test_static_scene_immune(self):
+        model = StereoSyncErrorModel(lateral_speed_mps=0.0)
+        assert model.depth_error_m(0.150) == 0.0
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            StereoSyncErrorModel().depth_error_m(-0.01)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            StereoSyncErrorModel(object_depth_m=0.0)
+
+    @given(dt=st.floats(0.0, 0.2))
+    def test_measured_depth_below_true(self, dt):
+        # Added apparent disparity always shrinks the measured depth.
+        model = StereoSyncErrorModel()
+        assert model.measured_depth_m(dt) <= model.object_depth_m + 1e-12
+
+
+class TestBoundingBox:
+    def test_iou_identity(self):
+        b = BoundingBox(0, 0, 10, 10)
+        assert b.iou(b) == 1.0
+
+    def test_iou_disjoint(self):
+        assert BoundingBox(0, 0, 5, 5).iou(BoundingBox(10, 10, 5, 5)) == 0.0
+
+    def test_iou_half_overlap(self):
+        a, b = BoundingBox(0, 0, 10, 10), BoundingBox(5, 0, 10, 10)
+        assert a.iou(b) == pytest.approx(50 / 150)
+
+    def test_center(self):
+        assert BoundingBox(10, 20, 4, 6).center == (12.0, 23.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0, 5)
+
+
+def moving_target_frames(n=12, dx=3, dy=2, seed=0):
+    rng = np.random.default_rng(seed)
+    target = rng.uniform(0.2, 1.0, (20, 20))
+    frames, boxes = [], []
+    for k in range(n):
+        frame = rng.uniform(0.0, 0.15, (100, 150))
+        x, y = 20 + dx * k, 30 + dy * k
+        frame[y : y + 20, x : x + 20] = target
+        frames.append(frame)
+        boxes.append(BoundingBox(x, y, 20, 20))
+    return frames, boxes
+
+
+class TestKcf:
+    def test_tracks_linear_motion(self):
+        frames, boxes = moving_target_frames()
+        tracker = KcfTracker()
+        tracker.init(frames[0], boxes[0])
+        for frame, gt in zip(frames[1:], boxes[1:]):
+            estimate = tracker.update(frame)
+        assert estimate.iou(boxes[-1]) > 0.6
+
+    def test_stationary_target(self):
+        frames, boxes = moving_target_frames(dx=0, dy=0)
+        tracker = KcfTracker()
+        tracker.init(frames[0], boxes[0])
+        for frame in frames[1:]:
+            estimate = tracker.update(frame)
+        assert estimate.iou(boxes[0]) > 0.8
+
+    def test_update_before_init_raises(self):
+        with pytest.raises(RuntimeError):
+            KcfTracker().update(np.zeros((50, 50)))
+
+    def test_box_before_init_raises(self):
+        with pytest.raises(RuntimeError):
+            KcfTracker().box
+
+    def test_rejects_color_frame(self):
+        with pytest.raises(ValueError):
+            KcfTracker().init(np.zeros((50, 50, 3)), BoundingBox(0, 0, 10, 10))
+
+    def test_initialized_flag(self):
+        frames, boxes = moving_target_frames(n=1)
+        tracker = KcfTracker()
+        assert not tracker.initialized
+        tracker.init(frames[0], boxes[0])
+        assert tracker.initialized
+        assert tracker.box == boxes[0]
+
+
+class TestDetector:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return train_detector(n_scenes=30)
+
+    def test_high_precision_and_recall(self, detector):
+        precision, recall = evaluate_detector(detector, n_scenes=8)
+        assert precision >= 0.9
+        assert recall >= 0.9
+
+    def test_detects_objects_in_one_scene(self, detector):
+        image, gt_boxes = make_scene(seed=5_000)
+        detections = detector.detect(image)
+        assert len(detections) == len(gt_boxes)
+        for gt in gt_boxes:
+            assert max(d.box.iou(gt) for d in detections) > 0.5
+
+    def test_empty_scene_no_detections(self, detector):
+        image, _ = make_scene(n_objects=0, seed=5_001)
+        assert detector.detect(image) == []
+
+    def test_rejects_color(self, detector):
+        with pytest.raises(ValueError):
+            detector.detect(np.zeros((10, 10, 3)))
+
+
+class TestDetectionParts:
+    def test_nms_keeps_best(self):
+        detections = [
+            Detection(BoundingBox(0, 0, 10, 10), score=0.9),
+            Detection(BoundingBox(1, 1, 10, 10), score=0.8),
+            Detection(BoundingBox(50, 50, 10, 10), score=0.7),
+        ]
+        kept = non_max_suppression(detections)
+        assert len(kept) == 2
+        assert kept[0].score == 0.9
+
+    def test_patch_features_normalized(self):
+        rng = np.random.default_rng(0)
+        feats = patch_features(rng.uniform(0, 1, (16, 16)))
+        assert np.linalg.norm(feats) == pytest.approx(1.0)
+        assert feats.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_patch_features_flat_patch(self):
+        feats = patch_features(np.ones((8, 8)))
+        assert np.allclose(feats, 0.0)
+
+    def test_logistic_model_learns_xor_free_problem(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, (200, 3))
+        y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+        model = LogisticModel.train(x, y, epochs=300)
+        accuracy = ((model.predict_proba(x) > 0.5) == y).mean()
+        assert accuracy > 0.95
+
+    def test_logistic_validation(self):
+        with pytest.raises(ValueError):
+            LogisticModel.train(np.zeros((3, 2)), np.zeros(4))
+
+    def test_scene_boxes_disjoint(self):
+        _, boxes = make_scene(n_objects=3, seed=7)
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1 :]:
+                assert a.iou(b) == 0.0

@@ -1,0 +1,140 @@
+"""Tests for image features and the ELAS-like stereo matcher."""
+
+import numpy as np
+import pytest
+
+from repro.perception.features import (
+    ImageFeature,
+    extract_features,
+    track_feature,
+    track_features,
+)
+from repro.perception.stereo import (
+    ElasLikeMatcher,
+    depth_error_from_pair,
+)
+from repro.scene.kitti_like import make_stereo_pair
+
+
+def checkerboard(shape=(64, 64), period=8):
+    # A block checkerboard (corners at cell junctions) — diagonal stripes
+    # would have edges but no corners.
+    rows, cols = np.indices(shape)
+    return (((rows // period) + (cols // period)) % 2).astype(np.float64)
+
+
+class TestFeatureExtraction:
+    def test_finds_corners_on_checkerboard(self):
+        features = extract_features(checkerboard(), max_features=50)
+        assert len(features) > 5
+
+    def test_flat_image_has_no_features(self):
+        assert extract_features(np.zeros((32, 32))) == []
+
+    def test_max_features_respected(self):
+        features = extract_features(checkerboard(), max_features=10)
+        assert len(features) <= 10
+
+    def test_min_distance_enforced(self):
+        features = extract_features(
+            checkerboard(), max_features=100, min_distance_px=10
+        )
+        for i, a in enumerate(features):
+            for b in features[i + 1 :]:
+                # Chebyshev distance must exceed the suppression radius.
+                assert max(abs(a.u_px - b.u_px), abs(a.v_px - b.v_px)) > 9
+
+    def test_rejects_color_image(self):
+        with pytest.raises(ValueError):
+            extract_features(np.zeros((10, 10, 3)))
+
+    def test_features_sorted_by_response(self):
+        features = extract_features(checkerboard(), max_features=20)
+        responses = [f.response for f in features]
+        assert responses == sorted(responses, reverse=True)
+
+
+class TestFeatureTracking:
+    def test_tracks_known_shift(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 1, (64, 64))
+        shifted = np.roll(np.roll(base, 3, axis=0), 2, axis=1)
+        feature = ImageFeature(u_px=30.0, v_px=30.0, response=1.0)
+        result = track_feature(base, shifted, feature)
+        assert result is not None
+        assert result.u_px == 32.0
+        assert result.v_px == 33.0
+        assert result.converged
+
+    def test_identity_shift(self):
+        rng = np.random.default_rng(1)
+        image = rng.uniform(0, 1, (48, 48))
+        feature = ImageFeature(u_px=24.0, v_px=24.0, response=1.0)
+        result = track_feature(image, image, feature)
+        assert (result.u_px, result.v_px) == (24.0, 24.0)
+
+    def test_border_feature_returns_none(self):
+        image = np.random.default_rng(2).uniform(0, 1, (32, 32))
+        feature = ImageFeature(u_px=1.0, v_px=1.0, response=1.0)
+        assert track_feature(image, image, feature) is None
+
+    def test_shape_mismatch_rejected(self):
+        f = ImageFeature(10.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            track_feature(np.zeros((10, 10)), np.zeros((12, 12)), f)
+
+    def test_track_many(self):
+        rng = np.random.default_rng(3)
+        image = rng.uniform(0, 1, (48, 48))
+        features = extract_features(image, max_features=5)
+        results = track_features(image, image, features)
+        assert len(results) == len(features)
+
+
+class TestStereoMatcher:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return make_stereo_pair(shape=(48, 96), seed=2)
+
+    def test_disparity_error_small(self, pair):
+        matcher = ElasLikeMatcher(max_disparity_px=20)
+        result = matcher.match(pair)
+        assert result.error_against(pair.disparity_gt) < 2.0
+
+    def test_depth_error_reasonable(self, pair):
+        error = depth_error_from_pair(
+            pair, ElasLikeMatcher(max_disparity_px=20)
+        )
+        assert error < 3.0
+
+    def test_valid_mask_covers_interior(self, pair):
+        result = ElasLikeMatcher(max_disparity_px=20).match(pair)
+        assert result.valid_mask.sum() > 0.3 * pair.left.size
+
+    def test_depth_conversion(self, pair):
+        result = ElasLikeMatcher(max_disparity_px=20).match(pair)
+        depth = result.depth(pair.focal_px, pair.baseline_m)
+        finite = depth[np.isfinite(depth) & result.valid_mask]
+        assert (finite > 0).all()
+
+    def test_unsynced_pair_has_larger_error(self):
+        # The Fig. 11a mechanism, exercised on the real matcher: shifting
+        # the right image (apparent motion from a temporal offset)
+        # corrupts depth.
+        synced = make_stereo_pair(shape=(48, 96), seed=3)
+        offset = make_stereo_pair(shape=(48, 96), seed=3, lateral_shift_px=4.0)
+        matcher = ElasLikeMatcher(max_disparity_px=22)
+        assert depth_error_from_pair(offset, matcher) > depth_error_from_pair(
+            synced, matcher
+        )
+
+    def test_shape_mismatch_rejected(self, pair):
+        result = ElasLikeMatcher(max_disparity_px=20).match(pair)
+        with pytest.raises(ValueError):
+            result.error_against(np.zeros((3, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ElasLikeMatcher(max_disparity_px=0)
+        with pytest.raises(ValueError):
+            ElasLikeMatcher(window_px=4)

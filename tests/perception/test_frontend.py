@@ -1,0 +1,95 @@
+"""Tests for the keyframe/tracking localization front-end (Sec. V-B3)."""
+
+import numpy as np
+import pytest
+
+from repro.perception.frontend import LocalizationFrontEnd
+
+
+def textured_image(seed: int = 0, shape=(80, 100)) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    rows, cols = np.indices(shape)
+    base = ((rows // 8 + cols // 8) % 2).astype(float)
+    return base + 0.05 * rng.standard_normal(shape)
+
+
+def shifted(image: np.ndarray, dx: int, dy: int) -> np.ndarray:
+    return np.roll(np.roll(image, dy, axis=0), dx, axis=1)
+
+
+class TestFrontEnd:
+    def test_first_frame_is_keyframe(self):
+        frontend = LocalizationFrontEnd()
+        result = frontend.process(textured_image())
+        assert result.is_keyframe
+        assert len(result.features) >= frontend.min_features
+
+    def test_small_motion_tracks_without_keyframe(self):
+        frontend = LocalizationFrontEnd(max_keyframe_gap=100)
+        base = textured_image()
+        frontend.process(base)
+        result = frontend.process(shifted(base, 2, 1))
+        assert not result.is_keyframe
+        assert result.tracked_fraction > 0.7
+
+    def test_tracked_features_move_with_the_image(self):
+        frontend = LocalizationFrontEnd(max_keyframe_gap=100)
+        base = textured_image()
+        key = frontend.process(base)
+        tracked = frontend.process(shifted(base, 3, 2))
+        by_position = {
+            (round(f.u_px - 3), round(f.v_px - 2)) for f in tracked.features
+        }
+        original = {(round(f.u_px), round(f.v_px)) for f in key.features}
+        # Most tracked features are the originals displaced by (3, 2).
+        overlap = len(by_position & original) / max(len(tracked.features), 1)
+        assert overlap > 0.6
+
+    def test_keyframe_forced_after_gap(self):
+        frontend = LocalizationFrontEnd(max_keyframe_gap=3)
+        base = textured_image()
+        frontend.process(base)
+        results = [frontend.process(shifted(base, k, 0)) for k in range(1, 5)]
+        assert any(r.is_keyframe for r in results)
+
+    def test_scene_change_triggers_reextraction(self):
+        frontend = LocalizationFrontEnd(max_keyframe_gap=100)
+        frontend.process(textured_image(seed=0))
+        # A completely different scene (unstructured noise): tracking
+        # collapses and the front-end re-extracts.
+        rng = np.random.default_rng(99)
+        changed = rng.uniform(0.0, 1.0, textured_image().shape)
+        result = frontend.process(changed)
+        assert result.is_keyframe
+
+    def test_keyframe_fraction_low_in_steady_state(self):
+        # Sec. V-C: most frames track; keyframes are the exception —
+        # which is why RPR time-sharing pays off.
+        frontend = LocalizationFrontEnd(max_keyframe_gap=10)
+        base = textured_image()
+        for k in range(30):
+            frontend.process(shifted(base, k % 5, 0))
+        assert frontend.keyframe_fraction < 0.5
+
+    def test_rpr_accounting(self):
+        frontend = LocalizationFrontEnd(max_keyframe_gap=5)
+        base = textured_image()
+        for k in range(12):
+            frontend.process(shifted(base, k % 4, 0))
+        # Every keyframe<->tracking switch is a swap in the RPR manager.
+        assert frontend.rpr.n_reconfigs >= 2
+        assert frontend.rpr.total_reconfig_delay_s > 0.0
+
+    def test_tracking_latency_cheaper_than_keyframe(self):
+        frontend = LocalizationFrontEnd(max_keyframe_gap=100)
+        base = textured_image()
+        key = frontend.process(base)
+        tracked = frontend.process(shifted(base, 1, 0))
+        # Keyframe latency includes the 20 ms extraction (+ swap); the
+        # tracked frame runs the 10 ms variant (+ swap).
+        assert key.latency_s > 0.02
+        assert tracked.latency_s < key.latency_s
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            LocalizationFrontEnd(min_features=0)

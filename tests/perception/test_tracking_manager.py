@@ -1,0 +1,115 @@
+"""Tests for the radar-first / KCF-fallback tracking manager (Sec. IV)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.perception.detection import Detection
+from repro.perception.kcf import BoundingBox
+from repro.perception.radar_tracking import CameraProjection
+from repro.perception.tracking_manager import TrackingManager, TrackingModeStats
+from repro.sensors.radar import RadarDetection
+
+
+def radar_det(x: float, y: float, target_id: int = 0) -> RadarDetection:
+    return RadarDetection(
+        range_m=math.hypot(x, y),
+        bearing_rad=math.atan2(y, x),
+        radial_velocity_mps=0.0,
+        target_id=target_id,
+    )
+
+
+def vision_det(camera: CameraProjection, x: float, y: float) -> Detection:
+    u = camera.project(x, y)
+    return Detection(BoundingBox(int(u) - 10, 100, 20, 20), score=0.9)
+
+
+@pytest.fixture
+def frame() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    base = rng.uniform(0.0, 0.3, (240, 320))
+    base[100:120, 140:160] = rng.uniform(0.6, 1.0, (20, 20))
+    return base
+
+
+class TestRadarMode:
+    def test_healthy_radar_uses_radar_mode(self, frame):
+        manager = TrackingManager()
+        camera = manager.camera
+        for _ in range(5):
+            targets = manager.step(
+                frame,
+                [vision_det(camera, 15.0, 0.0)],
+                [radar_det(15.0, 0.0)],
+                dt_s=0.05,
+            )
+        assert targets
+        assert all(t.mode == "radar" for t in targets)
+        assert manager.stats.kcf_frames == 0
+        assert targets[0].velocity is not None
+
+    def test_radar_mode_keeps_warm_kcf_template(self, frame):
+        manager = TrackingManager()
+        manager.step(
+            frame,
+            [vision_det(manager.camera, 15.0, 0.0)],
+            [radar_det(15.0, 0.0)],
+            dt_s=0.05,
+        )
+        assert manager.active_fallbacks == 1  # warm template standing by
+
+
+class TestFallback:
+    def test_radar_dropout_switches_to_kcf(self, frame):
+        manager = TrackingManager(unstable_after_misses=2)
+        vision = [vision_det(manager.camera, 15.0, 0.0)]
+        for _ in range(3):
+            manager.step(frame, vision, [radar_det(15.0, 0.0)], dt_s=0.05)
+        # Radar goes silent: after the miss threshold, targets run on KCF.
+        modes = []
+        for _ in range(4):
+            targets = manager.step(frame, vision, [], dt_s=0.05)
+            modes.extend(t.mode for t in targets)
+        assert "kcf" in modes
+        assert manager.stats.kcf_frames > 0
+
+    def test_kcf_output_has_no_velocity(self, frame):
+        manager = TrackingManager(unstable_after_misses=1)
+        vision = [vision_det(manager.camera, 15.0, 0.0)]
+        manager.step(frame, vision, [radar_det(15.0, 0.0)], dt_s=0.05)
+        targets = manager.step(frame, vision, [], dt_s=0.05)
+        kcf_targets = [t for t in targets if t.mode == "kcf"]
+        assert kcf_targets and kcf_targets[0].velocity is None
+
+    def test_recovery_returns_to_radar(self, frame):
+        manager = TrackingManager(unstable_after_misses=1, recover_after_hits=2)
+        vision = [vision_det(manager.camera, 15.0, 0.0)]
+        manager.step(frame, vision, [radar_det(15.0, 0.0)], dt_s=0.05)
+        manager.step(frame, vision, [], dt_s=0.05)  # dropout -> kcf
+        for _ in range(3):  # radar back
+            targets = manager.step(
+                frame, vision, [radar_det(15.0, 0.0)], dt_s=0.05
+            )
+        assert targets[-1].mode == "radar"
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            TrackingManager(unstable_after_misses=0)
+
+
+class TestStats:
+    def test_radar_fraction(self):
+        stats = TrackingModeStats(radar_frames=90, kcf_frames=10)
+        assert stats.radar_fraction == pytest.approx(0.9)
+        assert TrackingModeStats().radar_fraction == 1.0
+
+    def test_compute_accounting_favors_radar(self):
+        # The whole point of Sec. VI-B: radar-mode frames are ~100x cheaper.
+        all_radar = TrackingModeStats(radar_frames=100, kcf_frames=0)
+        all_kcf = TrackingModeStats(radar_frames=0, kcf_frames=100)
+        assert (
+            all_kcf.estimated_compute_s() / all_radar.estimated_compute_s()
+            == pytest.approx(100.0)
+        )

@@ -1,0 +1,360 @@
+"""Tests for VIO, GPS-VIO fusion, and radar tracking (Sec. VI)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.perception.fusion import GpsVioFusion, run_fusion
+from repro.perception.radar_tracking import (
+    CameraProjection,
+    RadarTracker,
+    spatial_synchronization,
+)
+from repro.perception.detection import Detection
+from repro.perception.kcf import BoundingBox
+from repro.perception.vio import (
+    CameraImuSyncErrorModel,
+    VisualInertialOdometry,
+    estimate_relative_motion,
+    trajectory_error_m,
+)
+from repro.scene.kitti_like import Frame, FeatureObservation, SequenceGenerator
+from repro.scene.trajectory import CircuitTrajectory, StraightTrajectory
+from repro.scene.world import Landmark, World
+from repro.sensors.gps import GnssFix
+from repro.sensors.radar import RadarDetection
+
+
+def ring_world(seed: int = 0, n: int = 600) -> World:
+    """Landmarks in an annulus around the 15 m test circuit."""
+    rng = np.random.default_rng(seed)
+    landmarks = [
+        Landmark(
+            i,
+            float(r * math.cos(t)),
+            float(r * math.sin(t)),
+            float(z),
+        )
+        for i, (t, r, z) in enumerate(
+            zip(
+                rng.uniform(0, 2 * math.pi, n),
+                rng.uniform(20.0, 45.0, n),
+                rng.uniform(0.5, 5.0, n),
+            )
+        )
+    ]
+    return World(landmarks=landmarks)
+
+
+def make_frame(idx, t, pos, heading, landmarks):
+    observations = []
+    for lid, (lx, ly) in landmarks.items():
+        dx, dy = lx - pos[0], ly - pos[1]
+        fwd = dx * math.cos(heading) + dy * math.sin(heading)
+        lat = -dx * math.sin(heading) + dy * math.cos(heading)
+        if fwd <= 0.5:
+            continue
+        u = 160.0 + 320.0 * (-lat) / fwd
+        observations.append(FeatureObservation(lid, u, 120.0, depth_m=fwd))
+    return Frame(idx, t, pos, heading, tuple(observations))
+
+
+LANDMARKS = {1: (10.0, 2.0), 2: (12.0, -3.0), 3: (8.0, 4.0), 4: (15.0, 1.0)}
+
+
+class TestRelativeMotion:
+    def test_recovers_forward_motion(self):
+        f0 = make_frame(0, 0.0, (0.0, 0.0), 0.0, LANDMARKS)
+        f1 = make_frame(1, 0.1, (0.5, 0.0), 0.0, LANDMARKS)
+        motion = estimate_relative_motion(f0, f1)
+        assert motion.forward_m == pytest.approx(0.5, abs=1e-9)
+        assert motion.lateral_m == pytest.approx(0.0, abs=1e-9)
+        assert motion.dtheta_rad == pytest.approx(0.0, abs=1e-9)
+
+    def test_recovers_rotation(self):
+        f0 = make_frame(0, 0.0, (0.0, 0.0), 0.0, LANDMARKS)
+        f1 = make_frame(1, 0.1, (0.5, 0.1), 0.1, LANDMARKS)
+        motion = estimate_relative_motion(f0, f1)
+        assert motion.dtheta_rad == pytest.approx(0.1, abs=1e-9)
+        assert motion.forward_m == pytest.approx(0.5, abs=1e-6)
+        assert motion.lateral_m == pytest.approx(0.1, abs=1e-6)
+
+    def test_too_few_matches_returns_none(self):
+        f0 = make_frame(0, 0.0, (0.0, 0.0), 0.0, {1: (10.0, 2.0)})
+        f1 = make_frame(1, 0.1, (0.5, 0.0), 0.0, {1: (10.0, 2.0)})
+        assert estimate_relative_motion(f0, f1) is None
+
+
+class TestVio:
+    def test_noise_free_is_exact(self):
+        gen = SequenceGenerator(
+            CircuitTrajectory(radius_m=15.0, speed_mps=5.6),
+            world=ring_world(),
+            camera_rate_hz=10.0,
+            pixel_noise_px=0.0,
+            depth_noise_frac=0.0,
+            seed=1,
+        )
+        seq = gen.generate(10.0, imu_noise_accel=0.0, imu_noise_gyro=0.0)
+        estimates = VisualInertialOdometry().run(seq)
+        mean_e, max_e = trajectory_error_m(estimates, seq)
+        assert max_e < 1e-6
+
+    def test_noisy_error_bounded_over_two_laps(self):
+        gen = SequenceGenerator(
+            CircuitTrajectory(radius_m=15.0, speed_mps=5.6),
+            world=ring_world(),
+            camera_rate_hz=10.0,
+            seed=1,
+        )
+        seq = gen.generate(33.7)
+        estimates = VisualInertialOdometry().run(seq)
+        mean_e, max_e = trajectory_error_m(estimates, seq)
+        assert mean_e < 2.0
+        assert max_e < 4.0
+
+    def test_drift_is_cumulative(self):
+        # Sec. VI-B: "The longer distance the vehicle travels, the more
+        # inaccurate the position estimation is."  Drift is a random walk,
+        # so average the first/last-quarter comparison over several runs.
+        firsts, lasts = [], []
+        for seed in range(5):
+            gen = SequenceGenerator(
+                CircuitTrajectory(radius_m=15.0, speed_mps=5.6),
+                world=ring_world(),
+                camera_rate_hz=10.0,
+                seed=seed,
+            )
+            seq = gen.generate(40.0)
+            estimates = VisualInertialOdometry().run(seq)
+            errors = [
+                math.hypot(e.x_m - f.position[0], e.y_m - f.position[1])
+                for e, f in zip(estimates, seq.frames)
+            ]
+            n = len(errors)
+            firsts.append(float(np.mean(errors[: n // 4])))
+            lasts.append(float(np.mean(errors[-n // 4 :])))
+        assert float(np.mean(lasts)) > float(np.mean(firsts))
+
+    def test_empty_sequence(self):
+        gen = SequenceGenerator(StraightTrajectory(), world=ring_world())
+        seq = gen.generate(0.0)
+        assert VisualInertialOdometry().run(seq) == []
+
+    def test_invalid_gyro_weight(self):
+        with pytest.raises(ValueError):
+            VisualInertialOdometry(gyro_weight=1.5)
+
+    def test_estimate_count_matches_frames(self):
+        gen = SequenceGenerator(
+            StraightTrajectory(), world=ring_world(), camera_rate_hz=10.0
+        )
+        seq = gen.generate(2.0)
+        estimates = VisualInertialOdometry().run(seq)
+        assert len(estimates) == len(seq.frames)
+
+    def test_error_helper_validates_lengths(self):
+        gen = SequenceGenerator(StraightTrajectory(), world=ring_world())
+        seq = gen.generate(1.0)
+        with pytest.raises(ValueError):
+            trajectory_error_m([], seq)
+
+
+class TestCameraImuSyncModel:
+    def test_40ms_gives_10m(self):
+        # Fig. 11b: "When the IMU and camera are off by 40 ms, the
+        # localization error could be as much as 10 m."
+        model = CameraImuSyncErrorModel()
+        assert model.localization_error_m(0.040) == pytest.approx(10.0, abs=0.5)
+
+    def test_20ms_gives_half(self):
+        model = CameraImuSyncErrorModel()
+        assert model.localization_error_m(0.020) == pytest.approx(5.0, abs=0.3)
+
+    def test_synced_gives_zero(self):
+        assert CameraImuSyncErrorModel().localization_error_m(0.0) == 0.0
+
+    def test_curve_is_monotone(self):
+        curve = CameraImuSyncErrorModel().curve([0.0, 0.01, 0.02, 0.04])
+        errors = [e for _, e in curve]
+        assert errors == sorted(errors)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraImuSyncErrorModel(speed_mps=0.0)
+        with pytest.raises(ValueError):
+            CameraImuSyncErrorModel().drift_rate_mps(-0.01)
+
+
+class TestGpsVioFusion:
+    def test_gnss_corrects_vio_drift(self):
+        fusion = GpsVioFusion(initial_position=(0.0, 0.0))
+        # VIO says we moved 10 m east but drifted 2 m north.
+        fusion.predict_with_vio(10.0, 2.0, time_s=1.0)
+        accepted = fusion.update_with_gnss(
+            GnssFix(position=(10.0, 0.0), valid=True), time_s=1.0
+        )
+        assert accepted
+        assert abs(fusion.position[1]) < 2.0  # pulled back toward truth
+
+    def test_invalid_fix_ignored(self):
+        fusion = GpsVioFusion()
+        assert not fusion.update_with_gnss(
+            GnssFix(position=(float("nan"),) * 2, valid=False), 0.0
+        )
+
+    def test_multipath_fix_gated_out(self):
+        # Sec. VI-B: when multipath occurs, corrected VIO carries the state.
+        fusion = GpsVioFusion(initial_sigma_m=0.5)
+        fusion.predict_with_vio(1.0, 0.0, 0.1)
+        jumped = GnssFix(position=(30.0, 30.0), valid=True, multipath=True)
+        assert not fusion.update_with_gnss(jumped, 0.1)
+        assert fusion.rejected_fixes == 1
+        assert fusion.position[0] == pytest.approx(1.0)
+
+    def test_uncertainty_grows_without_gnss(self):
+        fusion = GpsVioFusion()
+        sigma0 = fusion.position_sigma_m
+        for k in range(10):
+            fusion.predict_with_vio(0.5, 0.0, 0.1 * k)
+        assert fusion.position_sigma_m > sigma0
+
+    def test_uncertainty_shrinks_with_gnss(self):
+        fusion = GpsVioFusion()
+        for k in range(10):
+            fusion.predict_with_vio(0.5, 0.0, 0.1 * k)
+        sigma_before = fusion.position_sigma_m
+        fusion.update_with_gnss(GnssFix(position=(5.0, 0.0), valid=True), 1.0)
+        assert fusion.position_sigma_m < sigma_before
+
+    def test_outage_then_recovery(self):
+        fusion = GpsVioFusion()
+        # Drive with GNSS, lose it, keep driving on VIO, regain it.
+        t = 0.0
+        for _ in range(5):
+            fusion.predict_with_vio(1.0, 0.05, t)
+            fusion.update_with_gnss(GnssFix((fusion.position[0], 0.0), True), t)
+            t += 0.1
+        for _ in range(10):  # outage: VIO only, slight drift
+            fusion.predict_with_vio(1.0, 0.05, t)
+            t += 0.1
+        drifted_y = fusion.position[1]
+        fusion.update_with_gnss(GnssFix((fusion.position[0], 0.0), True), t)
+        assert abs(fusion.position[1]) < abs(drifted_y)
+
+    def test_run_fusion_orders_events(self):
+        fusion = run_fusion(
+            vio_deltas=[(0.1, 1.0, 0.0), (0.2, 1.0, 0.0)],
+            gnss_fixes=[(0.15, GnssFix((1.0, 0.0), True))],
+        )
+        assert fusion.position[0] == pytest.approx(2.0, abs=0.5)
+        assert len(fusion.history) == 3
+
+
+class TestRadarTracker:
+    def detections_at(self, positions):
+        return [
+            RadarDetection(
+                range_m=math.hypot(x, y),
+                bearing_rad=math.atan2(y, x),
+                radial_velocity_mps=0.0,
+                target_id=i,
+            )
+            for i, (x, y) in enumerate(positions)
+        ]
+
+    def test_spawns_tracks(self):
+        tracker = RadarTracker()
+        tracker.step(self.detections_at([(10.0, 0.0), (20.0, 5.0)]), dt_s=0.05)
+        assert len(tracker.tracks) == 2
+
+    def test_tracks_follow_moving_target(self):
+        tracker = RadarTracker()
+        for k in range(20):
+            x = 10.0 + 0.5 * k
+            tracker.step(self.detections_at([(x, 2.0)]), dt_s=0.05)
+        assert len(tracker.tracks) == 1
+        track = tracker.tracks[0]
+        assert track.position[0] == pytest.approx(19.5, abs=0.5)
+        # 0.5 m per 0.05 s = 10 m/s radial velocity estimated by the KF.
+        assert track.velocity[0] == pytest.approx(10.0, abs=2.0)
+
+    def test_track_dies_after_misses(self):
+        tracker = RadarTracker(max_missed=3)
+        tracker.step(self.detections_at([(10.0, 0.0)]), dt_s=0.05)
+        for _ in range(5):
+            tracker.step([], dt_s=0.05)
+        assert tracker.tracks == []
+
+    def test_gating_prevents_wild_association(self):
+        tracker = RadarTracker(gate_m=2.0)
+        tracker.step(self.detections_at([(10.0, 0.0)]), dt_s=0.05)
+        tracker.step(self.detections_at([(30.0, 0.0)]), dt_s=0.05)
+        # The far detection spawns a new track instead of teleporting.
+        assert len(tracker.tracks) == 2
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            RadarTracker().step([], dt_s=-0.1)
+
+
+class TestSpatialSynchronization:
+    def test_matches_projected_track(self):
+        tracker = RadarTracker()
+        # A target 10 m ahead, 1 m left -> projects left of center.
+        det = RadarDetection(
+            range_m=math.hypot(10.0, 1.0),
+            bearing_rad=math.atan2(1.0, 10.0),
+            radial_velocity_mps=-1.0,
+            target_id=0,
+        )
+        tracker.step([det], dt_s=0.05)
+        camera = CameraProjection()
+        expected_u = camera.project(10.0, 1.0)
+        vision = [
+            Detection(
+                BoundingBox(int(expected_u) - 8, 100, 16, 16), score=0.9
+            )
+        ]
+        matches = spatial_synchronization(vision, tracker.tracks, camera)
+        assert len(matches) == 1
+        assert matches[0].track_id == tracker.tracks[0].track_id
+        assert matches[0].pixel_distance < 10.0
+
+    def test_no_match_beyond_gate(self):
+        tracker = RadarTracker()
+        det = RadarDetection(10.0, 0.0, 0.0, 0)
+        tracker.step([det], dt_s=0.05)
+        vision = [Detection(BoundingBox(0, 0, 10, 10), score=0.9)]
+        assert (
+            spatial_synchronization(vision, tracker.tracks, gate_px=20.0) == []
+        )
+
+    def test_behind_camera_not_projected(self):
+        camera = CameraProjection()
+        assert camera.project(-5.0, 0.0) is None
+
+    def test_empty_inputs(self):
+        assert spatial_synchronization([], []) == []
+
+    def test_two_to_two_assignment(self):
+        tracker = RadarTracker()
+        dets = [
+            RadarDetection(10.0, math.atan2(2.0, 10.0), 0.0, 0),
+            RadarDetection(10.0, math.atan2(-2.0, 10.0), 0.0, 1),
+        ]
+        tracker.step(dets, dt_s=0.05)
+        camera = CameraProjection()
+        u_left = camera.project(10.0, 2.0)
+        u_right = camera.project(10.0, -2.0)
+        vision = [
+            Detection(BoundingBox(int(u_right) - 8, 100, 16, 16), 0.9),
+            Detection(BoundingBox(int(u_left) - 8, 100, 16, 16), 0.9),
+        ]
+        matches = spatial_synchronization(vision, tracker.tracks, camera)
+        assert len(matches) == 2
+        # Each vision detection matched to the geometrically right track.
+        by_det = {m.detection_index: m for m in matches}
+        assert by_det[0].pixel_distance < 10
+        assert by_det[1].pixel_distance < 10

@@ -1,0 +1,116 @@
+"""Deeper tests of the EM planner's individual stages."""
+
+import numpy as np
+import pytest
+
+from repro.planning.em_planner import EmPlanner
+from repro.scene.world import Obstacle
+
+
+@pytest.fixture(scope="module")
+def planner() -> EmPlanner:
+    # Coarse grid keeps stage-level tests fast.
+    return EmPlanner(
+        planning_distance_m=20.0, station_step_m=1.0, lateral_step_m=0.5
+    )
+
+
+class TestPathDp:
+    def test_clear_road_stays_on_centerline(self, planner):
+        path, cost = planner.path_dp([])
+        assert np.abs(path[:, 1]).max() < 1e-9
+        assert cost >= 0
+
+    def test_obstacle_pushes_path_aside(self, planner):
+        path, _cost = planner.path_dp([Obstacle(10.0, 0.0, 0.8)])
+        near = np.abs(path[:, 0] - 10.0) < 2.5
+        assert np.abs(path[near, 1]).min() > 0.5
+
+    def test_offset_obstacle_pushes_away_from_it(self, planner):
+        # Obstacle left of center: the path swerves right (negative y).
+        path, _cost = planner.path_dp([Obstacle(10.0, 0.7, 0.8)])
+        near = np.abs(path[:, 0] - 10.0) < 2.0
+        assert path[near, 1].mean() < 0.0
+
+    def test_two_obstacles_thread_between(self, planner):
+        obstacles = [Obstacle(10.0, 2.2, 0.6), Obstacle(10.0, -2.2, 0.6)]
+        path, _cost = planner.path_dp(obstacles)
+        near = np.abs(path[:, 0] - 10.0) < 1.5
+        # Threads the gap near the centerline rather than going around.
+        assert np.abs(path[near, 1]).max() < 1.5
+
+    def test_cost_increases_with_obstruction(self, planner):
+        _p1, clear = planner.path_dp([])
+        _p2, blocked = planner.path_dp([Obstacle(10.0, 0.0, 0.8)])
+        assert blocked > clear
+
+
+class TestPathQp:
+    def test_preserves_endpoints(self, planner):
+        dp_path, _ = planner.path_dp([Obstacle(10.0, 0.0, 0.8)])
+        smooth = planner.path_qp(dp_path)
+        assert smooth[0, 1] == pytest.approx(dp_path[0, 1], abs=1e-3)
+        assert smooth[-1, 1] == pytest.approx(dp_path[-1, 1], abs=1e-3)
+
+    def test_short_path_passthrough(self, planner):
+        tiny = np.array([[0.0, 0.0], [1.0, 0.5]])
+        np.testing.assert_array_equal(planner.path_qp(tiny), tiny)
+
+    def test_reduces_curvature_energy(self, planner):
+        dp_path, _ = planner.path_dp([Obstacle(10.0, 0.0, 0.8)])
+        smooth = planner.path_qp(dp_path)
+        energy = lambda l: float(np.sum(np.diff(l, 2) ** 2))
+        assert energy(smooth[:, 1]) <= energy(dp_path[:, 1])
+
+
+class TestSpeedDp:
+    def test_speeds_up_unobstructed(self, planner):
+        # The jerk penalty caps the cruise below max speed; the profile
+        # must still accelerate toward it.
+        profile = planner.speed_dp(initial_speed_mps=5.6)
+        assert profile[-1] > 5.6
+        assert profile[-1] >= 0.75 * planner.max_speed_mps
+
+    def test_acceleration_limits_respected(self, planner):
+        profile = planner.speed_dp(initial_speed_mps=0.0)
+        accels = np.diff(np.concatenate([[0.0], profile])) / planner.time_step_s
+        assert np.abs(accels).max() <= 4.0 + 1e-9
+
+    def test_infeasible_block_yields_stop(self, planner):
+        blocks = [
+            (float(t), 0.0, 500.0)
+            for t in np.arange(planner.time_step_s, planner.horizon_s + 0.01,
+                               planner.time_step_s)
+        ]
+        profile = planner.speed_dp(blocked_st=blocks, initial_speed_mps=0.0)
+        assert np.all(profile <= planner.speed_step_mps + 1e-9)
+
+
+class TestSpeedQp:
+    def test_never_negative(self, planner):
+        rough = np.array([5.0, 0.0, 5.0, 0.0, 5.0])
+        smooth = planner.speed_qp(rough)
+        assert (smooth >= 0.0).all()
+
+    def test_smooths_oscillation(self, planner):
+        rough = np.array([5.0, 1.0, 5.0, 1.0, 5.0, 1.0, 5.0])
+        smooth = planner.speed_qp(rough)
+        assert np.abs(np.diff(smooth)).max() < np.abs(np.diff(rough)).max()
+
+    def test_short_profile_passthrough(self, planner):
+        short = np.array([3.0, 4.0])
+        np.testing.assert_array_equal(planner.speed_qp(short), short)
+
+
+class TestAssembly:
+    def test_trajectory_station_is_integral_of_speed(self, planner):
+        plan = planner.plan(obstacles=[])
+        speeds = plan.speed_profile
+        expected_station = float(np.sum(speeds) * planner.time_step_s)
+        assert plan.trajectory[-1].x_m == pytest.approx(expected_station, rel=1e-6)
+
+    def test_infeasible_flag(self, planner):
+        # Wall everywhere: speed DP cannot move -> infeasible.
+        blocks = planner._moving_blocks([Obstacle(5.0, 0.0, 200.0)])
+        profile = planner.speed_dp(blocked_st=blocks, initial_speed_mps=0.0)
+        assert np.all(profile == 0.0)

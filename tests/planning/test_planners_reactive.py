@@ -1,0 +1,185 @@
+"""Tests for the MPC planner, EM baseline, and the reactive path."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import calibration
+from repro.planning.em_planner import EmPlanner
+from repro.planning.mpc import MpcPlanner
+from repro.planning.prediction import PredictedState
+from repro.planning.reactive import ReactivePath
+from repro.scene.lanes import straight_corridor
+from repro.scene.world import Obstacle
+from repro.vehicle.dynamics import VehicleState
+
+
+@pytest.fixture
+def planner() -> MpcPlanner:
+    return MpcPlanner(lane_map=straight_corridor(length_m=150.0, n_lanes=2))
+
+
+class TestMpcPlanner:
+    def test_cruises_on_clear_lane(self, planner):
+        state = VehicleState(x_m=10.0, y_m=0.0, speed_mps=5.6)
+        plan = planner.plan(state)
+        assert plan.feasible
+        assert plan.chosen.lane_id == "lane0"
+        # At target speed on a clear lane: no braking.
+        assert plan.command.accel_mps2 >= -0.5
+
+    def test_accelerates_from_standstill(self, planner):
+        state = VehicleState(x_m=10.0, y_m=0.0, speed_mps=0.0)
+        plan = planner.plan(state)
+        assert plan.command.accel_mps2 > 0.0
+
+    def test_avoids_blocking_obstacle(self, planner):
+        # Obstacle dead ahead in lane0 within the horizon: the planner
+        # must either switch lanes or brake.
+        state = VehicleState(x_m=10.0, y_m=0.0, speed_mps=5.6)
+        plan = planner.plan(
+            state, static_obstacles=[Obstacle(22.0, 0.0, 0.8)]
+        )
+        assert plan.feasible
+        changed_lane = plan.chosen.lane_id != "lane0"
+        braked = plan.chosen.accel_mps2 < -1.0
+        assert changed_lane or braked
+
+    def test_lane_change_preferred_over_full_stop(self, planner):
+        # With a free adjacent lane the planner keeps moving.
+        state = VehicleState(x_m=10.0, y_m=0.0, speed_mps=5.6)
+        plan = planner.plan(
+            state, static_obstacles=[Obstacle(22.0, 0.0, 0.8)]
+        )
+        assert plan.chosen.lane_id == "lane1"
+        final = plan.chosen.trajectory[-1]
+        assert final.speed_mps > 2.0
+
+    def test_brakes_for_crossing_pedestrian(self, planner):
+        state = VehicleState(x_m=10.0, y_m=0.0, speed_mps=5.6)
+        # Pedestrian blocking both lanes mid-horizon.
+        predictions = [
+            PredictedState(1, t, 21.0, y, 0.8)
+            for t in np.arange(0.2, 3.01, 0.2)
+            for y in (0.0, 2.5)
+        ]
+        plan = planner.plan(state, predictions=predictions)
+        assert plan.chosen.accel_mps2 <= -2.0
+
+    def test_off_map_emergency_stop(self, planner):
+        state = VehicleState(x_m=10.0, y_m=40.0, speed_mps=5.6)
+        plan = planner.plan(state)
+        assert plan.command.accel_mps2 == pytest.approx(-4.0)
+
+    def test_command_within_actuation_limits(self, planner):
+        state = VehicleState(x_m=10.0, y_m=1.0, speed_mps=5.6)
+        plan = planner.plan(state)
+        assert abs(plan.command.steer_rad) <= planner.model.max_steer_rad
+        assert plan.command.source == "proactive"
+
+    def test_candidates_cover_lanes_and_accels(self, planner):
+        state = VehicleState(x_m=10.0, y_m=0.0, speed_mps=5.6)
+        plan = planner.plan(state)
+        lanes = {c.lane_id for c in plan.candidates}
+        assert lanes == {"lane0", "lane1"}
+        assert len(plan.candidates) == 2 * len(planner.accel_candidates)
+
+
+class TestEmPlanner:
+    @pytest.fixture(scope="class")
+    def em(self) -> EmPlanner:
+        return EmPlanner()
+
+    def test_straight_path_on_clear_road(self, em):
+        plan = em.plan(obstacles=[])
+        assert plan.feasible
+        assert np.abs(plan.path_sl[:, 1]).max() < 0.1
+
+    def test_swerves_around_obstacle(self, em):
+        plan = em.plan(obstacles=[Obstacle(20.0, 0.0, 0.8)])
+        assert plan.feasible
+        # The path deviates laterally near the obstacle...
+        near = np.abs(plan.path_sl[:, 0] - 20.0) < 3.0
+        assert np.abs(plan.path_sl[near, 1]).max() > 1.0
+        # ...and returns toward the centerline afterwards.
+        far = plan.path_sl[:, 0] > 45.0
+        assert np.abs(plan.path_sl[far, 1]).max() < 1.0
+
+    def test_qp_smooths_dp_path(self, em):
+        dp_path, _cost = em.path_dp([Obstacle(20.0, 0.0, 0.8)])
+        smooth = em.path_qp(dp_path)
+        dp_curvature = np.abs(np.diff(dp_path[:, 1], 2)).sum()
+        qp_curvature = np.abs(np.diff(smooth[:, 1], 2)).sum()
+        assert qp_curvature < dp_curvature
+
+    def test_speed_profile_approaches_target(self, em):
+        plan = em.plan(obstacles=[])
+        assert plan.speed_profile[-1] > 0.8 * em.max_speed_mps
+
+    def test_speed_dp_respects_blocks(self, em):
+        # A wall occupying stations 0-100 at all times: cannot move.
+        blocks = [
+            (float(t), 0.0, 100.0) for t in np.arange(0.25, 8.1, 0.25)
+        ]
+        profile = em.speed_dp(blocked_st=blocks, initial_speed_mps=0.0)
+        assert np.all(profile <= 0.75)
+
+    def test_trajectory_timestamps_monotone(self, em):
+        plan = em.plan(obstacles=[])
+        times = [p.time_s for p in plan.trajectory]
+        assert times == sorted(times)
+
+
+class TestPlannerComparison:
+    def test_em_is_much_more_expensive_than_mpc(self):
+        # Sec. V-C: the EM planner is "33x more expensive than our
+        # planner".  Exact ratios are machine-dependent; require a wide gap.
+        lane_map = straight_corridor(length_m=150.0, n_lanes=2)
+        mpc = MpcPlanner(lane_map=lane_map)
+        em = EmPlanner()
+        state = VehicleState(x_m=10.0, y_m=0.0, speed_mps=5.6)
+        obstacle = Obstacle(25.0, 0.0, 0.8)
+        start = time.perf_counter()
+        for _ in range(5):
+            mpc.plan(state, static_obstacles=[obstacle])
+        mpc_time = (time.perf_counter() - start) / 5
+        start = time.perf_counter()
+        em.plan(obstacles=[obstacle])
+        em_time = time.perf_counter() - start
+        assert em_time / mpc_time > 5.0
+
+
+class TestReactivePath:
+    def test_threshold_matches_paper(self):
+        # Sec. IV: the reactive path reacts to objects ~4.1 m away.
+        reactive = ReactivePath(margin_m=0.0)
+        assert reactive.threshold_m == pytest.approx(
+            calibration.PAPER_AVOIDANCE_RANGE_REACTIVE_M, abs=0.15
+        )
+
+    def test_triggers_inside_threshold(self):
+        reactive = ReactivePath()
+        decision = reactive.evaluate(3.5, now_s=1.0)
+        assert decision.triggered
+        assert decision.command is not None
+        assert decision.command.source == "reactive"
+        assert decision.command.accel_mps2 == pytest.approx(-4.0)
+        assert reactive.triggers == 1
+
+    def test_command_carries_reactive_latency(self):
+        reactive = ReactivePath()
+        decision = reactive.evaluate(3.5, now_s=1.0)
+        assert decision.command.timestamp_s == pytest.approx(1.0 + 0.030)
+
+    def test_no_trigger_when_clear(self):
+        reactive = ReactivePath()
+        assert not reactive.evaluate(None, 0.0).triggered
+        assert not reactive.evaluate(10.0, 0.0).triggered
+        assert reactive.triggers == 0
+
+    def test_reactive_beats_proactive_range(self):
+        # The reactive threshold is tighter than the proactive 5 m range:
+        # it covers the gap where the proactive path is too slow.
+        reactive = ReactivePath(margin_m=0.0)
+        assert reactive.threshold_m < calibration.PAPER_AVOIDANCE_RANGE_MEAN_M

@@ -1,0 +1,99 @@
+"""Tests for prediction and collision checking."""
+
+import pytest
+
+from repro.planning.collision import TrajectoryPoint, check_trajectory
+from repro.planning.prediction import (
+    PredictedState,
+    TrackedObject,
+    predict_constant_velocity,
+    predictions_at,
+)
+from repro.scene.world import Obstacle
+
+
+class TestPrediction:
+    def test_constant_velocity_extrapolation(self):
+        obj = TrackedObject(0, x_m=0.0, y_m=0.0, vx_mps=2.0, vy_mps=-1.0)
+        states = predict_constant_velocity([obj], horizon_s=1.0, dt_s=0.5)
+        assert len(states) == 2
+        assert states[-1].x_m == pytest.approx(2.0)
+        assert states[-1].y_m == pytest.approx(-1.0)
+
+    def test_uncertainty_inflation(self):
+        obj = TrackedObject(0, 0.0, 0.0, 0.0, 0.0, radius_m=0.5)
+        states = predict_constant_velocity(
+            [obj], horizon_s=2.0, dt_s=1.0, inflation_mps=0.3
+        )
+        assert states[0].radius_m == pytest.approx(0.8)
+        assert states[1].radius_m == pytest.approx(1.1)
+
+    def test_predictions_at_filters_by_time(self):
+        obj = TrackedObject(0, 0.0, 0.0, 1.0, 0.0)
+        states = predict_constant_velocity([obj], horizon_s=1.0, dt_s=0.25)
+        at_half = predictions_at(states, 0.5)
+        assert len(at_half) == 1
+        assert at_half[0].x_m == pytest.approx(0.5)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            predict_constant_velocity([], horizon_s=0.0)
+
+    def test_speed_property(self):
+        assert TrackedObject(0, 0, 0, 3.0, 4.0).speed_mps == pytest.approx(5.0)
+
+
+def straight_trajectory(speed=5.0, duration=2.0, dt=0.2):
+    return [
+        TrajectoryPoint(time_s=(k + 1) * dt, x_m=speed * (k + 1) * dt, y_m=0.0,
+                        speed_mps=speed)
+        for k in range(int(duration / dt))
+    ]
+
+
+class TestCollision:
+    def test_clear_path(self):
+        report = check_trajectory(straight_trajectory(), predictions=[])
+        assert not report.collides
+        assert report.min_clearance_m == float("inf")
+
+    def test_static_obstacle_ahead_collides(self):
+        report = check_trajectory(
+            straight_trajectory(),
+            predictions=[],
+            static_obstacles=[Obstacle(5.0, 0.0, 0.5)],
+        )
+        assert report.collides
+        assert report.colliding_object_id == -1
+        assert report.first_collision_time_s is not None
+
+    def test_static_obstacle_far_lateral_is_clear(self):
+        report = check_trajectory(
+            straight_trajectory(),
+            predictions=[],
+            static_obstacles=[Obstacle(5.0, 10.0, 0.5)],
+        )
+        assert not report.collides
+        assert report.min_clearance_m == pytest.approx(10.0 - 0.5 - 0.8, abs=0.3)
+
+    def test_crossing_pedestrian_collides_only_if_timed(self):
+        # A pedestrian crossing x=5 m: collides when it arrives as we do.
+        collide_pred = [
+            PredictedState(7, time_s=1.0, x_m=5.0, y_m=0.0, radius_m=0.4)
+        ]
+        miss_pred = [
+            PredictedState(7, time_s=1.8, x_m=5.0, y_m=0.0, radius_m=0.4)
+        ]
+        trajectory = straight_trajectory(speed=5.0)
+        assert check_trajectory(trajectory, collide_pred).collides
+        # At t=1.8 the ego is at 9 m; the pedestrian at 5 m is clear.
+        assert not check_trajectory(trajectory, miss_pred).collides
+
+    def test_colliding_object_identified(self):
+        pred = [PredictedState(42, 1.0, 5.0, 0.0, 0.4)]
+        report = check_trajectory(straight_trajectory(), pred)
+        assert report.colliding_object_id == 42
+
+    def test_invalid_ego_radius(self):
+        with pytest.raises(ValueError):
+            check_trajectory([], [], ego_radius_m=0.0)

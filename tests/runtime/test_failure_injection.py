@@ -1,0 +1,95 @@
+"""Failure-injection tests for the closed-loop SoV.
+
+The paper's Sec. III-C names the two safety scenarios its reactive path
+exists for: (1) the computing latency is too long, and (2) "vision
+algorithms produce wrong results, e.g., missing an object".  Scenario 1 is
+covered in test_canbus_sov; this file covers scenario 2 plus other faults.
+"""
+
+import pytest
+
+from repro.runtime.sov import SovConfig, SystemsOnAVehicle
+from repro.scene.lanes import straight_corridor
+from repro.scene.world import Obstacle, World
+from repro.vehicle.battery import BatteryDepletedError
+from repro.vehicle.dynamics import VehicleState
+
+
+def blind_vision_sov(reactive_enabled: bool, seed: int = 0) -> SystemsOnAVehicle:
+    """Vision never sees the obstacle; only radar (reactive path) can."""
+    world = World(obstacles=[Obstacle(20.0, 0.0, 0.4)])
+    return SystemsOnAVehicle(
+        world=world,
+        lane_map=straight_corridor(length_m=300.0, n_lanes=1),
+        initial_state=VehicleState(speed_mps=5.6),
+        config=SovConfig(
+            vision_miss_prob=1.0,
+            reactive_enabled=reactive_enabled,
+            fixed_computing_latency_s=0.164,
+            seed=seed,
+        ),
+    )
+
+
+class TestVisionMiss:
+    def test_blind_vision_without_reactive_collides(self):
+        # Scenario 2 with no last line of defense: the planner cruises
+        # straight into the unseen obstacle.
+        result = blind_vision_sov(reactive_enabled=False).drive(6.0)
+        assert result.collided
+
+    def test_reactive_path_saves_blind_vision(self):
+        # The paper's fix: radar bypasses the vision pipeline entirely.
+        result = blind_vision_sov(reactive_enabled=True).drive(6.0)
+        assert not result.collided
+        assert result.ops.reactive_overrides > 0
+        assert result.stopped
+
+    def test_intermittent_misses_still_safe_with_reactive(self):
+        world = World(obstacles=[Obstacle(25.0, 0.0, 0.5)])
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=300.0, n_lanes=1),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(vision_miss_prob=0.5, seed=3),
+        )
+        result = sov.drive(8.0)
+        assert not result.collided
+
+    def test_zero_miss_prob_unchanged(self):
+        world = World(obstacles=[Obstacle(25.0, 0.0, 0.5)])
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=300.0, n_lanes=1),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(vision_miss_prob=0.0, seed=4),
+        )
+        assert not sov.drive(6.0).collided
+
+
+class TestOtherFaults:
+    def test_battery_depletion_raises_mid_drive(self):
+        sov = SystemsOnAVehicle(
+            world=World(),
+            lane_map=straight_corridor(length_m=300.0, n_lanes=1),
+            initial_state=VehicleState(speed_mps=5.6),
+        )
+        sov.battery.charge_j = 100.0  # nearly empty
+        with pytest.raises(BatteryDepletedError):
+            sov.drive(5.0)
+
+    def test_stale_reactive_override_expires(self):
+        # After a reactive stop with the obstacle removed, the standing
+        # override expires and the proactive path resumes control.
+        world = World(obstacles=[Obstacle(6.0, 0.0, 0.4)])
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=300.0, n_lanes=1),
+            initial_state=VehicleState(speed_mps=5.6),
+            config=SovConfig(fixed_computing_latency_s=0.164, seed=5),
+        )
+        sov.drive(3.0)
+        assert sov.state.speed_mps < 0.2  # stopped by the override
+        sov.world.obstacles.clear()
+        sov.drive(4.0)
+        assert sov.state.speed_mps > 1.0  # moving again

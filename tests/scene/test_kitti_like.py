@@ -1,0 +1,134 @@
+"""Tests for the KITTI-like synthetic dataset generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scene.kitti_like import (
+    CameraIntrinsics,
+    SequenceGenerator,
+    make_disparity_scene,
+    make_stereo_pair,
+    project_landmark,
+)
+from repro.scene.trajectory import CircuitTrajectory, StraightTrajectory
+from repro.scene.world import Landmark, World
+
+
+class TestStereoPair:
+    def test_shapes_consistent(self):
+        pair = make_stereo_pair(shape=(48, 64))
+        assert pair.left.shape == pair.right.shape == pair.disparity_gt.shape
+
+    def test_right_is_warped_left(self):
+        # For a constant-disparity scene, right[r, c] == left[r, c + d].
+        disparity = np.full((32, 64), 6.0)
+        pair = make_stereo_pair(shape=(32, 64), disparity=disparity, seed=3)
+        np.testing.assert_allclose(pair.right[:, :58], pair.left[:, 6:], atol=1e-9)
+
+    def test_depth_from_disparity(self):
+        disparity = np.full((8, 16), 8.0)
+        pair = make_stereo_pair(
+            shape=(8, 16), disparity=disparity, focal_px=320.0, baseline_m=0.12
+        )
+        depth = pair.depth_gt()
+        assert depth[0, 0] == pytest.approx(320.0 * 0.12 / 8.0)
+
+    def test_disparity_scene_has_foreground(self):
+        d = make_disparity_scene(shape=(64, 96), background_disparity_px=4.0)
+        assert d.min() == pytest.approx(4.0)
+        assert d.max() > 5.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_stereo_pair(shape=(10, 10), disparity=np.zeros((5, 5)))
+
+    def test_reproducible(self):
+        a = make_stereo_pair(seed=5)
+        b = make_stereo_pair(seed=5)
+        np.testing.assert_array_equal(a.left, b.left)
+
+
+class TestProjection:
+    def test_landmark_ahead_projects_near_center(self):
+        cam = CameraIntrinsics()
+        uv = project_landmark(
+            cam, (0.0, 0.0), 0.0, Landmark(0, x_m=10.0, y_m=0.0, z_m=1.2)
+        )
+        assert uv is not None
+        assert uv[0] == pytest.approx(cam.cx_px)
+        assert uv[1] == pytest.approx(cam.cy_px)
+
+    def test_landmark_behind_is_invisible(self):
+        cam = CameraIntrinsics()
+        assert (
+            project_landmark(cam, (0.0, 0.0), 0.0, Landmark(0, -10.0, 0.0, 1.0))
+            is None
+        )
+
+    def test_landmark_left_projects_left(self):
+        # A landmark to the vehicle's left (positive y) appears at u < cx.
+        cam = CameraIntrinsics()
+        uv = project_landmark(cam, (0.0, 0.0), 0.0, Landmark(0, 10.0, 2.0, 1.2))
+        assert uv is not None and uv[0] < cam.cx_px
+
+    def test_heading_rotates_view(self):
+        cam = CameraIntrinsics()
+        lm = Landmark(0, 0.0, 10.0, 1.2)  # due "north"
+        assert project_landmark(cam, (0.0, 0.0), 0.0, lm) is None
+        uv = project_landmark(cam, (0.0, 0.0), math.pi / 2, lm)
+        assert uv is not None
+
+    def test_depth_clipping(self):
+        cam = CameraIntrinsics()
+        assert (
+            project_landmark(cam, (0.0, 0.0), 0.0, Landmark(0, 100.0, 0.0, 1.2))
+            is None
+        )
+
+
+class TestSequenceGenerator:
+    def test_frame_and_imu_rates(self):
+        gen = SequenceGenerator(StraightTrajectory(), seed=1)
+        seq = gen.generate(duration_s=1.0)
+        assert len(seq.frames) == 30
+        assert len(seq.imu) == 240
+
+    def test_imu_is_8x_camera(self):
+        # Sec. VI-A2: camera trigger downsampled 8x from IMU trigger.
+        gen = SequenceGenerator(StraightTrajectory())
+        seq = gen.generate(duration_s=2.0)
+        assert len(seq.imu) == 8 * len(seq.frames)
+
+    def test_frames_have_observations(self):
+        gen = SequenceGenerator(StraightTrajectory(), seed=0)
+        seq = gen.generate(duration_s=1.0)
+        assert any(len(f.observations) > 0 for f in seq.frames)
+
+    def test_camera_offset_shifts_true_pose_not_timestamp(self):
+        gen0 = SequenceGenerator(StraightTrajectory(speed_mps=5.6), seed=2)
+        gen1 = SequenceGenerator(StraightTrajectory(speed_mps=5.6), seed=2)
+        synced = gen0.generate(duration_s=1.0, camera_time_offset_s=0.0)
+        offset = gen1.generate(duration_s=1.0, camera_time_offset_s=0.040)
+        # Timestamps identical, but the offset sequence was captured 40 ms
+        # later: 0.04 * 5.6 = 0.224 m farther along.
+        assert synced.frames[5].trigger_time_s == offset.frames[5].trigger_time_s
+        dx = offset.frames[5].position[0] - synced.frames[5].position[0]
+        assert dx == pytest.approx(0.224, abs=1e-6)
+
+    def test_circuit_imu_measures_centripetal(self):
+        traj = CircuitTrajectory(radius_m=40.0, speed_mps=5.6)
+        gen = SequenceGenerator(traj, pixel_noise_px=0.0, seed=0)
+        seq = gen.generate(duration_s=1.0, imu_noise_accel=0.0, imu_noise_gyro=0.0)
+        lateral = [abs(s.accel_body[1]) for s in seq.imu]
+        assert np.mean(lateral) == pytest.approx(5.6 ** 2 / 40.0, rel=0.02)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceGenerator(StraightTrajectory(), camera_rate_hz=0.0)
+
+    def test_ground_truth_positions_shape(self):
+        gen = SequenceGenerator(StraightTrajectory())
+        seq = gen.generate(duration_s=0.5)
+        assert seq.ground_truth_positions().shape == (len(seq.frames), 2)

@@ -1,0 +1,105 @@
+"""Tests for the OSM-like lane map."""
+
+import math
+
+import pytest
+
+from repro.scene.lanes import LaneMap, LaneSegment, campus_loop, straight_corridor
+
+
+@pytest.fixture
+def segment() -> LaneSegment:
+    return LaneSegment("s", centerline=((0.0, 0.0), (10.0, 0.0)), width_m=2.0)
+
+
+class TestLaneSegment:
+    def test_length(self, segment):
+        assert segment.length_m == pytest.approx(10.0)
+
+    def test_polyline_length(self):
+        seg = LaneSegment("p", centerline=((0, 0), (3, 0), (3, 4)))
+        assert seg.length_m == pytest.approx(7.0)
+
+    def test_point_at_clamps(self, segment):
+        assert segment.point_at(-5.0) == segment.start
+        assert segment.point_at(50.0) == segment.end
+        assert segment.point_at(5.0) == pytest.approx((5.0, 0.0))
+
+    def test_heading(self, segment):
+        assert segment.heading_at(5.0) == pytest.approx(0.0)
+
+    def test_heading_on_second_leg(self):
+        seg = LaneSegment("p", centerline=((0, 0), (3, 0), (3, 4)))
+        assert seg.heading_at(5.0) == pytest.approx(math.pi / 2)
+
+    def test_lateral_offset_and_contains(self, segment):
+        assert segment.lateral_offset(5.0, 0.5) == pytest.approx(0.5)
+        assert segment.contains(5.0, 0.9)
+        assert not segment.contains(5.0, 1.5)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            LaneSegment("bad", centerline=((0.0, 0.0),))
+
+    def test_implausible_width_rejected(self):
+        with pytest.raises(ValueError):
+            LaneSegment("bad", centerline=((0, 0), (1, 0)), width_m=10.0)
+
+
+class TestLaneMap:
+    def test_duplicate_segment_rejected(self, segment):
+        m = LaneMap()
+        m.add_segment(segment)
+        with pytest.raises(ValueError):
+            m.add_segment(segment)
+
+    def test_connect_unknown_rejected(self, segment):
+        m = LaneMap()
+        m.add_segment(segment)
+        with pytest.raises(KeyError):
+            m.connect("s", "nope")
+
+    def test_route_in_corridor(self):
+        m = straight_corridor(n_lanes=3)
+        assert m.route("lane0", "lane2") == ["lane0", "lane1", "lane2"]
+
+    def test_route_unreachable_raises(self):
+        m = LaneMap()
+        m.add_segment(LaneSegment("a", ((0, 0), (1, 0))))
+        m.add_segment(LaneSegment("b", ((0, 5), (1, 5))))
+        with pytest.raises(ValueError):
+            m.route("a", "b")
+
+    def test_locate(self):
+        m = straight_corridor(n_lanes=2, lane_width_m=2.5)
+        assert m.locate(50.0, 0.3) == "lane0"
+        assert m.locate(50.0, 2.4) == "lane1"
+        assert m.locate(50.0, 50.0) is None
+
+    def test_annotation(self):
+        m = straight_corridor()
+        m.annotate("lane0", "crosswalk@40m")
+        assert "crosswalk@40m" in m.segment("lane0").annotations
+
+    def test_route_length(self):
+        m = straight_corridor(length_m=100.0, n_lanes=2)
+        assert m.route_length_m(["lane0", "lane1"]) == pytest.approx(200.0)
+
+
+class TestGenerators:
+    def test_corridor_lane_change_edges(self):
+        m = straight_corridor(n_lanes=2)
+        assert m.route("lane0", "lane1") == ["lane0", "lane1"]
+        assert m.route("lane1", "lane0") == ["lane1", "lane0"]
+
+    def test_campus_loop_is_cyclic(self):
+        m = campus_loop()
+        route = m.route("arc0", "arc3")
+        assert route[0] == "arc0" and route[-1] == "arc3"
+        # The loop closes: arc3 connects back to arc0.
+        assert m.route("arc3", "arc0") == ["arc3", "arc0"]
+
+    def test_campus_loop_circumference(self):
+        m = campus_loop(radius_m=40.0)
+        total = sum(m.segment(s).length_m for s in m.segment_ids)
+        assert total == pytest.approx(2 * math.pi * 40.0, rel=0.02)

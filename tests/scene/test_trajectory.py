@@ -1,0 +1,107 @@
+"""Tests for trajectory generators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scene.trajectory import (
+    CircuitTrajectory,
+    FigureEightTrajectory,
+    StraightTrajectory,
+    WaypointTrajectory,
+)
+
+
+class TestStraight:
+    def test_position(self):
+        t = StraightTrajectory(speed_mps=5.6)
+        assert t.position_at(2.0) == pytest.approx((11.2, 0.0))
+
+    def test_velocity_matches_speed(self):
+        t = StraightTrajectory(speed_mps=5.6, heading_rad=math.pi / 4)
+        vx, vy = t.velocity_at(1.0)
+        assert math.hypot(vx, vy) == pytest.approx(5.6, rel=1e-6)
+
+    def test_zero_acceleration(self):
+        t = StraightTrajectory(speed_mps=5.6)
+        ax, ay = t.acceleration_at(1.0)
+        assert abs(ax) < 1e-6 and abs(ay) < 1e-6
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            StraightTrajectory(speed_mps=-1.0)
+
+
+class TestCircuit:
+    def test_constant_radius(self):
+        t = CircuitTrajectory(radius_m=40.0, speed_mps=5.6)
+        for time in (0.0, 3.0, 17.0):
+            x, y = t.position_at(time)
+            assert math.hypot(x, y) == pytest.approx(40.0)
+
+    def test_constant_speed(self):
+        t = CircuitTrajectory(radius_m=40.0, speed_mps=5.6)
+        vx, vy = t.velocity_at(5.0)
+        assert math.hypot(vx, vy) == pytest.approx(5.6, rel=1e-5)
+
+    def test_centripetal_acceleration(self):
+        t = CircuitTrajectory(radius_m=40.0, speed_mps=5.6)
+        ax, ay = t.acceleration_at(3.0)
+        assert math.hypot(ax, ay) == pytest.approx(5.6 ** 2 / 40.0, rel=1e-3)
+
+    def test_yaw_rate(self):
+        t = CircuitTrajectory(radius_m=40.0, speed_mps=5.6)
+        assert t.yaw_rate_at(2.0) == pytest.approx(5.6 / 40.0, rel=1e-3)
+
+    def test_sample_bundles_everything(self):
+        s = CircuitTrajectory().sample(1.0)
+        assert s.time_s == 1.0
+        assert len(s.position) == 2
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            CircuitTrajectory(radius_m=0.0)
+
+
+class TestFigureEight:
+    def test_periodicity(self):
+        t = FigureEightTrajectory(period_s=60.0)
+        assert t.position_at(0.0) == pytest.approx(t.position_at(60.0), abs=1e-9)
+
+    def test_yaw_changes_sign(self):
+        t = FigureEightTrajectory(period_s=60.0)
+        rates = [t.yaw_rate_at(x) for x in np.linspace(1.0, 59.0, 40)]
+        assert min(rates) < 0 < max(rates)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            FigureEightTrajectory(scale_m=0.0)
+
+
+class TestWaypoint:
+    def test_traversal(self):
+        t = WaypointTrajectory([(0, 0), (10, 0), (10, 10)], speed_mps=2.0)
+        assert t.total_length_m == pytest.approx(20.0)
+        assert t.duration_s == pytest.approx(10.0)
+        assert t.position_at(5.0) == pytest.approx((10.0, 0.0))
+        assert t.position_at(7.5) == pytest.approx((10.0, 5.0))
+
+    def test_clamps_beyond_end(self):
+        t = WaypointTrajectory([(0, 0), (10, 0)], speed_mps=1.0)
+        assert t.position_at(100.0) == pytest.approx((10.0, 0.0))
+        assert t.position_at(-5.0) == pytest.approx((0.0, 0.0))
+
+    def test_too_few_waypoints(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([(0, 0)])
+
+    @given(speed=st.floats(0.5, 10.0), when=st.floats(0.1, 10.0))
+    def test_speed_property(self, speed, when):
+        # Stay in the interior: the trajectory clamps at both endpoints, so
+        # finite-difference velocity is only meaningful away from them.
+        t = WaypointTrajectory([(0, 0), (100, 0)], speed_mps=speed)
+        if 0.1 < when < t.duration_s - 0.1:
+            vx, vy = t.velocity_at(when)
+            assert math.hypot(vx, vy) == pytest.approx(speed, rel=1e-3)

@@ -1,0 +1,127 @@
+"""Tests for the 2-D world substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scene.world import (
+    Agent,
+    Landmark,
+    Obstacle,
+    World,
+    _angle_diff,
+    make_urban_block,
+)
+
+
+class TestObstacle:
+    def test_distance_is_surface_distance(self):
+        o = Obstacle(x_m=3.0, y_m=4.0, radius_m=1.0)
+        assert o.distance_to(0.0, 0.0) == pytest.approx(4.0)
+
+    def test_inside_is_negative(self):
+        o = Obstacle(x_m=0.0, y_m=0.0, radius_m=2.0)
+        assert o.distance_to(0.5, 0.0) < 0
+
+    def test_zero_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Obstacle(0.0, 0.0, radius_m=0.0)
+
+
+class TestAgent:
+    def test_constant_velocity_motion(self):
+        a = Agent(agent_id=0, x_m=0.0, y_m=0.0, vx_mps=1.0, vy_mps=-2.0)
+        assert a.position_at(2.0) == (2.0, -4.0)
+
+    def test_advanced_returns_new_agent(self):
+        a = Agent(agent_id=0, x_m=0.0, y_m=0.0, vx_mps=1.0, vy_mps=0.0)
+        b = a.advanced(1.0)
+        assert b.x_m == 1.0
+        assert a.x_m == 0.0  # frozen original untouched
+
+    def test_speed(self):
+        a = Agent(agent_id=0, x_m=0, y_m=0, vx_mps=3.0, vy_mps=4.0)
+        assert a.speed_mps == pytest.approx(5.0)
+
+
+class TestWorld:
+    def test_advance_moves_agents_and_clock(self):
+        w = World(agents=[Agent(0, 0.0, 0.0, 1.0, 0.0)])
+        w.advance(2.0)
+        assert w.agents[0].x_m == pytest.approx(2.0)
+        assert w.time_s == 2.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            World().advance(-1.0)
+
+    def test_nearest_obstruction_respects_fov(self):
+        w = World(
+            obstacles=[
+                Obstacle(10.0, 0.0, 0.5, obstacle_id=1),  # dead ahead
+                Obstacle(-5.0, 0.0, 0.5, obstacle_id=2),  # behind
+            ]
+        )
+        hit = w.nearest_obstruction(0.0, 0.0, heading_rad=0.0)
+        assert hit is not None
+        distance, entity = hit
+        assert entity.obstacle_id == 1
+        assert distance == pytest.approx(9.5)
+
+    def test_nearest_obstruction_none_when_clear(self):
+        w = World(obstacles=[Obstacle(-5.0, 0.0, 0.5)])
+        assert w.nearest_obstruction(0.0, 0.0, heading_rad=0.0) is None
+
+    def test_nearest_obstruction_sees_agents_too(self):
+        w = World(agents=[Agent(0, 6.0, 0.0, 0.0, 0.0)])
+        hit = w.nearest_obstruction(0.0, 0.0, heading_rad=0.0)
+        assert hit is not None
+        assert isinstance(hit[1], Agent)
+
+    def test_nearest_picks_closest(self):
+        w = World(
+            obstacles=[Obstacle(20.0, 0.0, 0.5), Obstacle(8.0, 0.5, 0.5)]
+        )
+        hit = w.nearest_obstruction(0.0, 0.0, heading_rad=0.0)
+        assert hit[0] < 9.0
+
+    def test_entities_in_range(self):
+        w = World(
+            obstacles=[Obstacle(5.0, 0.0, 0.5)],
+            agents=[Agent(0, 100.0, 0.0, 0.0, 0.0)],
+        )
+        near = w.entities_in_range(0.0, 0.0, 10.0)
+        assert len(near) == 1
+
+
+class TestUrbanBlock:
+    def test_reproducible(self):
+        a, b = make_urban_block(seed=7), make_urban_block(seed=7)
+        assert [o.x_m for o in a.obstacles] == [o.x_m for o in b.obstacles]
+
+    def test_different_seeds_differ(self):
+        a, b = make_urban_block(seed=1), make_urban_block(seed=2)
+        assert [o.x_m for o in a.obstacles] != [o.x_m for o in b.obstacles]
+
+    def test_counts(self):
+        w = make_urban_block(n_obstacles=3, n_agents=2, n_landmarks=50)
+        assert len(w.obstacles) == 3
+        assert len(w.agents) == 2
+        assert len(w.landmarks) == 50
+
+    def test_obstacles_off_the_corridor(self):
+        # The default lane along the x-axis must stay drivable.
+        w = make_urban_block(seed=3)
+        assert all(abs(o.y_m) >= 2.0 for o in w.obstacles)
+
+
+class TestAngleDiff:
+    @given(a=st.floats(-10.0, 10.0), b=st.floats(-10.0, 10.0))
+    def test_range(self, a, b):
+        d = _angle_diff(a, b)
+        assert -math.pi < d <= math.pi
+
+    def test_simple(self):
+        assert _angle_diff(0.1, 0.0) == pytest.approx(0.1)
+        assert _angle_diff(0.0, 0.1) == pytest.approx(-0.1)

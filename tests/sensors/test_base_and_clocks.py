@@ -1,0 +1,87 @@
+"""Tests for sensor clocks and the base sensor machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scene.trajectory import StraightTrajectory
+from repro.sensors.base import Sensor, SensorClock, SensorSample
+from repro.sensors.imu import Imu
+
+
+class TestSensorClock:
+    def test_perfect_clock_is_identity(self):
+        c = SensorClock()
+        assert c.local_from_true(5.0) == 5.0
+        assert c.true_from_local(5.0) == 5.0
+
+    def test_offset_shifts(self):
+        c = SensorClock(offset_s=0.05)
+        assert c.local_from_true(1.0) == pytest.approx(1.05)
+
+    def test_drift_scales(self):
+        c = SensorClock(drift_ppm=100.0)
+        # After 10,000 s a 100 ppm clock is 1 s ahead.
+        assert c.local_from_true(10_000.0) == pytest.approx(10_001.0)
+
+    @given(
+        offset=st.floats(-1.0, 1.0),
+        drift=st.floats(-100.0, 100.0),
+        t=st.floats(0.0, 1e5),
+    )
+    def test_roundtrip(self, offset, drift, t):
+        c = SensorClock(offset_s=offset, drift_ppm=drift)
+        assert c.true_from_local(c.local_from_true(t)) == pytest.approx(
+            t, rel=1e-9, abs=1e-9
+        )
+
+    def test_sync_zeroes_offset_keeps_drift(self):
+        c = SensorClock(offset_s=0.5, drift_ppm=30.0)
+        c.sync_to(0.0)
+        assert c.offset_s == 0.0
+        assert c.drift_ppm == 30.0
+
+
+class TestSensorBase:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Imu(StraightTrajectory(), rate_hz=0.0)
+
+    def test_period(self):
+        imu = Imu(StraightTrajectory(), rate_hz=240.0)
+        assert imu.period_s == pytest.approx(1.0 / 240.0)
+
+    def test_self_trigger_times_without_drift(self):
+        imu = Imu(StraightTrajectory(), rate_hz=10.0)
+        times = imu.self_trigger_times(1.0)
+        assert times[0] == 0.0
+        assert times[1] == pytest.approx(0.1)
+        assert len(times) == 11
+
+    def test_self_trigger_times_with_offset(self):
+        imu = Imu(
+            StraightTrajectory(), rate_hz=10.0, clock=SensorClock(offset_s=0.03)
+        )
+        times = imu.self_trigger_times(1.0)
+        # The sensor believes local time k*0.1; true time is shifted back.
+        assert times[0] == pytest.approx(0.07)
+
+    def test_capture_records_both_times(self):
+        imu = Imu(
+            StraightTrajectory(), clock=SensorClock(offset_s=0.02), seed=0
+        )
+        sample = imu.capture(1.0)
+        assert sample.trigger_time_s == 1.0
+        assert sample.timestamp_s == pytest.approx(1.02)
+        assert sample.timestamp_error_s == pytest.approx(0.02)
+
+    def test_measure_not_implemented_on_base(self):
+        class Bare(Sensor):
+            pass
+
+        with pytest.raises(NotImplementedError):
+            Bare("bare", 1.0).measure(0.0)
+
+    def test_sample_is_frozen(self):
+        s = SensorSample("x", 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            s.timestamp_s = 1.0

@@ -1,0 +1,128 @@
+"""Tests for the camera and IMU models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scene.trajectory import CircuitTrajectory, StraightTrajectory
+from repro.scene.world import Landmark, World
+from repro.sensors.base import SensorClock
+from repro.sensors.camera import (
+    Camera,
+    CameraTimingModel,
+    StereoRigGeometry,
+    make_stereo_pair_cameras,
+)
+from repro.sensors.imu import Imu
+
+
+def landmark_world() -> World:
+    return World(
+        landmarks=[
+            Landmark(0, 10.0, 0.0, 1.2),
+            Landmark(1, 20.0, 3.0, 2.0),
+            Landmark(2, 15.0, -2.0, 0.8),
+        ]
+    )
+
+
+class TestCamera:
+    def test_sees_forward_landmarks(self):
+        cam = Camera(
+            "c", StraightTrajectory(), landmark_world(), pixel_noise_px=0.0
+        )
+        frame = cam.measure(0.0)
+        assert {o.landmark_id for o in frame.observations} == {0, 1, 2}
+
+    def test_motion_changes_observations(self):
+        cam = Camera(
+            "c", StraightTrajectory(speed_mps=5.0), landmark_world(),
+            pixel_noise_px=0.0,
+        )
+        f0 = cam.measure(0.0)
+        f1 = cam.measure(1.0)
+        u0 = {o.landmark_id: o.u_px for o in f0.observations}
+        u1 = {o.landmark_id: o.u_px for o in f1.observations}
+        # Approaching landmark 1 (off-axis) moves it outward in the image.
+        assert abs(u1[1] - 160.0) > abs(u0[1] - 160.0)
+
+    def test_stereo_pair_disparity_matches_geometry(self):
+        geometry = StereoRigGeometry(baseline_m=0.12, focal_px=320.0)
+        left, right = make_stereo_pair_cameras(
+            StraightTrajectory(speed_mps=0.0), landmark_world(), geometry=geometry
+        )
+        left.pixel_noise_px = right.pixel_noise_px = 0.0
+        lf, rf = left.measure(0.0), right.measure(0.0)
+        lu = {o.landmark_id: o.u_px for o in lf.observations}
+        ru = {o.landmark_id: o.u_px for o in rf.observations}
+        # Landmark 0 is at depth 10 m: disparity = f * B / Z.
+        disparity = lu[0] - ru[0]
+        assert disparity == pytest.approx(320.0 * 0.12 / 10.0, abs=1e-6)
+        assert geometry.depth_from_disparity(disparity) == pytest.approx(10.0)
+
+    def test_shared_clock_by_default(self):
+        left, right = make_stereo_pair_cameras(
+            StraightTrajectory(), landmark_world()
+        )
+        assert left.clock is right.clock
+
+    def test_interface_arrival_adds_constant_delay(self):
+        timing = CameraTimingModel(exposure_s=0.005, readout_s=0.008)
+        cam = Camera(
+            "c", StraightTrajectory(), landmark_world(), timing=timing
+        )
+        assert cam.interface_arrival_time_s(1.0) == pytest.approx(1.013)
+
+    def test_geometry_disparity_roundtrip(self):
+        g = StereoRigGeometry()
+        assert g.depth_from_disparity(g.disparity_from_depth(7.0)) == pytest.approx(
+            7.0
+        )
+
+    def test_geometry_zero_disparity_infinite_depth(self):
+        assert StereoRigGeometry().depth_from_disparity(0.0) == float("inf")
+
+    def test_geometry_invalid_depth(self):
+        with pytest.raises(ValueError):
+            StereoRigGeometry().disparity_from_depth(0.0)
+
+
+class TestImu:
+    def test_straight_line_measures_zero_mean(self):
+        imu = Imu(
+            StraightTrajectory(speed_mps=5.6),
+            accel_noise_mps2=0.01,
+            accel_bias_walk=0.0,
+            gyro_bias_walk=0.0,
+            seed=1,
+        )
+        readings = [imu.measure(t) for t in np.arange(0.1, 5.0, 1.0 / 240.0)]
+        fwd = np.mean([r.accel_body[0] for r in readings])
+        yaw = np.mean([r.yaw_rate_rps for r in readings])
+        assert abs(fwd) < 0.005
+        assert abs(yaw) < 0.001
+
+    def test_circuit_measures_centripetal_and_yaw(self):
+        traj = CircuitTrajectory(radius_m=40.0, speed_mps=5.6)
+        imu = Imu(
+            traj,
+            accel_noise_mps2=0.0,
+            gyro_noise_rps=0.0,
+            accel_bias_walk=0.0,
+            gyro_bias_walk=0.0,
+        )
+        r = imu.measure(3.0)
+        assert abs(r.accel_body[1]) == pytest.approx(5.6 ** 2 / 40.0, rel=0.01)
+        assert r.yaw_rate_rps == pytest.approx(5.6 / 40.0, rel=0.01)
+
+    def test_bias_random_walk_accumulates(self):
+        imu = Imu(StraightTrajectory(), accel_bias_walk=0.01, seed=3)
+        for t in np.arange(0.0, 2.0, 1.0 / 240.0):
+            imu.measure(t)
+        (bx, by), bg = imu.bias_state
+        assert (bx, by) != (0.0, 0.0)
+
+    def test_sample_bytes_matches_paper(self):
+        # Sec. VI-A2: "each IMU sample is very small in size (20 Bytes)".
+        assert Imu.SAMPLE_BYTES == 20

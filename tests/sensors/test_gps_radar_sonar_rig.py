@@ -1,0 +1,183 @@
+"""Tests for GPS, radar, sonar, and the full rig."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import calibration
+from repro.scene.trajectory import StraightTrajectory
+from repro.scene.world import Agent, Obstacle, World
+from repro.sensors.gps import Gps, OutageWindow
+from repro.sensors.radar import Radar
+from repro.sensors.rig import build_rig
+from repro.sensors.sonar import Sonar
+
+
+def simple_world() -> World:
+    return World(
+        obstacles=[Obstacle(20.0, 0.0, 0.5, obstacle_id=0)],
+        agents=[Agent(7, 30.0, 1.0, -2.0, 0.0)],
+    )
+
+
+class TestGps:
+    def test_noisy_fix_near_truth(self):
+        gps = Gps(StraightTrajectory(speed_mps=5.0), noise_m=0.1, seed=0)
+        fix = gps.measure(2.0)
+        assert fix.valid
+        assert fix.position[0] == pytest.approx(10.0, abs=0.5)
+
+    def test_outage_invalidates(self):
+        gps = Gps(
+            StraightTrajectory(), outages=[OutageWindow(1.0, 2.0)], seed=0
+        )
+        assert not gps.measure(1.5).valid
+        assert gps.measure(3.0).valid
+
+    def test_multipath_jumps(self):
+        gps = Gps(
+            StraightTrajectory(speed_mps=0.0),
+            noise_m=0.0,
+            multipath_prob=1.0,
+            multipath_error_m=8.0,
+            seed=1,
+        )
+        fix = gps.measure(0.0)
+        assert fix.multipath
+        assert math.hypot(*fix.position) == pytest.approx(8.0, abs=1e-6)
+
+    def test_atomic_time_is_exact(self):
+        gps = Gps(StraightTrajectory())
+        assert gps.atomic_time(123.456) == 123.456
+
+    def test_bad_outage_rejected(self):
+        with pytest.raises(ValueError):
+            OutageWindow(2.0, 1.0)
+
+
+class TestRadar:
+    def test_detects_obstacle_and_agent(self):
+        radar = Radar(
+            StraightTrajectory(speed_mps=0.0), simple_world(),
+            range_noise_m=0.0, velocity_noise_mps=0.0, seed=0,
+        )
+        detections = radar.measure(0.0)
+        ids = {d.target_id for d in detections}
+        assert ids == {-1, 7}  # obstacle 0 encoded as -1, agent 7 as 7
+
+    def test_radial_velocity_of_approaching_agent(self):
+        # Ego stationary, agent at +30 m moving at -2 m/s: closing at 2 m/s.
+        radar = Radar(
+            StraightTrajectory(speed_mps=0.0), simple_world(),
+            range_noise_m=0.0, velocity_noise_mps=0.0, seed=0,
+        )
+        agent_det = [d for d in radar.measure(0.0) if d.target_id == 7][0]
+        assert agent_det.radial_velocity_mps == pytest.approx(-2.0, abs=0.05)
+
+    def test_ego_motion_contributes_to_radial_velocity(self):
+        # Ego at 5 m/s toward a static obstacle: closing at 5 m/s.
+        radar = Radar(
+            StraightTrajectory(speed_mps=5.0), simple_world(),
+            range_noise_m=0.0, velocity_noise_mps=0.0, seed=0,
+        )
+        obstacle_det = [d for d in radar.measure(0.0) if d.target_id == -1][0]
+        assert obstacle_det.radial_velocity_mps == pytest.approx(-5.0, abs=0.05)
+
+    def test_fov_excludes_side_targets(self):
+        world = World(obstacles=[Obstacle(0.0, 20.0, 0.5)])  # due left
+        radar = Radar(StraightTrajectory(), world, fov_rad=math.radians(90.0))
+        assert radar.measure(0.0) == []
+
+    def test_max_range(self):
+        world = World(obstacles=[Obstacle(100.0, 0.0, 0.5)])
+        radar = Radar(StraightTrajectory(), world, max_range_m=60.0)
+        assert radar.measure(0.0) == []
+
+    def test_dropout(self):
+        radar = Radar(
+            StraightTrajectory(speed_mps=0.0), simple_world(),
+            dropout_prob=1.0, seed=0,
+        )
+        assert radar.measure(0.0) == []
+
+    def test_nearest_ahead(self):
+        radar = Radar(
+            StraightTrajectory(speed_mps=0.0), simple_world(),
+            range_noise_m=0.0, seed=0,
+        )
+        assert radar.nearest_ahead_m(0.0) == pytest.approx(20.0, abs=0.1)
+
+    def test_cartesian_conversion(self):
+        from repro.sensors.radar import RadarDetection
+
+        d = RadarDetection(10.0, math.pi / 2, 0.0, 0)
+        x, y = d.to_cartesian()
+        assert x == pytest.approx(0.0, abs=1e-9)
+        assert y == pytest.approx(10.0)
+
+
+class TestSonar:
+    def test_detects_close_obstacle(self):
+        world = World(obstacles=[Obstacle(3.0, 0.0, 0.5)])
+        sonar = Sonar(StraightTrajectory(speed_mps=0.0), world, noise_m=0.0)
+        ping = sonar.measure(0.0)
+        assert ping.distance_m == pytest.approx(2.5)
+
+    def test_out_of_range_returns_none(self):
+        world = World(obstacles=[Obstacle(10.0, 0.0, 0.5)])
+        sonar = Sonar(StraightTrajectory(), world, max_range_m=5.0)
+        assert sonar.measure(0.0).distance_m is None
+
+    def test_empty_world_returns_none(self):
+        sonar = Sonar(StraightTrajectory(), World())
+        assert sonar.measure(0.0).distance_m is None
+
+    def test_never_negative(self):
+        world = World(obstacles=[Obstacle(0.3, 0.0, 0.29)])
+        sonar = Sonar(
+            StraightTrajectory(speed_mps=0.0), world, noise_m=0.5, seed=2
+        )
+        for _ in range(20):
+            ping = sonar.measure(0.0)
+            assert ping.distance_m is None or ping.distance_m >= 0.0
+
+
+class TestRig:
+    def test_paper_sensor_counts(self):
+        rig = build_rig(StraightTrajectory())
+        assert len(rig.cameras) == 4  # 2 stereo pairs
+        assert len(rig.radars) == calibration.NUM_RADARS
+        assert len(rig.sonars) == calibration.NUM_SONARS
+
+    def test_camera_and_imu_rates_match_paper(self):
+        rig = build_rig(StraightTrajectory())
+        assert all(c.rate_hz == 30.0 for c in rig.cameras)
+        assert rig.imu.rate_hz == 240.0
+
+    def test_independent_clocks_differ(self):
+        rig = build_rig(StraightTrajectory(), independent_clocks=True, seed=5)
+        offsets = {s.clock.offset_s for s in [*rig.cameras, rig.imu]}
+        assert len(offsets) > 1
+
+    def test_synchronized_mode_shares_clock(self):
+        rig = build_rig(StraightTrajectory(), independent_clocks=False)
+        clocks = {id(c.clock) for c in rig.cameras} | {id(rig.imu.clock)}
+        assert len(clocks) == 1
+
+    def test_front_stereo_selection(self):
+        rig = build_rig(StraightTrajectory())
+        assert [c.name for c in rig.front_stereo()] == [
+            "front_left",
+            "front_right",
+        ]
+
+    def test_forward_radar_is_boresight(self):
+        rig = build_rig(StraightTrajectory())
+        assert rig.forward_radar().mount_yaw_rad == pytest.approx(0.0)
+
+    def test_sensor_by_name(self):
+        rig = build_rig(StraightTrajectory())
+        assert rig.sensor_by_name("imu") is rig.imu
+        with pytest.raises(KeyError):
+            rig.sensor_by_name("lidar")  # we don't carry one (Sec. III-D)

@@ -1,0 +1,84 @@
+"""Tests for the pipeline delay models."""
+
+import numpy as np
+import pytest
+
+from repro.sync.delays import DelayStage, PipelineModel, camera_pipeline, imu_pipeline
+
+
+class TestDelayStage:
+    def test_fixed_stage_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        stage = DelayStage("exposure", fixed_s=0.005)
+        assert stage.sample(rng) == 0.005
+        assert not stage.is_variable
+
+    def test_variable_stage_jitters_in_band(self):
+        rng = np.random.default_rng(0)
+        stage = DelayStage("isp", fixed_s=0.010, variation_s=0.010)
+        samples = [stage.sample(rng) for _ in range(200)]
+        assert all(0.010 <= s <= 0.020 for s in samples)
+        assert max(samples) - min(samples) > 0.005
+        assert stage.is_variable
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayStage("bad", fixed_s=-0.001)
+
+
+class TestPipelineModel:
+    def test_fixed_delay_sums_fixed_parts(self):
+        pipe = PipelineModel(
+            stages=[DelayStage("a", 0.01), DelayStage("b", 0.02, 0.005)]
+        )
+        assert pipe.fixed_delay_s == pytest.approx(0.03)
+        assert pipe.max_variation_s == pytest.approx(0.005)
+
+    def test_sample_within_bounds(self):
+        pipe = camera_pipeline(seed=1)
+        for _ in range(100):
+            d = pipe.sample_delay_s()
+            assert pipe.fixed_delay_s <= d <= pipe.fixed_delay_s + pipe.max_variation_s
+
+    def test_up_to_stage_truncates(self):
+        pipe = camera_pipeline(seed=0)
+        d_iface = pipe.sample_delay_s(up_to_stage="sensor_interface")
+        assert d_iface < pipe.fixed_delay_s + pipe.max_variation_s
+        # The tap at the sensor interface excludes ISP and beyond.
+        assert d_iface < 0.02
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            camera_pipeline().sample_delay_s(up_to_stage="quantum_tunnel")
+
+    def test_arrival_time_adds_trigger(self):
+        pipe = PipelineModel(stages=[DelayStage("a", 0.01)])
+        assert pipe.arrival_time_s(5.0) == pytest.approx(5.01)
+
+
+class TestPaperCalibration:
+    def test_camera_isp_variation_is_10ms(self):
+        # Sec. VI-A1: "the ISP processing latency may vary by about 10 ms".
+        pipe = camera_pipeline()
+        isp = [s for s in pipe.stages if s.name == "isp"][0]
+        assert isp.variation_s == pytest.approx(0.010)
+
+    def test_camera_total_variation_is_about_100ms(self):
+        # "the temporal variation could be as much as 100 ms" at app level.
+        pipe = camera_pipeline()
+        assert pipe.max_variation_s == pytest.approx(0.103, abs=0.01)
+
+    def test_camera_stage_order_matches_fig12b(self):
+        names = camera_pipeline().stage_names()
+        assert names.index("exposure") < names.index("transmission")
+        assert names.index("transmission") < names.index("isp")
+        assert names.index("isp") < names.index("application")
+
+    def test_imu_pipeline_faster_than_camera(self):
+        assert imu_pipeline().fixed_delay_s < camera_pipeline().fixed_delay_s
+
+    def test_imu_transmission_is_constant(self):
+        # "the data transmission delay is relatively constant".
+        imu = imu_pipeline()
+        tx = [s for s in imu.stages if s.name == "transmission"][0]
+        assert not tx.is_variable

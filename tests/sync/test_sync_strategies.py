@@ -1,0 +1,154 @@
+"""Tests for software vs hardware synchronization (paper Sec. VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.base import SensorClock
+from repro.sync.hardware_sync import (
+    HardwareSynchronizer,
+    HardwareSyncSimulation,
+    SynchronizerSpec,
+)
+from repro.sync.matching import (
+    MatchedPair,
+    SyncReport,
+    TimedRecord,
+    associate_nearest,
+)
+from repro.sync.software_sync import SoftwareSyncSimulation, paper_mismatch_example
+
+
+class TestAssociation:
+    def test_nearest_pairing(self):
+        cams = [TimedRecord("cam", 0.0, 0.10, 0)]
+        imus = [
+            TimedRecord("imu", t, t, i) for i, t in enumerate([0.0, 0.09, 0.2])
+        ]
+        pairs = associate_nearest(cams, imus)
+        assert pairs[0].imu.sequence_index == 1
+
+    def test_empty_imu_list(self):
+        assert associate_nearest([TimedRecord("cam", 0, 0, 0)], []) == []
+
+    def test_true_offset(self):
+        pair = MatchedPair(
+            camera=TimedRecord("cam", 1.00, 1.1, 0),
+            imu=TimedRecord("imu", 1.03, 1.1, 7),
+        )
+        assert pair.true_offset_s == pytest.approx(-0.03)
+
+    def test_report_from_empty(self):
+        r = SyncReport.from_pairs([])
+        assert r.n_pairs == 0
+        assert r.mean_abs_offset_s == 0.0
+
+    def test_report_statistics(self):
+        pairs = [
+            MatchedPair(
+                camera=TimedRecord("cam", 0.00, 0.0, 0),
+                imu=TimedRecord("imu", 0.02, 0.0, 0),
+            ),
+            MatchedPair(
+                camera=TimedRecord("cam", 1.00, 1.0, 1),
+                imu=TimedRecord("imu", 0.96, 1.0, 1),
+            ),
+        ]
+        r = SyncReport.from_pairs(pairs)
+        assert r.n_pairs == 2
+        assert r.mean_abs_offset_s == pytest.approx(0.03)
+        assert r.max_abs_offset_s == pytest.approx(0.04)
+
+
+class TestSoftwareSync:
+    def test_variable_latency_causes_mismatch(self):
+        # Even with perfectly-aligned sensor clocks, the variable pipeline
+        # latency mis-pairs samples by tens of milliseconds.
+        sim = SoftwareSyncSimulation(
+            camera_clock=SensorClock(), imu_clock=SensorClock(), seed=0
+        )
+        report = sim.report(duration_s=5.0)
+        assert report.mean_abs_offset_s > 0.005
+        assert report.max_abs_offset_s > 0.02
+
+    def test_clock_offset_makes_it_worse(self):
+        aligned = SoftwareSyncSimulation(
+            camera_clock=SensorClock(), imu_clock=SensorClock(), seed=1
+        ).report(5.0)
+        skewed = SoftwareSyncSimulation(
+            camera_clock=SensorClock(offset_s=0.05),
+            imu_clock=SensorClock(offset_s=-0.05),
+            seed=1,
+        ).report(5.0)
+        assert skewed.mean_abs_offset_s > aligned.mean_abs_offset_s
+
+    def test_paper_mismatch_example_skews_by_periods(self):
+        # Fig. 12b: C0 ends up paired with an IMU sample several periods
+        # late (the text's example: M7).
+        skew, offset = paper_mismatch_example(seed=3)
+        assert skew >= 2
+        assert abs(offset) > 0.005
+
+
+class TestHardwareSynchronizer:
+    def test_camera_rate_is_downsampled(self):
+        sync = HardwareSynchronizer()
+        assert sync.camera_rate_hz == pytest.approx(30.0)
+
+    def test_requires_gps_init(self):
+        sync = HardwareSynchronizer()
+        with pytest.raises(RuntimeError):
+            sync.trigger_schedule(1.0)
+
+    def test_every_camera_trigger_has_imu_trigger(self):
+        # Sec. VI-A2: downsampling "guarantees that each camera sample is
+        # always associated with an IMU sample".
+        sync = HardwareSynchronizer()
+        sync.init_timer_from_gps(0.0)
+        imu_times, cam_times = sync.trigger_schedule(1.0)
+        imu_set = set(imu_times)
+        assert all(t in imu_set for t in cam_times)
+
+    def test_imu_timestamp_exact(self):
+        sync = HardwareSynchronizer()
+        assert sync.timestamp_imu(1.234) == 1.234
+
+    def test_camera_timestamp_compensation_removes_constant_delay(self):
+        sync = HardwareSynchronizer(interface_jitter_s=0.0)
+        raw = sync.timestamp_camera_at_interface(2.0)
+        assert sync.compensate_camera_timestamp(raw) == pytest.approx(2.0)
+
+    def test_invalid_divider(self):
+        with pytest.raises(ValueError):
+            HardwareSynchronizer(camera_divider=0)
+
+    def test_spec_matches_paper(self):
+        # Sec. VI-A3: 1,443 LUTs, 1,587 registers, 5 mW, <1 ms delay.
+        spec = SynchronizerSpec()
+        assert spec.luts == 1_443
+        assert spec.registers == 1_587
+        assert spec.power_w == pytest.approx(5e-3)
+        assert spec.added_latency_s <= 1e-3
+
+
+class TestHardwareVsSoftware:
+    def test_hardware_sync_is_orders_of_magnitude_better(self):
+        sw = SoftwareSyncSimulation(
+            camera_clock=SensorClock(offset_s=0.02),
+            imu_clock=SensorClock(offset_s=-0.01),
+            seed=0,
+        ).report(5.0)
+        hw = HardwareSyncSimulation(seed=0).report(5.0)
+        assert hw.max_abs_offset_s < 0.001  # sub-millisecond
+        assert sw.mean_abs_offset_s / max(hw.mean_abs_offset_s, 1e-9) > 10.0
+
+    def test_hardware_pairs_coincident_samples(self):
+        pairs = HardwareSyncSimulation(seed=1).run(1.0)
+        assert all(abs(p.true_offset_s) < 0.001 for p in pairs)
+
+    def test_extensible_to_more_cameras(self):
+        # Sec. VI-A3: "Synchronizing more cameras simply requires expanding
+        # the number of trigger signals."
+        sync = HardwareSynchronizer(n_cameras=6)
+        sync.init_timer_from_gps(0.0)
+        _, cam_times = sync.trigger_schedule(1.0)
+        assert len(cam_times) >= 30

@@ -1,0 +1,179 @@
+"""Cross-validation property tests: our from-scratch components against
+independent reference implementations and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.spatial import cKDTree
+
+from repro.hw.cache import CacheConfig, CacheSimulator
+from repro.lidar.kdtree import KdTree
+from repro.lidar.pointcloud import PointCloud, rotation_z
+from repro.lidar.registration import icp
+from repro.perception.fusion import GpsVioFusion
+from repro.runtime.canbus import CanBus
+from repro.runtime.scheduler import PipelinedExecutor
+from repro.sensors.gps import GnssFix
+
+
+class TestKdTreeVsScipy:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 8))
+    def test_k_nearest_matches_ckdtree(self, seed, k):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-10, 10, (80, 3))
+        query = rng.uniform(-10, 10, 3)
+        ours = [i for i, _ in KdTree(points).k_nearest(query, k)]
+        _dists, reference = cKDTree(points).query(query, k=k)
+        reference = np.atleast_1d(reference)
+        assert ours == list(reference)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), radius=st.floats(0.5, 8.0))
+    def test_radius_search_matches_ckdtree(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-10, 10, (80, 3))
+        query = rng.uniform(-10, 10, 3)
+        ours = set(KdTree(points).radius_search(query, radius))
+        reference = set(cKDTree(points).query_ball_point(query, radius))
+        assert ours == reference
+
+
+class _ReferenceFullyAssociativeCache:
+    """An independent fully-associative LRU model for cross-checking."""
+
+    def __init__(self, n_lines: int, line_bytes: int) -> None:
+        self.n_lines = n_lines
+        self.line_bytes = line_bytes
+        self.lines: list = []
+
+    def access(self, address: int) -> bool:
+        line = address // self.line_bytes
+        if line in self.lines:
+            self.lines.remove(line)
+            self.lines.append(line)
+            return True
+        self.lines.append(line)
+        if len(self.lines) > self.n_lines:
+            self.lines.pop(0)
+        return False
+
+
+class TestCacheVsReference:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 5_000),
+        n_accesses=st.integers(10, 400),
+    )
+    def test_fully_associative_matches_reference(self, seed, n_accesses):
+        # With associativity == n_lines (one set) the simulator must agree
+        # exactly with an independently-written LRU model.
+        line_bytes, n_lines = 64, 8
+        config = CacheConfig(
+            size_bytes=line_bytes * n_lines,
+            line_bytes=line_bytes,
+            associativity=n_lines,
+        )
+        sim = CacheSimulator(config)
+        reference = _ReferenceFullyAssociativeCache(n_lines, line_bytes)
+        rng = np.random.default_rng(seed)
+        addresses = rng.integers(0, 64 * 32, size=n_accesses)
+        for address in addresses:
+            assert sim.access(int(address)) == reference.access(int(address))
+
+
+class TestIcpProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        angle=st.floats(-0.08, 0.08),
+        tx=st.floats(-0.5, 0.5),
+        ty=st.floats(-0.5, 0.5),
+        seed=st.integers(0, 1_000),
+    )
+    def test_recovers_random_small_transforms(self, angle, tx, ty, seed):
+        rng = np.random.default_rng(seed)
+        cloud = PointCloud(rng.uniform(-8, 8, (120, 3)))
+        moved = cloud.transformed(rotation_z(angle), np.array([tx, ty, 0.0]))
+        result = icp(cloud, moved, max_iterations=60)
+        aligned = result.apply(cloud)
+        err = np.linalg.norm(aligned.points - moved.points, axis=1).mean()
+        assert err < 0.05
+
+    def test_rotation_is_orthonormal(self):
+        rng = np.random.default_rng(3)
+        cloud = PointCloud(rng.uniform(-5, 5, (80, 3)))
+        moved = cloud.transformed(rotation_z(0.05), np.array([0.2, 0.0, 0.0]))
+        result = icp(cloud, moved)
+        should_be_identity = result.rotation @ result.rotation.T
+        np.testing.assert_allclose(should_be_identity, np.eye(3), atol=1e-9)
+        assert np.linalg.det(result.rotation) == pytest.approx(1.0)
+
+
+class TestEkfInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2_000),
+        n_steps=st.integers(1, 40),
+    )
+    def test_covariance_stays_symmetric_positive(self, seed, n_steps):
+        rng = np.random.default_rng(seed)
+        fusion = GpsVioFusion()
+        for k in range(n_steps):
+            fusion.predict_with_vio(
+                float(rng.normal(0.5, 0.1)), float(rng.normal(0, 0.1)), 0.1 * k
+            )
+            if rng.random() < 0.5:
+                fix = GnssFix(
+                    (fusion.position[0] + float(rng.normal(0, 0.5)),
+                     fusion.position[1] + float(rng.normal(0, 0.5))),
+                    valid=True,
+                )
+                fusion.update_with_gnss(fix, 0.1 * k)
+            cov = fusion.covariance
+            np.testing.assert_allclose(cov, cov.T, atol=1e-9)
+            eigenvalues = np.linalg.eigvalsh(cov)
+            assert (eigenvalues > 0).all()
+
+    def test_update_never_increases_uncertainty(self):
+        fusion = GpsVioFusion()
+        for k in range(5):
+            fusion.predict_with_vio(0.5, 0.0, 0.1 * k)
+        before = fusion.position_sigma_m
+        fusion.update_with_gnss(GnssFix(fusion.position, True), 1.0)
+        assert fusion.position_sigma_m <= before
+
+
+class TestCanBusProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        send_times=st.lists(
+            st.floats(0.0, 1.0), min_size=1, max_size=30
+        )
+    )
+    def test_fifo_ordering_preserved(self, send_times):
+        # Messages sent in order are delivered in order, and never faster
+        # than the nominal latency.
+        bus = CanBus()
+        sent = []
+        for i, t in enumerate(sorted(send_times)):
+            sent.append(bus.send(i, t))
+        deliveries = [m.deliver_at_s for m in sent]
+        assert deliveries == sorted(deliveries)
+        for message in sent:
+            assert message.latency_s >= bus.nominal_latency_s() - 1e-12
+
+
+class TestPipelineProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1_000), rate=st.floats(5.0, 30.0))
+    def test_pipeline_recurrence_invariants(self, seed, rate):
+        report = PipelinedExecutor(frame_rate_hz=rate, seed=seed).run(60)
+        # Per-stage FIFO: a stage never starts frame k before finishing
+        # frame k-1, and stages run in order for each frame.
+        for prev, cur in zip(report.timings, report.timings[1:]):
+            for s in range(3):
+                assert cur.stage_start_s[s] >= prev.stage_finish_s[s] - 1e-12
+        for timing in report.timings:
+            assert timing.latency_s >= timing.service_latency_s - 1e-12

@@ -1,0 +1,86 @@
+"""Documentation guards: the docs stay consistent with the code."""
+
+import pathlib
+import re
+
+import pytest
+
+import repro
+from repro.experiments import experiment_ids
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestExperimentsDoc:
+    def test_experiments_md_exists(self):
+        assert (REPO / "EXPERIMENTS.md").is_file()
+
+    def test_covers_every_registered_experiment(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        missing = [
+            eid for eid in experiment_ids() if f"### {eid} " not in text
+        ]
+        assert not missing, (
+            f"EXPERIMENTS.md is stale; regenerate with "
+            f"'python -m repro.experiments --markdown': missing {missing}"
+        )
+
+
+class TestDesignDoc:
+    def test_design_md_exists(self):
+        assert (REPO / "DESIGN.md").is_file()
+
+    def test_mentions_every_subpackage(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for subpackage in repro.__all__:
+            if subpackage.startswith("__"):
+                continue
+            assert f"{subpackage}/" in text or f"repro.{subpackage}" in text, (
+                f"DESIGN.md does not mention subpackage {subpackage!r}"
+            )
+
+    def test_paper_identity_check_present(self):
+        text = (REPO / "DESIGN.md").read_text()
+        assert "Paper identity check" in text
+
+
+class TestReadme:
+    def test_readme_exists(self):
+        assert (REPO / "README.md").is_file()
+
+    def test_every_example_listed(self):
+        text = (REPO / "README.md").read_text()
+        for example in sorted((REPO / "examples").glob("*.py")):
+            assert example.name in text, f"README misses {example.name}"
+
+    def test_listed_modules_exist(self):
+        # Every `repro.x.y` dotted path named in the README must import.
+        text = (REPO / "README.md").read_text()
+        for match in set(re.findall(r"`(repro(?:\.\w+)+)`", text)):
+            parts = match.split(".")
+            module = repro
+            for part in parts[1:]:
+                assert hasattr(module, part), f"README names missing {match}"
+                module = getattr(module, part)
+
+
+class TestPackageSurface:
+    def test_all_subpackages_importable(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert getattr(repro, name) is not None
+
+    def test_public_modules_have_docstrings(self):
+        src = REPO / "src" / "repro"
+        undocumented = []
+        for path in src.rglob("*.py"):
+            text = path.read_text()
+            stripped = text.lstrip()
+            if not (stripped.startswith('"""') or stripped.startswith("'''")):
+                undocumented.append(str(path.relative_to(src)))
+        assert not undocumented, f"modules missing docstrings: {undocumented}"
+
+    def test_version_matches_pyproject(self):
+        pyproject = (REPO / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject

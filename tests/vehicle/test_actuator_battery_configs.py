@@ -1,0 +1,151 @@
+"""Tests for the ECU/actuator, battery, and vehicle configurations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import calibration
+from repro.core.units import to_hours
+from repro.vehicle.actuator import Actuator, EngineControlUnit
+from repro.vehicle.battery import Battery, BatteryDepletedError
+from repro.vehicle.configs import eight_seater_shuttle, lidar_variant, two_seater_pod
+from repro.vehicle.dynamics import ControlCommand
+
+
+class TestEcu:
+    def test_latest_proactive_command_wins(self):
+        ecu = EngineControlUnit()
+        ecu.receive(ControlCommand(accel_mps2=1.0, timestamp_s=0.0))
+        ecu.receive(ControlCommand(accel_mps2=2.0, timestamp_s=0.1))
+        assert ecu.active_command(0.2).accel_mps2 == 2.0
+
+    def test_reactive_overrides_proactive(self):
+        # Sec. IV: reactive signals "override the current control commands
+        # from the proactive path".
+        ecu = EngineControlUnit()
+        ecu.receive(ControlCommand(accel_mps2=1.0, timestamp_s=0.0))
+        ecu.receive(
+            ControlCommand(accel_mps2=-4.0, timestamp_s=0.05, source="reactive")
+        )
+        active = ecu.active_command(0.1)
+        assert active.source == "reactive"
+        assert active.accel_mps2 == -4.0
+
+    def test_reactive_expires_after_hold(self):
+        ecu = EngineControlUnit(reactive_hold_s=0.5)
+        ecu.receive(ControlCommand(accel_mps2=1.0, timestamp_s=0.0))
+        ecu.receive(
+            ControlCommand(accel_mps2=-4.0, timestamp_s=0.0, source="reactive")
+        )
+        assert ecu.active_command(0.4).source == "reactive"
+        assert ecu.active_command(0.6).source == "proactive"
+
+    def test_clear_override(self):
+        ecu = EngineControlUnit()
+        ecu.receive(ControlCommand(timestamp_s=0.0, source="reactive"))
+        assert ecu.override_active
+        ecu.clear_override()
+        assert not ecu.override_active
+
+    def test_no_commands_yields_none(self):
+        assert EngineControlUnit().active_command(0.0) is None
+
+    def test_command_log_preserved(self):
+        ecu = EngineControlUnit()
+        for i in range(3):
+            ecu.receive(ControlCommand(timestamp_s=float(i)))
+        assert len(ecu.command_log) == 3
+
+
+class TestActuator:
+    def test_mechanical_latency_applied(self):
+        a = Actuator()
+        assert a.ready_at(1.0) == pytest.approx(1.0 + 0.019)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Actuator(mech_latency_s=-1.0)
+
+
+class TestBattery:
+    def test_starts_full(self):
+        assert Battery().state_of_charge == 1.0
+
+    def test_drain_accounting(self):
+        b = Battery()
+        consumed = b.drain(power_w=775.0, duration_s=3600.0)
+        assert consumed == pytest.approx(775.0 * 3600.0)
+        assert b.state_of_charge < 1.0
+
+    def test_paper_runtime_at_full_load(self):
+        # 6 kWh / 775 W = 7.74 h — the paper's "from 10 hours to 7.7 hours".
+        b = Battery()
+        runtime = b.runtime_at_power_s(
+            calibration.VEHICLE_POWER_W + calibration.AD_POWER_W
+        )
+        assert to_hours(runtime) == pytest.approx(7.74, abs=0.01)
+
+    def test_depletion_raises(self):
+        b = Battery(capacity_j=100.0)
+        with pytest.raises(BatteryDepletedError):
+            b.drain(power_w=200.0, duration_s=1.0)
+
+    def test_recharge(self):
+        b = Battery()
+        b.drain(100.0, 10.0)
+        b.recharge()
+        assert b.state_of_charge == 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_j=0.0)
+        with pytest.raises(ValueError):
+            Battery().drain(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            Battery().runtime_at_power_s(0.0)
+        with pytest.raises(ValueError):
+            Battery(capacity_j=10.0, charge_j=20.0)
+
+    @given(
+        power=st.floats(1.0, 1000.0),
+        duration=st.floats(0.0, 100.0),
+    )
+    def test_charge_never_negative(self, power, duration):
+        b = Battery(capacity_j=1e6)
+        try:
+            b.drain(power, duration)
+        except BatteryDepletedError:
+            pass
+        assert b.charge_j >= 0.0
+
+
+class TestConfigs:
+    def test_pod_meets_paper_numbers(self):
+        pod = two_seater_pod()
+        assert pod.ad_power.total_power_w == pytest.approx(175.0)
+        assert pod.sensor_bom.total_cost_usd == pytest.approx(6_600.0)
+        assert pod.retail_price_usd == 70_000.0
+
+    def test_pod_energy_model_loses_2_3_hours(self):
+        em = two_seater_pod().energy_model()
+        assert to_hours(em.reduced_driving_time_s) == pytest.approx(2.26, abs=0.05)
+
+    def test_shuttle_has_more_seats_and_power(self):
+        pod, shuttle = two_seater_pod(), eight_seater_shuttle()
+        assert shuttle.seats > pod.seats
+        assert shuttle.vehicle_power_w > pod.vehicle_power_w
+        assert shuttle.dynamics.wheelbase_m > pod.dynamics.wheelbase_m
+
+    def test_lidar_variant_power_and_cost(self):
+        lv = lidar_variant()
+        # 175 W + 92 W of LiDARs.
+        assert lv.ad_power.total_power_w == pytest.approx(267.0)
+        assert lv.sensor_bom.total_cost_usd > 100_000.0
+        assert lv.retail_price_usd == 300_000.0
+
+    def test_lidar_variant_reduces_driving_time_further(self):
+        ours = two_seater_pod().energy_model().reduced_driving_time_s
+        lidar = lidar_variant().energy_model().reduced_driving_time_s
+        assert to_hours(lidar - ours) == pytest.approx(0.8, abs=0.1)
+
+    def test_speed_cap_is_20mph(self):
+        assert two_seater_pod().dynamics.max_speed_mps == pytest.approx(8.94, abs=0.01)
