@@ -25,6 +25,9 @@ The library is organized as the paper is:
   collision checking, prediction, the reactive path.
 * :mod:`repro.runtime` — the SoV: dataflow graph, pipelined scheduler,
   CAN bus, closed-loop drive simulation.
+* :mod:`repro.robustness` — Sec. III-C safety machinery: declarative
+  fault injection, heartbeat/watchdog health monitoring with an MTTR
+  restart model, and the graceful-degradation supervisor.
 * :mod:`repro.cloud` — Fig. 1 offline services: maps, training, uplink.
 
 Quickstart::
@@ -46,6 +49,7 @@ from . import (
     lidar,
     perception,
     planning,
+    robustness,
     runtime,
     scene,
     sensors,
@@ -60,6 +64,7 @@ __all__ = [
     "lidar",
     "perception",
     "planning",
+    "robustness",
     "runtime",
     "scene",
     "sensors",

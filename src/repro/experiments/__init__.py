@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (imports register the experiments)
     closedloop_study,
     extensions_study,
     codesign_study,
+    fault_campaign,
     latency_study,
     lidar_study,
     platform_study,

@@ -20,12 +20,19 @@ from ..vehicle.dynamics import ControlCommand
 
 @dataclass(frozen=True)
 class ReactiveDecision:
-    """Outcome of one reactive-path evaluation."""
+    """Outcome of one reactive-path evaluation.
+
+    ``triggered`` marks a *new intervention* (the path stopped a moving
+    vehicle); ``held`` marks a standing brake-hold refresh on a vehicle
+    that is already stopped — a hold carries a command but is not counted
+    as a trigger, so trigger counts reflect real interventions.
+    """
 
     triggered: bool
     distance_m: Optional[float]
     threshold_m: float
     command: Optional[ControlCommand] = None
+    held: bool = False
 
 
 @dataclass
@@ -42,6 +49,9 @@ class ReactivePath:
 
     latency_s: float = calibration.REACTIVE_PATH_LATENCY_S
     margin_m: float = 0.3
+    #: Below this speed the vehicle counts as stopped: an in-threshold
+    #: obstruction yields a brake *hold*, not a new trigger.
+    stopped_speed_eps_mps: float = 0.05
     latency_model: LatencyModel = field(default_factory=LatencyModel)
     triggers: int = field(default=0, init=False)
 
@@ -53,11 +63,18 @@ class ReactivePath:
         )
 
     def evaluate(
-        self, nearest_distance_m: Optional[float], now_s: float
+        self,
+        nearest_distance_m: Optional[float],
+        now_s: float,
+        speed_mps: Optional[float] = None,
     ) -> ReactiveDecision:
         """Evaluate one radar/sonar reading.
 
         ``nearest_distance_m`` is None when no obstruction is in view.
+        When *speed_mps* is supplied and the vehicle is already stopped,
+        an in-threshold obstruction refreshes the standing brake command
+        (``held=True``) without counting a trigger — braking a parked
+        vehicle is not an intervention.
         """
         threshold = self.threshold_m
         if nearest_distance_m is None or nearest_distance_m > threshold:
@@ -66,13 +83,21 @@ class ReactivePath:
                 distance_m=nearest_distance_m,
                 threshold_m=threshold,
             )
-        self.triggers += 1
         command = ControlCommand(
             steer_rad=0.0,
             accel_mps2=-self.latency_model.decel_mps2,
             timestamp_s=now_s + self.latency_s,
             source="reactive",
         )
+        if speed_mps is not None and speed_mps <= self.stopped_speed_eps_mps:
+            return ReactiveDecision(
+                triggered=False,
+                distance_m=nearest_distance_m,
+                threshold_m=threshold,
+                command=command,
+                held=True,
+            )
+        self.triggers += 1
         return ReactiveDecision(
             triggered=True,
             distance_m=nearest_distance_m,

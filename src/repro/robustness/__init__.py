@@ -1,0 +1,57 @@
+"""Fault injection, health monitoring, and graceful degradation.
+
+The safety subsystem of the repro: declarative fault scenarios
+(:mod:`repro.robustness.faults`), heartbeat/watchdog health monitoring
+with an MTTR restart model (:mod:`repro.robustness.health`), and the
+NOMINAL → DEGRADED → REACTIVE_ONLY → SAFE_STOP supervisor
+(:mod:`repro.robustness.degradation`) that the closed-loop SoV consults
+every control tick.
+"""
+
+from .degradation import (
+    DegradationMode,
+    DegradationPolicy,
+    DegradationStateMachine,
+    HealthInputs,
+    ModeTransition,
+)
+from .faults import (
+    CameraFrameDropFault,
+    CanBusFault,
+    EMPTY_SCENARIO,
+    FaultHarness,
+    FaultScenario,
+    FaultWindow,
+    GpsDenialFault,
+    LatencySpikeFault,
+    PerceptionCrashFault,
+    PerceptionStallFault,
+    SensorDropoutFault,
+    SensorFreezeFault,
+    SensorStuckValueFault,
+)
+from .health import HealthMonitor, HealthReport, ModuleHealth
+
+__all__ = [
+    "CameraFrameDropFault",
+    "CanBusFault",
+    "DegradationMode",
+    "DegradationPolicy",
+    "DegradationStateMachine",
+    "EMPTY_SCENARIO",
+    "FaultHarness",
+    "FaultScenario",
+    "FaultWindow",
+    "GpsDenialFault",
+    "HealthInputs",
+    "HealthMonitor",
+    "HealthReport",
+    "LatencySpikeFault",
+    "ModeTransition",
+    "ModuleHealth",
+    "PerceptionCrashFault",
+    "PerceptionStallFault",
+    "SensorDropoutFault",
+    "SensorFreezeFault",
+    "SensorStuckValueFault",
+]

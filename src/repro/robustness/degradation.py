@@ -1,0 +1,198 @@
+"""Graceful-degradation state machine for the SoV (paper Sec. III-C, IV).
+
+The vehicle's supervisor runs a small, auditable state machine over the
+health picture each control tick:
+
+* ``NOMINAL`` — everything healthy; the proactive pipeline drives.
+* ``DEGRADED`` — a non-critical fault (GPS denial, lossy CAN, dead radar
+  with vision still up): keep driving under a speed cap so the remaining
+  sensing/stopping envelope still covers the worst case.
+* ``REACTIVE_ONLY`` — the proactive pipeline is down but the reactive
+  Radar/Sonar→ECU path still works: limp toward a crawl speed; the
+  reactive path guards the way.
+* ``SAFE_STOP`` — no trustworthy forward sensing at all (perception down
+  *and* radar faulted): brake to a stop and hold.
+
+Recovery is hysteretic: the machine only relaxes toward ``NOMINAL`` after
+the inputs have been healthy for ``policy.recovery_hold_s``, so a flapping
+module cannot oscillate the vehicle between modes every tick.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..vehicle.dynamics import ControlCommand
+
+
+class DegradationMode(enum.Enum):
+    """Operating modes, ordered from healthy to stopped."""
+
+    NOMINAL = 0
+    DEGRADED = 1
+    REACTIVE_ONLY = 2
+    SAFE_STOP = 3
+
+    @property
+    def severity(self) -> int:
+        return self.value
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Tunable caps and timing for the degradation modes."""
+
+    degraded_speed_cap_mps: float = 2.5
+    reactive_only_speed_cap_mps: float = 1.0
+    recovery_hold_s: float = 1.0
+    limp_decel_mps2: float = 1.5
+    stop_decel_mps2: float = 4.0
+
+    def speed_cap_mps(self, mode: DegradationMode) -> Optional[float]:
+        if mode is DegradationMode.DEGRADED:
+            return self.degraded_speed_cap_mps
+        if mode is DegradationMode.REACTIVE_ONLY:
+            return self.reactive_only_speed_cap_mps
+        if mode is DegradationMode.SAFE_STOP:
+            return 0.0
+        return None
+
+
+@dataclass(frozen=True)
+class HealthInputs:
+    """The supervisor's view of the system, one control tick."""
+
+    perception_up: bool = True
+    planning_up: bool = True
+    radar_up: bool = True
+    gps_ok: bool = True
+    can_ok: bool = True
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.perception_up
+            and self.planning_up
+            and self.radar_up
+            and self.gps_ok
+            and self.can_ok
+        )
+
+
+@dataclass(frozen=True)
+class ModeTransition:
+    """One recorded mode change."""
+
+    time_s: float
+    previous: DegradationMode
+    mode: DegradationMode
+    reason: str
+
+
+class DegradationStateMachine:
+    """NOMINAL → DEGRADED → REACTIVE_ONLY → SAFE_STOP supervisor."""
+
+    def __init__(self, policy: Optional[DegradationPolicy] = None) -> None:
+        self.policy = policy or DegradationPolicy()
+        self.mode = DegradationMode.NOMINAL
+        self.transitions: List[ModeTransition] = []
+        self.mode_ticks: Dict[str, int] = {m.name: 0 for m in DegradationMode}
+        self._healthy_since_s: Optional[float] = None
+
+    # -- classification --------------------------------------------------------
+
+    @staticmethod
+    def target_mode(inputs: HealthInputs) -> Tuple[DegradationMode, str]:
+        """The mode the inputs call for, ignoring hysteresis."""
+        proactive_up = inputs.perception_up and inputs.planning_up
+        if not proactive_up and not inputs.radar_up:
+            return DegradationMode.SAFE_STOP, "no forward sensing left"
+        if not proactive_up:
+            return DegradationMode.REACTIVE_ONLY, "proactive pipeline down"
+        if not inputs.radar_up:
+            return DegradationMode.DEGRADED, "reactive safety net unavailable"
+        if not inputs.gps_ok:
+            return DegradationMode.DEGRADED, "GPS denied"
+        if not inputs.can_ok:
+            return DegradationMode.DEGRADED, "CAN bus lossy"
+        return DegradationMode.NOMINAL, "healthy"
+
+    # -- the tick --------------------------------------------------------------
+
+    def update(self, now_s: float, inputs: HealthInputs) -> DegradationMode:
+        """Advance one control tick; returns the (possibly new) mode.
+
+        Escalation is immediate; relaxation requires the inputs to have
+        been healthy-enough for ``recovery_hold_s``.
+        """
+        target, reason = self.target_mode(inputs)
+        if target.severity >= self.mode.severity:
+            if target is not self.mode:
+                self._transition(now_s, target, reason)
+            self._healthy_since_s = None if target.severity else now_s
+        else:
+            # Wanting to relax: arm/check the hysteresis timer.
+            if self._healthy_since_s is None:
+                self._healthy_since_s = now_s
+            elif now_s - self._healthy_since_s >= self.policy.recovery_hold_s:
+                self._transition(now_s, target, f"recovered: {reason}")
+                self._healthy_since_s = now_s if target.severity == 0 else None
+        self.mode_ticks[self.mode.name] += 1
+        return self.mode
+
+    def _transition(
+        self, now_s: float, mode: DegradationMode, reason: str
+    ) -> None:
+        self.transitions.append(
+            ModeTransition(
+                time_s=now_s, previous=self.mode, mode=mode, reason=reason
+            )
+        )
+        self.mode = mode
+
+    # -- command shaping -------------------------------------------------------
+
+    @property
+    def speed_cap_mps(self) -> Optional[float]:
+        return self.policy.speed_cap_mps(self.mode)
+
+    @property
+    def proactive_allowed(self) -> bool:
+        """Whether planner output may drive the vehicle in this mode."""
+        return self.mode in (DegradationMode.NOMINAL, DegradationMode.DEGRADED)
+
+    def shape_command(
+        self, command: ControlCommand, speed_mps: float
+    ) -> ControlCommand:
+        """Clamp a proactive command to the current mode's speed cap."""
+        cap = self.speed_cap_mps
+        if cap is None:
+            return command
+        if speed_mps > cap:
+            accel = min(command.accel_mps2, -self.policy.limp_decel_mps2)
+        else:
+            # Never accelerate past the cap within the next second.
+            accel = min(command.accel_mps2, max(0.0, cap - speed_mps))
+        return replace(command, accel_mps2=accel)
+
+    def fallback_command(
+        self, now_s: float, speed_mps: float
+    ) -> ControlCommand:
+        """The supervisor's own command for REACTIVE_ONLY / SAFE_STOP."""
+        if self.mode is DegradationMode.SAFE_STOP:
+            return ControlCommand(
+                steer_rad=0.0,
+                accel_mps2=-self.policy.stop_decel_mps2,
+                timestamp_s=now_s,
+                source="degradation",
+            )
+        cap = self.policy.reactive_only_speed_cap_mps
+        accel = -self.policy.limp_decel_mps2 if speed_mps > cap else 0.0
+        return ControlCommand(
+            steer_rad=0.0,
+            accel_mps2=accel,
+            timestamp_s=now_s,
+            source="degradation",
+        )

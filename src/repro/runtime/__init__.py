@@ -1,4 +1,8 @@
-"""The SoV runtime: dataflow, pipelined scheduler, CAN bus, closed loop."""
+"""The SoV runtime: dataflow, pipelined scheduler, CAN bus, closed loop.
+
+Fault injection, health monitoring, and the degradation supervisor the
+closed loop consults live in :mod:`repro.robustness`.
+"""
 
 from .alp import AlpExecutor, AlpReport, paper_assignment, paper_devices, single_device_assignment
 from .canbus import CanBus, CanMessage

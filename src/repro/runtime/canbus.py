@@ -5,15 +5,25 @@ CAN bus with ~1 ms latency (``Tdata``).  The model is a delay queue with a
 frame-size-based serialization time on a classic 500 kbit/s bus, so
 ``Tdata`` emerges from bus physics rather than being a bare constant —
 and contention from chatty senders is observable.
+
+Fault injection (:class:`repro.robustness.faults.CanBusFault`) layers
+frame loss and delay bursts on top: a lost frame still occupies the wire
+(it is corrupted and dropped after serialization), so loss under
+contention delays the survivors too.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+import numpy as np
 
 from ..core import calibration
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..robustness.faults import CanBusFault
 
 
 @dataclass(frozen=True)
@@ -24,6 +34,9 @@ class CanMessage:
     sent_at_s: float
     deliver_at_s: float
     arbitration_id: int = 0
+    #: True when fault injection corrupted the frame: it occupied the bus
+    #: but never reaches the receiver.
+    dropped: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -44,7 +57,7 @@ class CanBus:
     def __init__(
         self,
         bit_rate_bps: float = 500_000.0,
-        fixed_overhead_s: float = None,
+        fixed_overhead_s: Optional[float] = None,
     ) -> None:
         if bit_rate_bps <= 0:
             raise ValueError("bit rate must be positive")
@@ -58,6 +71,10 @@ class CanBus:
         self._queue: List[Tuple[float, int, CanMessage]] = []
         self._bus_free_at_s = 0.0
         self._sequence = 0
+        self._fault: Optional["CanBusFault"] = None
+        self._fault_rng: Optional[np.random.Generator] = None
+        self.frames_sent = 0
+        self.frames_dropped = 0
 
     @property
     def frame_time_s(self) -> float:
@@ -66,19 +83,59 @@ class CanBus:
     def nominal_latency_s(self) -> float:
         return self.frame_time_s + self.fixed_overhead_s
 
+    # -- fault injection -------------------------------------------------------
+
+    def set_fault(
+        self,
+        fault: Optional["CanBusFault"],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Install (or clear) the active fault model for subsequent sends."""
+        if fault is not None and rng is None and self._fault_rng is None:
+            raise ValueError("a CAN fault needs an RNG for loss decisions")
+        self._fault = fault
+        if rng is not None:
+            self._fault_rng = rng
+
+    @property
+    def fault_active(self) -> bool:
+        return self._fault is not None
+
+    # -- the wire --------------------------------------------------------------
+
     def send(self, payload: Any, now_s: float, arbitration_id: int = 0) -> CanMessage:
-        """Queue a frame; delivery accounts for bus serialization."""
+        """Queue a frame; delivery accounts for bus serialization.
+
+        Under an active fault the frame may be corrupted (``dropped=True``,
+        never delivered) or delayed; either way it occupies the wire.
+        """
         start = max(now_s, self._bus_free_at_s)
         finish = start + self.frame_time_s
         self._bus_free_at_s = finish
+        self.frames_sent += 1
+        extra_delay = 0.0
+        dropped = False
+        if self._fault is not None:
+            if (
+                self._fault.loss_prob > 0.0
+                and self._fault_rng.random() < self._fault.loss_prob
+            ):
+                dropped = True
+            extra_delay = self._fault.extra_delay_s
         message = CanMessage(
             payload=payload,
             sent_at_s=now_s,
-            deliver_at_s=finish + self.fixed_overhead_s,
+            deliver_at_s=finish + self.fixed_overhead_s + extra_delay,
             arbitration_id=arbitration_id,
+            dropped=dropped,
         )
-        heapq.heappush(self._queue, (message.deliver_at_s, self._sequence, message))
-        self._sequence += 1
+        if dropped:
+            self.frames_dropped += 1
+        else:
+            heapq.heappush(
+                self._queue, (message.deliver_at_s, self._sequence, message)
+            )
+            self._sequence += 1
         return message
 
     def deliver_due(self, now_s: float) -> List[CanMessage]:
@@ -91,3 +148,10 @@ class CanBus:
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    @property
+    def loss_rate(self) -> float:
+        """Observed frame-loss fraction over the bus's lifetime."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_sent

@@ -20,7 +20,10 @@ input of the VIO/fusion pipeline, end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..robustness.faults import FaultHarness
 
 from ..scene.kitti_like import (
     CameraIntrinsics,
@@ -69,12 +72,22 @@ class FpgaSensorHub:
         atomic = self.rig.gps.atomic_time(true_time_s)
         self.synchronizer.init_timer_from_gps(atomic)
 
-    def capture(self, duration_s: float) -> DriveSequence:
+    def capture(
+        self,
+        duration_s: float,
+        fault_harness: Optional["FaultHarness"] = None,
+    ) -> DriveSequence:
         """Run the synchronized capture pipeline for *duration_s*.
 
         Every frame/IMU sample is captured at its *trigger* instant and
         carries the compensated near-sensor timestamp — by construction,
         timestamp error is bounded by the interface jitter.
+
+        When a *fault_harness* is supplied, camera frames scheduled inside
+        an active :class:`~repro.robustness.faults.CameraFrameDropFault`
+        window may be lost before timestamping (the frame never leaves the
+        sensor interface); dropped triggers leave a gap in the frame index
+        sequence so downstream consumers can observe the loss.
         """
         if not self.synchronizer.timer_initialized:
             self.initialize_from_gps(0.0)
@@ -82,6 +95,8 @@ class FpgaSensorHub:
         camera = self.rig.front_stereo()[0]
         frames: List[Frame] = []
         for index, trigger in enumerate(camera_times):
+            if fault_harness is not None and fault_harness.frame_dropped(trigger):
+                continue
             payload = camera.measure(trigger)
             raw = self.synchronizer.timestamp_camera_at_interface(
                 trigger,

@@ -7,6 +7,15 @@ The control loop runs at the paper's 10 Hz; each proactive command reaches
 the actuator after ``Tcomp`` (sampled from the calibrated dataflow) +
 ``Tdata`` (CAN) + ``Tmech`` (actuator), so Eq. 1 plays out mechanically in
 closed loop rather than analytically.
+
+The loop is fault-aware (Sec. III-C): a :class:`FaultScenario` injects
+sensor dropouts, CAN loss/delay bursts, perception crashes/stalls, and
+GPS denial; a heartbeat/watchdog :class:`HealthMonitor` notices dead
+modules and models supervised restarts; and a graceful-degradation state
+machine (NOMINAL → DEGRADED → REACTIVE_ONLY → SAFE_STOP) shapes or
+replaces the planner's commands each tick.  With no scenario attached the
+fault machinery consumes no randomness and the loop behaves exactly as
+the nominal model.
 """
 
 from __future__ import annotations
@@ -21,6 +30,14 @@ from ..core import calibration
 from ..planning.mpc import MpcPlanner
 from ..planning.prediction import TrackedObject
 from ..planning.reactive import ReactivePath
+from ..robustness.degradation import (
+    DegradationMode,
+    DegradationPolicy,
+    DegradationStateMachine,
+    HealthInputs,
+)
+from ..robustness.faults import FaultHarness, FaultScenario
+from ..robustness.health import HealthMonitor, HealthReport
 from ..scene.lanes import LaneMap, straight_corridor
 from ..scene.world import Agent, Obstacle, World
 from ..vehicle.actuator import Actuator, EngineControlUnit
@@ -29,6 +46,14 @@ from ..vehicle.dynamics import BicycleModel, ControlCommand, VehicleState
 from .canbus import CanBus
 from .dataflow import SovDataflow, paper_dataflow
 from .telemetry import LatencyStats, OperationsLog
+
+#: Latency of a degradation-supervisor fallback command: the supervisor
+#: runs on the safety island next to the planner output stage, so only
+#: a planning-scale delay applies before the frame enters the CAN bus.
+_SUPERVISOR_LATENCY_S = 0.005
+
+#: How long one observed CAN transmit error keeps the bus flagged lossy.
+_CAN_DEGRADED_HOLD_S = 0.5
 
 
 @dataclass
@@ -49,6 +74,17 @@ class SovConfig:
     ad_power_w: float = calibration.AD_POWER_W
     vehicle_power_w: float = calibration.VEHICLE_POWER_W
     seed: int = 0
+    #: Declarative fault schedule for this drive (None: inject nothing).
+    scenario: Optional[FaultScenario] = None
+    #: Whether the degradation supervisor may shape/replace commands.
+    #: Disabling it (together with ``reactive_enabled=False``) yields the
+    #: unprotected baseline the fault campaign ablates against.
+    degradation_enabled: bool = True
+    degradation_policy: Optional[DegradationPolicy] = None
+    #: Heartbeat watchdog timeout for on-vehicle modules.
+    watchdog_timeout_s: float = 0.5
+    #: Mean time-to-repair for supervised module restarts.
+    mttr_mean_s: float = 0.8
 
 
 @dataclass
@@ -60,6 +96,8 @@ class DriveResult:
     latency: LatencyStats
     min_obstacle_clearance_m: float
     stopped: bool
+    health: Optional[HealthReport] = None
+    final_mode: str = DegradationMode.NOMINAL.name
 
     @property
     def collided(self) -> bool:
@@ -101,18 +139,38 @@ class SystemsOnAVehicle:
         self.latency = LatencyStats()
         self.ops = OperationsLog()
         self._pending: List[_PendingCommand] = []
+        # -- robustness stack -------------------------------------------------
+        self.harness = FaultHarness(self.config.scenario, seed=self.config.seed)
+        self.health = HealthMonitor(
+            default_timeout_s=self.config.watchdog_timeout_s,
+            mttr_mean_s=self.config.mttr_mean_s,
+            seed=self.config.seed,
+        )
+        self.health.register("perception")
+        self.health.register("planning")
+        if self.config.reactive_enabled:
+            self.health.register("radar")
+        self.degradation = DegradationStateMachine(
+            self.config.degradation_policy
+        )
+        self._can_drops_seen = 0
+        self._can_degraded_until_s = -math.inf
 
     # -- perception surrogate -------------------------------------------------
 
-    def _perceive(self) -> Tuple[List[TrackedObject], List[Obstacle]]:
+    def _perceive(self, now_s: float) -> Tuple[List[TrackedObject], List[Obstacle]]:
         """Perception output: tracked agents and visible static obstacles.
 
         In the full system this comes from detection + radar tracking; in
         the closed loop we read the world within sensing range (perception
         accuracy is characterized separately in :mod:`repro.perception`).
+        A camera dropout fault blinds this path entirely — and silently:
+        the perception task keeps heartbeating on empty frames.
         """
-        objects = []
-        obstacles = []
+        objects: List[TrackedObject] = []
+        obstacles: List[Obstacle] = []
+        if self.harness.vision_blinded(now_s):
+            return objects, obstacles
         for entity in self.world.entities_in_range(
             self.state.x_m, self.state.y_m, self.config.sensing_range_m
         ):
@@ -147,12 +205,82 @@ class SystemsOnAVehicle:
         )
         return None if hit is None else hit[0]
 
+    # -- supervision ------------------------------------------------------------
+
+    def _supervise(self, now_s: float) -> None:
+        """Advance the watchdog and the degradation state machine."""
+        self.health.check(now_s)
+        if self.can_bus.frames_dropped > self._can_drops_seen:
+            self._can_drops_seen = self.can_bus.frames_dropped
+            self._can_degraded_until_s = now_s + _CAN_DEGRADED_HOLD_S
+        if not self.config.degradation_enabled:
+            return
+        inputs = HealthInputs(
+            perception_up=self.health.is_up("perception"),
+            planning_up=self.health.is_up("planning"),
+            radar_up=(
+                self.health.is_up("radar")
+                if self.config.reactive_enabled
+                else True
+            ),
+            gps_ok=not self.harness.gps_denied(now_s),
+            can_ok=now_s >= self._can_degraded_until_s,
+        )
+        self.degradation.update(now_s, inputs)
+
+    def _shadow_stalled(self, now_s: float) -> bool:
+        """Whether an injected stall would blow the watchdog deadline
+        even when the module's output is not driving (shadow execution)."""
+        stall = sum(
+            f.extra_latency_s
+            for f in self.harness.scenario.active("perception_stall", now_s)
+        )
+        return stall > self.config.watchdog_timeout_s
+
     # -- control paths ---------------------------------------------------------
+
+    def _send_command(self, command: ControlCommand, leave_at_s: float) -> None:
+        """Ship a command over the (possibly faulty) CAN bus to the ECU."""
+        self.can_bus.set_fault(
+            self.harness.can_fault(leave_at_s), self.harness.can_rng()
+        )
+        message = self.can_bus.send(command, leave_at_s)
+        if message.dropped:
+            self.ops.can_frames_dropped += 1
+            return
+        self._pending.append(
+            _PendingCommand(
+                apply_at_s=self.actuator.ready_at(message.deliver_at_s),
+                command=command,
+            )
+        )
 
     def _proactive_tick(self, now_s: float) -> None:
         from ..planning.prediction import predict_constant_velocity
 
-        objects, obstacles = self._perceive()
+        cfg = self.config
+        self.ops.control_ticks += 1
+        perception_runs = self.health.is_up("perception") and not (
+            self.harness.perception_crashed(now_s)
+        )
+        if cfg.degradation_enabled and not self.degradation.proactive_allowed:
+            # Supervisor drives; the pipeline (if alive) runs in shadow so
+            # its heartbeats reflect execution, not trust.
+            if perception_runs and not self._shadow_stalled(now_s):
+                self.health.beat("perception", now_s)
+                self.health.beat("planning", now_s)
+            command = self.degradation.fallback_command(
+                now_s, self.state.speed_mps
+            )
+            self._send_command(command, now_s + _SUPERVISOR_LATENCY_S)
+            self.ops.fallback_commands += 1
+            return
+        if not perception_runs:
+            # Crashed or awaiting restart: no plan leaves the platform and
+            # no heartbeat reaches the watchdog this tick.
+            self.ops.proactive_skips += 1
+            return
+        objects, obstacles = self._perceive(now_s)
         predictions = predict_constant_velocity(
             objects, horizon_s=self.planner.horizon_s, dt_s=self.planner.dt_s
         ) if objects else []
@@ -162,11 +290,13 @@ class SystemsOnAVehicle:
             static_obstacles=obstacles,
             now_s=now_s,
         )
-        if self.config.fixed_computing_latency_s is not None:
-            tcomp = self.config.fixed_computing_latency_s
+        overhead_s = self.harness.perception_overhead_s(now_s)
+        if cfg.fixed_computing_latency_s is not None:
+            tcomp = cfg.fixed_computing_latency_s + overhead_s
             self.latency.record(tcomp)
         else:
             latencies, tcomp = self.dataflow.sample_iteration(self._rng)
+            tcomp += overhead_s
             self.latency.record(
                 tcomp,
                 {
@@ -174,19 +304,28 @@ class SystemsOnAVehicle:
                     for stage in SovDataflow.STAGES
                 },
             )
-        # The command leaves the computing platform Tcomp after sensing.
-        message = self.can_bus.send(plan.command, now_s + tcomp)
-        self._pending.append(
-            _PendingCommand(
-                apply_at_s=self.actuator.ready_at(message.deliver_at_s),
-                command=plan.command,
+        # A heartbeat marks a completed-in-time iteration; an injected
+        # stall beyond the watchdog deadline loses it (the stall *is* the
+        # missed deadline).  The calibrated latency tail is within spec.
+        if overhead_s <= cfg.watchdog_timeout_s:
+            self.health.beat("perception", now_s)
+            self.health.beat("planning", now_s)
+        command = plan.command
+        if cfg.degradation_enabled:
+            command = self.degradation.shape_command(
+                command, self.state.speed_mps
             )
-        )
-        self.ops.control_ticks += 1
+        # The command leaves the computing platform Tcomp after sensing.
+        self._send_command(command, now_s + tcomp)
 
     def _reactive_tick(self, now_s: float) -> None:
-        decision = self.reactive.evaluate(self._forward_distance_m(), now_s)
-        if decision.triggered and decision.command is not None:
+        reading = self.harness.radar_reading(self._forward_distance_m(), now_s)
+        if not self.harness.sensor_faulted("radar", now_s):
+            self.health.beat("radar", now_s)
+        decision = self.reactive.evaluate(
+            reading, now_s, speed_mps=self.state.speed_mps
+        )
+        if decision.command is not None:
             # Reactive signals enter the ECU directly; the 30 ms reactive
             # latency already covers sensing + transport (Sec. IV).
             self._pending.append(
@@ -197,7 +336,10 @@ class SystemsOnAVehicle:
                     command=decision.command,
                 )
             )
-            self.ops.reactive_overrides += 1
+            if decision.triggered:
+                self.ops.reactive_overrides += 1
+            elif decision.held:
+                self.ops.reactive_holds += 1
 
     # -- the loop ---------------------------------------------------------------
 
@@ -216,6 +358,7 @@ class SystemsOnAVehicle:
         steps = int(round(duration_s / dt))
         for _ in range(steps):
             if now >= next_control:
+                self._supervise(now)
                 self._proactive_tick(now)
                 next_control += control_period
             if cfg.reactive_enabled and now >= next_reactive:
@@ -243,12 +386,16 @@ class SystemsOnAVehicle:
                 if clearance <= 0.0:
                     self.ops.collisions += 1
             now += dt
+        self.ops.faults_injected = dict(self.harness.injections)
+        self.ops.mode_ticks = dict(self.degradation.mode_ticks)
         return DriveResult(
             final_state=self.state,
             ops=self.ops,
             latency=self.latency,
             min_obstacle_clearance_m=min_clearance,
             stopped=self.state.speed_mps < 0.05,
+            health=self.health.report(elapsed_s=now),
+            final_mode=self.degradation.mode.name,
         )
 
 
@@ -258,12 +405,16 @@ def obstacle_ahead_scenario(
     reactive_enabled: bool = True,
     initial_speed_mps: float = calibration.TYPICAL_SPEED_MPS,
     seed: int = 0,
+    fault_scenario: Optional[FaultScenario] = None,
+    degradation_enabled: bool = True,
 ) -> SystemsOnAVehicle:
     """The Eq. 1 validation scenario: a single-lane corridor with an
     obstacle that is *object_distance_m* ahead when the drive starts.
 
     With a single lane the planner cannot swerve; the run measures whether
     the vehicle stops in time — the closed-loop counterpart of Fig. 3a.
+    An optional *fault_scenario* turns the same corridor into a safety
+    drill (the fault-campaign study builds on this).
     """
     if object_distance_m <= 0:
         raise ValueError("object distance must be positive")
@@ -274,6 +425,8 @@ def obstacle_ahead_scenario(
         fixed_computing_latency_s=computing_latency_s,
         reactive_enabled=reactive_enabled,
         seed=seed,
+        scenario=fault_scenario,
+        degradation_enabled=degradation_enabled,
     )
     return SystemsOnAVehicle(
         world=world,

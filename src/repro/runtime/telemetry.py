@@ -84,9 +84,23 @@ class OperationsLog:
 
     control_ticks: int = 0
     reactive_overrides: int = 0
+    #: Standing brake-hold refreshes on an already-stopped vehicle (not
+    #: counted as interventions; see ReactivePath.evaluate).
+    reactive_holds: int = 0
     distance_m: float = 0.0
     energy_j: float = 0.0
     collisions: int = 0
+    #: Control ticks where the proactive pipeline produced no command
+    #: (module crashed / awaiting restart).
+    proactive_skips: int = 0
+    #: Commands the degradation supervisor issued in place of the planner.
+    fallback_commands: int = 0
+    #: CAN frames corrupted by fault injection (sent but never delivered).
+    can_frames_dropped: int = 0
+    #: Fault-injection events observed, keyed by fault kind.
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    #: Control ticks spent in each degradation mode.
+    mode_ticks: Dict[str, int] = field(default_factory=dict)
 
     @property
     def proactive_fraction(self) -> float:
@@ -96,3 +110,11 @@ class OperationsLog:
         if self.control_ticks == 0:
             return 1.0
         return 1.0 - self.reactive_overrides / self.control_ticks
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of control ticks spent outside NOMINAL mode."""
+        total = sum(self.mode_ticks.values())
+        if total == 0:
+            return 0.0
+        return 1.0 - self.mode_ticks.get("NOMINAL", 0) / total

@@ -41,10 +41,13 @@ class ControlCommand:
     steer_rad: float = 0.0
     accel_mps2: float = 0.0
     timestamp_s: float = 0.0
-    source: str = "proactive"  # "proactive" or "reactive" (Sec. IV)
+    #: "proactive" or "reactive" (Sec. IV); "degradation" marks commands
+    #: issued by the graceful-degradation supervisor when the proactive
+    #: pipeline is unavailable (repro.robustness.degradation).
+    source: str = "proactive"
 
     def __post_init__(self) -> None:
-        if self.source not in ("proactive", "reactive"):
+        if self.source not in ("proactive", "reactive", "degradation"):
             raise ValueError(f"unknown command source {self.source!r}")
 
 

@@ -183,3 +183,39 @@ class TestReactivePath:
         # it covers the gap where the proactive path is too slow.
         reactive = ReactivePath(margin_m=0.0)
         assert reactive.threshold_m < calibration.PAPER_AVOIDANCE_RANGE_MEAN_M
+
+    def test_triggers_exactly_at_threshold(self):
+        # The threshold is the last avoidable distance, so it is inclusive:
+        # exactly at threshold_m triggers, epsilon beyond does not.
+        reactive = ReactivePath()
+        boundary = reactive.threshold_m
+        assert not reactive.evaluate(boundary + 1e-9, now_s=0.0).triggered
+        assert reactive.triggers == 0
+        assert reactive.evaluate(boundary, now_s=0.0).triggered
+        assert reactive.triggers == 1
+
+    def test_stopped_vehicle_holds_without_counting_a_trigger(self):
+        reactive = ReactivePath()
+        decision = reactive.evaluate(3.5, now_s=1.0, speed_mps=0.0)
+        assert decision.held and not decision.triggered
+        assert reactive.triggers == 0
+        # The hold still carries the standing brake command, so the ECU
+        # override never expires while the obstruction remains.
+        assert decision.command is not None
+        assert decision.command.accel_mps2 == pytest.approx(-4.0)
+        assert decision.command.source == "reactive"
+
+    def test_moving_vehicle_triggers_then_holds_once_stopped(self):
+        reactive = ReactivePath()
+        assert reactive.evaluate(3.5, now_s=0.0, speed_mps=5.0).triggered
+        for tick in range(1, 5):
+            decision = reactive.evaluate(
+                3.5, now_s=tick * 0.05, speed_mps=0.01
+            )
+            assert decision.held and not decision.triggered
+        assert reactive.triggers == 1
+
+    def test_clear_road_never_holds(self):
+        reactive = ReactivePath()
+        decision = reactive.evaluate(None, now_s=0.0, speed_mps=0.0)
+        assert not decision.held and decision.command is None

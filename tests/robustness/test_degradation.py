@@ -1,0 +1,171 @@
+"""Tests for the degradation-mode state machine."""
+
+import pytest
+
+from repro.robustness.degradation import (
+    DegradationMode,
+    DegradationPolicy,
+    DegradationStateMachine,
+    HealthInputs,
+)
+from repro.vehicle.dynamics import ControlCommand
+
+
+def cruise(accel: float = 1.0) -> ControlCommand:
+    return ControlCommand(steer_rad=0.0, accel_mps2=accel, timestamp_s=0.0)
+
+
+class TestTargetMode:
+    def test_healthy_is_nominal(self):
+        mode, _ = DegradationStateMachine.target_mode(HealthInputs())
+        assert mode is DegradationMode.NOMINAL
+
+    def test_proactive_down_is_reactive_only(self):
+        mode, reason = DegradationStateMachine.target_mode(
+            HealthInputs(perception_up=False)
+        )
+        assert mode is DegradationMode.REACTIVE_ONLY
+        assert "proactive" in reason
+        mode, _ = DegradationStateMachine.target_mode(
+            HealthInputs(planning_up=False)
+        )
+        assert mode is DegradationMode.REACTIVE_ONLY
+
+    def test_no_forward_sensing_is_safe_stop(self):
+        mode, _ = DegradationStateMachine.target_mode(
+            HealthInputs(perception_up=False, radar_up=False)
+        )
+        assert mode is DegradationMode.SAFE_STOP
+
+    @pytest.mark.parametrize(
+        "inputs",
+        [
+            HealthInputs(radar_up=False),
+            HealthInputs(gps_ok=False),
+            HealthInputs(can_ok=False),
+        ],
+    )
+    def test_single_noncritical_fault_is_degraded(self, inputs):
+        mode, _ = DegradationStateMachine.target_mode(inputs)
+        assert mode is DegradationMode.DEGRADED
+
+    def test_severity_ordering(self):
+        severities = [m.severity for m in DegradationMode]
+        assert severities == sorted(severities)
+
+
+class TestTransitions:
+    def test_escalation_is_immediate(self):
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs())
+        machine.update(0.1, HealthInputs(perception_up=False))
+        assert machine.mode is DegradationMode.REACTIVE_ONLY
+        machine.update(0.2, HealthInputs(perception_up=False, radar_up=False))
+        assert machine.mode is DegradationMode.SAFE_STOP
+        assert [t.mode for t in machine.transitions] == [
+            DegradationMode.REACTIVE_ONLY,
+            DegradationMode.SAFE_STOP,
+        ]
+
+    def test_recovery_requires_the_hold(self):
+        machine = DegradationStateMachine(
+            DegradationPolicy(recovery_hold_s=1.0)
+        )
+        machine.update(0.0, HealthInputs(gps_ok=False))
+        assert machine.mode is DegradationMode.DEGRADED
+        # Healthy again, but not for long enough.
+        machine.update(0.1, HealthInputs())
+        machine.update(0.9, HealthInputs())
+        assert machine.mode is DegradationMode.DEGRADED
+        machine.update(1.2, HealthInputs())
+        assert machine.mode is DegradationMode.NOMINAL
+        assert machine.transitions[-1].reason.startswith("recovered")
+
+    def test_flapping_resets_the_hold(self):
+        machine = DegradationStateMachine(
+            DegradationPolicy(recovery_hold_s=1.0)
+        )
+        machine.update(0.0, HealthInputs(gps_ok=False))
+        machine.update(0.5, HealthInputs())  # hold armed at 0.5
+        machine.update(1.0, HealthInputs(gps_ok=False))  # relapse
+        machine.update(1.5, HealthInputs())  # hold re-armed at 1.5
+        machine.update(2.0, HealthInputs())
+        assert machine.mode is DegradationMode.DEGRADED
+        machine.update(2.6, HealthInputs())
+        assert machine.mode is DegradationMode.NOMINAL
+
+    def test_partial_recovery_steps_down_not_home(self):
+        machine = DegradationStateMachine(
+            DegradationPolicy(recovery_hold_s=0.5)
+        )
+        machine.update(0.0, HealthInputs(perception_up=False, gps_ok=False))
+        assert machine.mode is DegradationMode.REACTIVE_ONLY
+        # Perception recovers; GPS still denied -> relax to DEGRADED only.
+        machine.update(0.1, HealthInputs(gps_ok=False))
+        machine.update(0.7, HealthInputs(gps_ok=False))
+        assert machine.mode is DegradationMode.DEGRADED
+
+    def test_mode_ticks_accumulate(self):
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs())
+        machine.update(0.1, HealthInputs(gps_ok=False))
+        machine.update(0.2, HealthInputs(gps_ok=False))
+        assert machine.mode_ticks["NOMINAL"] == 1
+        assert machine.mode_ticks["DEGRADED"] == 2
+
+
+class TestCommandShaping:
+    def test_nominal_passes_commands_through(self):
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs())
+        command = cruise(2.0)
+        assert machine.shape_command(command, speed_mps=5.0) == command
+        assert machine.speed_cap_mps is None
+        assert machine.proactive_allowed
+
+    def test_degraded_brakes_above_the_cap(self):
+        policy = DegradationPolicy(
+            degraded_speed_cap_mps=2.5, limp_decel_mps2=1.5
+        )
+        machine = DegradationStateMachine(policy)
+        machine.update(0.0, HealthInputs(gps_ok=False))
+        shaped = machine.shape_command(cruise(2.0), speed_mps=5.0)
+        assert shaped.accel_mps2 == -1.5
+
+    def test_degraded_caps_acceleration_below_the_cap(self):
+        machine = DegradationStateMachine(
+            DegradationPolicy(degraded_speed_cap_mps=2.5)
+        )
+        machine.update(0.0, HealthInputs(gps_ok=False))
+        shaped = machine.shape_command(cruise(2.0), speed_mps=2.0)
+        assert shaped.accel_mps2 == pytest.approx(0.5)
+        # Braking commands are never un-braked.
+        braking = machine.shape_command(cruise(-3.0), speed_mps=2.0)
+        assert braking.accel_mps2 == -3.0
+
+    def test_reactive_only_forbids_proactive(self):
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs(perception_up=False))
+        assert not machine.proactive_allowed
+        assert machine.speed_cap_mps == pytest.approx(1.0)
+
+    def test_fallback_limp_then_hold(self):
+        policy = DegradationPolicy(
+            reactive_only_speed_cap_mps=1.0, limp_decel_mps2=1.5
+        )
+        machine = DegradationStateMachine(policy)
+        machine.update(0.0, HealthInputs(perception_up=False))
+        fast = machine.fallback_command(0.0, speed_mps=5.0)
+        assert fast.accel_mps2 == -1.5
+        assert fast.source == "degradation"
+        slow = machine.fallback_command(0.0, speed_mps=0.5)
+        assert slow.accel_mps2 == 0.0
+
+    def test_safe_stop_brakes_hard(self):
+        machine = DegradationStateMachine(
+            DegradationPolicy(stop_decel_mps2=4.0)
+        )
+        machine.update(0.0, HealthInputs(perception_up=False, radar_up=False))
+        command = machine.fallback_command(0.0, speed_mps=3.0)
+        assert command.accel_mps2 == -4.0
+        assert machine.speed_cap_mps == 0.0

@@ -1,0 +1,151 @@
+"""Tests for the heartbeat/watchdog health monitor."""
+
+import pytest
+
+from repro.robustness.health import DOWN, UP, HealthMonitor
+
+
+def make_monitor(**kwargs) -> HealthMonitor:
+    monitor = HealthMonitor(**kwargs)
+    monitor.register("perception")
+    return monitor
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        monitor = make_monitor()
+        with pytest.raises(ValueError):
+            monitor.register("perception")
+
+    def test_per_module_timeout_override(self):
+        monitor = HealthMonitor(default_timeout_s=0.5)
+        monitor.register("radar", timeout_s=0.1)
+        monitor.register("planning")
+        assert monitor.module("radar").timeout_s == 0.1
+        assert monitor.module("planning").timeout_s == 0.5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(default_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(mttr_mean_s=-1.0)
+
+
+class TestWatchdog:
+    def test_beating_module_stays_up(self):
+        monitor = make_monitor(default_timeout_s=0.5)
+        for tick in range(20):
+            now = tick * 0.1
+            monitor.beat("perception", now)
+            monitor.check(now)
+        assert monitor.is_up("perception")
+        assert monitor.module("perception").restarts == 0
+
+    def test_stale_heartbeat_goes_down(self):
+        monitor = make_monitor(default_timeout_s=0.5)
+        monitor.beat("perception", 0.0)
+        monitor.check(0.5)
+        assert monitor.is_up("perception")  # exactly at timeout: still ok
+        monitor.check(0.51)
+        assert not monitor.is_up("perception")
+        assert monitor.down_modules() == ["perception"]
+        assert not monitor.all_up()
+
+    def test_beats_never_move_backwards(self):
+        monitor = make_monitor(default_timeout_s=0.5)
+        monitor.beat("perception", 1.0)
+        monitor.beat("perception", 0.2)  # late/out-of-order report
+        assert monitor.module("perception").last_beat_s == 1.0
+
+
+class TestRestartModel:
+    def test_restart_after_sampled_mttr(self):
+        monitor = make_monitor(default_timeout_s=0.5, mttr_mean_s=0.8)
+        monitor.beat("perception", 0.0)
+        monitor.check(1.0)  # goes down, restart scheduled
+        module = monitor.module("perception")
+        assert module.state == DOWN
+        restart_at = module.restart_at_s
+        assert 1.0 < restart_at <= 1.0 + 3 * 0.8
+        monitor.check(restart_at - 1e-6)
+        assert module.state == DOWN
+        monitor.check(restart_at + 1e-6)
+        assert module.state == UP
+        assert module.restarts == 1
+        assert module.downtime_s == pytest.approx(restart_at - 1.0)
+
+    def test_mttr_samples_truncated_at_three_means(self):
+        # Across many outages no single repair exceeds 3x the mean.
+        monitor = make_monitor(default_timeout_s=0.1, mttr_mean_s=0.5)
+        now = 0.0
+        for _ in range(200):
+            monitor.check(now + 10.0)  # long silence: module down
+            now = monitor.module("perception").restart_at_s
+            assert now - monitor.module("perception").down_since_s <= 3 * 0.5
+            monitor.check(now)  # revive immediately at the deadline
+            monitor.beat("perception", now)
+        assert monitor.module("perception").restarts == 200
+
+    def test_restarted_module_gets_fresh_grace(self):
+        monitor = make_monitor(default_timeout_s=0.5, mttr_mean_s=0.2)
+        monitor.check(1.0)
+        restart_at = monitor.module("perception").restart_at_s
+        monitor.check(restart_at)
+        # Just revived: heartbeat was refreshed, so a check within the
+        # timeout does not immediately re-flag it.
+        monitor.check(restart_at + 0.4)
+        assert monitor.is_up("perception")
+
+
+class TestAvailabilityAndReport:
+    def test_availability_accounts_downtime(self):
+        monitor = make_monitor(default_timeout_s=0.5)
+        monitor.beat("perception", 0.0)
+        monitor.check(1.0)
+        restart_at = monitor.module("perception").restart_at_s
+        monitor.check(restart_at)
+        report = monitor.report(elapsed_s=10.0)
+        expected = 1.0 - (restart_at - 1.0) / 10.0
+        assert report.availability("perception") == pytest.approx(expected)
+        assert report.worst_availability == pytest.approx(expected)
+        assert report.total_restarts == 1
+        assert report.mean_time_to_repair_s == pytest.approx(restart_at - 1.0)
+
+    def test_open_outage_counted_to_snapshot(self):
+        monitor = make_monitor(default_timeout_s=0.5, mttr_mean_s=100.0)
+        monitor.check(1.0)  # down, repair far in the future
+        report = monitor.report(elapsed_s=5.0)
+        assert report.modules["perception"].downtime_s == pytest.approx(4.0)
+        # The snapshot is a copy: live state is untouched.
+        assert monitor.module("perception").downtime_s == 0.0
+
+    def test_healthy_monitor_reports_perfect_availability(self):
+        monitor = make_monitor()
+        monitor.beat("perception", 0.0)
+        monitor.check(0.1)
+        report = monitor.report(elapsed_s=0.1)
+        assert report.worst_availability == 1.0
+        assert report.total_restarts == 0
+        assert report.mean_time_to_repair_s is None
+        assert report.summary() == {
+            "restarts": 0.0,
+            "downtime_s": 0.0,
+            "worst_availability": 1.0,
+        }
+
+    def test_restart_rng_is_deterministic(self):
+        def outage_times(seed: int):
+            monitor = HealthMonitor(seed=seed, default_timeout_s=0.1)
+            monitor.register("m")
+            times = []
+            now = 0.0
+            for _ in range(10):
+                monitor.check(now + 1.0)
+                now = monitor.module("m").restart_at_s
+                times.append(now)
+                monitor.check(now)
+                monitor.beat("m", now)
+            return times
+
+        assert outage_times(3) == outage_times(3)
+        assert outage_times(3) != outage_times(4)

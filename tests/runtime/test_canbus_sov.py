@@ -1,6 +1,8 @@
 """Tests for the CAN bus model and the closed-loop SoV."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import calibration
 from repro.runtime.canbus import CanBus
@@ -41,6 +43,50 @@ class TestCanBus:
     def test_invalid_bit_rate(self):
         with pytest.raises(ValueError):
             CanBus(bit_rate_bps=0.0)
+
+    def test_contention_preserves_send_order(self):
+        # A burst of frames sent in the same instant serializes strictly
+        # in send order, each one frame-time after the previous.
+        bus = CanBus()
+        messages = [bus.send(i, now_s=0.0) for i in range(8)]
+        deliveries = [m.deliver_at_s for m in messages]
+        assert deliveries == sorted(deliveries)
+        gaps = [b - a for a, b in zip(deliveries, deliveries[1:])]
+        assert all(g == pytest.approx(bus.frame_time_s) for g in gaps)
+        assert [m.payload for m in bus.deliver_due(1.0)] == list(range(8))
+
+    def test_late_sender_waits_for_the_wire(self):
+        # A frame sent while an earlier frame still occupies the wire
+        # starts serializing only when the bus frees up.
+        bus = CanBus()
+        first = bus.send("early", now_s=0.0)
+        second = bus.send("late", now_s=bus.frame_time_s / 2)
+        assert second.deliver_at_s == pytest.approx(
+            first.deliver_at_s + bus.frame_time_s
+        )
+
+    @given(
+        send_times=st.lists(
+            st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_order_is_monotone_in_deliver_at(self, send_times):
+        # Property: whatever the (sorted) send schedule, deliver_due pops
+        # messages in non-decreasing deliver_at_s order, and delivery
+        # never precedes the send instant by less than the nominal latency.
+        bus = CanBus()
+        for i, t in enumerate(sorted(send_times)):
+            bus.send(i, now_s=t)
+        delivered = bus.deliver_due(1e9)
+        assert len(delivered) == len(send_times)
+        deliveries = [m.deliver_at_s for m in delivered]
+        assert deliveries == sorted(deliveries)
+        assert all(
+            m.latency_s >= bus.nominal_latency_s() - 1e-12 for m in delivered
+        )
 
 
 class TestClosedLoopEq1:
