@@ -1,0 +1,95 @@
+"""Chaos-campaign benchmarks: envelope claims, determinism, shedding."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.fault_campaign import radar_blackout_scenario, run_drill
+from repro.robustness.chaos import (
+    ChaosConfig,
+    replay_drive,
+    run_chaos_campaign,
+)
+from repro.robustness.degradation import DegradationMode
+from repro.runtime.scheduler import PipelinedExecutor
+
+#: Small fixed-seed sweep used by the CI smoke job (fast, deterministic).
+SMOKE_N = 24
+SMOKE_SEED = 0
+
+
+def test_chaos_campaign_experiment(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("chaos_campaign",), iterations=1, rounds=1
+    )
+    record_table(result)
+    # The tentpole claim: 200 randomized fault scenarios at nominal
+    # intensity, zero collisions with the safety net engaged...
+    assert result.row("collision_rate_with_safety_net").measured == 0.0
+    # ...a demonstrably unsafe unprotected baseline...
+    assert result.row("collision_rate_without_safety_net").measured > 0.0
+    # ...and a measured frontier strictly above the nominal intensity.
+    assert result.row("intensity_frontier").measured > 1.0
+    assert result.row("shed_task_slots").measured > 0
+    assert 0.0 < result.row("nominal_mode_residency").measured <= 1.0
+    assert result.row("mttr_p50").measured > 0.0
+
+
+def test_smoke_protected_arm_is_collision_free():
+    envelope = run_chaos_campaign(
+        ChaosConfig(n_drives=SMOKE_N, seed=SMOKE_SEED, safety_net=True)
+    ).envelope
+    assert envelope.collisions == 0
+    assert envelope.failing_indices == ()
+    assert sum(envelope.mode_residency_mean.values()) == pytest.approx(1.0)
+
+
+def test_smoke_unprotected_arm_collides():
+    envelope = run_chaos_campaign(
+        ChaosConfig(n_drives=SMOKE_N, seed=SMOKE_SEED, safety_net=False)
+    ).envelope
+    assert envelope.collisions > 0
+
+
+def test_envelope_is_deterministic_per_seed():
+    # Two same-seed campaigns must agree on every envelope number.
+    config = ChaosConfig(n_drives=10, seed=3)
+    first = run_chaos_campaign(config).envelope.as_dict()
+    second = run_chaos_campaign(config).envelope.as_dict()
+    assert first == second
+    different = run_chaos_campaign(
+        ChaosConfig(n_drives=10, seed=4)
+    ).envelope.as_dict()
+    assert different != first
+
+
+def test_replay_reproduces_campaign_drives():
+    campaign = run_chaos_campaign(ChaosConfig(n_drives=6, seed=SMOKE_SEED))
+    for record in campaign.records[:3]:
+        _scenario, result = replay_drive(SMOKE_SEED, record.index)
+        assert result.collided == record.collided
+        assert result.final_mode == record.final_mode
+        assert result.min_obstacle_clearance_m == pytest.approx(
+            record.min_clearance_m
+        )
+
+
+def test_degraded_iteration_latency_never_exceeds_nominal():
+    # Fault-aware scheduling is free or better: with identical sampled
+    # latencies, a DEGRADED frame can only shed work, so its service
+    # latency is bounded by its NOMINAL twin's on every single frame.
+    nominal = PipelinedExecutor(seed=21).run(120)
+    degraded = PipelinedExecutor(seed=21).run(
+        120, mode_schedule=lambda k: DegradationMode.DEGRADED
+    )
+    for plain, shed in zip(nominal.timings, degraded.timings):
+        assert shed.service_latency_s <= plain.service_latency_s
+    assert degraded.stats.mean_s < nominal.stats.mean_s
+    assert degraded.sheds_by_mode["DEGRADED"] > 0
+
+
+def test_load_shedding_is_observable_in_the_drive_result():
+    # A radar blackout holds the vehicle in DEGRADED for the whole
+    # drive; the telemetry must show the shed task slots.
+    result = run_drill(radar_blackout_scenario(), safety_net=True)
+    assert result.sheds_by_mode.get("DEGRADED", 0) > 0
+    assert result.ops.total_sheds == sum(result.sheds_by_mode.values())

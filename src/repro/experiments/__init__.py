@@ -9,6 +9,7 @@ table; ``python -m repro.experiments fig3a fig8`` runs a subset;
 from . import (  # noqa: F401  (imports register the experiments)
     ablations,
     analytical,
+    chaos_campaign,
     closedloop_study,
     extensions_study,
     codesign_study,

@@ -6,6 +6,13 @@ with an MTTR restart model (:mod:`repro.robustness.health`), and the
 NOMINAL → DEGRADED → REACTIVE_ONLY → SAFE_STOP supervisor
 (:mod:`repro.robustness.degradation`) that the closed-loop SoV consults
 every control tick.
+
+:mod:`repro.robustness.chaos` builds on all three: a seeded chaos
+campaign engine that samples fault scenarios from a configurable
+fault-space distribution and sweeps them through the closed-loop SoV,
+aggregating a collision-free envelope report.  It is deliberately *not*
+re-exported here — chaos imports the runtime (which imports this
+package), so pull it in directly via ``import repro.robustness.chaos``.
 """
 
 from .degradation import (

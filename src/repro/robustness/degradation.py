@@ -99,7 +99,13 @@ class DegradationStateMachine:
         self.mode = DegradationMode.NOMINAL
         self.transitions: List[ModeTransition] = []
         self.mode_ticks: Dict[str, int] = {m.name: 0 for m in DegradationMode}
+        #: Wall-clock residency per mode; updated lazily each tick and
+        #: flushed by :meth:`finalize` when a drive ends mid-segment.
+        self.mode_time_s: Dict[str, float] = {
+            m.name: 0.0 for m in DegradationMode
+        }
         self._healthy_since_s: Optional[float] = None
+        self._residency_mark_s: Optional[float] = None
 
     # -- classification --------------------------------------------------------
 
@@ -127,6 +133,7 @@ class DegradationStateMachine:
         Escalation is immediate; relaxation requires the inputs to have
         been healthy-enough for ``recovery_hold_s``.
         """
+        self._accrue_residency(now_s)
         target, reason = self.target_mode(inputs)
         if target.severity >= self.mode.severity:
             if target is not self.mode:
@@ -141,6 +148,43 @@ class DegradationStateMachine:
                 self._healthy_since_s = now_s if target.severity == 0 else None
         self.mode_ticks[self.mode.name] += 1
         return self.mode
+
+    # -- residency accounting ----------------------------------------------------
+
+    def _accrue_residency(self, now_s: float) -> None:
+        """Attribute the time since the last mark to the mode held then."""
+        if self._residency_mark_s is not None and now_s > self._residency_mark_s:
+            self.mode_time_s[self.mode.name] += now_s - self._residency_mark_s
+        self._residency_mark_s = (
+            now_s
+            if self._residency_mark_s is None
+            else max(self._residency_mark_s, now_s)
+        )
+
+    def finalize(self, now_s: float) -> None:
+        """Flush the open residency segment when a drive ends.
+
+        Without this flush a drive that ends mid-transition loses its
+        final segment and the residency fractions no longer sum to 1.
+        Idempotent: a second call at the same instant adds nothing.
+        """
+        self._accrue_residency(now_s)
+
+    def residency_fractions(self) -> Dict[str, float]:
+        """Per-mode share of accounted wall-clock time (sums to 1.0).
+
+        A machine that never ticked reports full residency in its current
+        mode.
+        """
+        total = sum(self.mode_time_s.values())
+        if total <= 0.0:
+            return {
+                m.name: 1.0 if m is self.mode else 0.0
+                for m in DegradationMode
+            }
+        return {
+            name: time_s / total for name, time_s in self.mode_time_s.items()
+        }
 
     def _transition(
         self, now_s: float, mode: DegradationMode, reason: str

@@ -6,8 +6,12 @@ A watchdog declares a module DOWN when its heartbeat is older than the
 module's timeout, then models a supervised restart: the module comes back
 after a sampled mean-time-to-repair (MTTR), exponentially distributed so
 repeated restarts of a persistently crashing module produce a realistic
-spread.  The monitor accumulates per-module downtime, restart counts, and
-availability — the metrics the fault-campaign study reports.
+spread.  Repeated restarts back off exponentially — a module that keeps
+crashing is restarted ever more cautiously — and the backoff resets once
+the module has stayed healthy for a sustained window, so one bad episode
+does not penalize restarts forever.  The monitor accumulates per-module
+downtime, restart counts, backoff state, and availability — the metrics
+the fault-campaign and chaos studies report and assert on.
 
 The restart RNG is a private stream: a drive where nothing fails consumes
 no randomness here, so enabling health monitoring never perturbs the
@@ -38,6 +42,11 @@ class ModuleHealth:
     restart_at_s: Optional[float] = None
     restarts: int = 0
     downtime_s: float = 0.0
+    #: Restarts since the last sustained-healthy window: each one raises
+    #: the next repair's backoff multiplier; reset by sustained health.
+    consecutive_restarts: int = 0
+    #: When the module last came (or started) UP; None while DOWN.
+    up_since_s: Optional[float] = 0.0
 
     def availability(self, elapsed_s: float) -> float:
         if elapsed_s <= 0:
@@ -49,6 +58,10 @@ class ModuleHealth:
         if self.restarts == 0:
             return None
         return self.downtime_s / self.restarts
+
+    def backoff_multiplier(self, factor: float, cap: float) -> float:
+        """The MTTR multiplier the *next* repair of this module pays."""
+        return min(factor ** self.consecutive_restarts, cap)
 
 
 @dataclass(frozen=True)
@@ -68,6 +81,17 @@ class HealthReport:
 
     def availability(self, name: str) -> float:
         return self.modules[name].availability(self.elapsed_s)
+
+    @property
+    def restarts_by_module(self) -> Dict[str, int]:
+        """Restart counts per module — the chaos campaign asserts these."""
+        return {name: m.restarts for name, m in self.modules.items()}
+
+    @property
+    def backoff_by_module(self) -> Dict[str, int]:
+        """Residual exponential-backoff level (consecutive restarts not
+        yet forgiven by a sustained-healthy window) per module."""
+        return {name: m.consecutive_restarts for name, m in self.modules.items()}
 
     @property
     def worst_availability(self) -> float:
@@ -103,13 +127,29 @@ class HealthMonitor:
         default_timeout_s: float = 0.5,
         mttr_mean_s: float = 0.8,
         seed: int = 0,
+        restart_backoff_factor: float = 1.5,
+        restart_backoff_cap: float = 8.0,
+        sustained_healthy_s: Optional[float] = None,
     ) -> None:
         if default_timeout_s <= 0:
             raise ValueError("watchdog timeout must be positive")
         if mttr_mean_s <= 0:
             raise ValueError("MTTR mean must be positive")
+        if restart_backoff_factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if restart_backoff_cap < 1.0:
+            raise ValueError("backoff cap must be >= 1")
         self.default_timeout_s = default_timeout_s
         self.mttr_mean_s = mttr_mean_s
+        self.restart_backoff_factor = restart_backoff_factor
+        self.restart_backoff_cap = restart_backoff_cap
+        #: How long a module must stay UP before its backoff is forgiven
+        #: (default: five watchdog timeouts).
+        self.sustained_healthy_s = (
+            5.0 * default_timeout_s
+            if sustained_healthy_s is None
+            else sustained_healthy_s
+        )
         self._rng = np.random.default_rng([seed, 0x4EA17])
         self._modules: Dict[str, ModuleHealth] = {}
         self._now_s = 0.0
@@ -143,7 +183,9 @@ class HealthMonitor:
         DOWN modules whose restart deadline passed come back UP (their
         heartbeat is refreshed so they get a full timeout of grace); UP
         modules with stale heartbeats go DOWN and get a restart scheduled
-        ``Exp(mttr_mean_s)`` in the future.
+        ``Exp(mttr_mean_s)`` — times the module's exponential backoff
+        multiplier — in the future.  A module that has stayed UP for
+        ``sustained_healthy_s`` has its backoff forgiven first.
         """
         self._now_s = max(self._now_s, now_s)
         for module in self._modules.values():
@@ -152,17 +194,32 @@ class HealthMonitor:
                     module.downtime_s += module.restart_at_s - module.down_since_s
                     module.state = UP
                     module.restarts += 1
+                    module.consecutive_restarts += 1
                     module.down_since_s = None
                     module.restart_at_s = None
                     module.last_beat_s = now_s
+                    module.up_since_s = now_s
+            if (
+                module.state == UP
+                and module.consecutive_restarts > 0
+                and module.up_since_s is not None
+                and now_s - module.up_since_s >= self.sustained_healthy_s
+            ):
+                # Sustained health forgives the backoff; restarts stop
+                # being penalized once the module proves itself again.
+                module.consecutive_restarts = 0
             if module.state == UP and now_s - module.last_beat_s > module.timeout_s:
                 module.state = DOWN
                 module.down_since_s = now_s
+                module.up_since_s = None
                 # Exponential repair time, truncated at 3x the mean so a
-                # single tail draw cannot dominate availability metrics.
+                # single tail draw cannot dominate availability metrics;
+                # repeat offenders pay the capped exponential backoff.
                 repair_s = min(
                     float(self._rng.exponential(self.mttr_mean_s)),
                     3.0 * self.mttr_mean_s,
+                ) * module.backoff_multiplier(
+                    self.restart_backoff_factor, self.restart_backoff_cap
                 )
                 module.restart_at_s = now_s + repair_s
 
@@ -191,6 +248,8 @@ class HealthMonitor:
                 restart_at_s=module.restart_at_s,
                 restarts=module.restarts,
                 downtime_s=module.downtime_s,
+                consecutive_restarts=module.consecutive_restarts,
+                up_since_s=module.up_since_s,
             )
             if snap.state == DOWN and snap.down_since_s is not None:
                 # Count the still-open outage up to the snapshot instant.

@@ -9,6 +9,7 @@ from .canbus import CanBus, CanMessage
 from .dataflow import LatencyDistribution, SovDataflow, Task, paper_dataflow
 from .sensor_hub import FpgaSensorHub
 from .scheduler import FrameTiming, PipelinedExecutor, PipelineReport
+from .shedding import LoadShedder, LoadShedPolicy, TickShed
 from .sov import (
     DriveResult,
     SovConfig,
@@ -27,6 +28,8 @@ __all__ = [
     "FrameTiming",
     "LatencyDistribution",
     "LatencyStats",
+    "LoadShedder",
+    "LoadShedPolicy",
     "OperationsLog",
     "PipelineReport",
     "PipelinedExecutor",
@@ -34,6 +37,7 @@ __all__ = [
     "SovDataflow",
     "SystemsOnAVehicle",
     "Task",
+    "TickShed",
     "obstacle_ahead_scenario",
     "paper_assignment",
     "paper_devices",

@@ -10,6 +10,15 @@ Fault injection (:class:`repro.robustness.faults.CanBusFault`) layers
 frame loss and delay bursts on top: a lost frame still occupies the wire
 (it is corrupted and dropped after serialization), so loss under
 contention delays the survivors too.
+
+Arbitration-aware priority (fault-aware scheduling): CAN arbitration is
+id-ordered — the lowest arbitration id on the wire wins the bus.  A frame
+sent with an id below :data:`CanBus.PRIORITY_NORMAL` (e.g. a reactive or
+degradation-supervisor brake command) waits only for the frame currently
+being transmitted, not for the whole queued backlog; the preempted backlog
+pays the displaced wire time instead.  Commitments already made are never
+rewritten — preemption only changes where *new* frames slot in — which
+keeps the model causal at the cost of a one-frame overlap approximation.
 """
 
 from __future__ import annotations
@@ -53,6 +62,12 @@ class CanBus:
     """
 
     FRAME_BITS = 111
+    #: Arbitration id of safety-critical traffic (reactive / supervisor
+    #: brake commands): wins arbitration against everything below it.
+    PRIORITY_CRITICAL = 0x010
+    #: Arbitration id of ordinary proactive-pipeline traffic.  Ids >= this
+    #: queue behind the full backlog; ids < this preempt the backlog.
+    PRIORITY_NORMAL = 0x100
 
     def __init__(
         self,
@@ -75,6 +90,11 @@ class CanBus:
         self._fault_rng: Optional[np.random.Generator] = None
         self.frames_sent = 0
         self.frames_dropped = 0
+        #: Recent wire commitments (start_s, end_s), trimmed as they age
+        #: out; used to find the frame occupying the wire at an instant.
+        self._wire_slots: List[Tuple[float, float]] = []
+        #: Critical frames that jumped a non-empty backlog.
+        self.priority_preemptions = 0
 
     @property
     def frame_time_s(self) -> float:
@@ -103,15 +123,46 @@ class CanBus:
 
     # -- the wire --------------------------------------------------------------
 
-    def send(self, payload: Any, now_s: float, arbitration_id: int = 0) -> CanMessage:
+    def _wire_busy_until(self, now_s: float) -> float:
+        """When the frame physically on the wire at *now_s* finishes
+        (``now_s`` itself when the wire is idle)."""
+        for start, end in reversed(self._wire_slots):
+            if start <= now_s < end:
+                return end
+        return now_s
+
+    def send(
+        self,
+        payload: Any,
+        now_s: float,
+        arbitration_id: Optional[int] = None,
+    ) -> CanMessage:
         """Queue a frame; delivery accounts for bus serialization.
 
-        Under an active fault the frame may be corrupted (``dropped=True``,
-        never delivered) or delayed; either way it occupies the wire.
+        Frames with an arbitration id below :data:`PRIORITY_NORMAL` win
+        arbitration against the queued backlog: they wait only for the
+        frame currently on the wire, and the backlog absorbs the displaced
+        frame time.  Under an active fault the frame may be corrupted
+        (``dropped=True``, never delivered) or delayed; either way it
+        occupies the wire.
         """
-        start = max(now_s, self._bus_free_at_s)
+        if arbitration_id is None:
+            arbitration_id = self.PRIORITY_NORMAL
+        backlogged = self._bus_free_at_s > now_s + self.frame_time_s
+        if arbitration_id < self.PRIORITY_NORMAL and backlogged:
+            # Critical frame: next arbitration round after the current
+            # transmission, ahead of every queued normal frame.  Future
+            # normal traffic pays the displaced wire time.
+            start = max(now_s, self._wire_busy_until(now_s))
+            self._bus_free_at_s += self.frame_time_s
+            self.priority_preemptions += 1
+        else:
+            start = max(now_s, self._bus_free_at_s)
+            self._bus_free_at_s = start + self.frame_time_s
         finish = start + self.frame_time_s
-        self._bus_free_at_s = finish
+        self._wire_slots.append((start, finish))
+        if len(self._wire_slots) > 64:
+            del self._wire_slots[:32]
         self.frames_sent += 1
         extra_delay = 0.0
         dropped = False

@@ -17,7 +17,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import networkx as nx
 import numpy as np
@@ -148,12 +157,27 @@ class SovDataflow:
         return list(reversed(path)), finish[end]
 
     def sample_iteration(
-        self, rng: np.random.Generator
+        self,
+        rng: np.random.Generator,
+        skip: Optional[AbstractSet[str]] = None,
     ) -> Tuple[Dict[str, float], float]:
-        """Sample one pipeline iteration; returns (per-task, end-to-end)."""
+        """Sample one pipeline iteration; returns (per-task, end-to-end).
+
+        *skip* names tasks shed by a load-shedding policy this iteration
+        (fault-aware scheduling): their latency is zeroed after sampling.
+        Every task is sampled regardless, so the RNG stream — and thus
+        the latencies of the tasks that *do* run — is identical whether
+        or not anything is shed; shedding can only shorten an iteration.
+        """
         latencies = {
             name: task.latency.sample(rng) for name, task in self._tasks.items()
         }
+        if skip:
+            unknown = set(skip) - set(self._tasks)
+            if unknown:
+                raise KeyError(f"cannot shed unknown tasks {sorted(unknown)}")
+            for name in skip:
+                latencies[name] = 0.0
         _path, total = self.critical_path(latencies)
         return latencies, total
 

@@ -9,17 +9,27 @@ the standard pipeline recurrence: a frame starts in a stage when both the
 frame's previous stage and the stage's previous frame have finished.  It
 reports per-frame end-to-end latency (which pipelining does *not* reduce)
 and sustained throughput (which it does).
+
+Fault-aware scheduling: ``run`` optionally takes a degradation-mode
+schedule and a :class:`~repro.runtime.shedding.LoadShedPolicy`; frames
+processed in a degraded mode shed tasks (KCF tracking, detection cadence,
+or the whole pipeline) exactly as the closed-loop SoV does, so the
+executor can quantify what shedding buys: a shed frame is never slower
+than its un-shed twin because the latency samples are identical and
+shedding only zeroes terms.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core import calibration
+from ..robustness.degradation import DegradationMode
 from .dataflow import SovDataflow, paper_dataflow
+from .shedding import LoadShedder, LoadShedPolicy
 from .telemetry import LatencyStats
 
 
@@ -57,6 +67,10 @@ class PipelineReport:
     stats: LatencyStats
     throughput_hz: float
     bottleneck_stage: str
+    #: Shed-task counts per degradation mode (empty without a schedule).
+    sheds_by_mode: Dict[str, int] = field(default_factory=dict)
+    #: Frames processed with the proactive pipeline bypassed entirely.
+    frames_bypassed: int = 0
 
     def meets_throughput_requirement(
         self, required_hz: float = calibration.THROUGHPUT_REQUIREMENT_HZ
@@ -79,17 +93,40 @@ class PipelinedExecutor:
         self.frame_rate_hz = frame_rate_hz
         self._rng = np.random.default_rng(seed)
 
-    def run(self, n_frames: int) -> PipelineReport:
+    def run(
+        self,
+        n_frames: int,
+        mode_schedule: Optional[Callable[[int], DegradationMode]] = None,
+        shed_policy: Optional[LoadShedPolicy] = None,
+    ) -> PipelineReport:
+        """Replay *n_frames* through the pipeline.
+
+        *mode_schedule* maps a frame index to the degradation mode the
+        vehicle held when that frame arrived; frames in degraded modes
+        shed work per *shed_policy* (fault-aware scheduling).  With no
+        schedule every frame runs NOMINAL and the behaviour — including
+        the RNG stream — is identical to the unscheduled executor.
+        """
         if n_frames <= 0:
             raise ValueError("need at least one frame")
+        shedder = LoadShedder(shed_policy)
         stages = SovDataflow.STAGES
         stats = LatencyStats()
         timings: List[FrameTiming] = []
+        frames_bypassed = 0
         prev_finish = {stage: 0.0 for stage in stages}
         stage_busy = {stage: 0.0 for stage in stages}
         for k in range(n_frames):
             arrival = k / self.frame_rate_hz
-            latencies, _total = self.dataflow.sample_iteration(self._rng)
+            mode = (
+                mode_schedule(k) if mode_schedule else DegradationMode.NOMINAL
+            )
+            shed = shedder.plan(mode, k)
+            shedder.account(mode, shed)
+            frames_bypassed += int(shed.bypass_pipeline)
+            latencies, _total = self.dataflow.sample_iteration(
+                self._rng, skip=shed.skip_tasks or None
+            )
             services = {
                 stage: self.dataflow.stage_latency(stage, latencies)
                 for stage in stages
@@ -120,6 +157,8 @@ class PipelinedExecutor:
             stats=stats,
             throughput_hz=throughput,
             bottleneck_stage=bottleneck,
+            sheds_by_mode=dict(shedder.sheds_by_mode),
+            frames_bypassed=frames_bypassed,
         )
 
     def serialized_throughput_hz(self, n_frames: int = 200) -> float:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from ..vehicle.battery import Battery
 from ..vehicle.dynamics import BicycleModel, ControlCommand, VehicleState
 from .canbus import CanBus
 from .dataflow import SovDataflow, paper_dataflow
+from .shedding import LoadShedder, LoadShedPolicy, TickShed
 from .telemetry import LatencyStats, OperationsLog
 
 #: Latency of a degradation-supervisor fallback command: the supervisor
@@ -85,6 +86,12 @@ class SovConfig:
     watchdog_timeout_s: float = 0.5
     #: Mean time-to-repair for supervised module restarts.
     mttr_mean_s: float = 0.8
+    #: Whether HealthMonitor verdicts drive load shedding (fault-aware
+    #: scheduling): degraded modes shed pipeline work instead of running
+    #: the full dataflow behind a restart loop.
+    load_shedding_enabled: bool = True
+    #: Which work each degradation mode sheds (None: default policy).
+    shed_policy: Optional[LoadShedPolicy] = None
 
 
 @dataclass
@@ -98,10 +105,22 @@ class DriveResult:
     stopped: bool
     health: Optional[HealthReport] = None
     final_mode: str = DegradationMode.NOMINAL.name
+    #: Wall-clock share of the drive spent in each degradation mode
+    #: (sums to 1.0; the final open segment is flushed at drive end).
+    mode_residency: Dict[str, float] = field(default_factory=dict)
 
     @property
     def collided(self) -> bool:
         return self.ops.collisions > 0
+
+    @property
+    def sheds_by_mode(self) -> Dict[str, int]:
+        """Load-shedding counts per degradation mode (telemetry view)."""
+        return dict(self.ops.sheds_by_mode)
+
+    @property
+    def entered_safe_stop(self) -> bool:
+        return self.ops.mode_ticks.get(DegradationMode.SAFE_STOP.name, 0) > 0
 
 
 @dataclass
@@ -153,6 +172,10 @@ class SystemsOnAVehicle:
         self.degradation = DegradationStateMachine(
             self.config.degradation_policy
         )
+        self.shedder = LoadShedder(self.config.shed_policy)
+        self._cached_perception: Optional[
+            Tuple[List[TrackedObject], List[Obstacle]]
+        ] = None
         self._can_drops_seen = 0
         self._can_degraded_until_s = -math.inf
 
@@ -239,12 +262,24 @@ class SystemsOnAVehicle:
 
     # -- control paths ---------------------------------------------------------
 
-    def _send_command(self, command: ControlCommand, leave_at_s: float) -> None:
+    def _send_command(
+        self,
+        command: ControlCommand,
+        leave_at_s: float,
+        arbitration_id: Optional[int] = None,
+    ) -> None:
         """Ship a command over the (possibly faulty) CAN bus to the ECU."""
         self.can_bus.set_fault(
             self.harness.can_fault(leave_at_s), self.harness.can_rng()
         )
-        message = self.can_bus.send(command, leave_at_s)
+        if (
+            arbitration_id is not None
+            and arbitration_id < CanBus.PRIORITY_NORMAL
+        ):
+            self.ops.can_priority_sends += 1
+        message = self.can_bus.send(
+            command, leave_at_s, arbitration_id=arbitration_id
+        )
         if message.dropped:
             self.ops.can_frames_dropped += 1
             return
@@ -263,16 +298,35 @@ class SystemsOnAVehicle:
         perception_runs = self.health.is_up("perception") and not (
             self.harness.perception_crashed(now_s)
         )
+        shed = TickShed()
+        if cfg.degradation_enabled and cfg.load_shedding_enabled:
+            shed = self.shedder.plan(
+                self.degradation.mode, self.ops.control_ticks
+            )
         if cfg.degradation_enabled and not self.degradation.proactive_allowed:
-            # Supervisor drives; the pipeline (if alive) runs in shadow so
-            # its heartbeats reflect execution, not trust.
+            # Supervisor drives.  With load shedding the pipeline is
+            # bypassed outright — its tasks are shed, not executed behind
+            # a restart loop — but healthy modules keep heartbeating so
+            # recovery detection still works; without shedding the
+            # pipeline (if alive) runs in shadow.
+            if shed.bypass_pipeline:
+                self.ops.record_sheds(
+                    self.degradation.mode.name, sorted(shed.skip_tasks)
+                )
+                self.shedder.account(self.degradation.mode, shed)
             if perception_runs and not self._shadow_stalled(now_s):
                 self.health.beat("perception", now_s)
                 self.health.beat("planning", now_s)
             command = self.degradation.fallback_command(
                 now_s, self.state.speed_mps
             )
-            self._send_command(command, now_s + _SUPERVISOR_LATENCY_S)
+            # Safety-critical frame: wins CAN arbitration over any queued
+            # backlog of stale proactive traffic.
+            self._send_command(
+                command,
+                now_s + _SUPERVISOR_LATENCY_S,
+                arbitration_id=shed.can_arbitration_id,
+            )
             self.ops.fallback_commands += 1
             return
         if not perception_runs:
@@ -280,7 +334,13 @@ class SystemsOnAVehicle:
             # no heartbeat reaches the watchdog this tick.
             self.ops.proactive_skips += 1
             return
-        objects, obstacles = self._perceive(now_s)
+        if shed.reuse_cached_perception and self._cached_perception is not None:
+            # Detection cadence dropped this tick: the planner consumes
+            # the previous tick's perception output.
+            objects, obstacles = self._cached_perception
+        else:
+            objects, obstacles = self._perceive(now_s)
+            self._cached_perception = (objects, obstacles)
         predictions = predict_constant_velocity(
             objects, horizon_s=self.planner.horizon_s, dt_s=self.planner.dt_s
         ) if objects else []
@@ -290,12 +350,19 @@ class SystemsOnAVehicle:
             static_obstacles=obstacles,
             now_s=now_s,
         )
+        if shed.skip_tasks:
+            self.ops.record_sheds(
+                self.degradation.mode.name, sorted(shed.skip_tasks)
+            )
+            self.shedder.account(self.degradation.mode, shed)
         overhead_s = self.harness.perception_overhead_s(now_s)
         if cfg.fixed_computing_latency_s is not None:
             tcomp = cfg.fixed_computing_latency_s + overhead_s
             self.latency.record(tcomp)
         else:
-            latencies, tcomp = self.dataflow.sample_iteration(self._rng)
+            latencies, tcomp = self.dataflow.sample_iteration(
+                self._rng, skip=shed.skip_tasks or None
+            )
             tcomp += overhead_s
             self.latency.record(
                 tcomp,
@@ -388,6 +455,9 @@ class SystemsOnAVehicle:
             now += dt
         self.ops.faults_injected = dict(self.harness.injections)
         self.ops.mode_ticks = dict(self.degradation.mode_ticks)
+        # Flush the open residency segment (a drive ending mid-transition
+        # would otherwise lose it and the fractions would not sum to 1).
+        self.degradation.finalize(now)
         return DriveResult(
             final_state=self.state,
             ops=self.ops,
@@ -396,6 +466,7 @@ class SystemsOnAVehicle:
             stopped=self.state.speed_mps < 0.05,
             health=self.health.report(elapsed_s=now),
             final_mode=self.degradation.mode.name,
+            mode_residency=self.degradation.residency_fractions(),
         )
 
 

@@ -101,6 +101,25 @@ class OperationsLog:
     faults_injected: Dict[str, int] = field(default_factory=dict)
     #: Control ticks spent in each degradation mode.
     mode_ticks: Dict[str, int] = field(default_factory=dict)
+    #: Dataflow tasks shed by the load-shedding policy, keyed by the
+    #: degradation mode that shed them (fault-aware scheduling).
+    sheds_by_mode: Dict[str, int] = field(default_factory=dict)
+    #: The same shed events keyed by task name.
+    sheds_by_task: Dict[str, int] = field(default_factory=dict)
+    #: Safety-critical CAN frames sent at high arbitration priority.
+    can_priority_sends: int = 0
+
+    def record_sheds(self, mode: str, tasks: Sequence[str]) -> None:
+        """Account one tick's shed tasks against *mode*."""
+        if not tasks:
+            return
+        self.sheds_by_mode[mode] = self.sheds_by_mode.get(mode, 0) + len(tasks)
+        for task in tasks:
+            self.sheds_by_task[task] = self.sheds_by_task.get(task, 0) + 1
+
+    @property
+    def total_sheds(self) -> int:
+        return sum(self.sheds_by_mode.values())
 
     @property
     def proactive_fraction(self) -> float:

@@ -1,0 +1,174 @@
+"""Tests for the chaos campaign engine (sampler, envelope, replay)."""
+
+import pytest
+
+from repro.robustness.chaos import (
+    REACTIVE_KILLING,
+    VISION_BLINDING,
+    ChaosConfig,
+    FaultSpace,
+    aggregate_envelope,
+    drive_seed,
+    intensity_frontier,
+    replay_drive,
+    run_chaos_campaign,
+    run_chaos_drive,
+    scenario_for_drive,
+)
+
+
+def sampled_kind_sets(space, n=300, seed=0):
+    """The vocabulary-kind combination of each of *n* sampled scenarios."""
+    sets = []
+    for index in range(n):
+        scenario = scenario_for_drive(space, seed, index)
+        # The description records the sampled vocabulary kinds.
+        sets.append(set(scenario.description.split(": ")[1].split(" + ")))
+    return sets
+
+
+class TestFaultSpace:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpace(intensity=0.0)
+        with pytest.raises(ValueError):
+            FaultSpace(kind_weights=())
+        with pytest.raises(ValueError):
+            FaultSpace(kind_weights=(("not_a_kind", 1.0),))
+        with pytest.raises(ValueError):
+            FaultSpace(co_occurrence_prob=1.5)
+
+    def test_with_intensity_rescales(self):
+        space = FaultSpace().with_intensity(2.0)
+        assert space.intensity == 2.0
+        assert FaultSpace().intensity == 1.0
+
+    def test_sampler_is_deterministic(self):
+        space = FaultSpace()
+        assert scenario_for_drive(space, 3, 9) == scenario_for_drive(
+            space, 3, 9
+        )
+        assert scenario_for_drive(space, 3, 9) != scenario_for_drive(
+            space, 3, 10
+        )
+
+    def test_windows_respect_the_onset_range(self):
+        space = FaultSpace(onset_window_s=(0.5, 2.0))
+        for index in range(100):
+            scenario = scenario_for_drive(space, 0, index)
+            for fault in scenario.faults:
+                assert 0.5 <= fault.window.start_s <= 2.0
+
+    def test_durations_scale_with_intensity(self):
+        lo, hi = FaultSpace().duration_range_s
+        for intensity in (1.0, 2.0):
+            space = FaultSpace().with_intensity(intensity)
+            for index in range(50):
+                scenario = scenario_for_drive(space, 0, index)
+                for fault in scenario.faults:
+                    assert (
+                        lo * intensity
+                        <= fault.window.duration_s
+                        <= hi * intensity
+                    )
+
+    def test_double_blind_pairs_gated_below_threshold(self):
+        # At nominal intensity no scenario may blind vision while also
+        # killing the radar — that pair is unsurvivable by design.
+        for kinds in sampled_kind_sets(FaultSpace(), n=400):
+            assert not (kinds & VISION_BLINDING and kinds & REACTIVE_KILLING)
+
+    def test_double_blind_pairs_admitted_past_threshold(self):
+        space = FaultSpace().with_intensity(3.0)
+        assert any(
+            kinds & VISION_BLINDING and kinds & REACTIVE_KILLING
+            for kinds in sampled_kind_sets(space, n=400)
+        )
+
+    def test_scenarios_carry_at_most_a_pair(self):
+        for kinds in sampled_kind_sets(FaultSpace(), n=200):
+            assert 1 <= len(kinds) <= 2
+
+
+class TestCampaign:
+    def test_config_rejects_empty_campaign(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(n_drives=0)
+
+    def test_drive_seeds_are_stable_and_distinct(self):
+        seeds = [drive_seed(0, k) for k in range(50)]
+        assert seeds == [drive_seed(0, k) for k in range(50)]
+        assert len(set(seeds)) == 50
+
+    def test_envelope_accounting_is_consistent(self):
+        result = run_chaos_campaign(ChaosConfig(n_drives=6, seed=1))
+        envelope = result.envelope
+        assert envelope.n_drives == 6
+        assert envelope.collisions == sum(r.collided for r in result.records)
+        assert envelope.collision_rate == envelope.collisions / 6
+        assert envelope.failing_indices == tuple(
+            r.index for r in result.records if r.collided
+        )
+        for record in result.records:
+            assert sum(record.mode_residency.values()) == pytest.approx(1.0)
+        total = sum(envelope.mode_residency_mean.values())
+        assert total == pytest.approx(1.0)
+
+    def test_envelope_as_dict_is_flat_and_numeric(self):
+        result = run_chaos_campaign(ChaosConfig(n_drives=4, seed=2))
+        flat = result.envelope.as_dict()
+        assert flat["n_drives"] == 4.0
+        assert all(isinstance(v, float) for v in flat.values())
+
+    def test_aggregate_rejects_empty_records(self):
+        with pytest.raises(ValueError):
+            aggregate_envelope(ChaosConfig(n_drives=1), [])
+
+
+class TestReplay:
+    def test_same_drive_reruns_bit_identically(self):
+        config = ChaosConfig(n_drives=5, seed=4)
+        rec_a, res_a = run_chaos_drive(config, 3)
+        rec_b, res_b = run_chaos_drive(config, 3)
+        assert rec_a == rec_b
+        assert res_a.final_state.x_m == res_b.final_state.x_m
+        assert res_a.ops.mode_ticks == res_b.ops.mode_ticks
+
+    def test_replay_matches_the_campaign_record(self):
+        config = ChaosConfig(n_drives=4, seed=8)
+        campaign = run_chaos_campaign(config)
+        record = campaign.records[2]
+        scenario, result = replay_drive(8, 2)
+        assert scenario.name == record.scenario_name
+        assert result.collided == record.collided
+        assert result.final_mode == record.final_mode
+        assert (
+            result.min_obstacle_clearance_m
+            == pytest.approx(record.min_clearance_m)
+        )
+        assert dict(result.mode_residency) == pytest.approx(
+            record.mode_residency
+        )
+
+    def test_replay_can_drop_the_safety_net(self):
+        scenario_on, _ = replay_drive(0, 0, safety_net=True)
+        scenario_off, result_off = replay_drive(0, 0, safety_net=False)
+        # The sampled scenario is a function of (seed, index) only.
+        assert scenario_on == scenario_off
+        # With the supervisor disabled the mode never leaves NOMINAL.
+        assert result_off.final_mode == "NOMINAL"
+        assert result_off.mode_residency["NOMINAL"] == pytest.approx(1.0)
+
+
+class TestFrontier:
+    def test_single_point_sweep_shape(self):
+        points, frontier = intensity_frontier(
+            intensities=(1.0,), n_drives=3, seed=0
+        )
+        assert len(points) == 1
+        assert points[0].intensity == 1.0
+        assert points[0].n_drives == 3
+        if points[0].collisions == 0:
+            assert frontier is None
+        else:
+            assert frontier == 1.0

@@ -114,6 +114,96 @@ class TestTransitions:
         assert machine.mode_ticks["DEGRADED"] == 2
 
 
+class TestHysteresisEdges:
+    def test_escalation_during_recovery_dwell_wins(self):
+        # A new failure arriving while the recovery timer is armed must
+        # escalate immediately and disarm the timer.
+        machine = DegradationStateMachine(
+            DegradationPolicy(recovery_hold_s=1.0)
+        )
+        machine.update(0.0, HealthInputs(gps_ok=False))
+        machine.update(0.1, HealthInputs())  # recovery armed at 0.1
+        machine.update(0.5, HealthInputs(perception_up=False))
+        assert machine.mode is DegradationMode.REACTIVE_ONLY
+        # The old dwell must not carry over: healthy from 0.6 on, the
+        # machine recovers only after a *full* hold from 0.6.
+        machine.update(0.6, HealthInputs())
+        machine.update(1.15, HealthInputs())  # 0.55s — not enough
+        assert machine.mode is DegradationMode.REACTIVE_ONLY
+        machine.update(1.7, HealthInputs())
+        assert machine.mode is DegradationMode.NOMINAL
+
+    def test_simultaneous_multi_module_failure_is_one_transition(self):
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs())
+        machine.update(
+            0.1,
+            HealthInputs(perception_up=False, radar_up=False, gps_ok=False),
+        )
+        assert machine.mode is DegradationMode.SAFE_STOP
+        # Straight to the worst mode — no intermediate bounce recorded.
+        assert [t.mode for t in machine.transitions] == [
+            DegradationMode.SAFE_STOP
+        ]
+
+    def test_recovery_exactly_at_the_hysteresis_boundary(self):
+        # The hold is inclusive: healthy for exactly recovery_hold_s
+        # relaxes; one tick before the boundary does not.
+        machine = DegradationStateMachine(
+            DegradationPolicy(recovery_hold_s=1.0)
+        )
+        machine.update(0.0, HealthInputs(gps_ok=False))
+        machine.update(1.0, HealthInputs())  # armed at 1.0
+        machine.update(1.999, HealthInputs())
+        assert machine.mode is DegradationMode.DEGRADED
+        machine.update(2.0, HealthInputs())
+        assert machine.mode is DegradationMode.NOMINAL
+
+
+class TestResidency:
+    def test_fractions_sum_to_one_after_finalize(self):
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs())
+        machine.update(0.5, HealthInputs(gps_ok=False))
+        machine.update(1.0, HealthInputs(gps_ok=False))
+        machine.finalize(1.5)
+        fractions = machine.residency_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["NOMINAL"] == pytest.approx(0.5 / 1.5)
+        assert fractions["DEGRADED"] == pytest.approx(1.0 / 1.5)
+
+    def test_final_segment_is_flushed(self):
+        # Without finalize the segment after the last update is lost.
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs(gps_ok=False))
+        machine.update(1.0, HealthInputs(gps_ok=False))
+        assert machine.mode_time_s["DEGRADED"] == pytest.approx(1.0)
+        machine.finalize(4.0)
+        assert machine.mode_time_s["DEGRADED"] == pytest.approx(4.0)
+
+    def test_finalize_is_idempotent(self):
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs())
+        machine.finalize(2.0)
+        machine.finalize(2.0)
+        assert machine.mode_time_s["NOMINAL"] == pytest.approx(2.0)
+
+    def test_untouched_machine_reports_current_mode(self):
+        fractions = DegradationStateMachine().residency_fractions()
+        assert fractions["NOMINAL"] == 1.0
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_interval_attributed_to_the_outgoing_mode(self):
+        # Time between ticks belongs to the mode held *during* it, not
+        # the mode the later tick switches to.
+        machine = DegradationStateMachine()
+        machine.update(0.0, HealthInputs())
+        machine.update(2.0, HealthInputs(perception_up=False))
+        machine.finalize(3.0)
+        assert machine.mode_time_s["NOMINAL"] == pytest.approx(2.0)
+        assert machine.mode_time_s["REACTIVE_ONLY"] == pytest.approx(1.0)
+
+
 class TestCommandShaping:
     def test_nominal_passes_commands_through(self):
         machine = DegradationStateMachine()

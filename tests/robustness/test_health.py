@@ -133,6 +133,81 @@ class TestAvailabilityAndReport:
             "worst_availability": 1.0,
         }
 
+    def test_backoff_scales_repeated_repairs(self):
+        # Same seed => identical exponential draws, so the backed-off
+        # monitor's outages are exactly the base ones times 2^k (capped).
+        def outage_durations(factor: float, cap: float):
+            monitor = HealthMonitor(
+                default_timeout_s=0.1,
+                mttr_mean_s=0.5,
+                seed=9,
+                restart_backoff_factor=factor,
+                restart_backoff_cap=cap,
+                sustained_healthy_s=1e9,  # never forgive in this test
+            )
+            monitor.register("perception")
+            durations, now = [], 0.0
+            for _ in range(6):
+                monitor.check(now + 10.0)
+                module = monitor.module("perception")
+                durations.append(module.restart_at_s - module.down_since_s)
+                now = module.restart_at_s
+                monitor.check(now)
+                monitor.beat("perception", now)
+            return durations
+
+        base = outage_durations(factor=1.0, cap=1.0)
+        backed = outage_durations(factor=2.0, cap=16.0)
+        for k, (plain, scaled) in enumerate(zip(base, backed)):
+            assert scaled == pytest.approx(plain * min(2.0**k, 16.0))
+
+    def test_sustained_health_forgives_the_backoff(self):
+        monitor = HealthMonitor(
+            default_timeout_s=0.1,
+            mttr_mean_s=0.2,
+            restart_backoff_factor=2.0,
+            sustained_healthy_s=1.0,
+        )
+        monitor.register("perception")
+        monitor.check(1.0)  # silent from t=0: down, restart scheduled
+        restart_at = monitor.module("perception").restart_at_s
+        monitor.check(restart_at)
+        module = monitor.module("perception")
+        assert module.consecutive_restarts == 1
+        assert module.backoff_multiplier(2.0, 16.0) == 2.0
+        # Beat steadily past the sustained-healthy window: forgiven.
+        now = restart_at
+        while now < restart_at + 1.2:
+            monitor.beat("perception", now)
+            monitor.check(now)
+            now += 0.05
+        assert monitor.module("perception").consecutive_restarts == 0
+        assert monitor.module("perception").backoff_multiplier(2.0, 16.0) == 1.0
+        assert monitor.module("perception").restarts == 1  # history kept
+
+    def test_invalid_backoff_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(restart_backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            HealthMonitor(restart_backoff_cap=0.0)
+
+    def test_report_exposes_restart_and_backoff_state(self):
+        monitor = HealthMonitor(
+            default_timeout_s=0.1, mttr_mean_s=0.2, sustained_healthy_s=1e9
+        )
+        monitor.register("perception")
+        monitor.register("planning")
+        monitor.beat("planning", 0.45)
+        monitor.check(0.5)  # perception silent: down; planning fresh
+        revive_at = monitor.module("perception").restart_at_s + 0.5
+        monitor.beat("planning", revive_at)
+        monitor.check(revive_at)
+        report = monitor.report(elapsed_s=2.0)
+        assert report.restarts_by_module["perception"] == 1
+        assert report.backoff_by_module["perception"] == 1
+        assert report.restarts_by_module["planning"] == 0
+        assert report.backoff_by_module["planning"] == 0
+
     def test_restart_rng_is_deterministic(self):
         def outage_times(seed: int):
             monitor = HealthMonitor(seed=seed, default_timeout_s=0.1)

@@ -1,0 +1,184 @@
+"""Tests for fault-aware load shedding and CAN priority arbitration."""
+
+import numpy as np
+import pytest
+
+from repro.robustness.degradation import DegradationMode
+from repro.runtime.canbus import CanBus
+from repro.runtime.dataflow import paper_dataflow
+from repro.runtime.scheduler import PipelinedExecutor
+from repro.runtime.shedding import (
+    PIPELINE_TASKS,
+    LoadShedder,
+    LoadShedPolicy,
+    TickShed,
+)
+
+
+class TestDataflowSkip:
+    def test_skipped_tasks_cost_nothing(self):
+        flow = paper_dataflow()
+        rng = np.random.default_rng(0)
+        latencies, _total = flow.sample_iteration(rng, skip={"tracking"})
+        assert latencies["tracking"] == 0.0
+        assert latencies["detection"] > 0.0
+
+    def test_unknown_skip_name_rejected(self):
+        flow = paper_dataflow()
+        rng = np.random.default_rng(0)
+        with pytest.raises(KeyError):
+            flow.sample_iteration(rng, skip={"no_such_task"})
+
+    def test_skip_preserves_the_rng_stream(self):
+        # Shedding must not change what the surviving tasks draw: the
+        # same seed yields identical latencies for every un-shed task.
+        flow = paper_dataflow()
+        plain, _ = flow.sample_iteration(np.random.default_rng(7))
+        shed, _ = flow.sample_iteration(
+            np.random.default_rng(7), skip={"detection", "tracking"}
+        )
+        for name, value in plain.items():
+            if name in ("detection", "tracking"):
+                assert shed[name] == 0.0
+            else:
+                assert shed[name] == value
+
+    def test_shed_iteration_is_never_slower(self):
+        flow = paper_dataflow()
+        for seed in range(20):
+            _, plain = flow.sample_iteration(np.random.default_rng(seed))
+            _, shed = flow.sample_iteration(
+                np.random.default_rng(seed), skip={"detection", "tracking"}
+            )
+            assert shed <= plain
+
+
+class TestLoadShedPolicy:
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            LoadShedPolicy(degraded_detection_period=0)
+
+    def test_nominal_sheds_nothing(self):
+        shedder = LoadShedder()
+        shed = shedder.plan(DegradationMode.NOMINAL, 3)
+        assert shed == TickShed()
+        assert not shed.sheds_anything
+        assert shed.can_arbitration_id == CanBus.PRIORITY_NORMAL
+
+    def test_degraded_drops_tracking_every_tick(self):
+        shedder = LoadShedder()
+        on_cadence = shedder.plan(DegradationMode.DEGRADED, 0)
+        assert on_cadence.skip_tasks == frozenset({"tracking"})
+        assert not on_cadence.reuse_cached_perception
+        assert not on_cadence.bypass_pipeline
+
+    def test_degraded_halves_detection_cadence(self):
+        shedder = LoadShedder(LoadShedPolicy(degraded_detection_period=2))
+        off_cadence = shedder.plan(DegradationMode.DEGRADED, 1)
+        assert off_cadence.skip_tasks == frozenset({"detection", "tracking"})
+        assert off_cadence.reuse_cached_perception
+
+    def test_full_rate_detection_when_period_is_one(self):
+        shedder = LoadShedder(LoadShedPolicy(degraded_detection_period=1))
+        for tick in range(4):
+            shed = shedder.plan(DegradationMode.DEGRADED, tick)
+            assert "detection" not in shed.skip_tasks
+
+    @pytest.mark.parametrize(
+        "mode", [DegradationMode.REACTIVE_ONLY, DegradationMode.SAFE_STOP]
+    )
+    def test_reactive_modes_bypass_the_pipeline(self, mode):
+        shed = LoadShedder().plan(mode, 0)
+        assert shed.bypass_pipeline
+        assert shed.skip_tasks == frozenset(PIPELINE_TASKS)
+        assert shed.can_arbitration_id == CanBus.PRIORITY_CRITICAL
+
+    def test_accounting_tallies_by_mode(self):
+        shedder = LoadShedder()
+        for tick in range(4):
+            shed = shedder.plan(DegradationMode.DEGRADED, tick)
+            shedder.account(DegradationMode.DEGRADED, shed)
+        # Ticks 0/2 shed tracking only; ticks 1/3 shed the chain too.
+        assert shedder.sheds_by_mode == {"DEGRADED": 6}
+        assert shedder.total_sheds == 6
+
+
+class TestSchedulerShedding:
+    def test_no_schedule_matches_legacy_run(self):
+        a = PipelinedExecutor(seed=5).run(50)
+        b = PipelinedExecutor(seed=5).run(50, mode_schedule=None)
+        assert a.stats.mean_s == b.stats.mean_s
+        assert a.throughput_hz == b.throughput_hz
+        assert b.sheds_by_mode == {}
+        assert b.frames_bypassed == 0
+
+    def test_degraded_frames_are_never_slower(self):
+        # Same seed, same drawn latencies: the DEGRADED run sheds work so
+        # every frame's service latency is <= its NOMINAL twin's.
+        nominal = PipelinedExecutor(seed=11).run(80)
+        degraded = PipelinedExecutor(seed=11).run(
+            80, mode_schedule=lambda k: DegradationMode.DEGRADED
+        )
+        for plain, shed in zip(nominal.timings, degraded.timings):
+            assert shed.service_latency_s <= plain.service_latency_s
+        assert degraded.stats.mean_s < nominal.stats.mean_s
+        assert degraded.sheds_by_mode["DEGRADED"] > 0
+
+    def test_reactive_only_bypasses_frames(self):
+        report = PipelinedExecutor(seed=3).run(
+            20, mode_schedule=lambda k: DegradationMode.REACTIVE_ONLY
+        )
+        assert report.frames_bypassed == 20
+        assert report.sheds_by_mode["REACTIVE_ONLY"] == 20 * len(PIPELINE_TASKS)
+
+
+class TestCanPriority:
+    def test_normal_traffic_queues_behind_backlog(self):
+        bus = CanBus()
+        frame_time = bus.frame_time_s
+        first = bus.send("a", 0.0)
+        queued = bus.send("b", 0.0)
+        assert first.deliver_at_s < queued.deliver_at_s
+        assert queued.deliver_at_s - first.deliver_at_s == pytest.approx(
+            frame_time
+        )
+        assert bus.priority_preemptions == 0
+
+    def test_critical_frame_preempts_the_backlog(self):
+        bus = CanBus()
+        frame_time = bus.frame_time_s
+        for k in range(8):
+            bus.send(f"bulk-{k}", 0.0)
+        brake = bus.send("brake", 0.0, arbitration_id=CanBus.PRIORITY_CRITICAL)
+        # Waits only for the frame on the wire, not the 7-frame backlog.
+        assert brake.deliver_at_s == pytest.approx(
+            2 * frame_time + bus.fixed_overhead_s
+        )
+        assert bus.priority_preemptions == 1
+
+    def test_critical_on_idle_bus_needs_no_preemption(self):
+        bus = CanBus()
+        brake = bus.send("brake", 0.0, arbitration_id=CanBus.PRIORITY_CRITICAL)
+        assert brake.deliver_at_s == pytest.approx(bus.nominal_latency_s())
+        assert bus.priority_preemptions == 0
+
+    def test_preempted_backlog_pays_the_displaced_frame(self):
+        bus = CanBus()
+        frame_time = bus.frame_time_s
+        for k in range(4):
+            bus.send(f"bulk-{k}", 0.0)
+        free_before = bus._bus_free_at_s
+        bus.send("brake", 0.0, arbitration_id=CanBus.PRIORITY_CRITICAL)
+        assert bus._bus_free_at_s == pytest.approx(free_before + frame_time)
+        # The next normal frame starts after the (now longer) backlog.
+        late = bus.send("tail", 0.0)
+        assert late.deliver_at_s == pytest.approx(
+            6 * frame_time + bus.fixed_overhead_s
+        )
+
+    def test_committed_deliveries_are_never_rewritten(self):
+        bus = CanBus()
+        committed = [bus.send(f"bulk-{k}", 0.0) for k in range(5)]
+        times_before = [m.deliver_at_s for m in committed]
+        bus.send("brake", 0.0, arbitration_id=CanBus.PRIORITY_CRITICAL)
+        assert [m.deliver_at_s for m in committed] == times_before
