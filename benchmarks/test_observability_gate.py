@@ -1,0 +1,81 @@
+"""Observability overhead and the bench-gate regression flow.
+
+The acceptance bar for the tracing subsystem: with tracing *disabled*
+(the shipped default) the observability hooks in the control loop must
+cost less than 5% wall-clock per tick relative to a loop with the hooks
+stubbed out entirely, and the committed ``BENCH_closedloop.json``
+baseline must gate an honest re-run.
+"""
+
+import pathlib
+import time
+
+from repro.observability.regression import (
+    gate_against_baseline,
+    load_snapshot,
+    snapshot_closedloop,
+    snapshot_path,
+)
+from repro.runtime.sov import obstacle_ahead_scenario
+
+#: Short seeded workload for timing; long enough to amortize startup.
+_DURATION_S = 6.0
+_SEED = 0
+#: Acceptance threshold from the issue: with tracing disabled, the
+#: observability hooks may add at most 5% wall-clock per control tick.
+_MAX_OVERHEAD_FRACTION = 0.05
+#: Best-of-N to shave scheduler noise off both measurements.
+_TIMING_ROUNDS = 7
+
+
+def _wall_per_tick(stub_hooks: bool) -> float:
+    best = float("inf")
+    for _ in range(_TIMING_ROUNDS):
+        sov = obstacle_ahead_scenario(30.0, seed=_SEED)
+        if stub_hooks:
+            # The pre-PR loop: no per-iteration observability call at
+            # all.  The shipped default keeps the call but it returns
+            # after three ``None`` checks; this measures that delta.
+            sov._observe_iteration = lambda *a, **k: None
+        start = time.perf_counter()
+        result = sov.drive(_DURATION_S)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / max(1, result.ops.control_ticks))
+    return best
+
+
+def test_disabled_hooks_overhead_below_five_percent():
+    # Warm both paths once so imports/cache effects don't skew round 1.
+    _wall_per_tick(True)
+    _wall_per_tick(False)
+    stubbed = _wall_per_tick(True)
+    disabled = _wall_per_tick(False)
+    overhead = (disabled - stubbed) / stubbed
+    assert overhead < _MAX_OVERHEAD_FRACTION, (
+        f"disabled-hooks tick {disabled * 1e6:.1f}us vs stubbed "
+        f"{stubbed * 1e6:.1f}us = {overhead:+.1%} overhead "
+        f"(budget {_MAX_OVERHEAD_FRACTION:.0%})"
+    )
+
+
+def test_committed_baseline_gates_current_build(benchmark):
+    repo_root = pathlib.Path(__file__).parent.parent
+    baseline = load_snapshot(snapshot_path("closedloop", str(repo_root)))
+    current = benchmark.pedantic(
+        snapshot_closedloop,
+        kwargs=dict(seed=baseline.seed, duration_s=baseline.duration_s),
+        iterations=1,
+        rounds=1,
+    )
+    report = gate_against_baseline(baseline, current=current)
+    assert report.ok, report.format_report()
+    # The committed baseline must describe this exact seeded workload,
+    # otherwise the gate is comparing different drives.
+    assert current.metrics["control_ticks"] == baseline.metrics["control_ticks"]
+
+
+def test_snapshot_wall_clock_metric_is_reported():
+    snap = snapshot_closedloop(seed=_SEED, duration_s=2.0)
+    assert snap.metrics["wall_s_per_tick"] > 0
+    # Sanity: simulated latency dwarfs real compute by orders of magnitude.
+    assert snap.metrics["wall_s_per_tick"] < snap.metrics["latency_mean_s"]

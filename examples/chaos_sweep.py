@@ -2,10 +2,11 @@
 
 Samples seeded random fault scenarios from the nominal fault space and
 drives each through the closed-loop SoV with and without the safety net,
-then raises the fault-intensity dial until the net leaks a collision.
+then bisects the fault-intensity dial until the net leaks a collision.
 Prints the collision-free envelope — collision/SAFE_STOP rates, mode
-residency, MTTR percentiles, shed work — plus a replay of the first
-unprotected failure, demonstrating the per-seed replay hook.
+residency, MTTR percentiles, shed work, the Eq. 1 deadline-miss
+attribution table — plus a replay of the first unprotected failure,
+demonstrating the per-seed replay hook.
 
 Usage::
 
@@ -16,7 +17,7 @@ import sys
 
 from repro.robustness.chaos import (
     ChaosConfig,
-    intensity_frontier,
+    adaptive_intensity_frontier,
     replay_drive,
     run_chaos_campaign,
 )
@@ -81,20 +82,27 @@ def main() -> None:
             f"final mode {saved.final_mode}"
         )
 
-    print("\nfault-intensity frontier (safety net engaged):")
-    points, frontier = intensity_frontier(n_drives=max(12, n_drives // 4))
+    if protected.attribution is not None and protected.deadline_misses:
+        print("\ndeadline-miss attribution (Eq. 1 budget, protected arm):")
+        for line in protected.attribution.format_table().splitlines():
+            print(f"  {line}")
+
+    print("\nfault-intensity frontier (safety net engaged, bisection):")
+    points, frontier = adaptive_intensity_frontier(
+        n_drives=max(12, n_drives // 4)
+    )
     for p in points:
         print(
-            f"  intensity {p.intensity:.1f}: "
+            f"  intensity {p.intensity:.2f}: "
             f"{p.collisions}/{p.n_drives} collisions, "
             f"safe-stops {p.safe_stop_rate:.1%}"
         )
     print(
         "  frontier: "
         + (
-            "not reached in this sweep"
+            "not reached in this bracket"
             if frontier is None
-            else f"net first leaks at intensity {frontier:.1f}"
+            else f"net first leaks at intensity {frontier:.2f}"
         )
     )
 

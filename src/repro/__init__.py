@@ -29,6 +29,9 @@ The library is organized as the paper is:
   fault injection, heartbeat/watchdog health monitoring with an MTTR
   restart model, and the graceful-degradation supervisor.
 * :mod:`repro.cloud` — Fig. 1 offline services: maps, training, uplink.
+* :mod:`repro.observability` — per-frame span tracing (Perfetto export),
+  a metrics registry with streaming percentiles, Eq. 1 deadline-miss
+  attribution, and the ``bench-gate`` perf-regression gate.
 
 Quickstart::
 
@@ -47,6 +50,7 @@ from . import (
     core,
     hw,
     lidar,
+    observability,
     perception,
     planning,
     robustness,
@@ -62,6 +66,7 @@ __all__ = [
     "core",
     "hw",
     "lidar",
+    "observability",
     "perception",
     "planning",
     "robustness",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from ..robustness.chaos import (
     ChaosConfig,
-    intensity_frontier,
+    adaptive_intensity_frontier,
     run_chaos_campaign,
 )
 from .base import ExperimentResult, Row, register
@@ -31,9 +31,12 @@ from .base import ExperimentResult, Row, register
 CHAOS_N_DRIVES = 200
 #: Campaign seed (every drive derives its own seed from this + its index).
 CHAOS_SEED = 0
-#: Intensity sweep for the frontier search.
-FRONTIER_INTENSITIES = (1.0, 1.5, 2.0, 2.5)
-#: Drives per frontier point (coarser than the main sweep, still seeded).
+#: Bisection bracket and resolution for the adaptive frontier search:
+#: ~5 probes localize the frontier to 0.25x, where a fixed grid of the
+#: same resolution would pay 9 probes.
+FRONTIER_BRACKET = (1.0, 3.0)
+FRONTIER_RESOLUTION = 0.25
+#: Drives per frontier probe (coarser than the main sweep, still seeded).
 FRONTIER_N_DRIVES = 48
 
 
@@ -52,11 +55,14 @@ def chaos_campaign() -> ExperimentResult:
     unprotected = run_chaos_campaign(
         ChaosConfig(n_drives=CHAOS_N_DRIVES, seed=CHAOS_SEED, safety_net=False)
     ).envelope
-    points, frontier = intensity_frontier(
-        intensities=FRONTIER_INTENSITIES,
+    points, frontier = adaptive_intensity_frontier(
+        lo=FRONTIER_BRACKET[0],
+        hi=FRONTIER_BRACKET[1],
+        resolution=FRONTIER_RESOLUTION,
         n_drives=FRONTIER_N_DRIVES,
         seed=CHAOS_SEED,
     )
+    attribution = protected.attribution
     rows = [
         Row(
             "collision_rate_with_safety_net",
@@ -119,7 +125,23 @@ def chaos_campaign() -> ExperimentResult:
             None,
             float("nan") if frontier is None else frontier,
             "x",
-            "lowest swept fault intensity where the net leaks a collision",
+            "lowest probed fault intensity where the net leaks a collision "
+            f"(bisection to {FRONTIER_RESOLUTION}x over "
+            f"{FRONTIER_BRACKET[0]}-{FRONTIER_BRACKET[1]}x)",
+        ),
+        Row(
+            "deadline_misses_protected",
+            None,
+            float(protected.deadline_misses),
+            "count",
+            "Eq. 1 budget misses across all protected drives (attributed)",
+        ),
+        Row(
+            "deadline_miss_rate",
+            None,
+            0.0 if attribution is None else attribution.miss_rate,
+            "frac",
+            "misses per control tick, campaign-wide",
         ),
     ]
     series = {
@@ -134,6 +156,17 @@ def chaos_campaign() -> ExperimentResult:
             for p in points
         ],
         "unprotected_failing_indices": list(unprotected.failing_indices),
+        # Deadline-miss attribution (repro.observability.attribution):
+        # which stage/fault/mode each Eq. 1 budget miss is charged to.
+        "miss_attribution_by_stage": (
+            [] if attribution is None else sorted(attribution.by_stage.items())
+        ),
+        "miss_attribution_by_fault": (
+            [] if attribution is None else sorted(attribution.by_fault.items())
+        ),
+        "miss_attribution_by_mode": (
+            [] if attribution is None else sorted(attribution.by_mode.items())
+        ),
     }
     return ExperimentResult(
         "chaos_campaign",

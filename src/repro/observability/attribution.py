@@ -1,0 +1,245 @@
+"""Deadline-miss attribution against the Eq. 1 reaction budget.
+
+Aggregate latency stats say *how often* the loop blows its budget; this
+module says *why*.  Every control tick whose computing latency ``Tcomp``
+exceeds the Eq. 1 budget is charged to:
+
+* the **dominant task** — the single largest-latency task on that
+  iteration's critical path (sensing / localization (VIO) / depth /
+  detection / tracking / planning), or the injected fault overhead when
+  that overhead alone outweighs every task;
+* the **active faults** — every fault kind whose window covered the tick;
+* the **operating context** — the degradation mode and any shed decision
+  in force.
+
+The default budget is the Tcomp that still avoids an obstacle at the
+paper's worst-case avoidance range (8.3 m → ≈ 0.74 s, Sec. III-A): the
+calibrated latency tail sits inside it, so a nominal drive misses almost
+never and a miss is a genuine anomaly worth explaining.  Campaign-level
+reports tighten or relax it per scenario.
+
+Attribution is pure bookkeeping: no randomness, no mutation of the loop
+it observes.  The per-stage counts sum exactly to the total number of
+misses — asserted by test and relied on by the chaos envelope report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core import calibration
+from ..core.latency_model import LatencyModel
+
+#: Attribution bucket for the injected fault overhead dominating a miss.
+FAULT_OVERHEAD_STAGE = "fault_overhead"
+#: Attribution bucket when no per-task breakdown exists (fixed-latency
+#: runs): the whole iteration is one opaque stage.
+OPAQUE_STAGE = "total"
+
+
+def default_deadline_budget_s(
+    avoidance_range_m: float = calibration.PAPER_AVOIDANCE_RANGE_WORST_M,
+    model: Optional[LatencyModel] = None,
+) -> float:
+    """The Eq. 1 Tcomp budget for an obstacle at *avoidance_range_m*."""
+    model = model or LatencyModel()
+    budget = model.latency_requirement_s(avoidance_range_m)
+    if budget <= 0:
+        raise ValueError(
+            f"no positive computing budget exists at {avoidance_range_m} m"
+        )
+    return budget
+
+
+@dataclass(frozen=True)
+class MissRecord:
+    """One control tick that blew the Eq. 1 budget."""
+
+    tick: int
+    now_s: float
+    total_s: float
+    budget_s: float
+    dominant_stage: str
+    fault_kinds: Tuple[str, ...]
+    mode: str
+    shed_tasks: Tuple[str, ...]
+
+    @property
+    def overrun_s(self) -> float:
+        return self.total_s - self.budget_s
+
+
+@dataclass
+class AttributionTable:
+    """Aggregated deadline-miss causes for one drive (or one campaign)."""
+
+    budget_s: float
+    ticks_observed: int = 0
+    total_misses: int = 0
+    by_stage: Dict[str, int] = field(default_factory=dict)
+    by_fault: Dict[str, int] = field(default_factory=dict)
+    by_mode: Dict[str, int] = field(default_factory=dict)
+    worst_overrun_s: float = 0.0
+    records: List[MissRecord] = field(default_factory=list)
+
+    @property
+    def miss_rate(self) -> float:
+        if self.ticks_observed == 0:
+            return 0.0
+        return self.total_misses / self.ticks_observed
+
+    def check_consistency(self) -> None:
+        """Per-stage (and per-mode) miss counts must sum to the total."""
+        for label, table in (("stage", self.by_stage), ("mode", self.by_mode)):
+            total = sum(table.values())
+            if total != self.total_misses:
+                raise AssertionError(
+                    f"per-{label} miss counts sum to {total}, "
+                    f"expected {self.total_misses}"
+                )
+
+    def as_dict(self) -> Dict[str, float]:
+        """A flat, order-stable numeric view for reports and snapshots."""
+        out: Dict[str, float] = {
+            "budget_s": self.budget_s,
+            "ticks_observed": float(self.ticks_observed),
+            "deadline_misses": float(self.total_misses),
+            "miss_rate": self.miss_rate,
+            "worst_overrun_s": self.worst_overrun_s,
+        }
+        for stage in sorted(self.by_stage):
+            out[f"miss_stage_{stage}"] = float(self.by_stage[stage])
+        for kind in sorted(self.by_fault):
+            out[f"miss_fault_{kind}"] = float(self.by_fault[kind])
+        for mode in sorted(self.by_mode):
+            out[f"miss_mode_{mode}"] = float(self.by_mode[mode])
+        return out
+
+    def format_table(self) -> str:
+        """The human-readable attribution table (README's example)."""
+        lines = [
+            f"deadline budget: {self.budget_s * 1e3:.1f} ms; "
+            f"misses: {self.total_misses}/{self.ticks_observed} ticks "
+            f"({self.miss_rate:.1%}); worst overrun "
+            f"{self.worst_overrun_s * 1e3:.1f} ms"
+        ]
+        for title, table in (
+            ("dominant stage", self.by_stage),
+            ("active fault", self.by_fault),
+            ("mode", self.by_mode),
+        ):
+            for key in sorted(table, key=lambda k: (-table[k], k)):
+                lines.append(f"  {title:<15} {key:<20} {table[key]:>6}")
+        return "\n".join(lines)
+
+
+class DeadlineMissAttributor:
+    """Watches per-tick latency and attributes every budget miss.
+
+    ``keep_records`` bounds memory: per-miss :class:`MissRecord` rows are
+    kept only up to that many (the aggregates always cover every miss).
+    """
+
+    def __init__(
+        self,
+        budget_s: Optional[float] = None,
+        keep_records: int = 256,
+    ) -> None:
+        if budget_s is None:
+            budget_s = default_deadline_budget_s()
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.table = AttributionTable(budget_s=budget_s)
+        self.keep_records = keep_records
+
+    @property
+    def budget_s(self) -> float:
+        return self.table.budget_s
+
+    def observe(
+        self,
+        tick: int,
+        now_s: float,
+        total_s: float,
+        critical_path: Sequence[str] = (),
+        task_latencies: Optional[Mapping[str, float]] = None,
+        fault_overhead_s: float = 0.0,
+        fault_kinds: Sequence[str] = (),
+        mode: str = "NOMINAL",
+        shed_tasks: Sequence[str] = (),
+    ) -> Optional[MissRecord]:
+        """Account one control tick; returns the miss record if it missed.
+
+        *critical_path* and *task_latencies* come from the sampled
+        dataflow iteration; *fault_overhead_s* is the injected stall or
+        spike latency added on top of it.
+        """
+        table = self.table
+        table.ticks_observed += 1
+        if total_s <= table.budget_s:
+            return None
+        dominant = self._dominant_stage(
+            critical_path, task_latencies, fault_overhead_s
+        )
+        record = MissRecord(
+            tick=tick,
+            now_s=now_s,
+            total_s=total_s,
+            budget_s=table.budget_s,
+            dominant_stage=dominant,
+            fault_kinds=tuple(fault_kinds),
+            mode=mode,
+            shed_tasks=tuple(sorted(shed_tasks)),
+        )
+        table.total_misses += 1
+        table.by_stage[dominant] = table.by_stage.get(dominant, 0) + 1
+        table.by_mode[mode] = table.by_mode.get(mode, 0) + 1
+        for kind in record.fault_kinds:
+            table.by_fault[kind] = table.by_fault.get(kind, 0) + 1
+        table.worst_overrun_s = max(table.worst_overrun_s, record.overrun_s)
+        if len(table.records) < self.keep_records:
+            table.records.append(record)
+        return record
+
+    @staticmethod
+    def _dominant_stage(
+        critical_path: Sequence[str],
+        task_latencies: Optional[Mapping[str, float]],
+        fault_overhead_s: float,
+    ) -> str:
+        if not critical_path or not task_latencies:
+            return (
+                FAULT_OVERHEAD_STAGE if fault_overhead_s > 0 else OPAQUE_STAGE
+            )
+        heaviest = max(critical_path, key=lambda t: task_latencies[t])
+        if fault_overhead_s > task_latencies[heaviest]:
+            return FAULT_OVERHEAD_STAGE
+        return heaviest
+
+
+def merge_attribution_tables(
+    tables: Sequence[AttributionTable],
+) -> AttributionTable:
+    """Fold per-drive tables into one campaign-level table.
+
+    All inputs must share the same budget (mixing budgets would make the
+    merged miss counts incomparable).
+    """
+    if not tables:
+        raise ValueError("nothing to merge")
+    budgets = {t.budget_s for t in tables}
+    if len(budgets) != 1:
+        raise ValueError(f"cannot merge tables with budgets {sorted(budgets)}")
+    merged = AttributionTable(budget_s=tables[0].budget_s)
+    for table in tables:
+        merged.ticks_observed += table.ticks_observed
+        merged.total_misses += table.total_misses
+        merged.worst_overrun_s = max(
+            merged.worst_overrun_s, table.worst_overrun_s
+        )
+        for attr in ("by_stage", "by_fault", "by_mode"):
+            target = getattr(merged, attr)
+            for key, count in getattr(table, attr).items():
+                target[key] = target.get(key, 0) + count
+    return merged

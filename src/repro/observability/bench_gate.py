@@ -1,0 +1,99 @@
+"""``bench-gate`` CLI: snapshot seeded benchmarks, gate regressions.
+
+Usage::
+
+    # Record (or refresh) the accepted baseline:
+    python -m repro.observability.bench_gate snapshot --name closedloop
+
+    # CI: re-run the seeded workload, fail on a mean/p99 regression,
+    # and export the drive's Perfetto trace as a build artifact:
+    python -m repro.observability.bench_gate check \
+        --baseline BENCH_closedloop.json --trace closedloop_trace.json
+
+``check`` exits non-zero when any gated metric regresses beyond its
+tolerance or the workload changed shape (different tick/sample counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .regression import (
+    DEFAULT_TOLERANCES,
+    gate_against_baseline,
+    load_snapshot,
+    snapshot_closedloop,
+    snapshot_path,
+    write_snapshot,
+)
+from .tracing import Tracer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.bench_gate",
+        description="Snapshot seeded benchmark runs; gate perf regressions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    snap = sub.add_parser("snapshot", help="write BENCH_<name>.json")
+    snap.add_argument("--name", default="closedloop")
+    snap.add_argument("--seed", type=int, default=0)
+    snap.add_argument("--duration", type=float, default=12.0)
+    snap.add_argument(
+        "--out", default=None, help="output path (default BENCH_<name>.json)"
+    )
+
+    check = sub.add_parser("check", help="gate a run against a baseline")
+    check.add_argument("--baseline", required=True)
+    check.add_argument(
+        "--mean-tol",
+        type=float,
+        default=DEFAULT_TOLERANCES["latency_mean_s"],
+        help="relative tolerance on mean latency",
+    )
+    check.add_argument(
+        "--p99-tol",
+        type=float,
+        default=DEFAULT_TOLERANCES["latency_p99_s"],
+        help="relative tolerance on p99 latency",
+    )
+    check.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also export the gated drive's Chrome/Perfetto trace JSON",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "snapshot":
+        snapshot = snapshot_closedloop(
+            name=args.name, seed=args.seed, duration_s=args.duration
+        )
+        out = args.out or snapshot_path(args.name)
+        write_snapshot(snapshot, out)
+        print(f"wrote {out}")
+        for metric in sorted(snapshot.metrics):
+            print(f"  {metric} = {snapshot.metrics[metric]:.6g}")
+        return 0
+
+    baseline = load_snapshot(args.baseline)
+    tracer = Tracer(name=baseline.name) if args.trace else None
+    report = gate_against_baseline(
+        baseline,
+        tolerances={
+            "latency_mean_s": args.mean_tol,
+            "latency_p99_s": args.p99_tol,
+        },
+        tracer=tracer,
+    )
+    if tracer is not None:
+        tracer.export_json(args.trace)
+        print(f"trace written to {args.trace} (open in Perfetto)")
+    print(report.format_report())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

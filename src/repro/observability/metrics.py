@@ -1,0 +1,271 @@
+"""A metrics registry: counters, gauges, streaming percentile histograms.
+
+:class:`~repro.runtime.telemetry.OperationsLog` grew one ad-hoc integer
+field per PR; this registry gives those counters a uniform, exportable
+shape (named metrics, one flat snapshot) and adds what plain counters
+cannot do: streaming percentiles.  :class:`StreamingHistogram` keeps
+P² (Jain & Chlamtac 1985) marker estimates for a fixed quantile set in
+O(1) memory per quantile — the right tool for per-frame latency series
+that a fleet of drives would otherwise have to store whole.
+
+Nothing here consumes randomness, so publishing metrics from a seeded
+drive never perturbs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (a level, a mode, a queue depth)."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _P2Quantile:
+    """One P² marker set tracking a single quantile ``q`` in (0, 1)."""
+
+    def __init__(self, q: float) -> None:
+        self.q = q
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2 * q, 1.0 + 4 * q, 3.0 + 2 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, x: float) -> None:
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(x)
+            heights.sort()
+            return
+        # Find the cell k containing x, clamping the extremes.
+        if x < heights[0]:
+            heights[0] = x
+            k = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self._positions[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+        # Adjust the three interior markers with the parabolic formula.
+        for i in (1, 2, 3):
+            d = self._desired[i] - self._positions[i]
+            n, n_prev, n_next = (
+                self._positions[i],
+                self._positions[i - 1],
+                self._positions[i + 1],
+            )
+            if (d >= 1.0 and n_next - n > 1.0) or (d <= -1.0 and n_prev - n < -1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def estimate(self) -> float:
+        heights = self._heights
+        if not heights:
+            raise ValueError("no samples observed")
+        if len(heights) < 5:
+            # Exact small-sample quantile (nearest-rank interpolation).
+            rank = self.q * (len(heights) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(heights) - 1)
+            return heights[lo] + (rank - lo) * (heights[hi] - heights[lo])
+        return self._heights[2]
+
+
+class StreamingHistogram:
+    """Count/sum/min/max plus P² estimates for a fixed quantile set."""
+
+    DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        for q in quantiles:
+            if not 0.0 < q < 1.0:
+                raise ValueError(f"quantile {q} must be in (0, 1)")
+        self.name = name
+        self.help = help
+        self.quantiles = tuple(quantiles)
+        self._estimators = {q: _P2Quantile(q) for q in self.quantiles}
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for estimator in self._estimators.values():
+            estimator.observe(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        return self.sum / self.count
+
+    def quantile(self, q: float) -> float:
+        try:
+            return self._estimators[q].estimate()
+        except KeyError:
+            raise KeyError(
+                f"histogram {self.name!r} does not track q={q}; "
+                f"tracked: {self.quantiles}"
+            ) from None
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0.0}
+        out = {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": float(self.min),
+            "max": float(self.max),
+        }
+        for q in self.quantiles:
+            out[f"p{round(q * 100):02d}"] = self.quantile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics and one flat snapshot."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, lambda: Counter(name, help), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        quantiles: Sequence[float] = StreamingHistogram.DEFAULT_QUANTILES,
+    ) -> StreamingHistogram:
+        return self._get_or_create(
+            name,
+            lambda: StreamingHistogram(name, help, quantiles),
+            StreamingHistogram,
+        )
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, float]:
+        """Every metric flattened to ``name`` / ``name_<stat>`` floats."""
+        out: Dict[str, float] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, (Counter, Gauge)):
+                out[name] = metric.value
+            else:
+                for stat, value in metric.summary().items():
+                    out[f"{name}_{stat}"] = value
+        return out
+
+
+def registry_from_operations_log(ops) -> MetricsRegistry:
+    """Mirror an :class:`~repro.runtime.telemetry.OperationsLog` into a
+    registry — the uniform view that subsumes its ad-hoc counters.
+
+    Scalar fields become counters/gauges under ``ops_``; dict-valued
+    tallies become one counter per key (``ops_sheds_by_mode_DEGRADED``).
+    """
+    registry = MetricsRegistry()
+    scalar_fields = (
+        "control_ticks",
+        "reactive_overrides",
+        "reactive_holds",
+        "collisions",
+        "proactive_skips",
+        "fallback_commands",
+        "can_frames_dropped",
+        "can_priority_sends",
+    )
+    for name in scalar_fields:
+        registry.counter(f"ops_{name}").inc(getattr(ops, name))
+    registry.gauge("ops_distance_m").set(ops.distance_m)
+    registry.gauge("ops_energy_j").set(ops.energy_j)
+    registry.gauge("ops_proactive_fraction").set(ops.proactive_fraction)
+    for attr in ("faults_injected", "mode_ticks", "sheds_by_mode", "sheds_by_task"):
+        for key, count in sorted(getattr(ops, attr).items()):
+            registry.counter(f"ops_{attr}_{key}").inc(count)
+    return registry

@@ -1,0 +1,241 @@
+"""Seeded benchmark snapshots and the perf-regression gate.
+
+The ROADMAP's north star ("as fast as the hardware allows") needs a
+trajectory: every perf PR must prove it did not regress the loop.  The
+mechanism is a *snapshot → gate* pair:
+
+1. :func:`snapshot_closedloop` runs a fully seeded closed-loop drive and
+   collects its latency distribution (mean/p99/best/worst) plus the
+   operational counters — all deterministic per seed — and a wall-clock
+   per-tick cost (informational; machine-dependent, not gated).
+2. :func:`write_snapshot` persists it as ``BENCH_<name>.json`` (committed
+   to the repo as the accepted baseline).
+3. :func:`gate_against_baseline` re-runs the same seeded workload and
+   fails when a gated metric regresses beyond its tolerance.
+
+Simulated-latency metrics are bit-stable per seed, so their tolerance
+exists only to absorb *intentional* recalibrations: an unintentional
+change of the sampled distribution trips the gate immediately.  The
+``bench-gate`` CLI (:mod:`repro.observability.bench_gate`) wraps this
+for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: Metrics the gate checks, with their default relative tolerances.
+#: Latency metrics regress *upward*; the gate is one-sided.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "latency_mean_s": 0.05,
+    "latency_p99_s": 0.10,
+}
+
+#: Snapshot format version (bump on incompatible metric renames).
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchmarkSnapshot:
+    """One named, seeded benchmark run, flattened to numeric metrics."""
+
+    name: str
+    seed: int
+    duration_s: float
+    metrics: Dict[str, float]
+    version: int = SNAPSHOT_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "duration_s": self.duration_s,
+                "version": self.version,
+                "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            },
+            indent=2,
+        )
+
+
+def snapshot_path(name: str, directory: str = ".") -> str:
+    import os
+
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def write_snapshot(snapshot: BenchmarkSnapshot, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(snapshot.to_json() + "\n")
+
+
+def load_snapshot(path: str) -> BenchmarkSnapshot:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"snapshot {path!r} has version {data.get('version')}; "
+            f"this code reads version {SNAPSHOT_VERSION}"
+        )
+    return BenchmarkSnapshot(
+        name=data["name"],
+        seed=int(data["seed"]),
+        duration_s=float(data["duration_s"]),
+        metrics={k: float(v) for k, v in data["metrics"].items()},
+    )
+
+
+def snapshot_closedloop(
+    name: str = "closedloop",
+    seed: int = 0,
+    duration_s: float = 12.0,
+    obstacle_distance_m: float = 30.0,
+    tracer=None,
+) -> BenchmarkSnapshot:
+    """Run the seeded reference drive and collect its metrics.
+
+    The workload is the Eq. 1 drill corridor with the obstacle far
+    enough that a nominal drive brakes cleanly: a stable, fully seeded
+    exercise of perception, planning, CAN, and actuation.  Pass a
+    :class:`~repro.observability.tracing.Tracer` to also capture the
+    drive's Perfetto trace (CI uploads it as an artifact).
+    """
+    from ..runtime.sov import obstacle_ahead_scenario
+
+    sov = obstacle_ahead_scenario(obstacle_distance_m, seed=seed)
+    sov.enable_attribution()
+    if tracer is not None:
+        sov.attach_tracer(tracer)
+    started = time.perf_counter()
+    result = sov.drive(duration_s)
+    wall_s = time.perf_counter() - started
+    latency = result.latency
+    metrics: Dict[str, float] = {
+        "latency_mean_s": latency.mean_s,
+        "latency_p99_s": latency.percentile_s(99.0),
+        "latency_best_s": latency.best_s,
+        "latency_worst_s": latency.worst_s,
+        "latency_samples": float(latency.count),
+        "control_ticks": float(result.ops.control_ticks),
+        "distance_m": result.ops.distance_m,
+        "collisions": float(result.ops.collisions),
+        "deadline_misses": (
+            float(result.attribution.total_misses)
+            if result.attribution is not None
+            else 0.0
+        ),
+        # Informational only (machine-dependent): never gated.
+        "wall_s_per_tick": wall_s / max(1, result.ops.control_ticks),
+    }
+    for stage in sorted(latency.stages_s):
+        metrics[f"latency_stage_{stage}_mean_s"] = latency.stage_mean_s(stage)
+    return BenchmarkSnapshot(
+        name=name, seed=seed, duration_s=duration_s, metrics=metrics
+    )
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One gated metric's verdict."""
+
+    metric: str
+    baseline: float
+    current: float
+    tolerance: float
+    regressed: bool
+
+    @property
+    def delta_frac(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return (self.current - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.metric}: baseline {self.baseline:.6g} -> current "
+            f"{self.current:.6g} ({self.delta_frac:+.2%}, "
+            f"tol +{self.tolerance:.0%}) {verdict}"
+        )
+
+
+@dataclass
+class GateReport:
+    """The gate's full verdict over one baseline snapshot."""
+
+    name: str
+    findings: List[GateFinding] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems and not any(
+            f.regressed for f in self.findings
+        )
+
+    def format_report(self) -> str:
+        lines = [f"bench-gate: {self.name} -> {'PASS' if self.ok else 'FAIL'}"]
+        lines.extend(f.describe() for f in self.findings)
+        lines.extend(f"problem: {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def gate_metrics(
+    baseline: Mapping[str, float],
+    current: Mapping[str, float],
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> Tuple[List[GateFinding], List[str]]:
+    """Compare metric maps; returns (findings, structural problems)."""
+    tolerances = dict(tolerances or DEFAULT_TOLERANCES)
+    findings: List[GateFinding] = []
+    problems: List[str] = []
+    for metric, tolerance in sorted(tolerances.items()):
+        if metric not in baseline:
+            problems.append(f"baseline is missing gated metric {metric!r}")
+            continue
+        if metric not in current:
+            problems.append(f"current run is missing gated metric {metric!r}")
+            continue
+        base, cur = baseline[metric], current[metric]
+        regressed = cur > base * (1.0 + tolerance)
+        findings.append(
+            GateFinding(
+                metric=metric,
+                baseline=base,
+                current=cur,
+                tolerance=tolerance,
+                regressed=regressed,
+            )
+        )
+    # The workload itself must not silently change shape.
+    for invariant in ("latency_samples", "control_ticks"):
+        if invariant in baseline and invariant in current:
+            if baseline[invariant] != current[invariant]:
+                problems.append(
+                    f"workload changed: {invariant} was "
+                    f"{baseline[invariant]:.0f}, now {current[invariant]:.0f}"
+                )
+    return findings, problems
+
+
+def gate_against_baseline(
+    baseline: BenchmarkSnapshot,
+    current: Optional[BenchmarkSnapshot] = None,
+    tolerances: Optional[Mapping[str, float]] = None,
+    tracer=None,
+) -> GateReport:
+    """Re-run the baseline's seeded workload and gate the result."""
+    if current is None:
+        current = snapshot_closedloop(
+            name=baseline.name,
+            seed=baseline.seed,
+            duration_s=baseline.duration_s,
+            tracer=tracer,
+        )
+    findings, problems = gate_metrics(
+        baseline.metrics, current.metrics, tolerances
+    )
+    return GateReport(name=baseline.name, findings=findings, problems=problems)

@@ -36,6 +36,7 @@ from .faults import (
     SensorDropoutFault,
     SensorFreezeFault,
     SensorStuckValueFault,
+    SteeringBiasFault,
 )
 from .health import HealthMonitor, HealthReport, ModuleHealth
 
@@ -61,4 +62,5 @@ __all__ = [
     "SensorDropoutFault",
     "SensorFreezeFault",
     "SensorStuckValueFault",
+    "SteeringBiasFault",
 ]

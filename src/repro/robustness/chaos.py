@@ -37,6 +37,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..observability.attribution import (
+    AttributionTable,
+    merge_attribution_tables,
+)
 from .faults import (
     CameraFrameDropFault,
     CanBusFault,
@@ -50,6 +54,7 @@ from .faults import (
     SensorDropoutFault,
     SensorFreezeFault,
     SensorStuckValueFault,
+    SteeringBiasFault,
 )
 
 #: Fault kinds that leave the vision pipeline dark.
@@ -69,6 +74,7 @@ DEFAULT_KIND_WEIGHTS: Tuple[Tuple[str, float], ...] = (
     ("perception_stall", 0.8),
     ("latency_spike", 0.8),
     ("camera_frame_drop", 0.4),
+    ("steering_bias", 0.6),
 )
 
 
@@ -107,6 +113,9 @@ class FaultSpace:
     spike_prob_range: Tuple[float, float] = (0.1, 0.4)
     frame_drop_range: Tuple[float, float] = (0.2, 0.8)
     stuck_value_range_m: Tuple[float, float] = (8.0, 30.0)
+    #: Lateral-fault magnitude (radians of steering bias at the
+    #: actuator); sign is drawn uniformly.
+    steering_bias_range_rad: Tuple[float, float] = (0.03, 0.15)
 
     def __post_init__(self) -> None:
         if self.intensity <= 0:
@@ -195,6 +204,10 @@ class FaultSpace:
                 ),
                 window=window,
             )
+        if kind == "steering_bias":
+            magnitude = _uniform(rng, *self.steering_bias_range_rad) * i
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            return SteeringBiasFault(bias_rad=sign * magnitude, window=window)
         raise ValueError(f"unknown fault kind {kind!r}")  # pragma: no cover
 
     def sample_scenario(
@@ -272,6 +285,10 @@ class ChaosDriveRecord:
     mttr_s: Optional[float]
     mode_residency: Dict[str, float]
     sheds_by_mode: Dict[str, int]
+    #: Eq. 1 deadline misses this drive, and the full per-stage/per-fault
+    #: attribution (see :mod:`repro.observability.attribution`).
+    deadline_misses: int = 0
+    attribution: Optional[AttributionTable] = None
 
 
 def run_chaos_drive(config: ChaosConfig, index: int):
@@ -296,6 +313,9 @@ def run_chaos_drive(config: ChaosConfig, index: int):
             seed=drive_seed(config.seed, index),
         ),
     )
+    # Attribution is RNG-free bookkeeping: enabling it for every chaos
+    # drive leaves the drive itself bit-identical to an unobserved run.
+    sov.enable_attribution()
     result = sov.drive(config.duration_s)
     health = result.health
     record = ChaosDriveRecord(
@@ -315,6 +335,12 @@ def run_chaos_drive(config: ChaosConfig, index: int):
         mttr_s=None if health is None else health.mean_time_to_repair_s,
         mode_residency=dict(result.mode_residency),
         sheds_by_mode=dict(result.ops.sheds_by_mode),
+        deadline_misses=(
+            0
+            if result.attribution is None
+            else result.attribution.total_misses
+        ),
+        attribution=result.attribution,
     )
     return record, result
 
@@ -365,6 +391,10 @@ class EnvelopeReport:
     restarts_by_module: Dict[str, int]
     sheds_by_mode: Dict[str, int]
     failing_indices: Tuple[int, ...]
+    #: Campaign-wide Eq. 1 deadline misses and their merged attribution
+    #: table (None when no drive carried an attribution table).
+    deadline_misses: int = 0
+    attribution: Optional[AttributionTable] = None
 
     def as_dict(self) -> Dict[str, float]:
         """A flat, order-stable numeric view (determinism comparisons)."""
@@ -385,6 +415,10 @@ class EnvelopeReport:
             out[f"restarts_{name}"] = float(self.restarts_by_module[name])
         for name in sorted(self.sheds_by_mode):
             out[f"sheds_{name}"] = float(self.sheds_by_mode[name])
+        out["deadline_misses"] = float(self.deadline_misses)
+        if self.attribution is not None:
+            for key, value in self.attribution.as_dict().items():
+                out[f"attr_{key}"] = value
         return out
 
 
@@ -412,6 +446,10 @@ def aggregate_envelope(
     percentiles = (
         np.percentile(mttrs, [50.0, 90.0, 99.0]) if mttrs else (0.0, 0.0, 0.0)
     )
+    tables = [r.attribution for r in records if r.attribution is not None]
+    attribution = merge_attribution_tables(tables) if tables else None
+    if attribution is not None:
+        attribution.check_consistency()
     return EnvelopeReport(
         n_drives=n,
         seed=config.seed,
@@ -433,6 +471,8 @@ def aggregate_envelope(
         restarts_by_module=restarts,
         sheds_by_mode=sheds,
         failing_indices=tuple(r.index for r in records if r.collided),
+        deadline_misses=sum(r.deadline_misses for r in records),
+        attribution=attribution,
     )
 
 
@@ -491,22 +531,83 @@ def intensity_frontier(
     points: List[FrontierPoint] = []
     frontier: Optional[float] = None
     for intensity in intensities:
-        config = ChaosConfig(
-            n_drives=n_drives,
-            seed=seed,
-            space=base.with_intensity(intensity),
-            safety_net=True,
-        )
-        envelope = run_chaos_campaign(config).envelope
-        points.append(
-            FrontierPoint(
-                intensity=intensity,
-                n_drives=n_drives,
-                collisions=envelope.collisions,
-                collision_rate=envelope.collision_rate,
-                safe_stop_rate=envelope.safe_stop_rate,
-            )
-        )
-        if frontier is None and envelope.collisions > 0:
+        point = _frontier_point(base, intensity, n_drives, seed)
+        points.append(point)
+        if frontier is None and point.collisions > 0:
             frontier = intensity
     return points, frontier
+
+
+def _frontier_point(
+    base: FaultSpace, intensity: float, n_drives: int, seed: int
+) -> FrontierPoint:
+    """Evaluate one intensity with the safety net engaged.
+
+    Deterministic per ``(seed, intensity)``: the fixed-grid and adaptive
+    sweeps produce identical points wherever they evaluate the same
+    intensity.
+    """
+    config = ChaosConfig(
+        n_drives=n_drives,
+        seed=seed,
+        space=base.with_intensity(intensity),
+        safety_net=True,
+    )
+    envelope = run_chaos_campaign(config).envelope
+    return FrontierPoint(
+        intensity=intensity,
+        n_drives=n_drives,
+        collisions=envelope.collisions,
+        collision_rate=envelope.collision_rate,
+        safe_stop_rate=envelope.safe_stop_rate,
+    )
+
+
+def adaptive_intensity_frontier(
+    lo: float = 1.0,
+    hi: float = 3.0,
+    resolution: float = 0.125,
+    n_drives: int = 48,
+    seed: int = 0,
+    space: Optional[FaultSpace] = None,
+) -> Tuple[List[FrontierPoint], Optional[float]]:
+    """Locate the safety frontier by bisection instead of a fixed grid.
+
+    Evaluates the bracket ends first: a collision already at *lo* makes
+    *lo* the frontier; a clean sweep at *hi* means the net holds over the
+    whole bracket (frontier None).  Otherwise bisection maintains the
+    invariant "*lo* collision-free, *hi* collides" and narrows the
+    bracket to *resolution*; the returned frontier is the colliding end
+    of the final bracket — an upper bound within *resolution* of the true
+    boundary.
+
+    Each probe costs *n_drives* drives, so the sweep needs
+    ``2 + ceil(log2((hi - lo) / resolution))`` probes where the fixed
+    grid pays one per grid point regardless of where the boundary lies.
+    The search path is a pure function of the probe outcomes, which are
+    deterministic per ``(seed, intensity)`` — same seed, same frontier,
+    every run.  Returned points are sorted by intensity.
+    """
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+    if resolution <= 0:
+        raise ValueError("resolution must be positive")
+    base = space or FaultSpace()
+    points: Dict[float, FrontierPoint] = {}
+
+    def probe(intensity: float) -> FrontierPoint:
+        point = _frontier_point(base, intensity, n_drives, seed)
+        points[intensity] = point
+        return point
+
+    if probe(lo).collisions > 0:
+        return [points[lo]], lo
+    if probe(hi).collisions == 0:
+        return [points[i] for i in sorted(points)], None
+    while hi - lo > resolution:
+        mid = 0.5 * (lo + hi)
+        if probe(mid).collisions > 0:
+            hi = mid
+        else:
+            lo = mid
+    return [points[i] for i in sorted(points)], hi

@@ -10,7 +10,9 @@ catch those failures.  This module provides the failure vocabulary:
 * **CAN faults** — frame loss and delay bursts on the command path;
 * **perception faults** — task crashes and latency spikes/stalls layered
   onto the sampled dataflow distributions;
-* **GPS denial** — loss of the localization anchor.
+* **GPS denial** — loss of the localization anchor;
+* **actuator faults** — a silent steering bias (the lateral stressor:
+  nothing crashes, nothing heartbeats wrong, the vehicle just veers).
 
 Faults are declarative, frozen dataclasses scheduled by a
 :class:`FaultWindow`; a :class:`FaultScenario` bundles them into a named,
@@ -197,6 +199,29 @@ class GpsDenialFault:
     kind = "gps_denial"
 
 
+@dataclass(frozen=True)
+class SteeringBiasFault:
+    """The steering actuator applies a constant lateral bias (a bent
+    linkage, a miscalibrated steering offset).
+
+    Unlike the longitudinal faults, this one stresses the *lateral*
+    control problem: every command reaching the actuator is executed
+    with ``bias_rad`` added to its steer angle, silently — no heartbeat
+    is lost and no sensor reads wrong, so the supervisor cannot see it
+    and the vehicle simply tracks a curved path.  The reactive path
+    still guards the forward cone.
+    """
+
+    bias_rad: float
+    window: FaultWindow
+
+    kind = "steering_bias"
+
+    def __post_init__(self) -> None:
+        if self.bias_rad == 0.0:
+            raise ValueError("a zero bias is not a fault")
+
+
 Fault = Union[
     SensorDropoutFault,
     SensorFreezeFault,
@@ -207,6 +232,7 @@ Fault = Union[
     PerceptionStallFault,
     LatencySpikeFault,
     GpsDenialFault,
+    SteeringBiasFault,
 ]
 
 
@@ -343,6 +369,39 @@ class FaultHarness:
                 extra += fault.spike_s
                 self._count("latency_spike")
         return extra
+
+    # -- actuation faults ------------------------------------------------------
+
+    def steering_bias_rad(self, now_s: float) -> float:
+        """Lateral steering bias applied at the actuator right now.
+
+        Sums every active :class:`SteeringBiasFault` (two bent linkages
+        compound).  Consumes no randomness.
+        """
+        bias = 0.0
+        for fault in self.scenario.active("steering_bias", now_s):
+            bias += fault.bias_rad
+            self._count("steering_bias")
+        return bias
+
+    # -- attribution support ---------------------------------------------------
+
+    def active_kinds(self, now_s: float) -> Tuple[str, ...]:
+        """Fault kinds whose windows cover *now_s* (sorted, no counting).
+
+        Used by deadline-miss attribution to tag a miss with the faults
+        in force; unlike the injection accessors this never increments
+        the injection tallies.
+        """
+        return tuple(
+            sorted(
+                {
+                    f.kind
+                    for f in self.scenario.faults
+                    if f.window.active(now_s)
+                }
+            )
+        )
 
     # -- transport faults ------------------------------------------------------
 

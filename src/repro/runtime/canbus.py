@@ -95,6 +95,11 @@ class CanBus:
         self._wire_slots: List[Tuple[float, float]] = []
         #: Critical frames that jumped a non-empty backlog.
         self.priority_preemptions = 0
+        #: Optional span tracer (duck-typed; set by the SoV).  Each frame
+        #: records its wire slot, which is serialized by construction —
+        #: the only repeat is the preemption one-frame overlap, rendered
+        #: as two identical intervals.
+        self.tracer = None
 
     @property
     def frame_time_s(self) -> float:
@@ -180,6 +185,16 @@ class CanBus:
             arbitration_id=arbitration_id,
             dropped=dropped,
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                "can_frame",
+                "canbus",
+                start,
+                finish,
+                arbitration_id=arbitration_id,
+                dropped=dropped,
+                latency_s=message.latency_s,
+            )
         if dropped:
             self.frames_dropped += 1
         else:

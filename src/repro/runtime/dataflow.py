@@ -156,6 +156,27 @@ class SovDataflow:
             path.append(parent[path[-1]])
         return list(reversed(path)), finish[end]
 
+    def iteration_schedule(
+        self, latencies: Mapping[str, float]
+    ) -> Dict[str, Tuple[float, float]]:
+        """ASAP schedule: each task's ``(start, finish)`` offset within one
+        iteration, honouring the dependency edges.
+
+        This is the per-task timeline the tracer exports as Perfetto
+        spans; ``max(finish)`` equals :meth:`critical_path`'s total for
+        the same latencies.
+        """
+        finish: Dict[str, float] = {}
+        schedule: Dict[str, Tuple[float, float]] = {}
+        for node in nx.topological_sort(self._graph):
+            start = max(
+                (finish[p] for p in self._graph.predecessors(node)),
+                default=0.0,
+            )
+            finish[node] = start + latencies[node]
+            schedule[node] = (start, finish[node])
+        return schedule
+
     def sample_iteration(
         self,
         rng: np.random.Generator,

@@ -98,6 +98,7 @@ class PipelinedExecutor:
         n_frames: int,
         mode_schedule: Optional[Callable[[int], DegradationMode]] = None,
         shed_policy: Optional[LoadShedPolicy] = None,
+        tracer=None,
     ) -> PipelineReport:
         """Replay *n_frames* through the pipeline.
 
@@ -106,6 +107,12 @@ class PipelinedExecutor:
         shed work per *shed_policy* (fault-aware scheduling).  With no
         schedule every frame runs NOMINAL and the behaviour — including
         the RNG stream — is identical to the unscheduled executor.
+
+        A :class:`~repro.observability.tracing.Tracer` passed as *tracer*
+        records one span per (frame, stage) on ``pipe:<stage>`` tracks —
+        the Fig. 6 pipeline occupancy picture, viewable in Perfetto.
+        Stage occupancy is sequential per stage by the pipeline
+        recurrence, so each track is overlap-free by construction.
         """
         if n_frames <= 0:
             raise ValueError("need at least one frame")
@@ -149,6 +156,18 @@ class PipelinedExecutor:
             )
             timings.append(timing)
             stats.record(timing.service_latency_s, services)
+            if tracer is not None:
+                frame_trace = tracer.begin_frame(k, arrival)
+                for stage, start, finish in zip(stages, starts, finishes):
+                    tracer.record(
+                        stage,
+                        f"pipe:{stage}",
+                        start,
+                        finish,
+                        frame=k,
+                        mode=mode.name,
+                    )
+                frame_trace.total_latency_s = timing.latency_s
         makespan = timings[-1].completion_s - timings[0].arrival_s
         throughput = (n_frames - 1) / makespan if makespan > 0 else float("inf")
         bottleneck = max(stage_busy, key=lambda s: stage_busy[s])

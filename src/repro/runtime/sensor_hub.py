@@ -76,6 +76,8 @@ class FpgaSensorHub:
         self,
         duration_s: float,
         fault_harness: Optional["FaultHarness"] = None,
+        tracer=None,
+        metrics=None,
     ) -> DriveSequence:
         """Run the synchronized capture pipeline for *duration_s*.
 
@@ -88,6 +90,12 @@ class FpgaSensorHub:
         window may be lost before timestamping (the frame never leaves the
         sensor interface); dropped triggers leave a gap in the frame index
         sequence so downstream consumers can observe the loss.
+
+        A :class:`~repro.observability.tracing.Tracer` as *tracer*
+        records one exposure+readout span per captured camera frame on
+        the ``camera0`` track (drops become ``frame_drop`` instants); a
+        :class:`~repro.observability.metrics.MetricsRegistry` as
+        *metrics* counts frames captured/dropped and IMU samples.
         """
         if not self.synchronizer.timer_initialized:
             self.initialize_from_gps(0.0)
@@ -96,7 +104,23 @@ class FpgaSensorHub:
         frames: List[Frame] = []
         for index, trigger in enumerate(camera_times):
             if fault_harness is not None and fault_harness.frame_dropped(trigger):
+                if tracer is not None:
+                    tracer.instant("frame_drop", "camera0", trigger, index=index)
+                if metrics is not None:
+                    metrics.counter("hub_frames_dropped").inc()
                 continue
+            if tracer is not None:
+                tracer.record(
+                    "camera_frame",
+                    "camera0",
+                    trigger,
+                    trigger
+                    + camera.timing.exposure_s
+                    + camera.timing.readout_s,
+                    index=index,
+                )
+            if metrics is not None:
+                metrics.counter("hub_frames_captured").inc()
             payload = camera.measure(trigger)
             raw = self.synchronizer.timestamp_camera_at_interface(
                 trigger,
@@ -117,6 +141,8 @@ class FpgaSensorHub:
                     observations=payload.observations,
                 )
             )
+        if metrics is not None:
+            metrics.counter("hub_imu_samples").inc(len(imu_times))
         imu_samples: List[ImuSample] = []
         for trigger in imu_times:
             reading = self.rig.imu.measure(trigger)

@@ -21,12 +21,21 @@ the nominal model.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core import calibration
+from ..observability.attribution import (
+    AttributionTable,
+    DeadlineMissAttributor,
+)
+from ..observability.metrics import (
+    MetricsRegistry,
+    registry_from_operations_log,
+)
+from ..observability.tracing import FrameTrace, Tracer
 from ..planning.mpc import MpcPlanner
 from ..planning.prediction import TrackedObject
 from ..planning.reactive import ReactivePath
@@ -92,6 +101,18 @@ class SovConfig:
     load_shedding_enabled: bool = True
     #: Which work each degradation mode sheds (None: default policy).
     shed_policy: Optional[LoadShedPolicy] = None
+    # -- observability (all opt-in: the disabled path allocates nothing,
+    # consumes no randomness, and is bit-identical to the bare loop) ------
+    #: Capture per-frame spans exportable as a Chrome/Perfetto trace.
+    tracing_enabled: bool = False
+    #: Attribute every Eq. 1 deadline miss to its dominant stage/fault.
+    attribution_enabled: bool = False
+    #: Tcomp budget for attribution (None: the paper's worst-case
+    #: avoidance-range budget, ~0.74 s — see observability.attribution).
+    deadline_budget_s: Optional[float] = None
+    #: Publish per-tick latency histograms + operational counters into a
+    #: MetricsRegistry snapshot on the DriveResult.
+    metrics_enabled: bool = False
 
 
 @dataclass
@@ -108,6 +129,13 @@ class DriveResult:
     #: Wall-clock share of the drive spent in each degradation mode
     #: (sums to 1.0; the final open segment is flushed at drive end).
     mode_residency: Dict[str, float] = field(default_factory=dict)
+    #: The drive's span tracer (None unless tracing was enabled); export
+    #: with ``result.trace.export_json(path)`` and open in Perfetto.
+    trace: Optional[Tracer] = None
+    #: Deadline-miss attribution table (None unless attribution enabled).
+    attribution: Optional[AttributionTable] = None
+    #: Flat metrics snapshot (None unless metrics were enabled).
+    metrics: Optional[Dict[str, float]] = None
 
     @property
     def collided(self) -> bool:
@@ -178,6 +206,45 @@ class SystemsOnAVehicle:
         ] = None
         self._can_drops_seen = 0
         self._can_degraded_until_s = -math.inf
+        # -- observability (opt-in; never consumes randomness) ----------------
+        self.tracer: Optional[Tracer] = (
+            Tracer() if self.config.tracing_enabled else None
+        )
+        self.attributor: Optional[DeadlineMissAttributor] = (
+            DeadlineMissAttributor(self.config.deadline_budget_s)
+            if self.config.attribution_enabled
+            else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self.config.metrics_enabled else None
+        )
+        self.can_bus.tracer = self.tracer
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach (or detach) a span tracer after construction.
+
+        Tracing only reads simulated timestamps the loop already computes,
+        so attaching a tracer never perturbs a seeded drive — the
+        bench-gate CLI relies on this to export a Perfetto trace of the
+        exact run it gates.
+        """
+        self.tracer = tracer
+        self.can_bus.tracer = tracer
+
+    def enable_attribution(self, budget_s: Optional[float] = None) -> None:
+        """Turn on deadline-miss attribution after construction.
+
+        *budget_s* overrides the config's budget (None keeps it, which
+        itself defaults to the Eq. 1 worst-case avoidance budget).  Like
+        tracing, attribution is RNG-free and cannot perturb the drive.
+        """
+        self.attributor = DeadlineMissAttributor(
+            budget_s if budget_s is not None else self.config.deadline_budget_s
+        )
+
+    def enable_metrics(self) -> None:
+        """Turn on the metrics registry after construction (RNG-free)."""
+        self.metrics = MetricsRegistry()
 
     # -- perception surrogate -------------------------------------------------
 
@@ -282,10 +349,25 @@ class SystemsOnAVehicle:
         )
         if message.dropped:
             self.ops.can_frames_dropped += 1
+            if self.tracer is not None:
+                self.tracer.instant("can_drop", "canbus", leave_at_s)
             return
+        apply_at_s = self.actuator.ready_at(message.deliver_at_s)
+        if self.tracer is not None:
+            lane = self.tracer.lane(
+                "actuation", message.deliver_at_s, apply_at_s
+            )
+            self.tracer.record(
+                "actuate",
+                lane,
+                message.deliver_at_s,
+                apply_at_s,
+                steer_rad=command.steer_rad,
+                accel_mps2=command.accel_mps2,
+            )
         self._pending.append(
             _PendingCommand(
-                apply_at_s=self.actuator.ready_at(message.deliver_at_s),
+                apply_at_s=apply_at_s,
                 command=command,
             )
         )
@@ -294,7 +376,12 @@ class SystemsOnAVehicle:
         from ..planning.prediction import predict_constant_velocity
 
         cfg = self.config
+        tick = self.ops.control_ticks
         self.ops.control_ticks += 1
+        tracer = self.tracer
+        frame = (
+            tracer.begin_frame(tick, now_s) if tracer is not None else None
+        )
         perception_runs = self.health.is_up("perception") and not (
             self.harness.perception_crashed(now_s)
         )
@@ -322,6 +409,14 @@ class SystemsOnAVehicle:
             )
             # Safety-critical frame: wins CAN arbitration over any queued
             # backlog of stale proactive traffic.
+            if tracer is not None:
+                tracer.record(
+                    "supervisor_fallback",
+                    "supervisor",
+                    now_s,
+                    now_s + _SUPERVISOR_LATENCY_S,
+                    mode=self.degradation.mode.name,
+                )
             self._send_command(
                 command,
                 now_s + _SUPERVISOR_LATENCY_S,
@@ -333,6 +428,13 @@ class SystemsOnAVehicle:
             # Crashed or awaiting restart: no plan leaves the platform and
             # no heartbeat reaches the watchdog this tick.
             self.ops.proactive_skips += 1
+            if tracer is not None:
+                tracer.instant(
+                    "proactive_skip",
+                    "supervisor",
+                    now_s,
+                    reason="perception_down",
+                )
             return
         if shed.reuse_cached_perception and self._cached_perception is not None:
             # Detection cadence dropped this tick: the planner consumes
@@ -356,6 +458,7 @@ class SystemsOnAVehicle:
             )
             self.shedder.account(self.degradation.mode, shed)
         overhead_s = self.harness.perception_overhead_s(now_s)
+        latencies: Optional[Dict[str, float]] = None
         if cfg.fixed_computing_latency_s is not None:
             tcomp = cfg.fixed_computing_latency_s + overhead_s
             self.latency.record(tcomp)
@@ -371,6 +474,9 @@ class SystemsOnAVehicle:
                     for stage in SovDataflow.STAGES
                 },
             )
+        self._observe_iteration(
+            tick, now_s, tcomp, overhead_s, latencies, shed, frame
+        )
         # A heartbeat marks a completed-in-time iteration; an injected
         # stall beyond the watchdog deadline loses it (the stall *is* the
         # missed deadline).  The calibrated latency tail is within spec.
@@ -385,6 +491,102 @@ class SystemsOnAVehicle:
         # The command leaves the computing platform Tcomp after sensing.
         self._send_command(command, now_s + tcomp)
 
+    def _observe_iteration(
+        self,
+        tick: int,
+        now_s: float,
+        tcomp: float,
+        overhead_s: float,
+        latencies: Optional[Dict[str, float]],
+        shed: TickShed,
+        frame: Optional[FrameTrace],
+    ) -> None:
+        """Publish one pipeline iteration to the attached observability.
+
+        Pure bookkeeping over values the tick already computed: no RNG
+        draws, and with everything disabled the call is two ``None``
+        checks — measured <5 % overhead by the tracing benchmark.
+        """
+        tracer = self.tracer
+        missed = None
+        if self.attributor is not None:
+            critical = (
+                self.dataflow.critical_path(latencies)[0]
+                if latencies is not None
+                else []
+            )
+            missed = self.attributor.observe(
+                tick=tick,
+                now_s=now_s,
+                total_s=tcomp,
+                critical_path=critical,
+                task_latencies=latencies,
+                fault_overhead_s=overhead_s,
+                fault_kinds=self.harness.active_kinds(now_s),
+                mode=self.degradation.mode.name,
+                shed_tasks=sorted(shed.skip_tasks),
+            )
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "tcomp_s", help="end-to-end computing latency per tick"
+            ).observe(tcomp)
+            if overhead_s > 0.0:
+                self.metrics.histogram(
+                    "fault_overhead_s", help="injected latency per tick"
+                ).observe(overhead_s)
+        if tracer is None:
+            return
+        # Pipelined ticks overlap in time (164 ms mean vs the 100 ms
+        # period); the lane allocator spreads them over pipeline.N tracks
+        # so each track stays strictly sequential in the exported trace.
+        lane = tracer.lane("pipeline", now_s, now_s + tcomp)
+        with tracer.span(
+            "control_tick",
+            lane,
+            now_s,
+            tick=tick,
+            mode=self.degradation.mode.name,
+        ) as tick_span:
+            if latencies is not None:
+                schedule = self.dataflow.iteration_schedule(latencies)
+                for name in sorted(schedule, key=lambda n: schedule[n][0]):
+                    if name in shed.skip_tasks:
+                        continue  # shed: the task never ran this tick
+                    start, end = schedule[name]
+                    task_lane = tracer.lane(
+                        f"{lane}:tasks", now_s + start, now_s + end
+                    )
+                    tracer.record(
+                        name,
+                        task_lane,
+                        now_s + start,
+                        now_s + end,
+                        stage=self.dataflow.task(name).stage,
+                    )
+            if overhead_s > 0.0:
+                tracer.record(
+                    "fault_overhead",
+                    lane,
+                    now_s + tcomp - overhead_s,
+                    now_s + tcomp,
+                )
+            tick_span.annotate(tcomp_s=tcomp)
+            tick_span.finish(now_s + tcomp)
+        if frame is not None:
+            frame.total_latency_s = tcomp
+            if self.attributor is not None:
+                frame.budget_s = self.attributor.budget_s
+                if missed is not None:
+                    frame.deadline_missed = True
+                    tracer.instant(
+                        "deadline_miss",
+                        "supervisor",
+                        now_s,
+                        tick=tick,
+                        overrun_s=missed.overrun_s,
+                        dominant_stage=missed.dominant_stage,
+                    )
+
     def _reactive_tick(self, now_s: float) -> None:
         reading = self.harness.radar_reading(self._forward_distance_m(), now_s)
         if not self.harness.sensor_faulted("radar", now_s):
@@ -395,11 +597,19 @@ class SystemsOnAVehicle:
         if decision.command is not None:
             # Reactive signals enter the ECU directly; the 30 ms reactive
             # latency already covers sensing + transport (Sec. IV).
+            apply_at_s = self.actuator.ready_at(decision.command.timestamp_s)
+            if self.tracer is not None:
+                lane = self.tracer.lane("reactive", now_s, apply_at_s)
+                self.tracer.record(
+                    "reactive_brake" if decision.triggered else "reactive_hold",
+                    lane,
+                    now_s,
+                    apply_at_s,
+                    triggered=decision.triggered,
+                )
             self._pending.append(
                 _PendingCommand(
-                    apply_at_s=self.actuator.ready_at(
-                        decision.command.timestamp_s
-                    ),
+                    apply_at_s=apply_at_s,
                     command=decision.command,
                 )
             )
@@ -437,6 +647,15 @@ class SystemsOnAVehicle:
             for pending in sorted(due, key=lambda p: p.apply_at_s):
                 self.ecu.receive(pending.command)
             command = self.ecu.active_command(now) or ControlCommand()
+            if self.harness.scenario.faults:
+                # An actuator-level steering bias (Sec. III-C lateral
+                # fault) corrupts the command *after* the ECU: neither the
+                # planner nor the reactive path sees it coming.
+                bias = self.harness.steering_bias_rad(now)
+                if bias != 0.0:
+                    command = replace(
+                        command, steer_rad=command.steer_rad + bias
+                    )
             previous = self.state
             self.state = self.model.step(self.state, command, dt)
             self.world.advance(dt)
@@ -458,6 +677,18 @@ class SystemsOnAVehicle:
         # Flush the open residency segment (a drive ending mid-transition
         # would otherwise lose it and the fractions would not sum to 1).
         self.degradation.finalize(now)
+        attribution: Optional[AttributionTable] = None
+        if self.attributor is not None:
+            attribution = self.attributor.table
+            attribution.check_consistency()
+        metrics_snapshot: Optional[Dict[str, float]] = None
+        if self.metrics is not None:
+            # One flat view: the ops-log mirror plus the streaming
+            # histograms the loop populated tick by tick.
+            metrics_snapshot = registry_from_operations_log(
+                self.ops
+            ).snapshot()
+            metrics_snapshot.update(self.metrics.snapshot())
         return DriveResult(
             final_state=self.state,
             ops=self.ops,
@@ -467,6 +698,9 @@ class SystemsOnAVehicle:
             health=self.health.report(elapsed_s=now),
             final_mode=self.degradation.mode.name,
             mode_residency=self.degradation.residency_fractions(),
+            trace=self.tracer,
+            attribution=attribution,
+            metrics=metrics_snapshot,
         )
 
 

@@ -125,10 +125,21 @@ class OperationsLog:
     def proactive_fraction(self) -> float:
         """Fraction of control ticks on the proactive path (Sec. V-C:
         "our deployed vehicles stay in the proactive paths for over 90%
-        of the time")."""
+        of the time").
+
+        A tick counts as reactive when the reactive path intervened
+        (``reactive_overrides``) *or* kept refreshing a standing brake
+        hold (``reactive_holds``) — a held vehicle is not driving
+        proactively, even though holds are not interventions.  Both
+        counters tick at the 20 Hz reactive rate against 10 Hz control
+        ticks, so the ratio can exceed 1 during long reactive stretches;
+        the result is clamped to [0, 1] (it used to go negative and to
+        credit held ticks to the proactive path).
+        """
         if self.control_ticks == 0:
             return 1.0
-        return 1.0 - self.reactive_overrides / self.control_ticks
+        reactive = self.reactive_overrides + self.reactive_holds
+        return max(0.0, 1.0 - reactive / self.control_ticks)
 
     @property
     def degraded_fraction(self) -> float:

@@ -1,0 +1,144 @@
+"""Deadline-miss attribution: budgets, dominance, merging, consistency."""
+
+import pytest
+
+from repro.core import calibration
+from repro.core.latency_model import LatencyModel
+from repro.observability.attribution import (
+    AttributionTable,
+    DeadlineMissAttributor,
+    default_deadline_budget_s,
+    merge_attribution_tables,
+)
+
+
+class TestDefaultBudget:
+    def test_matches_eq1_at_worst_case_range(self):
+        budget = default_deadline_budget_s()
+        expected = LatencyModel().latency_requirement_s(
+            calibration.PAPER_AVOIDANCE_RANGE_WORST_M
+        )
+        assert budget == pytest.approx(expected)
+        # The calibrated tail sits inside it: a nominal drive almost
+        # never misses, so every miss is worth explaining.
+        assert budget > calibration.MEAN_COMPUTING_LATENCY_S
+
+    def test_unreachable_range_rejected(self):
+        with pytest.raises(ValueError):
+            default_deadline_budget_s(avoidance_range_m=0.01)
+
+
+class TestAttributor:
+    def _observe(self, attributor, tick, total_s, **kwargs):
+        defaults = dict(
+            critical_path=["sensing", "detection", "planning"],
+            task_latencies={
+                "sensing": 0.08,
+                "detection": 0.9,
+                "planning": 0.003,
+            },
+            fault_overhead_s=0.0,
+        )
+        defaults.update(kwargs)
+        return attributor.observe(tick, tick * 0.1, total_s, **defaults)
+
+    def test_within_budget_records_nothing(self):
+        attributor = DeadlineMissAttributor(budget_s=1.0)
+        assert self._observe(attributor, 0, 0.5) is None
+        assert attributor.table.total_misses == 0
+        assert attributor.table.ticks_observed == 1
+
+    def test_miss_charged_to_heaviest_critical_task(self):
+        attributor = DeadlineMissAttributor(budget_s=0.5)
+        record = self._observe(attributor, 3, 0.98)
+        assert record.dominant_stage == "detection"
+        assert record.overrun_s == pytest.approx(0.48)
+        assert attributor.table.by_stage == {"detection": 1}
+
+    def test_fault_overhead_dominates_when_larger_than_any_task(self):
+        attributor = DeadlineMissAttributor(budget_s=0.5)
+        record = self._observe(
+            attributor,
+            0,
+            1.5,
+            fault_overhead_s=1.2,
+            fault_kinds=("perception_stall",),
+            mode="DEGRADED",
+        )
+        assert record.dominant_stage == "fault_overhead"
+        assert attributor.table.by_fault == {"perception_stall": 1}
+        assert attributor.table.by_mode == {"DEGRADED": 1}
+
+    def test_fixed_latency_runs_use_the_opaque_stage(self):
+        attributor = DeadlineMissAttributor(budget_s=0.1)
+        record = attributor.observe(0, 0.0, 0.3)
+        assert record.dominant_stage == "total"
+        faulted = attributor.observe(1, 0.1, 0.3, fault_overhead_s=0.2)
+        assert faulted.dominant_stage == "fault_overhead"
+
+    def test_consistency_holds_over_many_ticks(self):
+        attributor = DeadlineMissAttributor(budget_s=0.6)
+        for tick in range(50):
+            self._observe(attributor, tick, 0.4 + 0.01 * tick)
+        table = attributor.table
+        table.check_consistency()
+        assert table.total_misses == sum(table.by_stage.values())
+        assert table.total_misses == sum(table.by_mode.values())
+        assert 0 < table.miss_rate < 1
+        assert "detection" in table.format_table()
+
+    def test_record_cap_bounds_memory_not_aggregates(self):
+        attributor = DeadlineMissAttributor(budget_s=0.1, keep_records=4)
+        for tick in range(10):
+            self._observe(attributor, tick, 1.0)
+        assert attributor.table.total_misses == 10
+        assert len(attributor.table.records) == 4
+
+    def test_inconsistent_table_raises(self):
+        table = AttributionTable(budget_s=1.0, total_misses=2)
+        table.by_stage = {"sensing": 1}
+        with pytest.raises(AssertionError, match="per-stage"):
+            table.check_consistency()
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineMissAttributor(budget_s=0.0)
+
+
+class TestMerge:
+    def _table(self, misses, stage):
+        table = AttributionTable(budget_s=0.7)
+        table.ticks_observed = 100
+        table.total_misses = misses
+        table.by_stage = {stage: misses}
+        table.by_mode = {"NOMINAL": misses}
+        table.worst_overrun_s = 0.1 * misses
+        return table
+
+    def test_merge_sums_everything(self):
+        merged = merge_attribution_tables(
+            [self._table(2, "sensing"), self._table(3, "detection")]
+        )
+        merged.check_consistency()
+        assert merged.total_misses == 5
+        assert merged.ticks_observed == 200
+        assert merged.by_stage == {"sensing": 2, "detection": 3}
+        assert merged.worst_overrun_s == pytest.approx(0.3)
+
+    def test_mixed_budgets_rejected(self):
+        other = AttributionTable(budget_s=0.2)
+        with pytest.raises(ValueError, match="budgets"):
+            merge_attribution_tables([self._table(1, "sensing"), other])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            merge_attribution_tables([])
+
+    def test_as_dict_is_flat_and_prefixed(self):
+        table = self._table(2, "sensing")
+        table.by_fault = {"can_bus": 2}
+        flat = table.as_dict()
+        assert flat["deadline_misses"] == 2.0
+        assert flat["miss_stage_sensing"] == 2.0
+        assert flat["miss_fault_can_bus"] == 2.0
+        assert flat["miss_mode_NOMINAL"] == 2.0

@@ -1,0 +1,117 @@
+"""Counters, gauges, P² streaming histograms, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StreamingHistogram,
+    registry_from_operations_log,
+)
+from repro.runtime.telemetry import OperationsLog
+
+
+class TestCountersAndGauges:
+    def test_counter_only_goes_up(self):
+        c = Counter("frames")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("depth")
+        g.set(5)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 3.0
+
+
+class TestStreamingHistogram:
+    def test_small_sample_quantiles_are_exact(self):
+        h = StreamingHistogram("lat", quantiles=(0.5,))
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+        assert h.min == 1.0 and h.max == 3.0 and h.count == 3
+
+    def test_p2_tracks_lognormal_tail(self):
+        # P² estimates vs exact percentiles on the latency-like
+        # distribution the loop actually produces.
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-2.0, sigma=1.0, size=5000)
+        h = StreamingHistogram("lat", quantiles=(0.5, 0.9, 0.99))
+        for v in samples:
+            h.observe(float(v))
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.percentile(samples, q * 100))
+            assert h.quantile(q) == pytest.approx(exact, rel=0.15)
+        assert h.mean == pytest.approx(float(np.mean(samples)))
+
+    def test_untracked_quantile_raises(self):
+        h = StreamingHistogram("lat", quantiles=(0.5,))
+        h.observe(1.0)
+        with pytest.raises(KeyError, match="does not track"):
+            h.quantile(0.9)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram("lat", quantiles=(1.5,))
+
+    def test_empty_histogram(self):
+        h = StreamingHistogram("lat")
+        assert h.summary() == {"count": 0.0}
+        with pytest.raises(ValueError):
+            _ = h.mean
+
+    def test_summary_keys(self):
+        h = StreamingHistogram("lat")
+        for v in range(10):
+            h.observe(float(v))
+        summary = h.summary()
+        assert set(summary) == {"count", "mean", "min", "max", "p50", "p90", "p99"}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert "a" in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_flattens_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("frames").inc(2)
+        reg.gauge("depth").set(1.5)
+        reg.histogram("lat").observe(0.1)
+        snap = reg.snapshot()
+        assert snap["frames"] == 2.0
+        assert snap["depth"] == 1.5
+        assert snap["lat_count"] == 1.0
+        assert snap["lat_p99"] == pytest.approx(0.1)
+
+
+class TestOperationsLogMirror:
+    def test_subsumes_the_ad_hoc_counters(self):
+        ops = OperationsLog()
+        ops.control_ticks = 40
+        ops.reactive_overrides = 3
+        ops.distance_m = 12.5
+        ops.record_sheds("DEGRADED", ["tracking", "depth"])
+        ops.mode_ticks = {"NOMINAL": 38, "DEGRADED": 2}
+        snap = registry_from_operations_log(ops).snapshot()
+        assert snap["ops_control_ticks"] == 40.0
+        assert snap["ops_reactive_overrides"] == 3.0
+        assert snap["ops_distance_m"] == 12.5
+        assert snap["ops_proactive_fraction"] == ops.proactive_fraction
+        assert snap["ops_sheds_by_mode_DEGRADED"] == 2.0
+        assert snap["ops_sheds_by_task_tracking"] == 1.0
+        assert snap["ops_mode_ticks_NOMINAL"] == 38.0

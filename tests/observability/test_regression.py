@@ -1,0 +1,156 @@
+"""Benchmark snapshots, the perf gate, and the bench-gate CLI."""
+
+import json
+
+import pytest
+
+from repro.observability.bench_gate import main as bench_gate_main
+from repro.observability.regression import (
+    BenchmarkSnapshot,
+    gate_against_baseline,
+    gate_metrics,
+    load_snapshot,
+    snapshot_closedloop,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.observability.tracing import Tracer, validate_chrome_trace
+
+#: Short reference workload shared across the tests in this module.
+DURATION_S = 4.0
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return snapshot_closedloop(seed=0, duration_s=DURATION_S)
+
+
+class TestSnapshot:
+    def test_metrics_shape(self, snapshot):
+        metrics = snapshot.metrics
+        assert metrics["latency_samples"] == metrics["control_ticks"]
+        assert metrics["collisions"] == 0.0
+        assert (
+            0
+            < metrics["latency_mean_s"]
+            <= metrics["latency_p99_s"]
+            <= metrics["latency_worst_s"]
+        )
+        assert "latency_stage_sensing_mean_s" in metrics
+        assert metrics["wall_s_per_tick"] > 0
+
+    def test_deterministic_per_seed(self, snapshot):
+        again = snapshot_closedloop(seed=0, duration_s=DURATION_S)
+        gated = {k: v for k, v in again.metrics.items() if k != "wall_s_per_tick"}
+        expected = {
+            k: v for k, v in snapshot.metrics.items() if k != "wall_s_per_tick"
+        }
+        assert gated == expected
+
+    def test_round_trip(self, snapshot, tmp_path):
+        path = snapshot_path("unit", str(tmp_path))
+        write_snapshot(snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded.metrics == snapshot.metrics
+        assert loaded.seed == snapshot.seed
+
+    def test_version_mismatch_rejected(self, snapshot, tmp_path):
+        path = tmp_path / "bad.json"
+        data = json.loads(snapshot.to_json())
+        data["version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="version"):
+            load_snapshot(str(path))
+
+
+class TestGate:
+    def test_identical_run_passes(self, snapshot):
+        report = gate_against_baseline(snapshot, current=snapshot)
+        assert report.ok
+        assert all(not f.regressed for f in report.findings)
+
+    def test_injected_p99_regression_fails(self, snapshot):
+        worse = dict(snapshot.metrics)
+        worse["latency_p99_s"] *= 1.25  # past the 10% tolerance
+        current = BenchmarkSnapshot(
+            name=snapshot.name,
+            seed=snapshot.seed,
+            duration_s=snapshot.duration_s,
+            metrics=worse,
+        )
+        report = gate_against_baseline(snapshot, current=current)
+        assert not report.ok
+        regressed = [f.metric for f in report.findings if f.regressed]
+        assert regressed == ["latency_p99_s"]
+        assert "REGRESSED" in report.format_report()
+
+    def test_gate_is_one_sided(self, snapshot):
+        better = dict(snapshot.metrics)
+        better["latency_mean_s"] *= 0.5
+        current = BenchmarkSnapshot(
+            name=snapshot.name,
+            seed=snapshot.seed,
+            duration_s=snapshot.duration_s,
+            metrics=better,
+        )
+        assert gate_against_baseline(snapshot, current=current).ok
+
+    def test_workload_shape_change_is_a_problem(self, snapshot):
+        changed = dict(snapshot.metrics)
+        changed["control_ticks"] += 1
+        _findings, problems = gate_metrics(snapshot.metrics, changed)
+        assert any("workload changed" in p for p in problems)
+
+    def test_missing_metric_is_a_problem(self):
+        findings, problems = gate_metrics({"latency_mean_s": 1.0}, {})
+        assert any("current run is missing" in p for p in problems)
+        assert any("baseline is missing" in p for p in problems)
+        assert findings == []  # nothing comparable on both sides
+
+
+class TestCli:
+    def test_snapshot_then_check_passes(self, tmp_path, capsys):
+        baseline = str(tmp_path / "BENCH_cli.json")
+        code = bench_gate_main(
+            [
+                "snapshot",
+                "--name",
+                "cli",
+                "--duration",
+                str(DURATION_S),
+                "--out",
+                baseline,
+            ]
+        )
+        assert code == 0
+        trace_path = str(tmp_path / "trace.json")
+        code = bench_gate_main(
+            ["check", "--baseline", baseline, "--trace", trace_path]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        trace = json.loads(open(trace_path).read())
+        assert validate_chrome_trace(trace) == []
+        assert trace["traceEvents"]
+
+    def test_check_exits_nonzero_on_regression(self, tmp_path, capsys):
+        baseline_path = str(tmp_path / "BENCH_reg.json")
+        snapshot = snapshot_closedloop(name="reg", seed=0, duration_s=DURATION_S)
+        tightened = dict(snapshot.metrics)
+        # Commit a baseline that claims the loop used to be much faster:
+        # the honest re-run then reads as a regression and must fail CI.
+        tightened["latency_p99_s"] /= 1.5
+        tightened["latency_mean_s"] /= 1.5
+        write_snapshot(
+            BenchmarkSnapshot(
+                name="reg",
+                seed=0,
+                duration_s=DURATION_S,
+                metrics=tightened,
+            ),
+            baseline_path,
+        )
+        code = bench_gate_main(["check", "--baseline", baseline_path])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,184 @@
+"""The span tracer: nesting, lanes, frames, Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.observability.tracing import (
+    FrameTrace,
+    Span,
+    Tracer,
+    validate_chrome_trace,
+)
+
+
+class TestSpans:
+    def test_record_whole_span(self):
+        tracer = Tracer()
+        span = tracer.record("work", "cpu", 1.0, 1.5, detail=3)
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.args == {"detail": 3}
+        assert span.parent_id is None
+
+    def test_context_manager_parents_children(self):
+        tracer = Tracer()
+        with tracer.span("tick", "cpu", 0.0) as tick:
+            child = tracer.record("sensing", "cpu", 0.0, 0.07)
+            grand = None
+            with tracer.span("perception", "cpu", 0.07) as perc:
+                grand = tracer.record("depth", "gpu", 0.07, 0.1)
+                perc.finish(0.12)
+        assert child.parent_id == tick.span_id
+        assert grand.parent_id == perc.span_id
+        assert perc.parent_id == tick.span_id
+        assert tracer.children_of(tick) == [child, perc]
+
+    def test_unfinished_span_closes_at_latest_child_end(self):
+        tracer = Tracer()
+        with tracer.span("tick", "cpu", 0.0) as tick:
+            tracer.record("a", "cpu", 0.0, 0.3)
+            tracer.record("b", "cpu", 0.3, 0.9)
+        assert tick.end_s == pytest.approx(0.9)
+        assert tick.contains(tracer.spans[1])
+
+    def test_childless_unfinished_span_is_zero_length(self):
+        tracer = Tracer()
+        with tracer.span("empty", "cpu", 2.0):
+            pass
+        assert tracer.spans[0].duration_s == 0.0
+
+    def test_finish_before_start_rejected(self):
+        span = Span(span_id=0, name="x", track="t", start_s=1.0)
+        with pytest.raises(ValueError, match="before its"):
+            span.finish(0.5)
+
+    def test_instant_is_zero_duration(self):
+        tracer = Tracer()
+        marker = tracer.instant("deadline_miss", "sup", 3.0, tick=7)
+        assert marker.duration_s == 0.0
+        assert marker.args["tick"] == 7
+
+
+class TestLanes:
+    def test_sequential_spans_share_the_base_lane(self):
+        tracer = Tracer()
+        assert tracer.lane("pipe", 0.0, 0.1) == "pipe"
+        assert tracer.lane("pipe", 0.1, 0.2) == "pipe"
+
+    def test_overlapping_spans_spread_over_numbered_lanes(self):
+        tracer = Tracer()
+        assert tracer.lane("pipe", 0.0, 0.16) == "pipe"
+        assert tracer.lane("pipe", 0.1, 0.25) == "pipe.1"
+        assert tracer.lane("pipe", 0.2, 0.3) == "pipe"  # base free again
+
+    def test_three_way_overlap_needs_three_lanes(self):
+        tracer = Tracer()
+        lanes = {
+            tracer.lane("p", 0.0, 1.0),
+            tracer.lane("p", 0.1, 1.1),
+            tracer.lane("p", 0.2, 1.2),
+        }
+        assert lanes == {"p", "p.1", "p.2"}
+
+
+class TestFrames:
+    def test_frames_group_spans_by_tick(self):
+        tracer = Tracer()
+        tracer.begin_frame(0, 0.0)
+        tracer.record("a", "cpu", 0.0, 0.1)
+        tracer.begin_frame(1, 0.1)
+        tracer.record("b", "cpu", 0.1, 0.2)
+        assert [s.name for s in tracer.frame_spans(0)] == ["a"]
+        assert [s.name for s in tracer.frame_spans(1)] == ["b"]
+        with pytest.raises(KeyError):
+            tracer.frame_spans(99)
+
+    def test_frame_annotations(self):
+        frame = FrameTrace(tick=4, start_s=0.4)
+        assert not frame.deadline_missed
+        assert frame.total_latency_s is None
+
+
+class TestChromeExport:
+    def _trace(self):
+        tracer = Tracer(name="unit")
+        tracer.begin_frame(0, 0.0)
+        with tracer.span("tick", "pipeline", 0.0) as tick:
+            tracer.record("sensing", "pipeline", 0.0, 0.074)
+            tick.finish(0.164)
+        tracer.record("can_frame", "canbus", 0.164, 0.1642)
+        return tracer
+
+    def test_export_shape(self):
+        trace = self._trace().to_chrome_trace()
+        events = trace["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in metas} == {"pipeline", "canbus"}
+        assert len(xs) == 3
+        sensing = next(e for e in xs if e["name"] == "sensing")
+        assert sensing["ts"] == 0.0
+        assert sensing["dur"] == pytest.approx(0.074e6)
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["otherData"]["frames"] == 1
+
+    def test_json_round_trip(self, tmp_path):
+        tracer = self._trace()
+        path = tmp_path / "trace.json"
+        tracer.export_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(tracer.to_chrome_trace()))
+        assert validate_chrome_trace(loaded) == []
+
+    def test_tracks_keep_stable_tids(self):
+        trace = self._trace().to_chrome_trace()
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        tick, sensing, can = xs
+        assert tick["tid"] == sensing["tid"]
+        assert can["tid"] != tick["tid"]
+
+
+class TestValidation:
+    def test_partial_overlap_is_flagged(self):
+        trace = {
+            "traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 1, "name": "a", "ts": 0, "dur": 100},
+                {"ph": "X", "pid": 1, "tid": 1, "name": "b", "ts": 50, "dur": 100},
+            ]
+        }
+        problems = validate_chrome_trace(trace)
+        assert len(problems) == 1
+        assert "overlap" in problems[0]
+
+    def test_nesting_and_identical_intervals_are_fine(self):
+        trace = {
+            "traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 1, "name": "outer", "ts": 0, "dur": 100},
+                {"ph": "X", "pid": 1, "tid": 1, "name": "inner", "ts": 10, "dur": 50},
+                {"ph": "X", "pid": 1, "tid": 1, "name": "twin", "ts": 10, "dur": 50},
+            ]
+        }
+        assert validate_chrome_trace(trace) == []
+
+    def test_equal_start_containment_is_nesting(self):
+        # [0, 100] contains [0, 40]: must not read as partial overlap.
+        trace = {
+            "traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 1, "name": "short", "ts": 0, "dur": 40},
+                {"ph": "X", "pid": 1, "tid": 1, "name": "long", "ts": 0, "dur": 100},
+            ]
+        }
+        assert validate_chrome_trace(trace) == []
+
+    def test_structural_problems(self):
+        assert validate_chrome_trace({}) == ["traceEvents is missing or not a list"]
+        bad = {
+            "traceEvents": [
+                {"ph": "Z"},
+                {"ph": "X", "pid": 1, "tid": 1, "ts": -1, "dur": 2},
+                {"ph": "X", "pid": 1, "tid": 1, "ts": 0, "dur": -2},
+                {"ph": "X", "ts": 0, "dur": 1},
+            ]
+        }
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 4

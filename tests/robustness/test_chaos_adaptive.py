@@ -1,0 +1,139 @@
+"""Adaptive intensity-frontier search and the steering-bias fault kind."""
+
+import math
+
+import pytest
+
+from repro.robustness import chaos
+from repro.robustness.chaos import (
+    DEFAULT_KIND_WEIGHTS,
+    FaultSpace,
+    FrontierPoint,
+    adaptive_intensity_frontier,
+    scenario_for_drive,
+)
+from repro.robustness.faults import (
+    FaultHarness,
+    FaultScenario,
+    FaultWindow,
+    SteeringBiasFault,
+)
+
+
+def _fake_probe(boundary):
+    """A synthetic frontier: collisions appear at intensity > boundary."""
+
+    calls = []
+
+    def probe(base, intensity, n_drives, seed):
+        calls.append(intensity)
+        collided = 1 if intensity > boundary else 0
+        return FrontierPoint(
+            intensity=intensity,
+            n_drives=n_drives,
+            collisions=collided,
+            collision_rate=float(collided),
+            safe_stop_rate=0.0,
+        )
+
+    return probe, calls
+
+
+class TestAdaptiveSearch:
+    def test_bisection_brackets_the_boundary(self, monkeypatch):
+        probe, calls = _fake_probe(boundary=2.2)
+        monkeypatch.setattr(chaos, "_frontier_point", probe)
+        points, frontier = adaptive_intensity_frontier(
+            lo=1.0, hi=3.0, resolution=0.125
+        )
+        # Upper bound within one resolution of the true boundary.
+        assert 2.2 < frontier <= 2.2 + 0.125
+        assert [p.intensity for p in points] == sorted(calls)
+        # 2 bracket probes + ceil(log2(2.0 / 0.125)) bisection probes.
+        assert len(calls) == 2 + math.ceil(math.log2(2.0 / 0.125))
+
+    def test_collision_at_lo_short_circuits(self, monkeypatch):
+        probe, calls = _fake_probe(boundary=0.5)
+        monkeypatch.setattr(chaos, "_frontier_point", probe)
+        points, frontier = adaptive_intensity_frontier(lo=1.0, hi=3.0)
+        assert frontier == 1.0
+        assert calls == [1.0]
+        assert points[0].collisions > 0
+
+    def test_clean_bracket_returns_no_frontier(self, monkeypatch):
+        probe, calls = _fake_probe(boundary=10.0)
+        monkeypatch.setattr(chaos, "_frontier_point", probe)
+        points, frontier = adaptive_intensity_frontier(lo=1.0, hi=3.0)
+        assert frontier is None
+        assert calls == [1.0, 3.0]
+
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            adaptive_intensity_frontier(lo=2.0, hi=2.0)
+        with pytest.raises(ValueError, match="resolution"):
+            adaptive_intensity_frontier(resolution=0.0)
+
+    def test_same_seed_same_frontier(self, monkeypatch):
+        # Determinism end-to-end with the real probe, shrunk workload.
+        def tiny(base, intensity, n_drives, seed):
+            return real(base, intensity, 4, seed)
+
+        real = chaos._frontier_point
+        monkeypatch.setattr(chaos, "_frontier_point", tiny)
+        first = adaptive_intensity_frontier(
+            lo=1.0, hi=3.0, resolution=0.5, seed=7
+        )
+        second = adaptive_intensity_frontier(
+            lo=1.0, hi=3.0, resolution=0.5, seed=7
+        )
+        assert first == second
+
+
+class TestSteeringBiasSampling:
+    def test_kind_in_the_vocabulary(self):
+        assert "steering_bias" in dict(DEFAULT_KIND_WEIGHTS)
+
+    def test_space_scales_bias_with_intensity(self):
+        space = FaultSpace()
+        lo, hi = space.steering_bias_range_rad
+        assert 0 < lo < hi
+        doubled = space.with_intensity(2.0)
+        assert doubled.steering_bias_range_rad == (lo, hi)
+
+    def test_sampled_scenarios_eventually_include_bias(self):
+        space = FaultSpace()
+        sampled = [scenario_for_drive(space, 123, i) for i in range(200)]
+        kinds = {f.kind for s in sampled for f in s.faults}
+        assert "steering_bias" in kinds
+        biases = [
+            f
+            for s in sampled
+            for f in s.faults
+            if f.kind == "steering_bias"
+        ]
+        lo, hi = space.steering_bias_range_rad
+        assert all(lo <= abs(f.bias_rad) <= hi for f in biases)
+        assert {math.copysign(1, f.bias_rad) for f in biases} == {1.0, -1.0}
+
+
+class TestSteeringBiasHarness:
+    def _harness(self, *faults):
+        return FaultHarness(FaultScenario(name="unit", faults=tuple(faults)))
+
+    def test_active_biases_sum(self):
+        harness = self._harness(
+            SteeringBiasFault(bias_rad=0.05, window=FaultWindow(0.0, 2.0)),
+            SteeringBiasFault(bias_rad=-0.02, window=FaultWindow(1.0, 3.0)),
+        )
+        assert harness.steering_bias_rad(0.5) == pytest.approx(0.05)
+        assert harness.steering_bias_rad(1.5) == pytest.approx(0.03)
+        assert harness.steering_bias_rad(2.5) == pytest.approx(-0.02)
+        assert harness.steering_bias_rad(5.0) == 0.0
+        assert harness.injections["steering_bias"] > 0
+
+    def test_active_kinds_reports_the_bias(self):
+        harness = self._harness(
+            SteeringBiasFault(bias_rad=0.1, window=FaultWindow(0.0, 1.0))
+        )
+        assert harness.active_kinds(0.5) == ("steering_bias",)
+        assert harness.active_kinds(2.0) == ()

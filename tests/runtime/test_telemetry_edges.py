@@ -1,0 +1,82 @@
+"""Edge cases for LatencyStats and the OperationsLog counters."""
+
+import pytest
+
+from repro.runtime.telemetry import LatencyStats, OperationsLog
+
+
+class TestLatencyStatsEdges:
+    def test_negative_sample_rejected(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError, match="non-negative"):
+            stats.record(-0.001)
+        assert stats.count == 0
+
+    def test_empty_stats_refuse_to_summarise(self):
+        stats = LatencyStats()
+        for prop in ("best_s", "mean_s", "worst_s"):
+            with pytest.raises(ValueError, match="no latency samples"):
+                getattr(stats, prop)
+        with pytest.raises(ValueError):
+            stats.percentile_s(99.0)
+        with pytest.raises(ValueError):
+            stats.summary()
+
+    def test_single_sample_percentiles_collapse(self):
+        stats = LatencyStats()
+        stats.record(0.164, stages={"sensing": 0.074})
+        assert stats.best_s == stats.mean_s == stats.worst_s == 0.164
+        assert stats.percentile_s(0.0) == 0.164
+        assert stats.percentile_s(99.0) == 0.164
+        summary = stats.summary()
+        assert summary["p99_s"] == 0.164
+        assert summary["sensing_mean_s"] == pytest.approx(0.074)
+
+    def test_zero_latency_is_a_valid_sample(self):
+        stats = LatencyStats()
+        stats.record(0.0)
+        assert stats.best_s == 0.0
+        assert stats.count == 1
+
+    def test_unknown_stage_raises(self):
+        stats = LatencyStats()
+        stats.record(0.1, stages={"sensing": 0.05})
+        with pytest.raises(KeyError, match="tracking"):
+            stats.stage_mean_s("tracking")
+
+    def test_stage_fraction_of_mean(self):
+        stats = LatencyStats()
+        stats.record(0.2, stages={"sensing": 0.05})
+        stats.record(0.2, stages={"sensing": 0.15})
+        assert stats.stage_fraction("sensing") == pytest.approx(0.5)
+
+
+class TestProactiveFractionClamp:
+    """The fixed counter: holds count as reactive, and it never goes
+    negative even when the 20 Hz reactive path fires more often than the
+    10 Hz proactive loop ticks."""
+
+    def test_holds_count_as_reactive_activity(self):
+        ops = OperationsLog()
+        ops.control_ticks = 100
+        ops.reactive_overrides = 5
+        ops.reactive_holds = 15
+        assert ops.proactive_fraction == pytest.approx(0.80)
+
+    def test_clamped_at_zero_when_reactive_dominates(self):
+        # A drive spent mostly in a standing brake-hold: the 20 Hz
+        # reactive path can fire ~2x per control tick.  The old
+        # arithmetic returned a negative "fraction" here.
+        ops = OperationsLog()
+        ops.control_ticks = 50
+        ops.reactive_overrides = 30
+        ops.reactive_holds = 80
+        assert ops.proactive_fraction == 0.0
+
+    def test_empty_log_is_fully_proactive(self):
+        assert OperationsLog().proactive_fraction == 1.0
+
+    def test_all_proactive_drive(self):
+        ops = OperationsLog()
+        ops.control_ticks = 40
+        assert ops.proactive_fraction == 1.0
