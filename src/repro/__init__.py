@@ -31,7 +31,10 @@ The library is organized as the paper is:
 * :mod:`repro.cloud` — Fig. 1 offline services: maps, training, uplink.
 * :mod:`repro.observability` — per-frame span tracing (Perfetto export),
   a metrics registry with streaming percentiles, Eq. 1 deadline-miss
-  attribution, and the ``bench-gate`` perf-regression gate.
+  attribution, and the ``bench-gate`` perf-regression gate over the
+  closed-loop, chaos-campaign, and scheduler workloads.
+* :mod:`repro.testing` — the property-based safety-invariant harness
+  sweeping the corridor scenario suite (:mod:`repro.scene.corridors`).
 
 Quickstart::
 
@@ -58,6 +61,7 @@ from . import (
     scene,
     sensors,
     sync,
+    testing,
     vehicle,
 )
 
@@ -74,6 +78,7 @@ __all__ = [
     "scene",
     "sensors",
     "sync",
+    "testing",
     "vehicle",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from . import (  # noqa: F401  (imports register the experiments)
     latency_study,
     lidar_study,
     platform_study,
+    scenario_matrix,
     sync_study,
 )
 from .base import (

@@ -20,9 +20,11 @@ frame* instead of only in aggregate:
   planning), to any active fault, and to the degradation mode + shed
   decision in force, so chaos campaigns report *causes*, not just rates.
 * :mod:`repro.observability.regression` — seeded benchmark snapshots
-  (``BENCH_<name>.json``) and a perf-regression gate over mean/p99; the
-  ``bench-gate`` CLI (:mod:`repro.observability.bench_gate`) wraps it
-  for CI.
+  (``BENCH_<name>.json``) and a perf-regression gate over three seeded
+  workloads: the closed loop (mean/p99 latency), the chaos campaign
+  (safety envelope), and the pipelined scheduler (throughput, gated
+  downward); the ``bench-gate`` CLI
+  (:mod:`repro.observability.bench_gate`) wraps it for CI.
 
 Everything is opt-in: with no tracer/attributor attached the SoV loop
 allocates nothing on the hot path, consumes no extra randomness, and is
@@ -42,7 +44,9 @@ from .regression import (
     GateReport,
     gate_against_baseline,
     load_snapshot,
+    snapshot_chaos,
     snapshot_closedloop,
+    snapshot_scheduler,
     write_snapshot,
 )
 from .tracing import FrameTrace, Span, Tracer, validate_chrome_trace
@@ -64,7 +68,9 @@ __all__ = [
     "gate_against_baseline",
     "load_snapshot",
     "merge_attribution_tables",
+    "snapshot_chaos",
     "snapshot_closedloop",
+    "snapshot_scheduler",
     "validate_chrome_trace",
     "write_snapshot",
 ]

@@ -2,16 +2,22 @@
 
 Usage::
 
-    # Record (or refresh) the accepted baseline:
-    python -m repro.observability.bench_gate snapshot --name closedloop
+    # Record (or refresh) an accepted baseline:
+    python -m repro.observability.bench_gate snapshot --workload closedloop
+    python -m repro.observability.bench_gate snapshot --workload chaos
+    python -m repro.observability.bench_gate snapshot --workload scheduler
 
-    # CI: re-run the seeded workload, fail on a mean/p99 regression,
-    # and export the drive's Perfetto trace as a build artifact:
+    # CI: re-run the seeded workload named by the baseline, fail on any
+    # gated-metric regression, and (closed loop only) export the drive's
+    # Perfetto trace as a build artifact:
     python -m repro.observability.bench_gate check \
         --baseline BENCH_closedloop.json --trace closedloop_trace.json
+    python -m repro.observability.bench_gate check --baseline BENCH_chaos.json
+    python -m repro.observability.bench_gate check --baseline BENCH_scheduler.json
 
-``check`` exits non-zero when any gated metric regresses beyond its
-tolerance or the workload changed shape (different tick/sample counts).
+``check`` reads the workload to replay from the baseline snapshot itself
+and exits non-zero when any gated metric regresses beyond its tolerance
+or the workload changed shape (different tick/sample/drive counts).
 """
 
 from __future__ import annotations
@@ -20,11 +26,15 @@ import argparse
 import sys
 
 from .regression import (
-    DEFAULT_TOLERANCES,
+    CHAOS_WORKLOAD_DRIVES,
+    SCHEDULER_WORKLOAD_FRAMES,
+    WORKLOAD_TOLERANCES,
     gate_against_baseline,
     load_snapshot,
+    snapshot_chaos,
     snapshot_closedloop,
     snapshot_path,
+    snapshot_scheduler,
     write_snapshot,
 )
 from .tracing import Tracer
@@ -38,9 +48,34 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     snap = sub.add_parser("snapshot", help="write BENCH_<name>.json")
-    snap.add_argument("--name", default="closedloop")
+    snap.add_argument(
+        "--workload",
+        choices=sorted(WORKLOAD_TOLERANCES),
+        default="closedloop",
+        help="which seeded workload to snapshot",
+    )
+    snap.add_argument(
+        "--name", default=None, help="snapshot name (default: the workload)"
+    )
     snap.add_argument("--seed", type=int, default=0)
-    snap.add_argument("--duration", type=float, default=12.0)
+    snap.add_argument(
+        "--duration",
+        type=float,
+        default=12.0,
+        help="closed-loop drive duration (closedloop workload only)",
+    )
+    snap.add_argument(
+        "--drives",
+        type=int,
+        default=CHAOS_WORKLOAD_DRIVES,
+        help="campaign size (chaos workload only)",
+    )
+    snap.add_argument(
+        "--frames",
+        type=int,
+        default=SCHEDULER_WORKLOAD_FRAMES,
+        help="pipeline frames (scheduler workload only)",
+    )
     snap.add_argument(
         "--out", default=None, help="output path (default BENCH_<name>.json)"
     )
@@ -50,44 +85,66 @@ def main(argv=None) -> int:
     check.add_argument(
         "--mean-tol",
         type=float,
-        default=DEFAULT_TOLERANCES["latency_mean_s"],
-        help="relative tolerance on mean latency",
+        default=None,
+        help="override the relative tolerance on mean latency",
     )
     check.add_argument(
         "--p99-tol",
         type=float,
-        default=DEFAULT_TOLERANCES["latency_p99_s"],
-        help="relative tolerance on p99 latency",
+        default=None,
+        help="override the relative tolerance on p99 latency",
     )
     check.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
-        help="also export the gated drive's Chrome/Perfetto trace JSON",
+        help="also export the gated drive's Chrome/Perfetto trace JSON "
+        "(closedloop baselines only)",
     )
 
     args = parser.parse_args(argv)
     if args.command == "snapshot":
-        snapshot = snapshot_closedloop(
-            name=args.name, seed=args.seed, duration_s=args.duration
-        )
-        out = args.out or snapshot_path(args.name)
+        name = args.name or args.workload
+        if args.workload == "chaos":
+            snapshot = snapshot_chaos(
+                name=name, seed=args.seed, n_drives=args.drives
+            )
+        elif args.workload == "scheduler":
+            snapshot = snapshot_scheduler(
+                name=name, seed=args.seed, n_frames=args.frames
+            )
+        else:
+            snapshot = snapshot_closedloop(
+                name=name, seed=args.seed, duration_s=args.duration
+            )
+        out = args.out or snapshot_path(name)
         write_snapshot(snapshot, out)
-        print(f"wrote {out}")
+        print(f"wrote {out} (workload: {snapshot.workload})")
         for metric in sorted(snapshot.metrics):
             print(f"  {metric} = {snapshot.metrics[metric]:.6g}")
         return 0
 
     baseline = load_snapshot(args.baseline)
+    if args.trace and baseline.workload != "closedloop":
+        print(
+            f"--trace only applies to closedloop baselines "
+            f"(got {baseline.workload!r})",
+            file=sys.stderr,
+        )
+        return 2
+    tolerances = None
+    if args.mean_tol is not None or args.p99_tol is not None:
+        tolerances = dict(
+            WORKLOAD_TOLERANCES.get(
+                baseline.workload, WORKLOAD_TOLERANCES["closedloop"]
+            )
+        )
+        if args.mean_tol is not None:
+            tolerances["latency_mean_s"] = args.mean_tol
+        if args.p99_tol is not None:
+            tolerances["latency_p99_s"] = args.p99_tol
     tracer = Tracer(name=baseline.name) if args.trace else None
-    report = gate_against_baseline(
-        baseline,
-        tolerances={
-            "latency_mean_s": args.mean_tol,
-            "latency_p99_s": args.p99_tol,
-        },
-        tracer=tracer,
-    )
+    report = gate_against_baseline(baseline, tolerances=tolerances, tracer=tracer)
     if tracer is not None:
         tracer.export_json(args.trace)
         print(f"trace written to {args.trace} (open in Perfetto)")

@@ -34,6 +34,38 @@ DEFAULT_TOLERANCES: Dict[str, float] = {
     "latency_p99_s": 0.10,
 }
 
+#: Per-workload gated metrics and tolerances.  All simulated metrics are
+#: bit-stable per seed; nonzero tolerances exist only to absorb
+#: *intentional* recalibrations.
+WORKLOAD_TOLERANCES: Dict[str, Dict[str, float]] = {
+    "closedloop": DEFAULT_TOLERANCES,
+    # The chaos-campaign workload gates the safety envelope itself: a
+    # single leaked collision or new deadline miss fails immediately.
+    "chaos": {
+        "collision_rate": 0.0,
+        "safe_stop_rate": 0.0,
+        "deadline_misses": 0.0,
+    },
+    # The scheduler workload gates sustained pipeline throughput
+    # (downward) alongside per-frame service latency (upward).
+    "scheduler": {
+        "throughput_hz": 0.05,
+        "latency_mean_s": 0.05,
+        "latency_p99_s": 0.10,
+    },
+}
+
+#: Which way each gated metric regresses.  Default is "upper" (bigger is
+#: worse — latencies, rates, misses); "lower" metrics regress downward
+#: (throughput).
+DEFAULT_DIRECTIONS: Dict[str, str] = {
+    "throughput_hz": "lower",
+}
+
+#: Workload-shape invariants: when present in both snapshots these must
+#: match exactly, otherwise the gate is comparing different workloads.
+SHAPE_INVARIANTS = ("latency_samples", "control_ticks", "n_drives", "frames")
+
 #: Snapshot format version (bump on incompatible metric renames).
 SNAPSHOT_VERSION = 1
 
@@ -47,18 +79,26 @@ class BenchmarkSnapshot:
     duration_s: float
     metrics: Dict[str, float]
     version: int = SNAPSHOT_VERSION
+    #: Which seeded workload produced this snapshot (drives the re-run
+    #: during ``check``); pre-PR-4 snapshots default to "closedloop".
+    workload: str = "closedloop"
+    #: Extra workload parameters the re-run needs (e.g. n_drives).
+    params: Dict[str, float] = field(default_factory=dict)
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "name": self.name,
-                "seed": self.seed,
-                "duration_s": self.duration_s,
-                "version": self.version,
-                "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
-            },
-            indent=2,
-        )
+        payload = {
+            "name": self.name,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "version": self.version,
+            "workload": self.workload,
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+        }
+        if self.params:
+            payload["params"] = {
+                k: self.params[k] for k in sorted(self.params)
+            }
+        return json.dumps(payload, indent=2)
 
 
 def snapshot_path(name: str, directory: str = ".") -> str:
@@ -80,11 +120,19 @@ def load_snapshot(path: str) -> BenchmarkSnapshot:
             f"snapshot {path!r} has version {data.get('version')}; "
             f"this code reads version {SNAPSHOT_VERSION}"
         )
+    workload = data.get("workload", "closedloop")
+    if workload not in WORKLOAD_TOLERANCES:
+        raise ValueError(
+            f"snapshot {path!r} names unknown workload {workload!r}; "
+            f"known: {sorted(WORKLOAD_TOLERANCES)}"
+        )
     return BenchmarkSnapshot(
         name=data["name"],
         seed=int(data["seed"]),
         duration_s=float(data["duration_s"]),
         metrics={k: float(v) for k, v in data["metrics"].items()},
+        workload=workload,
+        params={k: float(v) for k, v in data.get("params", {}).items()},
     )
 
 
@@ -137,6 +185,133 @@ def snapshot_closedloop(
     )
 
 
+#: The chaos workload's campaign shape: a compact seeded sweep down the
+#: slalom corridor, big enough that a leaked collision or attribution
+#: drift shows, small enough to gate every CI run.
+CHAOS_WORKLOAD_DRIVES = 16
+CHAOS_WORKLOAD_CORRIDOR = "slalom"
+
+
+def snapshot_chaos(
+    name: str = "chaos",
+    seed: int = 0,
+    n_drives: int = CHAOS_WORKLOAD_DRIVES,
+) -> BenchmarkSnapshot:
+    """Run the seeded chaos-campaign workload and collect its envelope.
+
+    The workload drives *n_drives* chaos-sampled fault scenarios down
+    the ``slalom`` corridor with the full safety net engaged.  Envelope
+    metrics (collision/SAFE_STOP rates, deadline misses, residency) are
+    bit-stable per seed and gated; the campaign's wall-clock cost is
+    reported per drive (machine-dependent, never gated).
+    """
+    from ..robustness.chaos import ChaosConfig, run_chaos_campaign
+
+    config = ChaosConfig(
+        n_drives=n_drives,
+        seed=seed,
+        safety_net=True,
+        corridor=CHAOS_WORKLOAD_CORRIDOR,
+    )
+    started = time.perf_counter()
+    envelope = run_chaos_campaign(config).envelope
+    wall_s = time.perf_counter() - started
+    metrics: Dict[str, float] = {
+        "n_drives": float(envelope.n_drives),
+        "collision_rate": envelope.collision_rate,
+        "safe_stop_rate": envelope.safe_stop_rate,
+        "stop_rate": envelope.stop_rate,
+        "deadline_misses": float(envelope.deadline_misses),
+        "mean_reactive_interventions": envelope.mean_reactive_interventions,
+        "residency_nominal": envelope.mode_residency_mean.get("NOMINAL", 0.0),
+        # Informational only (machine-dependent): never gated.
+        "wall_s_total": wall_s,
+        "wall_s_per_drive": wall_s / n_drives,
+    }
+    return BenchmarkSnapshot(
+        name=name,
+        seed=seed,
+        duration_s=config.duration_s,
+        metrics=metrics,
+        workload="chaos",
+        params={"n_drives": float(n_drives)},
+    )
+
+
+#: The scheduler workload's shape: enough frames that the sustained
+#: throughput estimate is stable to well under the gate tolerance.
+SCHEDULER_WORKLOAD_FRAMES = 400
+
+
+def snapshot_scheduler(
+    name: str = "scheduler",
+    seed: int = 0,
+    n_frames: int = SCHEDULER_WORKLOAD_FRAMES,
+) -> BenchmarkSnapshot:
+    """Run the seeded pipelined-executor workload (paper Sec. IV).
+
+    Replays *n_frames* through the sensing -> perception -> planning
+    pipeline and gates sustained throughput (one-sided, *downward*)
+    together with per-frame service latency (upward) — the pair the
+    paper's pipelining argument balances.
+    """
+    from ..runtime.scheduler import PipelinedExecutor
+
+    executor = PipelinedExecutor(seed=seed)
+    started = time.perf_counter()
+    report = executor.run(n_frames)
+    wall_s = time.perf_counter() - started
+    stats = report.stats
+    metrics: Dict[str, float] = {
+        "frames": float(n_frames),
+        "throughput_hz": report.throughput_hz,
+        "latency_mean_s": stats.mean_s,
+        "latency_p99_s": stats.percentile_s(99.0),
+        "latency_worst_s": stats.worst_s,
+        # Informational only (machine-dependent): never gated.
+        "wall_s_total": wall_s,
+        "wall_us_per_frame": wall_s / n_frames * 1e6,
+    }
+    for stage in sorted(stats.stages_s):
+        metrics[f"latency_stage_{stage}_mean_s"] = stats.stage_mean_s(stage)
+    return BenchmarkSnapshot(
+        name=name,
+        seed=seed,
+        duration_s=n_frames / executor.frame_rate_hz,
+        metrics=metrics,
+        workload="scheduler",
+        params={"n_frames": float(n_frames)},
+    )
+
+
+def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
+    """Re-run the seeded workload a baseline snapshot describes."""
+    if baseline.workload == "closedloop":
+        return snapshot_closedloop(
+            name=baseline.name,
+            seed=baseline.seed,
+            duration_s=baseline.duration_s,
+            tracer=tracer,
+        )
+    if baseline.workload == "chaos":
+        return snapshot_chaos(
+            name=baseline.name,
+            seed=baseline.seed,
+            n_drives=int(
+                baseline.params.get("n_drives", CHAOS_WORKLOAD_DRIVES)
+            ),
+        )
+    if baseline.workload == "scheduler":
+        return snapshot_scheduler(
+            name=baseline.name,
+            seed=baseline.seed,
+            n_frames=int(
+                baseline.params.get("n_frames", SCHEDULER_WORKLOAD_FRAMES)
+            ),
+        )
+    raise ValueError(f"unknown workload {baseline.workload!r}")
+
+
 @dataclass(frozen=True)
 class GateFinding:
     """One gated metric's verdict."""
@@ -146,6 +321,8 @@ class GateFinding:
     current: float
     tolerance: float
     regressed: bool
+    #: "upper" metrics regress when they grow; "lower" when they shrink.
+    direction: str = "upper"
 
     @property
     def delta_frac(self) -> float:
@@ -155,10 +332,11 @@ class GateFinding:
 
     def describe(self) -> str:
         verdict = "REGRESSED" if self.regressed else "ok"
+        sign = "-" if self.direction == "lower" else "+"
         return (
             f"{self.metric}: baseline {self.baseline:.6g} -> current "
             f"{self.current:.6g} ({self.delta_frac:+.2%}, "
-            f"tol +{self.tolerance:.0%}) {verdict}"
+            f"tol {sign}{self.tolerance:.0%}) {verdict}"
         )
 
 
@@ -187,9 +365,17 @@ def gate_metrics(
     baseline: Mapping[str, float],
     current: Mapping[str, float],
     tolerances: Optional[Mapping[str, float]] = None,
+    directions: Optional[Mapping[str, str]] = None,
 ) -> Tuple[List[GateFinding], List[str]]:
-    """Compare metric maps; returns (findings, structural problems)."""
+    """Compare metric maps; returns (findings, structural problems).
+
+    Each gated metric is checked one-sided in its *direction*: "upper"
+    metrics (latencies, rates, miss counts) regress when they exceed
+    ``baseline * (1 + tol)``; "lower" metrics (throughput) regress when
+    they fall below ``baseline * (1 - tol)``.
+    """
     tolerances = dict(tolerances or DEFAULT_TOLERANCES)
+    directions = dict(DEFAULT_DIRECTIONS, **(directions or {}))
     findings: List[GateFinding] = []
     problems: List[str] = []
     for metric, tolerance in sorted(tolerances.items()):
@@ -200,7 +386,11 @@ def gate_metrics(
             problems.append(f"current run is missing gated metric {metric!r}")
             continue
         base, cur = baseline[metric], current[metric]
-        regressed = cur > base * (1.0 + tolerance)
+        direction = directions.get(metric, "upper")
+        if direction == "lower":
+            regressed = cur < base * (1.0 - tolerance)
+        else:
+            regressed = cur > base * (1.0 + tolerance)
         findings.append(
             GateFinding(
                 metric=metric,
@@ -208,10 +398,11 @@ def gate_metrics(
                 current=cur,
                 tolerance=tolerance,
                 regressed=regressed,
+                direction=direction,
             )
         )
     # The workload itself must not silently change shape.
-    for invariant in ("latency_samples", "control_ticks"):
+    for invariant in SHAPE_INVARIANTS:
         if invariant in baseline and invariant in current:
             if baseline[invariant] != current[invariant]:
                 problems.append(
@@ -227,15 +418,24 @@ def gate_against_baseline(
     tolerances: Optional[Mapping[str, float]] = None,
     tracer=None,
 ) -> GateReport:
-    """Re-run the baseline's seeded workload and gate the result."""
+    """Re-run the baseline's seeded workload and gate the result.
+
+    The baseline's ``workload`` field names the seeded runner to replay
+    (closed loop, chaos campaign, or scheduler); gated metrics default
+    to that workload's :data:`WORKLOAD_TOLERANCES` entry.
+    """
     if current is None:
-        current = snapshot_closedloop(
-            name=baseline.name,
-            seed=baseline.seed,
-            duration_s=baseline.duration_s,
-            tracer=tracer,
+        current = run_workload(baseline, tracer=tracer)
+    if tolerances is None:
+        tolerances = WORKLOAD_TOLERANCES.get(
+            baseline.workload, DEFAULT_TOLERANCES
         )
     findings, problems = gate_metrics(
         baseline.metrics, current.metrics, tolerances
     )
+    if baseline.workload != current.workload:
+        problems.append(
+            f"workload mismatch: baseline is {baseline.workload!r}, "
+            f"current is {current.workload!r}"
+        )
     return GateReport(name=baseline.name, findings=findings, problems=problems)

@@ -2,7 +2,10 @@
 
 The "Collision Detection" block: given a time-stamped ego trajectory and
 the predicted states of surrounding objects (plus static obstacles), decide
-whether any point comes within the safety margin.
+whether any point comes within the safety margin.  The corridor-geometry
+helpers at the bottom apply the same clearance arithmetic to whole lane
+maps — the scenario suite uses them to prove a generated corridor is
+drivable (or intentionally blocked) *before* a drive ever runs.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..scene.world import Obstacle
+from ..scene.world import Obstacle, World
 from .prediction import PredictedState
 
 
@@ -84,3 +87,56 @@ def check_trajectory(
                     min_clearance_m=min_clearance,
                 )
     return CollisionReport(collides=False, min_clearance_m=min_clearance)
+
+
+def lane_clearance_at(
+    world: World,
+    lane_map,
+    s_m: float,
+    ego_radius_m: float = 0.8,
+) -> float:
+    """Best static clearance over all lanes at corridor station *s_m*.
+
+    For each lane segment, takes the centerline point at arc-length
+    *s_m* and measures its surface distance to the nearest static
+    obstacle, less the ego body radius.  The max over lanes is the
+    clearance a planner allowed to change lanes can achieve at that
+    station; ``inf`` when the world has no obstacles.
+    """
+    best = -math.inf
+    for segment_id in lane_map.segment_ids:
+        segment = lane_map.segment(segment_id)
+        x, y = segment.point_at(s_m)
+        clearance = math.inf
+        for obstacle in world.obstacles:
+            clearance = min(
+                clearance, obstacle.distance_to(x, y) - ego_radius_m
+            )
+        best = max(best, clearance)
+    return best
+
+
+def corridor_blocked_at(
+    world: World,
+    lane_map,
+    length_m: float,
+    ego_radius_m: float = 0.8,
+    safety_margin_m: float = 0.3,
+    step_m: float = 0.5,
+) -> Optional[float]:
+    """First corridor station where *every* lane is obstructed.
+
+    Walks the corridor in *step_m* strides; a station is blocked when no
+    lane offers ``safety_margin_m`` of clearance there (same ego radius
+    and margin the trajectory checker uses).  Returns the arc-length of
+    the first blocked station, or None when the corridor is traversable
+    end to end — the scenario generator's drivability certificate.
+    """
+    if step_m <= 0:
+        raise ValueError("step must be positive")
+    n_steps = max(1, int(math.ceil(length_m / step_m)))
+    for k in range(n_steps + 1):
+        s = min(length_m, k * step_m)
+        if lane_clearance_at(world, lane_map, s, ego_radius_m) < safety_margin_m:
+            return s
+    return None

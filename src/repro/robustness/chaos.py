@@ -235,7 +235,15 @@ class FaultSpace:
 
 @dataclass(frozen=True)
 class ChaosConfig:
-    """One chaos campaign: N seeded drives down the drill corridor."""
+    """One chaos campaign: N seeded drives down the drill corridor.
+
+    ``corridor`` retargets the campaign at a named multi-obstacle
+    scenario from :mod:`repro.scene.corridors` instead of the default
+    single-obstacle drill lane: each drive regenerates the corridor
+    world from its own drive seed (so geometry jitters per drive, like
+    a real campaign route) and the chaos-sampled faults are layered on
+    top of any fault schedule the corridor carries built in.
+    """
 
     n_drives: int = 200
     seed: int = 0
@@ -244,10 +252,20 @@ class ChaosConfig:
     obstacle_distance_m: float = 25.0
     initial_speed_mps: float = 5.6
     safety_net: bool = True
+    #: Named corridor scenario to drive (None: single-obstacle drill).
+    corridor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_drives <= 0:
             raise ValueError("campaign needs at least one drive")
+        if self.corridor is not None:
+            from ..scene.corridors import corridor_names
+
+            if self.corridor not in corridor_names():
+                raise ValueError(
+                    f"unknown corridor {self.corridor!r}; "
+                    f"known: {corridor_names()}"
+                )
 
 
 def drive_seed(campaign_seed: int, index: int) -> int:
@@ -299,24 +317,44 @@ def run_chaos_drive(config: ChaosConfig, index: int):
     from ..vehicle.dynamics import VehicleState
 
     scenario = scenario_for_drive(config.space, config.seed, index)
-    world = World(
-        obstacles=[Obstacle(config.obstacle_distance_m, 0.0, radius_m=0.4)]
-    )
-    sov = SystemsOnAVehicle(
-        world=world,
-        lane_map=straight_corridor(length_m=300.0, n_lanes=1),
-        initial_state=VehicleState(speed_mps=config.initial_speed_mps),
-        config=SovConfig(
-            reactive_enabled=config.safety_net,
-            degradation_enabled=config.safety_net,
-            scenario=scenario,
-            seed=drive_seed(config.seed, index),
-        ),
-    )
+    duration_s = config.duration_s
+    if config.corridor is not None:
+        # Campaign drives down a named multi-obstacle corridor: the
+        # world regenerates per drive seed, chaos faults stack on any
+        # schedule the corridor variant carries built in.
+        from ..scene.corridors import generate_corridor, make_corridor_sov
+
+        corridor = generate_corridor(
+            config.corridor, drive_seed(config.seed, index)
+        )
+        sov = make_corridor_sov(
+            corridor,
+            safety_net=config.safety_net,
+            extra_faults=scenario.faults,
+        )
+        scenario = sov.config.scenario or scenario
+        duration_s = corridor.duration_s
+    else:
+        world = World(
+            obstacles=[
+                Obstacle(config.obstacle_distance_m, 0.0, radius_m=0.4)
+            ]
+        )
+        sov = SystemsOnAVehicle(
+            world=world,
+            lane_map=straight_corridor(length_m=300.0, n_lanes=1),
+            initial_state=VehicleState(speed_mps=config.initial_speed_mps),
+            config=SovConfig(
+                reactive_enabled=config.safety_net,
+                degradation_enabled=config.safety_net,
+                scenario=scenario,
+                seed=drive_seed(config.seed, index),
+            ),
+        )
     # Attribution is RNG-free bookkeeping: enabling it for every chaos
     # drive leaves the drive itself bit-identical to an unobserved run.
     sov.enable_attribution()
-    result = sov.drive(config.duration_s)
+    result = sov.drive(duration_s)
     health = result.health
     record = ChaosDriveRecord(
         index=index,

@@ -589,6 +589,12 @@ class SystemsOnAVehicle:
 
     def _reactive_tick(self, now_s: float) -> None:
         reading = self.harness.radar_reading(self._forward_distance_m(), now_s)
+        if reading is not None:
+            # What the reactive path actually saw (post-fault): the
+            # engagement invariant compares this against the threshold.
+            self.ops.min_forward_range_m = min(
+                self.ops.min_forward_range_m, reading
+            )
         if not self.harness.sensor_faulted("radar", now_s):
             self.health.beat("radar", now_s)
         decision = self.reactive.evaluate(

@@ -108,6 +108,10 @@ class OperationsLog:
     sheds_by_task: Dict[str, int] = field(default_factory=dict)
     #: Safety-critical CAN frames sent at high arbitration priority.
     can_priority_sends: int = 0
+    #: Closest radar/sonar forward range the reactive path ever saw
+    #: (post-fault reading; inf when nothing entered the forward cone).
+    #: The invariant harness checks reactive engagement against this.
+    min_forward_range_m: float = float("inf")
 
     def record_sheds(self, mode: str, tasks: Sequence[str]) -> None:
         """Account one tick's shed tasks against *mode*."""

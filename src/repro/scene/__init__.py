@@ -1,5 +1,13 @@
 """World simulation substrate: lane maps, worlds, trajectories, datasets."""
 
+from .corridors import (
+    CorridorScenario,
+    corridor_names,
+    generate_corridor,
+    generate_suite,
+    make_corridor_sov,
+    run_corridor_drive,
+)
 from .dataset_io import load_sequence, save_sequence
 from .kitti_like import (
     CameraIntrinsics,
@@ -28,6 +36,12 @@ __all__ = [
     "Agent",
     "CameraIntrinsics",
     "CircuitTrajectory",
+    "CorridorScenario",
+    "corridor_names",
+    "generate_corridor",
+    "generate_suite",
+    "make_corridor_sov",
+    "run_corridor_drive",
     "DriveSequence",
     "FeatureObservation",
     "FigureEightTrajectory",

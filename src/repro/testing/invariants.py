@@ -1,0 +1,398 @@
+"""Property-based safety-invariant harness over the corridor suite.
+
+The paper argues safety in prose: the reactive path is "the last line of
+defense" (Sec. IV), the Eq. 1 budget bounds how late the computing
+system may be, and graceful degradation keeps the vehicle controlled
+when modules die (Sec. III-C).  This module states those claims as
+**machine-checked invariants** and evaluates every one on every
+``scenario x seed`` cell of the corridor suite:
+
+``replay_determinism``
+    Re-running a cell from scratch produces a bit-identical
+    :class:`~repro.runtime.sov.DriveResult` fingerprint — the property
+    every campaign replay hook and pinned regression seed relies on.
+
+``no_collision_or_safe_stop``
+    Under the protected configuration (reactive path + degradation
+    supervisor engaged) a drive never collides; when the corridor is
+    impassable the vehicle instead comes to a controlled stop (reactive
+    hold or commanded SAFE_STOP).
+
+``deadline_accounting``
+    The Eq. 1 deadline-miss attribution table is internally consistent:
+    per-stage and per-mode charges each sum to the total miss count
+    (every miss charged to exactly one stage), misses never exceed
+    observed ticks, and the tick count matches the drive's.
+
+``residency_sums_to_one``
+    Degradation-mode residency fractions are a probability distribution:
+    non-negative and summing to 1.0 (the final open segment flushed).
+
+``reactive_engagement``
+    Whenever the radar/sonar forward range ever crossed the reactive
+    threshold, the reactive path engaged (a trigger or a standing brake
+    hold).  Skipped when the cell's fault schedule corrupts the radar —
+    a lying sensor voids the premise, not the system.
+
+A failing cell produces an :class:`InvariantViolation` carrying the
+scenario name and seed, so every violation is a pinned, replayable
+reproduction by construction: ``run_invariant_cell(name, seed)`` is the
+whole repro recipe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..scene.corridors import (
+    CorridorScenario,
+    corridor_names,
+    generate_corridor,
+    make_corridor_sov,
+)
+
+#: Radar-corrupting fault kinds: a cell whose schedule includes one of
+#: these skips the reactive-engagement check (the premise is void).
+_RADAR_CORRUPTING = frozenset(
+    {"sensor_dropout", "sensor_freeze", "sensor_stuck"}
+)
+
+INVARIANT_NAMES: Tuple[str, ...] = (
+    "replay_determinism",
+    "no_collision_or_safe_stop",
+    "deadline_accounting",
+    "residency_sums_to_one",
+    "reactive_engagement",
+)
+
+#: Tolerance on the residency-sum check (pure float addition error).
+_RESIDENCY_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant failing on one cell — a pinned reproduction."""
+
+    invariant: str
+    scenario: str
+    seed: int
+    detail: str
+
+    def repro(self) -> str:
+        """The one-liner that reproduces this violation."""
+        return (
+            f"run_invariant_cell({self.scenario!r}, seed={self.seed})"
+            f"  # {self.invariant}"
+        )
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One scenario x seed cell: drive summary + invariant verdicts."""
+
+    scenario: str
+    seed: int
+    collided: bool
+    stopped: bool
+    entered_safe_stop: bool
+    final_mode: str
+    final_x_m: float
+    min_clearance_m: float
+    min_forward_range_m: float
+    reactive_engagements: int
+    deadline_misses: int
+    checked: Tuple[str, ...]
+    violations: Tuple[InvariantViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class MatrixReport:
+    """The full scenario x seed sweep."""
+
+    cells: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def violations(self) -> List[InvariantViolation]:
+        return [v for cell in self.cells for v in cell.violations]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def collision_rate(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(c.collided for c in self.cells) / self.n_cells
+
+    @property
+    def safe_stop_rate(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(c.entered_safe_stop for c in self.cells) / self.n_cells
+
+    @property
+    def reactive_engagement_rate(self) -> float:
+        """Fraction of cells where the reactive path engaged at all."""
+        if not self.cells:
+            return 0.0
+        return (
+            sum(c.reactive_engagements > 0 for c in self.cells) / self.n_cells
+        )
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(c.deadline_misses for c in self.cells)
+
+    def checks_run(self) -> int:
+        return sum(len(c.checked) for c in self.cells)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric view (experiment rows, bench snapshots)."""
+        return {
+            "n_cells": float(self.n_cells),
+            "n_scenarios": float(len({c.scenario for c in self.cells})),
+            "checks_run": float(self.checks_run()),
+            "violations": float(len(self.violations)),
+            "collision_rate": self.collision_rate,
+            "safe_stop_rate": self.safe_stop_rate,
+            "reactive_engagement_rate": self.reactive_engagement_rate,
+            "deadline_misses": float(self.deadline_misses),
+        }
+
+    def format_report(self) -> str:
+        lines = [
+            f"invariant matrix: {self.n_cells} cells, "
+            f"{self.checks_run()} checks -> "
+            f"{'PASS' if self.ok else 'FAIL'}"
+        ]
+        for cell in self.cells:
+            verdict = "ok" if cell.ok else "VIOLATED"
+            lines.append(
+                f"  {cell.scenario:<28} seed={cell.seed} "
+                f"collided={cell.collided!s:<5} "
+                f"mode={cell.final_mode:<13} {verdict}"
+            )
+        for violation in self.violations:
+            lines.append(f"  !! {violation.repro()}: {violation.detail}")
+        return "\n".join(lines)
+
+
+def drive_fingerprint(result) -> Tuple:
+    """A bit-exact fingerprint of a :class:`DriveResult`.
+
+    Two drives with equal fingerprints took the same trajectory, tick
+    structure, fault history, and mode history — the equality the
+    determinism invariant (and the chaos replay hook) asserts.  Floats
+    are compared exactly, never approximately.
+    """
+    state = result.final_state
+    ops = result.ops
+    return (
+        state.x_m,
+        state.y_m,
+        state.heading_rad,
+        state.speed_mps,
+        ops.control_ticks,
+        ops.collisions,
+        ops.reactive_overrides,
+        ops.reactive_holds,
+        ops.proactive_skips,
+        ops.fallback_commands,
+        ops.can_frames_dropped,
+        ops.distance_m,
+        ops.min_forward_range_m,
+        tuple(sorted(ops.faults_injected.items())),
+        tuple(sorted(ops.mode_ticks.items())),
+        tuple(sorted(ops.sheds_by_mode.items())),
+        result.final_mode,
+        tuple(sorted(result.mode_residency.items())),
+        result.min_obstacle_clearance_m,
+        tuple(result.latency.totals_s),
+    )
+
+
+def _radar_is_corrupted(scenario: CorridorScenario) -> bool:
+    if scenario.fault_scenario is None:
+        return False
+    return any(
+        fault.kind in _RADAR_CORRUPTING and fault.sensor == "radar"
+        for fault in scenario.fault_scenario.faults
+        if hasattr(fault, "sensor")
+    )
+
+
+def run_invariant_cell(
+    name: str,
+    seed: int = 0,
+    check_determinism: bool = True,
+    deadline_budget_s: Optional[float] = None,
+    **config_overrides,
+) -> CellOutcome:
+    """Drive one cell under the protected configuration and check every
+    applicable invariant.
+
+    *deadline_budget_s* tightens the Eq. 1 budget for the accounting
+    invariant (None: the paper's worst-case avoidance budget).  Extra
+    keyword arguments pass through to
+    :class:`~repro.runtime.sov.SovConfig` — the determinism re-run uses
+    the identical configuration.
+    """
+
+    def one_drive():
+        scenario = generate_corridor(name, seed)
+        sov = make_corridor_sov(scenario, safety_net=True, **config_overrides)
+        sov.enable_attribution(deadline_budget_s)
+        return scenario, sov, sov.drive(scenario.duration_s)
+
+    scenario, sov, result = one_drive()
+    violations: List[InvariantViolation] = []
+    checked: List[str] = []
+
+    def violate(invariant: str, detail: str) -> None:
+        violations.append(
+            InvariantViolation(
+                invariant=invariant, scenario=name, seed=seed, detail=detail
+            )
+        )
+
+    # -- replay determinism ---------------------------------------------------
+    if check_determinism:
+        checked.append("replay_determinism")
+        _scenario2, _sov2, result2 = one_drive()
+        fp_a, fp_b = drive_fingerprint(result), drive_fingerprint(result2)
+        if fp_a != fp_b:
+            diffs = [
+                f"field {i}: {a!r} != {b!r}"
+                for i, (a, b) in enumerate(zip(fp_a, fp_b))
+                if a != b
+            ]
+            violate(
+                "replay_determinism",
+                f"re-run diverged: {'; '.join(diffs[:3])}",
+            )
+
+    # -- no collision / safe stop ---------------------------------------------
+    checked.append("no_collision_or_safe_stop")
+    if result.collided:
+        violate(
+            "no_collision_or_safe_stop",
+            f"{result.ops.collisions} collision tick(s), min clearance "
+            f"{result.min_obstacle_clearance_m:.3f} m",
+        )
+    elif scenario.blocked and not (result.stopped or result.entered_safe_stop):
+        violate(
+            "no_collision_or_safe_stop",
+            "blocked corridor but the vehicle neither stopped nor entered "
+            f"SAFE_STOP (final speed {result.final_state.speed_mps:.2f} m/s)",
+        )
+
+    # -- Eq. 1 deadline accounting --------------------------------------------
+    checked.append("deadline_accounting")
+    table = result.attribution
+    if table is None:
+        violate("deadline_accounting", "attribution table missing")
+    else:
+        try:
+            table.check_consistency()
+        except AssertionError as exc:
+            violate("deadline_accounting", str(exc))
+        if table.total_misses > table.ticks_observed:
+            violate(
+                "deadline_accounting",
+                f"{table.total_misses} misses exceed "
+                f"{table.ticks_observed} observed ticks",
+            )
+        if len(table.records) != table.total_misses:
+            violate(
+                "deadline_accounting",
+                f"{len(table.records)} miss records vs total "
+                f"{table.total_misses}",
+            )
+        if table.total_misses != sum(table.by_stage.values()):
+            violate(
+                "deadline_accounting",
+                "per-stage charges do not sum to the total "
+                f"({sum(table.by_stage.values())} vs {table.total_misses})",
+            )
+
+    # -- residency distribution ------------------------------------------------
+    checked.append("residency_sums_to_one")
+    residency = result.mode_residency
+    total = sum(residency.values())
+    if abs(total - 1.0) > _RESIDENCY_TOL:
+        violate(
+            "residency_sums_to_one",
+            f"residency fractions sum to {total!r}",
+        )
+    for mode, frac in residency.items():
+        if not 0.0 <= frac <= 1.0:
+            violate(
+                "residency_sums_to_one",
+                f"residency[{mode}] = {frac!r} outside [0, 1]",
+            )
+
+    # -- reactive engagement ----------------------------------------------------
+    engagements = result.ops.reactive_overrides + result.ops.reactive_holds
+    if not _radar_is_corrupted(scenario):
+        checked.append("reactive_engagement")
+        threshold = sov.reactive.threshold_m
+        crossed = result.ops.min_forward_range_m <= threshold
+        if crossed and engagements == 0:
+            violate(
+                "reactive_engagement",
+                f"forward range reached "
+                f"{result.ops.min_forward_range_m:.2f} m (threshold "
+                f"{threshold:.2f} m) but the reactive path never engaged",
+            )
+
+    return CellOutcome(
+        scenario=name,
+        seed=seed,
+        collided=result.collided,
+        stopped=result.stopped,
+        entered_safe_stop=result.entered_safe_stop,
+        final_mode=result.final_mode,
+        final_x_m=result.final_state.x_m,
+        min_clearance_m=result.min_obstacle_clearance_m,
+        min_forward_range_m=result.ops.min_forward_range_m,
+        reactive_engagements=engagements,
+        deadline_misses=0 if table is None else table.total_misses,
+        checked=tuple(checked),
+        violations=tuple(violations),
+    )
+
+
+def run_invariant_matrix(
+    names: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    check_determinism: bool = True,
+    deadline_budget_s: Optional[float] = None,
+    **config_overrides,
+) -> MatrixReport:
+    """Sweep every ``scenario x seed`` cell (None: the whole suite)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    report = MatrixReport()
+    for name in names if names is not None else corridor_names():
+        for seed in seeds:
+            report.cells.append(
+                run_invariant_cell(
+                    name,
+                    seed,
+                    check_determinism=check_determinism,
+                    deadline_budget_s=deadline_budget_s,
+                    **config_overrides,
+                )
+            )
+    return report

@@ -1,0 +1,271 @@
+"""Tests for the multi-workload bench gate (chaos + scheduler arms)."""
+
+import json
+
+import pytest
+
+from repro.observability.bench_gate import main as bench_gate_main
+from repro.observability.regression import (
+    BenchmarkSnapshot,
+    WORKLOAD_TOLERANCES,
+    gate_against_baseline,
+    gate_metrics,
+    load_snapshot,
+    run_workload,
+    snapshot_chaos,
+    snapshot_scheduler,
+    write_snapshot,
+)
+
+#: Small workload shapes keeping the module fast while still seeded.
+N_DRIVES = 4
+N_FRAMES = 80
+
+WALL_KEYS = ("wall_s_total", "wall_s_per_drive", "wall_us_per_frame")
+
+
+def gated_view(snapshot):
+    """Metrics minus the machine-dependent wall-clock entries."""
+    return {
+        k: v for k, v in snapshot.metrics.items() if k not in WALL_KEYS
+    }
+
+
+@pytest.fixture(scope="module")
+def chaos_snapshot():
+    return snapshot_chaos(seed=0, n_drives=N_DRIVES)
+
+
+@pytest.fixture(scope="module")
+def scheduler_snapshot():
+    return snapshot_scheduler(seed=0, n_frames=N_FRAMES)
+
+
+class TestChaosWorkload:
+    def test_shape_and_tagging(self, chaos_snapshot):
+        assert chaos_snapshot.workload == "chaos"
+        assert chaos_snapshot.params == {"n_drives": float(N_DRIVES)}
+        assert chaos_snapshot.metrics["n_drives"] == float(N_DRIVES)
+        assert chaos_snapshot.metrics["collision_rate"] == 0.0
+        assert chaos_snapshot.metrics["wall_s_total"] > 0
+
+    def test_deterministic_per_seed(self, chaos_snapshot):
+        again = snapshot_chaos(seed=0, n_drives=N_DRIVES)
+        assert gated_view(again) == gated_view(chaos_snapshot)
+
+    def test_self_gate_passes(self, chaos_snapshot):
+        report = gate_against_baseline(chaos_snapshot)
+        assert report.ok, report.format_report()
+
+    def test_run_workload_respects_params(self, chaos_snapshot):
+        rerun = run_workload(chaos_snapshot)
+        assert rerun.workload == "chaos"
+        assert rerun.metrics["n_drives"] == float(N_DRIVES)
+
+
+class TestSchedulerWorkload:
+    def test_shape_and_tagging(self, scheduler_snapshot):
+        metrics = scheduler_snapshot.metrics
+        assert scheduler_snapshot.workload == "scheduler"
+        assert metrics["frames"] == float(N_FRAMES)
+        assert 0 < metrics["latency_mean_s"] <= metrics["latency_p99_s"]
+        assert metrics["throughput_hz"] > 0
+        assert "latency_stage_sensing_mean_s" in metrics
+
+    def test_deterministic_per_seed(self, scheduler_snapshot):
+        again = snapshot_scheduler(seed=0, n_frames=N_FRAMES)
+        assert gated_view(again) == gated_view(scheduler_snapshot)
+
+    def test_self_gate_passes(self, scheduler_snapshot):
+        report = gate_against_baseline(scheduler_snapshot)
+        assert report.ok, report.format_report()
+
+    def test_throughput_drop_fails_the_gate(self, scheduler_snapshot):
+        slower = dict(scheduler_snapshot.metrics)
+        slower["throughput_hz"] *= 0.9  # past the 5% downward tolerance
+        current = BenchmarkSnapshot(
+            name=scheduler_snapshot.name,
+            seed=scheduler_snapshot.seed,
+            duration_s=scheduler_snapshot.duration_s,
+            metrics=slower,
+            workload="scheduler",
+        )
+        report = gate_against_baseline(scheduler_snapshot, current=current)
+        assert not report.ok
+        regressed = [f.metric for f in report.findings if f.regressed]
+        assert regressed == ["throughput_hz"]
+
+    def test_throughput_gain_passes_the_gate(self, scheduler_snapshot):
+        faster = dict(scheduler_snapshot.metrics)
+        faster["throughput_hz"] *= 1.5
+        current = BenchmarkSnapshot(
+            name=scheduler_snapshot.name,
+            seed=scheduler_snapshot.seed,
+            duration_s=scheduler_snapshot.duration_s,
+            metrics=faster,
+            workload="scheduler",
+        )
+        assert gate_against_baseline(scheduler_snapshot, current=current).ok
+
+
+class TestDirectionAwareGate:
+    def test_lower_direction_flags_decreases_only(self):
+        tolerances = {"throughput_hz": 0.05}
+        findings, _ = gate_metrics(
+            {"throughput_hz": 10.0}, {"throughput_hz": 9.0}, tolerances
+        )
+        assert findings[0].regressed
+        assert findings[0].direction == "lower"
+        findings, _ = gate_metrics(
+            {"throughput_hz": 10.0}, {"throughput_hz": 11.0}, tolerances
+        )
+        assert not findings[0].regressed
+
+    def test_upper_remains_the_default(self):
+        findings, _ = gate_metrics(
+            {"latency_mean_s": 1.0}, {"latency_mean_s": 1.2}
+        )
+        assert findings[0].direction == "upper"
+        assert findings[0].regressed
+
+    def test_describe_shows_the_direction_sign(self):
+        findings, _ = gate_metrics(
+            {"throughput_hz": 10.0},
+            {"throughput_hz": 10.0},
+            {"throughput_hz": 0.05},
+        )
+        assert "tol -5%" in findings[0].describe()
+
+    def test_zero_tolerance_chaos_metrics_trip_on_any_increase(self):
+        base = {"collision_rate": 0.0, "safe_stop_rate": 0.0, "deadline_misses": 0.0}
+        worse = dict(base, collision_rate=0.05)
+        findings, _ = gate_metrics(base, worse, WORKLOAD_TOLERANCES["chaos"])
+        tripped = {f.metric for f in findings if f.regressed}
+        assert tripped == {"collision_rate"}
+
+    def test_shape_invariants_cover_campaign_and_pipeline_sizes(self):
+        _f, problems = gate_metrics(
+            {"n_drives": 16.0}, {"n_drives": 8.0}, {"collision_rate": 0.0}
+        )
+        assert any("n_drives" in p for p in problems)
+        _f, problems = gate_metrics(
+            {"frames": 400.0}, {"frames": 200.0}, {"latency_mean_s": 0.05}
+        )
+        assert any("frames" in p for p in problems)
+
+
+class TestSnapshotIo:
+    def test_round_trip_preserves_workload_and_params(
+        self, chaos_snapshot, tmp_path
+    ):
+        path = str(tmp_path / "BENCH_chaos.json")
+        write_snapshot(chaos_snapshot, path)
+        loaded = load_snapshot(path)
+        assert loaded.workload == "chaos"
+        assert loaded.params == chaos_snapshot.params
+        assert loaded.metrics == chaos_snapshot.metrics
+
+    def test_legacy_snapshot_defaults_to_closedloop(self, tmp_path):
+        # Pre-PR-4 baselines carry no workload key and must keep gating
+        # as the closed loop.
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "old",
+                    "seed": 0,
+                    "duration_s": 4.0,
+                    "version": 1,
+                    "metrics": {"latency_mean_s": 0.1},
+                }
+            )
+        )
+        loaded = load_snapshot(str(path))
+        assert loaded.workload == "closedloop"
+        assert loaded.params == {}
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "bad",
+                    "seed": 0,
+                    "duration_s": 1.0,
+                    "version": 1,
+                    "workload": "quantum",
+                    "metrics": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="quantum"):
+            load_snapshot(str(path))
+
+    def test_run_workload_rejects_unknown(self):
+        bad = BenchmarkSnapshot(
+            name="x", seed=0, duration_s=1.0, metrics={}, workload="quantum"
+        )
+        with pytest.raises(ValueError, match="quantum"):
+            run_workload(bad)
+
+
+class TestCli:
+    def test_snapshot_and_check_scheduler(self, tmp_path, capsys):
+        baseline = str(tmp_path / "BENCH_sched.json")
+        code = bench_gate_main(
+            [
+                "snapshot",
+                "--workload",
+                "scheduler",
+                "--name",
+                "sched",
+                "--frames",
+                str(N_FRAMES),
+                "--out",
+                baseline,
+            ]
+        )
+        assert code == 0
+        assert "workload: scheduler" in capsys.readouterr().out
+        code = bench_gate_main(["check", "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "throughput_hz" in out
+
+    def test_snapshot_and_check_chaos(self, tmp_path, capsys):
+        baseline = str(tmp_path / "BENCH_ch.json")
+        code = bench_gate_main(
+            [
+                "snapshot",
+                "--workload",
+                "chaos",
+                "--name",
+                "ch",
+                "--drives",
+                str(N_DRIVES),
+                "--out",
+                baseline,
+            ]
+        )
+        assert code == 0
+        code = bench_gate_main(["check", "--baseline", baseline])
+        assert code == 0
+        assert "collision_rate" in capsys.readouterr().out
+
+    def test_trace_rejected_for_non_closedloop(self, tmp_path, capsys):
+        baseline = str(tmp_path / "BENCH_ch2.json")
+        write_snapshot(
+            snapshot_chaos(name="ch2", seed=0, n_drives=N_DRIVES), baseline
+        )
+        code = bench_gate_main(
+            [
+                "check",
+                "--baseline",
+                baseline,
+                "--trace",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 2
+        assert "closedloop" in capsys.readouterr().err

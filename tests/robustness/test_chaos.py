@@ -160,6 +160,87 @@ class TestReplay:
         assert result_off.mode_residency["NOMINAL"] == pytest.approx(1.0)
 
 
+class TestCorridorCampaigns:
+    """Chaos campaigns routed down the multi-obstacle corridor suite."""
+
+    def test_unknown_corridor_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="corridor"):
+            ChaosConfig(n_drives=1, corridor="no_such_corridor")
+
+    def test_campaign_drives_the_corridor_world(self):
+        from repro.scene.corridors import generate_corridor
+
+        config = ChaosConfig(n_drives=1, seed=0, corridor="slalom")
+        _record, result = run_chaos_drive(config, 0)
+        corridor = generate_corridor("slalom", drive_seed(0, 0))
+        # The drive ran long enough for the corridor, not the drill lane.
+        assert result.ops.control_ticks == pytest.approx(
+            corridor.duration_s * 10.0, abs=2
+        )
+
+    def test_sampled_faults_compose_with_builtin_schedules(self):
+        # A degraded corridor keeps its own faults and adds the sampled
+        # ones on top: the drive record's kind set covers both sources.
+        from repro.scene.corridors import generate_corridor
+
+        config = ChaosConfig(
+            n_drives=1, seed=0, corridor="narrow_gap_gps_denied"
+        )
+        sampled = scenario_for_drive(config.space, 0, 0)
+        corridor = generate_corridor("narrow_gap_gps_denied", drive_seed(0, 0))
+        record, _result = run_chaos_drive(config, 0)
+        builtin_kinds = {f.kind for f in corridor.fault_scenario.faults}
+        sampled_kinds = {f.kind for f in sampled.faults}
+        assert builtin_kinds | sampled_kinds <= set(record.fault_kinds)
+
+    @pytest.mark.parametrize(
+        "corridor",
+        [
+            "slalom",
+            "narrow_gap",
+            "occluded_crossing",
+            "oncoming_agent",
+            "pedestrian_platoon",
+            "cluttered_stop",
+            "slalom_flaky_camera",
+            "narrow_gap_gps_denied",
+            "cluttered_stop_lossy_can",
+            "occluded_crossing_stalled",
+        ],
+    )
+    def test_replay_is_bit_identical_on_every_corridor(self, corridor):
+        from repro.testing.invariants import drive_fingerprint
+
+        _scenario_a, result_a = replay_drive(7, 1, corridor=corridor)
+        _scenario_b, result_b = replay_drive(7, 1, corridor=corridor)
+        assert drive_fingerprint(result_a) == drive_fingerprint(result_b)
+
+    def test_parametrized_corridors_cover_the_whole_registry(self):
+        from repro.scene.corridors import corridor_names
+
+        params = {
+            "slalom",
+            "narrow_gap",
+            "occluded_crossing",
+            "oncoming_agent",
+            "pedestrian_platoon",
+            "cluttered_stop",
+            "slalom_flaky_camera",
+            "narrow_gap_gps_denied",
+            "cluttered_stop_lossy_can",
+            "occluded_crossing_stalled",
+        }
+        assert params == set(corridor_names())
+
+    def test_protected_corridor_campaign_stays_collision_free(self):
+        result = run_chaos_campaign(
+            ChaosConfig(n_drives=6, seed=1, safety_net=True, corridor="slalom")
+        )
+        assert result.envelope.collision_rate == 0.0
+        for record in result.records:
+            assert sum(record.mode_residency.values()) == pytest.approx(1.0)
+
+
 class TestFrontier:
     def test_single_point_sweep_shape(self):
         points, frontier = intensity_frontier(

@@ -1,0 +1,154 @@
+"""Tests for the corridor scenario suite (generators, wiring, drives)."""
+
+import pytest
+
+from repro.planning.collision import corridor_blocked_at, lane_clearance_at
+from repro.robustness.faults import GpsDenialFault, FaultWindow
+from repro.scene.corridors import (
+    EGO_RADIUS_M,
+    CorridorScenario,
+    corridor_names,
+    generate_corridor,
+    generate_suite,
+    make_corridor_sov,
+    run_corridor_drive,
+)
+
+#: The acceptance floor from the suite's design: at least eight named
+#: scenarios, some of them sensor-degraded, at least one blocked.
+MIN_SCENARIOS = 8
+
+
+class TestRegistry:
+    def test_suite_size_and_order(self):
+        names = corridor_names()
+        assert len(names) >= MIN_SCENARIOS
+        assert names == sorted(names)
+
+    def test_unknown_name_raises_with_the_vocabulary(self):
+        with pytest.raises(KeyError, match="slalom"):
+            generate_corridor("no_such_corridor")
+
+    def test_generate_suite_covers_every_name(self):
+        suite = generate_suite(seed=3)
+        assert [s.name for s in suite] == corridor_names()
+        assert all(s.seed == 3 for s in suite)
+
+    def test_suite_has_degraded_and_blocked_members(self):
+        suite = generate_suite(seed=0)
+        assert any(s.degraded for s in suite)
+        assert any(s.blocked for s in suite)
+        assert any(not s.degraded for s in suite)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", corridor_names())
+    def test_same_seed_same_world(self, name):
+        a, b = generate_corridor(name, seed=5), generate_corridor(name, seed=5)
+        assert a.world.obstacles == b.world.obstacles
+        assert a.world.agents == b.world.agents
+        assert a.fault_scenario == b.fault_scenario
+
+    def test_different_seeds_jitter_geometry(self):
+        a, b = generate_corridor("slalom", 0), generate_corridor("slalom", 1)
+        assert [o.x_m for o in a.world.obstacles] != [
+            o.x_m for o in b.world.obstacles
+        ]
+
+    def test_scenarios_sharing_a_seed_draw_independently(self):
+        # The per-name digest decorrelates the RNG streams: two clean
+        # scenarios at the same seed must not share obstacle jitter.
+        a = generate_corridor("slalom", 0)
+        b = generate_corridor("narrow_gap", 0)
+        assert [o.x_m for o in a.world.obstacles] != [
+            o.x_m for o in b.world.obstacles
+        ]
+
+
+class TestTraversability:
+    @pytest.mark.parametrize("name", corridor_names())
+    @pytest.mark.parametrize("seed", range(3))
+    def test_blocked_flag_matches_the_planner_geometry(self, name, seed):
+        scenario = generate_corridor(name, seed)
+        station = corridor_blocked_at(
+            scenario.world,
+            scenario.lane_map,
+            scenario.corridor_length_m,
+            ego_radius_m=EGO_RADIUS_M,
+        )
+        if scenario.blocked:
+            assert station is not None
+        else:
+            assert station is None
+
+    def test_clutter_wall_blocks_where_built(self):
+        scenario = generate_corridor("cluttered_stop", seed=0)
+        station = corridor_blocked_at(
+            scenario.world, scenario.lane_map, scenario.corridor_length_m
+        )
+        wall_x = scenario.world.obstacles[0].x_m
+        assert station == pytest.approx(wall_x, abs=3.0)
+
+    def test_lane_clearance_reflects_the_gap(self):
+        scenario = generate_corridor("narrow_gap", seed=0)
+        gate_x = scenario.world.obstacles[0].x_m
+        at_gate = lane_clearance_at(
+            scenario.world, scenario.lane_map, gate_x, EGO_RADIUS_M
+        )
+        far_before = lane_clearance_at(
+            scenario.world, scenario.lane_map, 5.0, EGO_RADIUS_M
+        )
+        assert 0.0 < at_gate < far_before
+
+
+class TestSovWiring:
+    def test_clean_scenario_gets_no_fault_harness_schedule(self):
+        sov = make_corridor_sov(generate_corridor("slalom", 0))
+        assert sov.config.scenario is None
+
+    def test_builtin_faults_carry_over(self):
+        scenario = generate_corridor("narrow_gap_gps_denied", 2)
+        sov = make_corridor_sov(scenario)
+        assert sov.config.scenario is not None
+        assert sov.config.scenario.faults == scenario.fault_scenario.faults
+        assert sov.config.seed == 2
+
+    def test_extra_faults_merge_with_builtin(self):
+        scenario = generate_corridor("narrow_gap_gps_denied", 0)
+        extra = GpsDenialFault(window=FaultWindow(6.0, 8.0))
+        sov = make_corridor_sov(scenario, extra_faults=(extra,))
+        faults = sov.config.scenario.faults
+        assert len(faults) == len(scenario.fault_scenario.faults) + 1
+        assert extra in faults
+
+    def test_safety_net_flag_disables_both_layers(self):
+        sov = make_corridor_sov(generate_corridor("slalom", 0), safety_net=False)
+        assert not sov.config.reactive_enabled
+        assert not sov.config.degradation_enabled
+
+    def test_initial_speed_comes_from_the_scenario(self):
+        scenario = generate_corridor("slalom", 0)
+        sov = make_corridor_sov(scenario)
+        assert sov.state.speed_mps == scenario.initial_speed_mps
+
+
+class TestDrives:
+    def test_protected_slalom_is_clean(self):
+        scenario, result = run_corridor_drive("slalom", seed=0)
+        assert not result.collided
+        assert result.final_state.x_m > 20.0  # made real progress
+        assert result.attribution is not None
+
+    def test_blocked_corridor_ends_stopped_not_crashed(self):
+        scenario, result = run_corridor_drive("cluttered_stop", seed=0)
+        assert scenario.blocked
+        assert not result.collided
+        assert result.stopped or result.entered_safe_stop
+        wall_x = scenario.world.obstacles[0].x_m
+        assert result.final_state.x_m < wall_x
+
+    def test_attribution_flag_is_optional(self):
+        _scenario, result = run_corridor_drive(
+            "narrow_gap", seed=1, attribution=False
+        )
+        assert result.attribution is None
