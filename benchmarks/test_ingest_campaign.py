@@ -1,0 +1,103 @@
+"""Ingest-campaign benchmarks: delivery guarantee, determinism, sweep.
+
+The CI ``ingest-smoke`` job runs this module: a short seeded fleet
+campaign plus the full intensity sweep, asserting the pipeline's
+tentpole claims — realtime ops logs are never lost under any seeded
+fault mix (at-least-once end to end), the service stores each log
+exactly once after dedup, and a repeated seed reproduces the
+``IngestReport`` bit for bit.
+"""
+
+import pytest
+
+from repro.cloud.ingestion import (
+    IngestCampaignConfig,
+    intensity_sweep,
+    run_ingest_campaign,
+)
+from repro.experiments import run_experiment
+
+#: The swept fault-intensity dial (1.0 = nominal cellular conditions).
+SWEEP = (0.5, 1.0, 1.5, 2.0, 3.0)
+
+
+def test_ingest_campaign_experiment(benchmark, record_table):
+    result = benchmark.pedantic(
+        run_experiment, args=("ingest_campaign",), iterations=1, rounds=1
+    )
+    record_table(result)
+    # The tentpole claim: every realtime log is delivered or preserved...
+    assert result.row("realtime_logs_lost").measured == 0.0
+    assert result.row("realtime_delivery_rate").measured == 1.0
+    # ...stored exactly once after dedup, even at 3x fault intensity...
+    assert result.row("post_dedup_duplicates").measured == 0.0
+    assert result.row("realtime_lost_at_3x_intensity").measured == 0.0
+    assert result.row("post_dedup_duplicates_at_3x").measured == 0.0
+    # ...while the machinery visibly worked for it.
+    assert result.row("duplicates_absorbed").measured > 0.0
+    assert result.row("ingest_p99_s").measured > 0.0
+
+
+def test_no_realtime_loss_at_any_swept_intensity():
+    points = intensity_sweep(SWEEP)
+    assert [p.intensity for p in points] == list(SWEEP)
+    for point in points:
+        assert point.realtime_lost == 0, (
+            f"lost realtime logs at intensity {point.intensity}"
+        )
+        assert point.post_dedup_duplicates == 0
+        # Delivered + preserved covers every submitted log.
+        assert (
+            point.realtime_delivered + point.realtime_preserved
+            >= point.realtime_submitted
+        )
+
+
+def test_fault_pressure_costs_retries_not_logs():
+    points = intensity_sweep(SWEEP)
+    calm, stressed = points[0], points[-1]
+    # The dial hurts: more duplicates to absorb and a fatter latency
+    # tail at 3x than at 0.5x — but never the delivery guarantee.
+    assert stressed.duplicates_pre_dedup > calm.duplicates_pre_dedup
+    assert stressed.ingest_p99_s > calm.ingest_p99_s
+    assert stressed.realtime_lost == calm.realtime_lost == 0
+
+
+def test_ingest_report_is_bit_identical_per_seed():
+    config = IngestCampaignConfig(seed=5)
+    first = run_ingest_campaign(config)
+    second = run_ingest_campaign(config)
+    assert first.report.as_dict() == second.report.as_dict()
+    assert first.stored_keys == second.stored_keys
+    assert [v.client.as_dict() for v in first.vehicles] == [
+        v.client.as_dict() for v in second.vehicles
+    ]
+    assert [v.link_counters for v in first.vehicles] == [
+        v.link_counters for v in second.vehicles
+    ]
+
+
+def test_different_seeds_draw_different_weather():
+    a = run_ingest_campaign(IngestCampaignConfig(seed=0))
+    b = run_ingest_campaign(IngestCampaignConfig(seed=6))
+    assert [v.profile_kinds for v in a.vehicles] != [
+        v.profile_kinds for v in b.vehicles
+    ]
+    # The guarantee holds regardless of the draw.
+    assert a.realtime_lost == b.realtime_lost == 0
+
+
+def test_corruption_is_detected_not_stored():
+    # At high intensity some blobs arrive corrupted; every one must be
+    # dead-lettered (count match) and none may reach the store.
+    result = run_ingest_campaign(IngestCampaignConfig(seed=0).with_intensity(3.0))
+    assert result.report.corrupted == result.report.dead_lettered
+    assert result.post_dedup_duplicates == 0
+    assert result.realtime_lost == 0
+
+
+def test_throughput_metric_is_positive_and_finite():
+    result = run_ingest_campaign()
+    assert 0.0 < result.throughput_logs_per_s < float("inf")
+    assert result.sim_span_s > 0.0
+    assert result.report.ingest_p50_s <= result.report.ingest_p99_s

@@ -1,5 +1,20 @@
-"""Offline cloud services: maps, model training, data uplink (Fig. 1)."""
+"""Offline cloud services: maps, model training, data uplink (Fig. 1).
 
+The telemetry delivery pipeline (PR 6) lives in three layers here:
+:mod:`.network` (seeded lossy transport), :mod:`.client` (the vehicle's
+resilient uplink client), and :mod:`.ingestion` (the cloud-side
+at-least-once service plus the fleet campaign driving both ends).
+"""
+
+from .client import (
+    CircuitBreaker,
+    ClientReport,
+    ResilientUplinkClient,
+    RetryPolicy,
+    UplinkEnvelope,
+    UplinkQueue,
+    WireDecodeError,
+)
 from .compression import (
     CondensedLog,
     compress_frame,
@@ -8,7 +23,23 @@ from .compression import (
     daily_raw_volume_bytes,
     decompress_frame,
 )
+from .ingestion import (
+    IngestCampaignConfig,
+    IngestCampaignResult,
+    IngestionService,
+    IngestReport,
+    TelemetrySession,
+    intensity_sweep,
+    run_ingest_campaign,
+)
 from .maps import DriveObservation, MapGenerationService, MapUpdate
+from .network import (
+    LinkFaultProfile,
+    LossyLink,
+    NetworkFaultSpace,
+    payload_checksum,
+    sample_cell_faults,
+)
 from .training import (
     PAPER_DEPLOYMENTS,
     ModelTrainingService,
@@ -26,17 +57,32 @@ from .uplink import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "ClientReport",
     "CondensedLog",
     "DataClass",
     "DriveObservation",
+    "IngestCampaignConfig",
+    "IngestCampaignResult",
+    "IngestReport",
+    "IngestionService",
     "Link",
+    "LinkFaultProfile",
+    "LossyLink",
     "MapGenerationService",
     "MapUpdate",
     "ModelTrainingService",
     "ModelVersion",
+    "NetworkFaultSpace",
     "OnboardStorage",
     "PAPER_DEPLOYMENTS",
+    "ResilientUplinkClient",
+    "RetryPolicy",
+    "TelemetrySession",
     "UplinkDecision",
+    "UplinkEnvelope",
+    "UplinkQueue",
+    "WireDecodeError",
     "cellular_link",
     "compress_frame",
     "compression_ratio",
@@ -44,6 +90,10 @@ __all__ = [
     "daily_raw_volume_bytes",
     "decompress_frame",
     "depot_link",
+    "intensity_sweep",
     "paper_data_classes",
+    "payload_checksum",
     "plan_uplink",
+    "run_ingest_campaign",
+    "sample_cell_faults",
 ]

@@ -1,0 +1,504 @@
+"""Simulated lossy vehicle-to-cloud transport (paper Sec. II-B).
+
+The paper's operational model ships one condensed ``OperationsLog`` per
+vehicle per hour over a constrained cellular link.  ``repro.cloud.uplink``
+answers the *capacity* question — what can ship in real time — but a
+deployed fleet also has to survive the link's *failures*: packets drop,
+duplicate, arrive corrupted, stall behind congestion, or vanish entirely
+while the vehicle rides through a coverage hole.  This module gives the
+telemetry pipeline that adversary, built from the same seeded declarative
+idiom as :mod:`repro.robustness.faults`:
+
+* **link faults** — frozen dataclasses scheduled by a
+  :class:`~repro.robustness.faults.FaultWindow`: Bernoulli packet drop,
+  packet duplication, payload corruption (checksum-detectable bit flips),
+  latency spikes, and full partitions with a configurable dwell;
+* **:class:`LinkFaultProfile`** — a named, reproducible bundle of link
+  faults (the network analogue of ``FaultScenario``);
+* **:class:`NetworkFaultSpace`** — a seeded distribution over profiles
+  with the same intensity dial as the chaos engine's ``FaultSpace``, so
+  campaigns can sweep network-fault pressure exactly like sensor/compute
+  fault pressure;
+* **:class:`LossyLink`** — the runtime transport: every transmit rolls
+  the active faults on a private RNG stream and yields zero, one, or two
+  deliveries with arrival timestamps, so the same seed always produces
+  the same loss/duplication/corruption pattern.
+
+:func:`sample_cell_faults` draws a vehicle-fault scenario *and* a network
+profile from one campaign cell seed, which is how chaos campaigns compose
+network faults alongside sensor/compute faults.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..robustness.faults import FaultScenario, FaultWindow
+
+# ---------------------------------------------------------------------------
+# Link fault vocabulary
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PacketDropFault:
+    """Each uplink attempt is lost with ``drop_prob`` while active."""
+
+    drop_prob: float
+    window: FaultWindow
+
+    kind = "net_drop"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class PacketDuplicateFault:
+    """Each delivered packet spawns a duplicate with ``dup_prob``.
+
+    Cellular retransmission at a layer below ours: the sender's radio
+    retries after a missed link-layer ack, and both copies arrive.  The
+    ingestion service must dedup these by idempotency key.
+    """
+
+    dup_prob: float
+    window: FaultWindow
+
+    kind = "net_duplicate"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dup_prob <= 1.0:
+            raise ValueError("duplication probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class PayloadCorruptFault:
+    """Each delivered packet's payload is bit-flipped with ``corrupt_prob``.
+
+    The flip is checksum-detectable: the wire envelope carries a CRC32,
+    so the ingestion service rejects the blob into its dead-letter queue
+    instead of storing garbage — and withholds the ack, which is what
+    drives the client's retry.
+    """
+
+    corrupt_prob: float
+    window: FaultWindow
+
+    kind = "net_corrupt"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.corrupt_prob <= 1.0:
+            raise ValueError("corruption probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class LinkLatencyFault:
+    """Deliveries gain ``spike_s`` extra latency with ``spike_prob``."""
+
+    spike_s: float
+    spike_prob: float
+    window: FaultWindow
+
+    kind = "net_latency"
+
+    def __post_init__(self) -> None:
+        if self.spike_s < 0:
+            raise ValueError("spike must be non-negative")
+        if not 0.0 <= self.spike_prob <= 1.0:
+            raise ValueError("spike probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class LinkPartitionFault:
+    """The link is fully down while active (a coverage hole).
+
+    The window *is* the dwell: nothing crosses in either direction until
+    it ends, which is what trips the uplink client's circuit breaker into
+    store-and-forward.
+    """
+
+    window: FaultWindow
+
+    kind = "net_partition"
+
+
+LinkFault = Union[
+    PacketDropFault,
+    PacketDuplicateFault,
+    PayloadCorruptFault,
+    LinkLatencyFault,
+    LinkPartitionFault,
+]
+
+#: Every link-fault kind this module understands.
+LINK_FAULT_KINDS = (
+    "net_drop",
+    "net_duplicate",
+    "net_corrupt",
+    "net_latency",
+    "net_partition",
+)
+
+
+@dataclass(frozen=True)
+class LinkFaultProfile:
+    """A named, declarative schedule of link faults for one session."""
+
+    name: str
+    faults: Tuple[LinkFault, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile needs a name")
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def of_kind(self, kind: str) -> List[LinkFault]:
+        return [f for f in self.faults if f.kind == kind]
+
+    def active(self, kind: str, now_s: float) -> List[LinkFault]:
+        return [f for f in self.of_kind(kind) if f.window.active(now_s)]
+
+    @property
+    def kinds(self) -> List[str]:
+        return sorted({f.kind for f in self.faults})
+
+    @property
+    def last_window_end_s(self) -> float:
+        """When the last scheduled fault ends (0 for an empty profile).
+
+        Campaigns size their drain margin off this: a session that runs
+        past every window's end gives the client room to recover from
+        the final partition and flush its store-and-forward spool.
+        """
+        return max((f.window.end_s for f in self.faults), default=0.0)
+
+
+#: The profile a link gets when none is supplied: a clean channel.
+CLEAN_PROFILE = LinkFaultProfile(name="clean", faults=())
+
+
+# ---------------------------------------------------------------------------
+# NetworkFaultSpace: the seeded profile distribution
+# ---------------------------------------------------------------------------
+
+#: Default sampling weights over the link-fault vocabulary.
+DEFAULT_LINK_KIND_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("net_drop", 1.0),
+    ("net_duplicate", 0.7),
+    ("net_corrupt", 0.7),
+    ("net_latency", 0.8),
+    ("net_partition", 0.6),
+)
+
+
+def _uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
+    return float(lo + (hi - lo) * rng.random())
+
+
+@dataclass(frozen=True)
+class NetworkFaultSpace:
+    """A distribution over link-fault profiles, with an intensity dial.
+
+    The network sibling of :class:`repro.robustness.chaos.FaultSpace`:
+    ``intensity`` scales fault probabilities and dwell times; 1.0 is the
+    nominal cellular operating point the telemetry pipeline must survive
+    with zero realtime-log loss.  Profiles are sampled deterministically
+    from a caller-supplied RNG, so a campaign cell's profile is a pure
+    function of its ``(seed, vehicle)`` pair.
+    """
+
+    intensity: float = 1.0
+    kind_weights: Tuple[Tuple[str, float], ...] = DEFAULT_LINK_KIND_WEIGHTS
+    #: How many faults one profile carries (inclusive bounds).
+    faults_per_profile: Tuple[int, int] = (1, 3)
+    #: Fault onsets fall uniformly inside this window.
+    onset_window_s: Tuple[float, float] = (0.0, 240.0)
+    #: Base dwell range for non-partition faults; scaled by intensity.
+    duration_range_s: Tuple[float, float] = (20.0, 120.0)
+    #: Partition dwell range; scaled by intensity (a coverage hole grows
+    #: with the fault pressure, it does not become more probable).
+    partition_dwell_s: Tuple[float, float] = (10.0, 45.0)
+    drop_prob_range: Tuple[float, float] = (0.1, 0.4)
+    dup_prob_range: Tuple[float, float] = (0.05, 0.25)
+    corrupt_prob_range: Tuple[float, float] = (0.05, 0.25)
+    spike_range_s: Tuple[float, float] = (0.5, 2.0)
+    spike_prob_range: Tuple[float, float] = (0.1, 0.4)
+
+    def __post_init__(self) -> None:
+        if self.intensity <= 0:
+            raise ValueError("intensity must be positive")
+        if not self.kind_weights:
+            raise ValueError("network fault space needs at least one kind")
+        unknown = {k for k, _ in self.kind_weights} - set(LINK_FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown link fault kinds {sorted(unknown)}")
+        lo, hi = self.faults_per_profile
+        if not 0 <= lo <= hi:
+            raise ValueError("faults_per_profile must be 0 <= lo <= hi")
+
+    def with_intensity(self, intensity: float) -> "NetworkFaultSpace":
+        return replace(self, intensity=intensity)
+
+    # -- sampling --------------------------------------------------------------
+
+    def _pick_kind(self, rng: np.random.Generator) -> str:
+        kinds = [k for k, _ in self.kind_weights]
+        probs = np.array([w for _, w in self.kind_weights], dtype=float)
+        probs /= probs.sum()
+        return str(rng.choice(kinds, p=probs))
+
+    def _window(
+        self, rng: np.random.Generator, dwell_range: Tuple[float, float]
+    ) -> FaultWindow:
+        onset = _uniform(rng, *self.onset_window_s)
+        dwell = _uniform(rng, *dwell_range) * self.intensity
+        return FaultWindow(onset, onset + dwell)
+
+    def _clamped(self, rng: np.random.Generator, lo: float, hi: float) -> float:
+        return min(1.0, _uniform(rng, lo, hi) * self.intensity)
+
+    def _build(self, rng: np.random.Generator, kind: str) -> LinkFault:
+        if kind == "net_partition":
+            return LinkPartitionFault(
+                window=self._window(rng, self.partition_dwell_s)
+            )
+        window = self._window(rng, self.duration_range_s)
+        if kind == "net_drop":
+            return PacketDropFault(
+                drop_prob=self._clamped(rng, *self.drop_prob_range),
+                window=window,
+            )
+        if kind == "net_duplicate":
+            return PacketDuplicateFault(
+                dup_prob=self._clamped(rng, *self.dup_prob_range),
+                window=window,
+            )
+        if kind == "net_corrupt":
+            return PayloadCorruptFault(
+                corrupt_prob=self._clamped(rng, *self.corrupt_prob_range),
+                window=window,
+            )
+        if kind == "net_latency":
+            return LinkLatencyFault(
+                spike_s=_uniform(rng, *self.spike_range_s) * self.intensity,
+                spike_prob=self._clamped(rng, *self.spike_prob_range),
+                window=window,
+            )
+        raise ValueError(f"unknown link fault kind {kind!r}")  # pragma: no cover
+
+    def sample_profile(
+        self, rng: np.random.Generator, name: str
+    ) -> LinkFaultProfile:
+        """Draw one profile: 1-3 scheduled link faults (kinds may repeat:
+        two drop bursts at different times are a realistic day)."""
+        lo, hi = self.faults_per_profile
+        n_faults = int(rng.integers(lo, hi + 1))
+        kinds = [self._pick_kind(rng) for _ in range(n_faults)]
+        faults = tuple(self._build(rng, kind) for kind in kinds)
+        return LinkFaultProfile(
+            name=name,
+            faults=faults,
+            description=f"net-sampled: {' + '.join(kinds) or 'clean'}",
+        )
+
+
+def sample_cell_faults(
+    campaign_seed: int,
+    index: int,
+    vehicle_space=None,
+    net_space: Optional[NetworkFaultSpace] = None,
+) -> Tuple[FaultScenario, LinkFaultProfile]:
+    """Draw one campaign cell's vehicle faults *and* network faults.
+
+    The composition point between the chaos engine and the telemetry
+    pipeline: both draws derive from independent substreams of the same
+    ``(campaign_seed, index)`` pair, so a fleet campaign can subject each
+    cell to sensor/compute faults (``FaultSpace``) and link faults
+    (``NetworkFaultSpace``) without either sampler perturbing the other —
+    adding network faults to an existing chaos campaign leaves the
+    sampled drive scenarios bit-identical.
+    """
+    from ..robustness.chaos import FaultSpace, scenario_for_drive
+
+    vehicle_space = vehicle_space or FaultSpace()
+    net_space = net_space or NetworkFaultSpace()
+    scenario = scenario_for_drive(vehicle_space, campaign_seed, index)
+    rng = np.random.default_rng(
+        np.random.SeedSequence((campaign_seed, index, 0x4E7F))
+    )
+    profile = net_space.sample_profile(
+        rng, name=f"net-{campaign_seed}-{index}"
+    )
+    return scenario, profile
+
+
+# ---------------------------------------------------------------------------
+# LossyLink: the runtime transport
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One copy of a payload arriving at the far end."""
+
+    arrival_s: float
+    payload: bytes
+    #: Whether the link flipped bits in this copy (the receiver must
+    #: discover this itself via the envelope checksum; this flag exists
+    #: for accounting and tests only).
+    corrupted: bool = False
+    #: True for the spurious second copy of a duplicated packet.
+    duplicate: bool = False
+
+
+@dataclass(frozen=True)
+class TransmitResult:
+    """Everything one uplink attempt produced."""
+
+    sent_s: float
+    deliveries: Tuple[Delivery, ...]
+    #: Why nothing was delivered ("partition" | "dropped"), else None.
+    lost_reason: Optional[str] = None
+
+    @property
+    def delivered(self) -> bool:
+        return bool(self.deliveries)
+
+
+class LossyLink:
+    """A seeded, fault-injected transport channel.
+
+    The single point the uplink client pushes bytes through: every
+    :meth:`transmit` rolls the profile's active faults on a private RNG
+    stream (derived from ``(seed, profile.name)``, same idiom as
+    :class:`~repro.robustness.faults.FaultHarness`) and returns the
+    resulting deliveries.  Acks cross the same channel via
+    :meth:`transmit_ack`, so a partition severs both directions and a
+    lost ack forces the client to retry — the duplicate-generating path
+    the ingestion service's dedup exists for.
+    """
+
+    def __init__(
+        self,
+        profile: Optional[LinkFaultProfile] = None,
+        seed: int = 0,
+        base_latency_s: float = 0.08,
+        jitter_s: float = 0.04,
+    ) -> None:
+        if base_latency_s < 0 or jitter_s < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.profile = profile or CLEAN_PROFILE
+        self.base_latency_s = base_latency_s
+        self.jitter_s = jitter_s
+        name_digest = sum(
+            ord(c) * (i + 1) for i, c in enumerate(self.profile.name)
+        )
+        self._rng = np.random.default_rng([seed, name_digest % (2**31)])
+        self.counters: Dict[str, int] = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _count(self, event: str) -> None:
+        self.counters[event] = self.counters.get(event, 0) + 1
+
+    def partitioned(self, now_s: float) -> bool:
+        """Whether a partition window covers *now_s* (consumes no RNG)."""
+        return bool(self.profile.active("net_partition", now_s))
+
+    def next_partition_end_s(self, now_s: float) -> Optional[float]:
+        """End of the partition covering *now_s*, if any."""
+        active = self.profile.active("net_partition", now_s)
+        if not active:
+            return None
+        return max(f.window.end_s for f in active)
+
+    # -- the channel -----------------------------------------------------------
+
+    def _latency(self, now_s: float) -> float:
+        latency = self.base_latency_s + _uniform(self._rng, 0.0, self.jitter_s)
+        for fault in self.profile.active("net_latency", now_s):
+            if self._rng.random() < fault.spike_prob:
+                latency += fault.spike_s
+                self._count("latency_spikes")
+        return latency
+
+    def _corrupt(self, payload: bytes) -> bytes:
+        """Flip one byte at a seeded position (checksum-detectable)."""
+        if not payload:
+            return payload
+        position = int(self._rng.integers(0, len(payload)))
+        flip = int(self._rng.integers(1, 256))
+        mutated = bytearray(payload)
+        mutated[position] ^= flip
+        return bytes(mutated)
+
+    def _one_delivery(
+        self, payload: bytes, now_s: float, duplicate: bool
+    ) -> Delivery:
+        arrival = now_s + self._latency(now_s)
+        corrupted = False
+        for fault in self.profile.active("net_corrupt", now_s):
+            if self._rng.random() < fault.corrupt_prob:
+                corrupted = True
+        if corrupted:
+            payload = self._corrupt(payload)
+            self._count("corrupted")
+        return Delivery(
+            arrival_s=arrival,
+            payload=payload,
+            corrupted=corrupted,
+            duplicate=duplicate,
+        )
+
+    def transmit(self, payload: bytes, now_s: float) -> TransmitResult:
+        """Push one payload through the channel at *now_s*."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("payload must be bytes")
+        self._count("attempts")
+        if self.partitioned(now_s):
+            self._count("partition_blocked")
+            return TransmitResult(now_s, (), lost_reason="partition")
+        for fault in self.profile.active("net_drop", now_s):
+            if self._rng.random() < fault.drop_prob:
+                self._count("dropped")
+                return TransmitResult(now_s, (), lost_reason="dropped")
+        deliveries = [self._one_delivery(bytes(payload), now_s, False)]
+        for fault in self.profile.active("net_duplicate", now_s):
+            if self._rng.random() < fault.dup_prob:
+                deliveries.append(
+                    self._one_delivery(bytes(payload), now_s, True)
+                )
+                self._count("duplicated")
+                break
+        self._count("delivered")
+        return TransmitResult(now_s, tuple(deliveries))
+
+    def transmit_ack(self, now_s: float) -> Optional[float]:
+        """Send one ack back to the vehicle; returns its arrival time.
+
+        Acks are tiny and share the channel's fate: partitions block
+        them and drop bursts lose them (None), in which case the client
+        times out and retries an already-ingested envelope — the
+        at-least-once duplicate the service's dedup absorbs.
+        """
+        self._count("ack_attempts")
+        if self.partitioned(now_s):
+            self._count("ack_blocked")
+            return None
+        for fault in self.profile.active("net_drop", now_s):
+            if self._rng.random() < fault.drop_prob:
+                self._count("ack_dropped")
+                return None
+        return now_s + self._latency(now_s)
+
+
+def payload_checksum(payload: bytes) -> int:
+    """The CRC32 the wire envelope carries (shared by client and server)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF

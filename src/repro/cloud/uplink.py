@@ -112,7 +112,12 @@ def plan_uplink(
                 link, transport = realtime, "realtime"
             else:
                 link, transport = bulk, "store_and_forward"
-        fraction = dc.bytes_per_day / link.capacity_per_day_bytes
+        if link.capacity_per_day_bytes > 0:
+            fraction = dc.bytes_per_day / link.capacity_per_day_bytes
+        else:
+            # A link with zero available hours has no capacity: nothing
+            # fits (but an empty data class trivially does).
+            fraction = 0.0 if dc.bytes_per_day == 0 else float("inf")
         decisions.append(
             UplinkDecision(
                 data_class=dc.name,
@@ -126,22 +131,52 @@ def plan_uplink(
 
 @dataclass
 class OnboardStorage:
-    """The on-vehicle SSD buffering raw data between depot visits."""
+    """The on-vehicle SSD buffering raw data between depot visits.
+
+    Filling up mid-drive is a *degradation*, not a crash: raw capture
+    halts (``capture_halted``), further bulk bytes are counted as
+    dropped, and the vehicle keeps driving.  The realtime log class is
+    always admissible — the few-KB hourly logs (and the uplink client's
+    store-and-forward spool) must never be refused, so realtime writes
+    are admitted even at the capacity line.
+    """
 
     capacity_bytes: float = 2 * TB
     used_bytes: float = 0.0
+    #: Set when a bulk write first overflowed; cleared by offload().
+    capture_halted: bool = False
+    #: Bulk bytes refused since capture halted.
+    dropped_bytes: float = 0.0
 
-    def record(self, n_bytes: float) -> None:
+    def record(self, n_bytes: float, realtime: bool = False) -> bool:
+        """Buffer *n_bytes*; returns False when the write was dropped.
+
+        Bulk writes that would overflow halt raw capture and count the
+        refused bytes instead of raising; realtime writes always land.
+        """
         if n_bytes < 0:
             raise ValueError("bytes must be non-negative")
-        if self.used_bytes + n_bytes > self.capacity_bytes:
-            raise RuntimeError("on-vehicle SSD full; raw capture must stop")
+        if realtime:
+            self.used_bytes += n_bytes
+            return True
+        if self.capture_halted or (
+            self.used_bytes + n_bytes > self.capacity_bytes
+        ):
+            self.capture_halted = True
+            self.dropped_bytes += n_bytes
+            return False
         self.used_bytes += n_bytes
+        return True
 
     def offload(self) -> float:
-        """End-of-day depot offload; returns bytes shipped."""
+        """End-of-day depot offload; returns bytes shipped.
+
+        An emptied SSD resumes raw capture (the halt flag clears); the
+        dropped-byte tally survives as the day's accounting.
+        """
         shipped = self.used_bytes
         self.used_bytes = 0.0
+        self.capture_halted = False
         return shipped
 
     @property

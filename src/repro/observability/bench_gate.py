@@ -6,6 +6,7 @@ Usage::
     python -m repro.observability.bench_gate snapshot --workload closedloop
     python -m repro.observability.bench_gate snapshot --workload chaos
     python -m repro.observability.bench_gate snapshot --workload scheduler
+    python -m repro.observability.bench_gate snapshot --workload ingest
 
     # CI: re-run the seeded workload named by the baseline, fail on any
     # gated-metric regression, and (closed loop only) export the drive's
@@ -14,6 +15,7 @@ Usage::
         --baseline BENCH_closedloop.json --trace closedloop_trace.json
     python -m repro.observability.bench_gate check --baseline BENCH_chaos.json
     python -m repro.observability.bench_gate check --baseline BENCH_scheduler.json
+    python -m repro.observability.bench_gate check --baseline BENCH_ingest.json
 
 ``check`` reads the workload to replay from the baseline snapshot itself
 and exits non-zero when any gated metric regresses beyond its tolerance
@@ -27,12 +29,15 @@ import sys
 
 from .regression import (
     CHAOS_WORKLOAD_DRIVES,
+    INGEST_WORKLOAD_LOGS,
+    INGEST_WORKLOAD_VEHICLES,
     SCHEDULER_WORKLOAD_FRAMES,
     WORKLOAD_TOLERANCES,
     gate_against_baseline,
     load_snapshot,
     snapshot_chaos,
     snapshot_closedloop,
+    snapshot_ingest,
     snapshot_path,
     snapshot_scheduler,
     write_snapshot,
@@ -77,6 +82,18 @@ def main(argv=None) -> int:
         help="pipeline frames (scheduler workload only)",
     )
     snap.add_argument(
+        "--vehicles",
+        type=int,
+        default=INGEST_WORKLOAD_VEHICLES,
+        help="fleet size (ingest workload only)",
+    )
+    snap.add_argument(
+        "--logs",
+        type=int,
+        default=INGEST_WORKLOAD_LOGS,
+        help="realtime logs per vehicle (ingest workload only)",
+    )
+    snap.add_argument(
         "--out", default=None, help="output path (default BENCH_<name>.json)"
     )
 
@@ -112,6 +129,13 @@ def main(argv=None) -> int:
         elif args.workload == "scheduler":
             snapshot = snapshot_scheduler(
                 name=name, seed=args.seed, n_frames=args.frames
+            )
+        elif args.workload == "ingest":
+            snapshot = snapshot_ingest(
+                name=name,
+                seed=args.seed,
+                n_vehicles=args.vehicles,
+                logs_per_vehicle=args.logs,
             )
         else:
             snapshot = snapshot_closedloop(

@@ -53,6 +53,16 @@ WORKLOAD_TOLERANCES: Dict[str, Dict[str, float]] = {
         "latency_mean_s": 0.05,
         "latency_p99_s": 0.10,
     },
+    # The ingest workload gates the telemetry pipeline's delivery
+    # guarantee exactly (no realtime loss, no post-dedup duplicates,
+    # ever) alongside fleet throughput (downward) and p99 ingest
+    # latency (upward).
+    "ingest": {
+        "throughput_logs_per_s": 0.05,
+        "ingest_p99_s": 0.10,
+        "realtime_delivery_rate": 0.0,
+        "post_dedup_duplicates": 0.0,
+    },
 }
 
 #: Which way each gated metric regresses.  Default is "upper" (bigger is
@@ -60,11 +70,19 @@ WORKLOAD_TOLERANCES: Dict[str, Dict[str, float]] = {
 #: (throughput).
 DEFAULT_DIRECTIONS: Dict[str, str] = {
     "throughput_hz": "lower",
+    "throughput_logs_per_s": "lower",
+    "realtime_delivery_rate": "lower",
 }
 
 #: Workload-shape invariants: when present in both snapshots these must
 #: match exactly, otherwise the gate is comparing different workloads.
-SHAPE_INVARIANTS = ("latency_samples", "control_ticks", "n_drives", "frames")
+SHAPE_INVARIANTS = (
+    "latency_samples",
+    "control_ticks",
+    "n_drives",
+    "frames",
+    "n_logs",
+)
 
 #: Snapshot format version (bump on incompatible metric renames).
 SNAPSHOT_VERSION = 1
@@ -284,6 +302,69 @@ def snapshot_scheduler(
     )
 
 
+#: The ingest workload's fleet shape: enough vehicles and logs that the
+#: sampled fault profiles cover every kind, small enough to gate CI.
+INGEST_WORKLOAD_VEHICLES = 6
+INGEST_WORKLOAD_LOGS = 10
+INGEST_WORKLOAD_METRICS = 10
+
+
+def snapshot_ingest(
+    name: str = "ingest",
+    seed: int = 0,
+    n_vehicles: int = INGEST_WORKLOAD_VEHICLES,
+    logs_per_vehicle: int = INGEST_WORKLOAD_LOGS,
+    metrics_per_vehicle: int = INGEST_WORKLOAD_METRICS,
+) -> BenchmarkSnapshot:
+    """Run the seeded fleet-telemetry ingest campaign (paper Sec. II-B).
+
+    Every vehicle uplinks its condensed hourly logs across a seeded
+    lossy link into one shared ingestion service.  The gate holds the
+    delivery guarantee exactly — realtime delivery rate 1.0 and zero
+    post-dedup duplicates, both at 0% tolerance — alongside fleet
+    throughput (downward) and p99 ingest latency (upward).
+    """
+    from ..cloud.ingestion import IngestCampaignConfig, run_ingest_campaign
+
+    config = IngestCampaignConfig(
+        n_vehicles=n_vehicles,
+        logs_per_vehicle=logs_per_vehicle,
+        metrics_per_vehicle=metrics_per_vehicle,
+        seed=seed,
+    )
+    started = time.perf_counter()
+    result = run_ingest_campaign(config)
+    wall_s = time.perf_counter() - started
+    report = result.report
+    metrics: Dict[str, float] = {
+        "n_logs": float(result.realtime_submitted),
+        "throughput_logs_per_s": result.throughput_logs_per_s,
+        "realtime_delivery_rate": result.realtime_delivery_rate,
+        "realtime_lost": float(result.realtime_lost),
+        "post_dedup_duplicates": float(result.post_dedup_duplicates),
+        "delivered": report.delivered,
+        "duplicated_pre_dedup": report.duplicated,
+        "corrupted_detected": report.corrupted,
+        "dead_lettered": report.dead_lettered,
+        "ingest_p50_s": report.ingest_p50_s,
+        "ingest_p99_s": report.ingest_p99_s,
+        # Informational only (machine-dependent): never gated.
+        "wall_s_total": wall_s,
+    }
+    return BenchmarkSnapshot(
+        name=name,
+        seed=seed,
+        duration_s=result.sim_span_s,
+        metrics=metrics,
+        workload="ingest",
+        params={
+            "n_vehicles": float(n_vehicles),
+            "logs_per_vehicle": float(logs_per_vehicle),
+            "metrics_per_vehicle": float(metrics_per_vehicle),
+        },
+    )
+
+
 def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
     """Re-run the seeded workload a baseline snapshot describes."""
     if baseline.workload == "closedloop":
@@ -307,6 +388,22 @@ def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
             seed=baseline.seed,
             n_frames=int(
                 baseline.params.get("n_frames", SCHEDULER_WORKLOAD_FRAMES)
+            ),
+        )
+    if baseline.workload == "ingest":
+        return snapshot_ingest(
+            name=baseline.name,
+            seed=baseline.seed,
+            n_vehicles=int(
+                baseline.params.get("n_vehicles", INGEST_WORKLOAD_VEHICLES)
+            ),
+            logs_per_vehicle=int(
+                baseline.params.get("logs_per_vehicle", INGEST_WORKLOAD_LOGS)
+            ),
+            metrics_per_vehicle=int(
+                baseline.params.get(
+                    "metrics_per_vehicle", INGEST_WORKLOAD_METRICS
+                )
             ),
         )
     raise ValueError(f"unknown workload {baseline.workload!r}")

@@ -9,7 +9,9 @@ repeated restarts of a persistently crashing module produce a realistic
 spread.  Repeated restarts back off exponentially — a module that keeps
 crashing is restarted ever more cautiously — and the backoff resets once
 the module has stayed healthy for a sustained window, so one bad episode
-does not penalize restarts forever.  The monitor accumulates per-module
+does not penalize restarts forever.  Optional seeded jitter
+(``restart_jitter_frac``) spreads backed-off restart times so modules
+felled by one fault don't thunder back in lockstep.  The monitor accumulates per-module
 downtime, restart counts, backoff state, and availability — the metrics
 the fault-campaign and chaos studies report and assert on.
 
@@ -130,6 +132,7 @@ class HealthMonitor:
         restart_backoff_factor: float = 1.5,
         restart_backoff_cap: float = 8.0,
         sustained_healthy_s: Optional[float] = None,
+        restart_jitter_frac: float = 0.0,
     ) -> None:
         if default_timeout_s <= 0:
             raise ValueError("watchdog timeout must be positive")
@@ -139,10 +142,17 @@ class HealthMonitor:
             raise ValueError("backoff factor must be >= 1")
         if restart_backoff_cap < 1.0:
             raise ValueError("backoff cap must be >= 1")
+        if not 0.0 <= restart_jitter_frac < 1.0:
+            raise ValueError("restart jitter fraction must be in [0, 1)")
         self.default_timeout_s = default_timeout_s
         self.mttr_mean_s = mttr_mean_s
         self.restart_backoff_factor = restart_backoff_factor
         self.restart_backoff_cap = restart_backoff_cap
+        #: Seeded +/- fractional jitter on each backed-off repair time,
+        #: decorrelating synchronized restarts.  The default of 0.0
+        #: consumes no randomness, so existing seeded campaigns (and
+        #: their committed baselines) are bit-identical with the flag off.
+        self.restart_jitter_frac = restart_jitter_frac
         #: How long a module must stay UP before its backoff is forgiven
         #: (default: five watchdog timeouts).
         self.sustained_healthy_s = (
@@ -221,6 +231,15 @@ class HealthMonitor:
                 ) * module.backoff_multiplier(
                     self.restart_backoff_factor, self.restart_backoff_cap
                 )
+                if self.restart_jitter_frac > 0.0:
+                    # Seeded uniform jitter in [1-j, 1+j); guarded so a
+                    # jitter of 0 draws nothing and legacy streams hold.
+                    repair_s *= float(
+                        self._rng.uniform(
+                            1.0 - self.restart_jitter_frac,
+                            1.0 + self.restart_jitter_frac,
+                        )
+                    )
                 module.restart_at_s = now_s + repair_s
 
     def is_up(self, name: str) -> bool:

@@ -52,10 +52,38 @@ class TestUplink:
         assert shipped == 1 * TB
         assert ssd.used_bytes == 0.0
 
-    def test_storage_overflow_raises(self):
+    def test_storage_overflow_halts_capture_gracefully(self):
+        # Filling the SSD mid-drive degrades (capture halts, bytes are
+        # counted) instead of crashing the vehicle.
         ssd = OnboardStorage(capacity_bytes=10.0)
-        with pytest.raises(RuntimeError):
-            ssd.record(11.0)
+        assert not ssd.record(11.0)
+        assert ssd.capture_halted
+        assert ssd.dropped_bytes == 11.0
+        assert ssd.used_bytes == 0.0
+        # Once halted, further bulk writes keep dropping even if small.
+        assert not ssd.record(1.0)
+        assert ssd.dropped_bytes == 12.0
+
+    def test_realtime_class_always_admissible(self):
+        # The few-KB hourly logs (and the uplink spool) are never refused,
+        # even at the capacity line.
+        ssd = OnboardStorage(capacity_bytes=10.0)
+        assert ssd.record(10.0)
+        assert not ssd.record(1.0)  # bulk overflows...
+        assert ssd.record(2.0, realtime=True)  # ...realtime still lands
+        assert ssd.used_bytes == 12.0
+
+    def test_offload_resumes_capture(self):
+        ssd = OnboardStorage(capacity_bytes=10.0)
+        ssd.record(8.0)
+        ssd.record(5.0)  # halts
+        assert ssd.capture_halted
+        shipped = ssd.offload()
+        assert shipped == 8.0
+        assert not ssd.capture_halted
+        assert ssd.record(5.0)
+        # The day's drop tally survives the offload for accounting.
+        assert ssd.dropped_bytes == 5.0
 
     def test_storage_validation(self):
         with pytest.raises(ValueError):
@@ -64,6 +92,28 @@ class TestUplink:
     def test_depot_link_ships_a_day_of_raw_data(self):
         # 1 TB over a 1 Gbit/s depot link in under 10 hours.
         assert depot_link().capacity_per_day_bytes > 1 * TB
+
+    def test_zero_availability_link_never_divides_by_zero(self):
+        from repro.cloud.uplink import Link
+
+        dead = Link("dead", bandwidth_bps=1e6, available_hours_per_day=0.0)
+        decisions = plan_uplink(
+            [DataClass("logs", bytes_per_day=1.0, realtime_required=True)],
+            realtime=dead,
+        )
+        assert not decisions[0].fits
+        assert decisions[0].fraction_of_link == float("inf")
+
+    def test_zero_byte_class_trivially_fits_any_link(self):
+        from repro.cloud.uplink import Link
+
+        dead = Link("dead", bandwidth_bps=1e6, available_hours_per_day=0.0)
+        decisions = plan_uplink(
+            [DataClass("empty", bytes_per_day=0.0, realtime_required=True)],
+            realtime=dead,
+        )
+        assert decisions[0].fits
+        assert decisions[0].fraction_of_link == 0.0
 
 
 class TestMapGeneration:

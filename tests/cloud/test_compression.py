@@ -74,6 +74,32 @@ class TestFrameCodec:
             decompress_frame(compress_frame(frame)), frame
         )
 
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(
+            st.integers(0, 255), min_size=1, max_size=96
+        ),
+        width=st.integers(1, 12),
+    )
+    def test_lossless_on_arbitrary_frames(self, data, width):
+        # Bit-identical round trip on *arbitrary* 8-bit content, not just
+        # seeded noise: hypothesis owns the pixel values and the shape.
+        height = max(1, len(data) // width)
+        frame = np.array(
+            (data * (height * width))[: height * width], dtype=np.uint8
+        ).reshape(height, width)
+        np.testing.assert_array_equal(
+            decompress_frame(compress_frame(frame)), frame
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(fill=st.integers(0, 255), h=st.integers(1, 32), w=st.integers(1, 32))
+    def test_constant_frames_roundtrip_any_shape(self, fill, h, w):
+        frame = np.full((h, w), fill, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            decompress_frame(compress_frame(frame)), frame
+        )
+
     def test_rejects_non_2d(self):
         with pytest.raises(ValueError):
             compress_frame(np.zeros((4, 4, 3)))
@@ -116,6 +142,31 @@ class TestCondensedLog:
     def test_log_without_latency_samples(self):
         log = condense_log(OperationsLog(), LatencyStats())
         assert "latency" not in log.to_dict()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ticks=st.integers(0, 10**7),
+        overrides=st.integers(0, 10**5),
+        distance=st.floats(0.0, 1e6, allow_nan=False),
+        energy=st.floats(0.0, 1e9, allow_nan=False),
+        n_samples=st.integers(0, 300),
+    )
+    def test_condensed_size_bound_holds_generally(
+        self, ticks, overrides, distance, energy, n_samples
+    ):
+        # The "few KB" claim must hold across the whole input envelope,
+        # not just the hand-written fixture.
+        ops = OperationsLog(
+            control_ticks=ticks,
+            reactive_overrides=overrides,
+            distance_m=distance,
+            energy_j=energy,
+        )
+        latency = LatencyStats()
+        for i in range(n_samples):
+            latency.record(0.1 + (i % 37) * 1e-3, {"sensing": 0.07})
+        log = condense_log(ops, latency)
+        assert 0 < log.size_bytes < 4 * KB
 
     def test_hourly_uplink_fits_comfortably(self):
         # One log per hour over cellular: a rounding error of the link.

@@ -1,0 +1,237 @@
+"""Tests for the ingestion service and telemetry session (repro.cloud)."""
+
+import pytest
+
+from repro.cloud.client import (
+    METRICS,
+    REALTIME_OPS,
+    ResilientUplinkClient,
+    UplinkEnvelope,
+)
+from repro.cloud.ingestion import (
+    IngestCampaignConfig,
+    IngestionService,
+    RetentionPolicy,
+    TelemetrySession,
+    run_ingest_campaign,
+    vehicle_seed,
+)
+from repro.cloud.network import (
+    LinkFaultProfile,
+    LinkPartitionFault,
+    LossyLink,
+    PacketDropFault,
+)
+from repro.robustness.faults import FaultWindow
+
+
+def envelope(sequence=0, log_class=REALTIME_OPS, created_s=0.0):
+    return UplinkEnvelope(
+        vehicle_id="v0",
+        sequence=sequence,
+        log_class=log_class,
+        payload=b"payload",
+        created_s=created_s,
+    )
+
+
+class TestIngestionService:
+    def test_first_delivery_is_stored_and_acked(self):
+        service = IngestionService()
+        key = service.ingest(envelope().to_wire(), 1.0)
+        assert key == "v0/realtime_ops/0"
+        assert service.delivered == 1
+        assert service.stored_keys() == (key,)
+        assert service.pending_ack_count == 1
+
+    def test_duplicates_reacked_never_restored(self):
+        service = IngestionService()
+        wire = envelope().to_wire()
+        service.ingest(wire, 1.0)
+        key = service.ingest(wire, 2.0)
+        assert key == "v0/realtime_ops/0"
+        assert service.delivered == 1
+        assert service.duplicated == 1
+        assert len(service.stored_keys()) == 1
+        # Both arrivals got an ack: the first ack may have been lost.
+        assert service.pending_ack_count == 2
+
+    def test_corrupted_blob_dead_letters_without_ack(self):
+        service = IngestionService()
+        wire = bytearray(envelope().to_wire())
+        wire[-1] ^= 0xFF
+        key = service.ingest(bytes(wire), 1.0)
+        assert key is None
+        assert service.corrupted == 1
+        assert len(service.dead_letters) == 1
+        assert service.dead_letters[0].reason == "checksum mismatch"
+        assert service.pending_ack_count == 0  # no ack -> client retries
+
+    def test_ack_batching_by_count_and_interval(self):
+        service = IngestionService(ack_batch=3, ack_interval_s=10.0)
+        service.ingest(envelope(sequence=0).to_wire(), 1.0)
+        assert not service.ack_due(1.0)
+        service.ingest(envelope(sequence=1).to_wire(), 2.0)
+        service.ingest(envelope(sequence=2).to_wire(), 3.0)
+        assert service.ack_due(3.0)  # batch filled
+        acks = service.flush_acks(3.0)
+        assert [a.key for a in acks] == [
+            "v0/realtime_ops/0",
+            "v0/realtime_ops/1",
+            "v0/realtime_ops/2",
+        ]
+        # Interval path: one straggler flushes once it ages past the bar.
+        service.ingest(envelope(sequence=3).to_wire(), 4.0)
+        assert not service.ack_due(5.0)
+        assert service.ack_due(14.0)
+
+    def test_retention_evicts_oldest_beyond_count(self):
+        service = IngestionService(
+            retention=RetentionPolicy(max_logs_per_vehicle=2)
+        )
+        for i in range(4):
+            service.ingest(envelope(sequence=i).to_wire(), float(i))
+        assert service.retention_evicted == 2
+        assert service.stored_keys() == (
+            "v0/realtime_ops/2",
+            "v0/realtime_ops/3",
+        )
+
+    def test_retention_evicts_by_age(self):
+        service = IngestionService(
+            retention=RetentionPolicy(max_age_s=100.0)
+        )
+        service.ingest(envelope(sequence=0).to_wire(), 0.0)
+        service.ingest(envelope(sequence=1).to_wire(), 200.0)
+        assert service.retention_evicted == 1
+        assert service.stored_keys() == ("v0/realtime_ops/1",)
+
+    def test_report_counts_fold_the_event_stream(self):
+        service = IngestionService()
+        wire = envelope(created_s=0.0).to_wire()
+        service.ingest(wire, 0.5)
+        service.ingest(wire, 1.0)
+        report = service.report()
+        assert report.delivered == 1
+        assert report.duplicated == 1
+        assert report.delivered_by_class == {REALTIME_OPS: 1}
+        assert report.ingest_p50_s == pytest.approx(0.5)
+        assert report.as_dict()["delivered_realtime_ops"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IngestionService(ack_batch=0)
+        with pytest.raises(ValueError):
+            RetentionPolicy(max_logs_per_vehicle=0)
+
+
+def run_session(profile, n_logs=4, n_metrics=2, until_s=600.0, seed=0):
+    service = IngestionService()
+    client = ResilientUplinkClient("v0", seed=seed)
+    session = TelemetrySession(client, LossyLink(profile, seed=seed), service)
+    for i in range(n_logs):
+        session.schedule_submission(b"log%d" % i, REALTIME_OPS, 10.0 * i)
+    for i in range(n_metrics):
+        session.schedule_submission(b"m%d" % i, METRICS, 5.0 + 10.0 * i)
+    report = session.run(until_s)
+    return service, client, report
+
+
+class TestTelemetrySession:
+    def test_clean_link_delivers_everything(self):
+        service, _, report = run_session(None)
+        assert report.acked_by_class == {REALTIME_OPS: 4, METRICS: 2}
+        assert report.pending_by_class == {}
+        assert service.delivered == 6
+        assert service.duplicated == 0
+
+    def test_drop_burst_retries_until_delivered(self):
+        profile = LinkFaultProfile(
+            name="drops",
+            faults=(PacketDropFault(0.8, FaultWindow(0.0, 60.0)),),
+        )
+        service, client, report = run_session(profile)
+        assert report.acked_by_class.get(REALTIME_OPS, 0) == 4
+        assert report.attempts > 6  # the drops cost retries
+        assert service.stored_keys(REALTIME_OPS) == tuple(
+            f"v0/realtime_ops/{e}" for e in sorted(
+                int(k.rsplit("/", 1)[1])
+                for k in service.stored_keys(REALTIME_OPS)
+            )
+        )
+
+    def test_partition_trips_breaker_then_recovers(self):
+        profile = LinkFaultProfile(
+            name="hole",
+            faults=(LinkPartitionFault(FaultWindow(0.0, 120.0)),),
+        )
+        service, client, report = run_session(profile, until_s=1000.0)
+        assert report.breaker_trips >= 1
+        assert report.spooled >= 1  # store-and-forward engaged
+        # After the hole ends everything still lands: zero realtime loss.
+        assert report.acked_by_class.get(REALTIME_OPS, 0) == 4
+        assert service.delivered == 6
+
+    def test_unending_partition_preserves_realtime_pending(self):
+        profile = LinkFaultProfile(
+            name="forever",
+            faults=(LinkPartitionFault(FaultWindow(0.0, 1e9)),),
+        )
+        service, client, report = run_session(profile, until_s=500.0)
+        assert service.delivered == 0
+        submitted = set(report.submitted_realtime_keys)
+        pending = set(report.pending_realtime_keys)
+        assert submitted == pending  # preserved client-side, never lost
+        assert report.pending_by_class[REALTIME_OPS] == 4
+
+    def test_session_is_deterministic(self):
+        profile = LinkFaultProfile(
+            name="drops",
+            faults=(PacketDropFault(0.5, FaultWindow(0.0, 100.0)),),
+        )
+        _, _, a = run_session(profile, seed=4)
+        _, _, b = run_session(profile, seed=4)
+        assert a.as_dict() == b.as_dict()
+
+
+class TestIngestCampaign:
+    def test_small_campaign_holds_the_guarantee(self):
+        config = IngestCampaignConfig(
+            n_vehicles=2, logs_per_vehicle=3, metrics_per_vehicle=2, seed=1
+        )
+        result = run_ingest_campaign(config)
+        assert result.realtime_submitted == 6
+        assert result.realtime_lost == 0
+        assert result.post_dedup_duplicates == 0
+        assert result.realtime_delivery_rate + (
+            result.realtime_preserved / result.realtime_submitted
+        ) >= 1.0
+
+    def test_campaign_is_bit_identical_per_seed(self):
+        config = IngestCampaignConfig(
+            n_vehicles=2, logs_per_vehicle=3, metrics_per_vehicle=0, seed=2
+        )
+        a = run_ingest_campaign(config)
+        b = run_ingest_campaign(config)
+        assert a.report.as_dict() == b.report.as_dict()
+        assert a.stored_keys == b.stored_keys
+        assert [v.client.as_dict() for v in a.vehicles] == [
+            v.client.as_dict() for v in b.vehicles
+        ]
+
+    def test_vehicle_seeds_are_stable_and_distinct(self):
+        seeds = [vehicle_seed(0, i) for i in range(8)]
+        assert len(set(seeds)) == 8
+        assert seeds == [vehicle_seed(0, i) for i in range(8)]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            IngestCampaignConfig(n_vehicles=0)
+        with pytest.raises(ValueError):
+            IngestCampaignConfig(logs_per_vehicle=0)
+        with pytest.raises(ValueError):
+            IngestCampaignConfig(metrics_per_vehicle=-1)
+
+    def test_with_intensity_rescales_space(self):
+        config = IngestCampaignConfig().with_intensity(2.0)
+        assert config.space.intensity == 2.0

@@ -1,0 +1,217 @@
+"""Tests for the seeded lossy-link transport (repro.cloud.network)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.network import (
+    CLEAN_PROFILE,
+    DEFAULT_LINK_KIND_WEIGHTS,
+    LINK_FAULT_KINDS,
+    LinkFaultProfile,
+    LinkLatencyFault,
+    LinkPartitionFault,
+    LossyLink,
+    NetworkFaultSpace,
+    PacketDropFault,
+    PacketDuplicateFault,
+    PayloadCorruptFault,
+    payload_checksum,
+    sample_cell_faults,
+)
+from repro.robustness.chaos import FaultSpace, scenario_for_drive
+from repro.robustness.faults import FaultWindow
+
+
+def window(start=0.0, end=100.0):
+    return FaultWindow(start, end)
+
+
+class TestFaultVocabulary:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            PacketDropFault(drop_prob=1.5, window=window())
+        with pytest.raises(ValueError):
+            PacketDuplicateFault(dup_prob=-0.1, window=window())
+        with pytest.raises(ValueError):
+            PayloadCorruptFault(corrupt_prob=2.0, window=window())
+        with pytest.raises(ValueError):
+            LinkLatencyFault(spike_s=-1.0, spike_prob=0.5, window=window())
+
+    def test_profile_kind_queries(self):
+        profile = LinkFaultProfile(
+            name="mix",
+            faults=(
+                PacketDropFault(0.5, window(0, 10)),
+                LinkPartitionFault(window(20, 30)),
+            ),
+        )
+        assert profile.kinds == ["net_drop", "net_partition"]
+        assert len(profile.of_kind("net_drop")) == 1
+        assert profile.active("net_drop", 5.0)
+        assert not profile.active("net_drop", 15.0)
+        assert profile.last_window_end_s == 30.0
+
+    def test_empty_profile(self):
+        assert CLEAN_PROFILE.kinds == []
+        assert CLEAN_PROFILE.last_window_end_s == 0.0
+
+    def test_profile_needs_a_name(self):
+        with pytest.raises(ValueError):
+            LinkFaultProfile(name="")
+
+
+class TestNetworkFaultSpace:
+    def test_sampling_is_deterministic(self):
+        space = NetworkFaultSpace()
+        a = space.sample_profile(np.random.default_rng(7), name="p")
+        b = space.sample_profile(np.random.default_rng(7), name="p")
+        assert a == b
+
+    def test_profiles_stay_in_vocabulary(self):
+        space = NetworkFaultSpace()
+        for i in range(20):
+            profile = space.sample_profile(
+                np.random.default_rng(i), name=f"p{i}"
+            )
+            lo, hi = space.faults_per_profile
+            assert lo <= len(profile.faults) <= hi
+            assert set(profile.kinds) <= set(LINK_FAULT_KINDS)
+
+    def test_intensity_scales_dwell(self):
+        base = NetworkFaultSpace(
+            kind_weights=(("net_partition", 1.0),),
+            faults_per_profile=(1, 1),
+        )
+        hot = base.with_intensity(3.0)
+        p1 = base.sample_profile(np.random.default_rng(3), name="p")
+        p3 = hot.sample_profile(np.random.default_rng(3), name="p")
+        dwell1 = p1.faults[0].window.end_s - p1.faults[0].window.start_s
+        dwell3 = p3.faults[0].window.end_s - p3.faults[0].window.start_s
+        assert dwell3 == pytest.approx(3.0 * dwell1)
+
+    def test_intensity_clamps_probabilities(self):
+        space = NetworkFaultSpace(
+            kind_weights=(("net_drop", 1.0),),
+            faults_per_profile=(1, 1),
+        ).with_intensity(50.0)
+        profile = space.sample_profile(np.random.default_rng(0), name="p")
+        assert profile.faults[0].drop_prob == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkFaultSpace(intensity=0.0)
+        with pytest.raises(ValueError):
+            NetworkFaultSpace(kind_weights=())
+        with pytest.raises(ValueError):
+            NetworkFaultSpace(kind_weights=(("net_warp", 1.0),))
+
+    def test_cell_sampling_composes_without_perturbing_chaos(self):
+        # Adding network faults to a campaign cell must leave the chaos
+        # engine's sampled drive scenario bit-identical.
+        scenario_alone = scenario_for_drive(FaultSpace(), 11, 4)
+        scenario, profile = sample_cell_faults(11, 4)
+        assert scenario == scenario_alone
+        assert profile.name == "net-11-4"
+        # And the network draw itself is reproducible.
+        _, profile_again = sample_cell_faults(11, 4)
+        assert profile == profile_again
+
+    def test_default_weights_cover_every_kind(self):
+        assert {k for k, _ in DEFAULT_LINK_KIND_WEIGHTS} == set(
+            LINK_FAULT_KINDS
+        )
+
+
+class TestLossyLink:
+    def test_clean_link_delivers_exactly_once(self):
+        link = LossyLink(seed=0)
+        result = link.transmit(b"hello", 1.0)
+        assert result.delivered
+        assert len(result.deliveries) == 1
+        delivery = result.deliveries[0]
+        assert delivery.payload == b"hello"
+        assert not delivery.corrupted
+        assert delivery.arrival_s > 1.0
+
+    def test_same_seed_same_channel(self):
+        profile = LinkFaultProfile(
+            name="drops", faults=(PacketDropFault(0.5, window(0, 1000)),)
+        )
+        a = LossyLink(profile, seed=3)
+        b = LossyLink(profile, seed=3)
+        outcomes_a = [a.transmit(b"x", t).delivered for t in range(100)]
+        outcomes_b = [b.transmit(b"x", t).delivered for t in range(100)]
+        assert outcomes_a == outcomes_b
+        assert a.counters == b.counters
+
+    def test_certain_drop_loses_everything(self):
+        profile = LinkFaultProfile(
+            name="dead", faults=(PacketDropFault(1.0, window(0, 10)),)
+        )
+        link = LossyLink(profile, seed=0)
+        result = link.transmit(b"x", 5.0)
+        assert not result.delivered
+        assert result.lost_reason == "dropped"
+        # Outside the window the link is clean again.
+        assert link.transmit(b"x", 50.0).delivered
+
+    def test_partition_blocks_both_directions(self):
+        profile = LinkFaultProfile(
+            name="hole", faults=(LinkPartitionFault(window(10, 20)),)
+        )
+        link = LossyLink(profile, seed=0)
+        assert link.partitioned(15.0)
+        assert link.next_partition_end_s(15.0) == 20.0
+        assert link.transmit(b"x", 15.0).lost_reason == "partition"
+        assert link.transmit_ack(15.0) is None
+        assert not link.partitioned(25.0)
+        assert link.transmit_ack(25.0) is not None
+
+    def test_certain_duplicate_delivers_twice(self):
+        profile = LinkFaultProfile(
+            name="dup", faults=(PacketDuplicateFault(1.0, window(0, 10)),)
+        )
+        link = LossyLink(profile, seed=0)
+        result = link.transmit(b"x", 5.0)
+        assert len(result.deliveries) == 2
+        assert not result.deliveries[0].duplicate
+        assert result.deliveries[1].duplicate
+        assert result.deliveries[1].payload == b"x"
+
+    def test_corruption_is_checksum_detectable(self):
+        profile = LinkFaultProfile(
+            name="noise", faults=(PayloadCorruptFault(1.0, window(0, 10)),)
+        )
+        link = LossyLink(profile, seed=0)
+        payload = b"a realistic payload body"
+        result = link.transmit(payload, 5.0)
+        delivery = result.deliveries[0]
+        assert delivery.corrupted
+        assert delivery.payload != payload
+        assert len(delivery.payload) == len(payload)
+        assert payload_checksum(delivery.payload) != payload_checksum(payload)
+
+    def test_latency_spike_delays_arrival(self):
+        profile = LinkFaultProfile(
+            name="slow",
+            faults=(LinkLatencyFault(5.0, 1.0, window(0, 10)),),
+        )
+        link = LossyLink(profile, seed=0, base_latency_s=0.1, jitter_s=0.0)
+        spiked = link.transmit(b"x", 5.0).deliveries[0]
+        clean = link.transmit(b"x", 50.0).deliveries[0]
+        assert spiked.arrival_s - 5.0 == pytest.approx(5.1)
+        assert clean.arrival_s - 50.0 == pytest.approx(0.1)
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            LossyLink().transmit("text", 0.0)
+
+    def test_counters_accumulate(self):
+        profile = LinkFaultProfile(
+            name="dead", faults=(PacketDropFault(1.0, window(0, 10)),)
+        )
+        link = LossyLink(profile, seed=0)
+        for t in (1.0, 2.0, 3.0):
+            link.transmit(b"x", t)
+        assert link.counters["attempts"] == 3
+        assert link.counters["dropped"] == 3

@@ -1,0 +1,250 @@
+"""Tests for the resilient uplink client (repro.cloud.client)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.client import (
+    CLOSED,
+    HALF_OPEN,
+    METRICS,
+    OPEN,
+    REALTIME_OPS,
+    CircuitBreaker,
+    ResilientUplinkClient,
+    RetryPolicy,
+    UplinkEnvelope,
+    UplinkQueue,
+    WireDecodeError,
+)
+
+
+def envelope(sequence=0, log_class=REALTIME_OPS, payload=b"payload"):
+    return UplinkEnvelope(
+        vehicle_id="v0",
+        sequence=sequence,
+        log_class=log_class,
+        payload=payload,
+        created_s=0.0,
+    )
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        original = envelope(sequence=7, payload=b"\x00\xffbinary ok")
+        decoded = UplinkEnvelope.from_wire(original.to_wire())
+        assert decoded == original
+        assert decoded.idempotency_key == "v0/realtime_ops/7"
+
+    def test_any_flipped_byte_is_detected(self):
+        wire = envelope().to_wire()
+        for position in range(len(wire)):
+            mutated = bytearray(wire)
+            mutated[position] ^= 0x5A
+            with pytest.raises(WireDecodeError):
+                UplinkEnvelope.from_wire(bytes(mutated))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(WireDecodeError):
+            UplinkEnvelope.from_wire(b"\x00\x01")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            envelope(log_class="gossip")
+
+    def test_realtime_flag(self):
+        assert envelope().realtime
+        assert not envelope(log_class=METRICS).realtime
+
+
+class TestUplinkQueue:
+    def test_fifo_order(self):
+        queue = UplinkQueue(capacity=4)
+        for i in range(3):
+            queue.push(envelope(sequence=i))
+        assert queue.pop().sequence == 0
+        assert queue.pop().sequence == 1
+
+    def test_full_queue_sheds_oldest_non_realtime(self):
+        queue = UplinkQueue(capacity=2)
+        queue.push(envelope(sequence=0, log_class=METRICS))
+        queue.push(envelope(sequence=1))
+        assert queue.push(envelope(sequence=2))
+        assert [e.sequence for e in queue.peek_all()] == [1, 2]
+        assert queue.shed_by_class == {METRICS: 1}
+
+    def test_non_realtime_rejected_when_only_realtime_queued(self):
+        queue = UplinkQueue(capacity=2)
+        queue.push(envelope(sequence=0))
+        queue.push(envelope(sequence=1))
+        assert not queue.push(envelope(sequence=2, log_class=METRICS))
+        assert len(queue) == 2
+        assert queue.shed_by_class == {METRICS: 1}
+
+    def test_realtime_always_admissible(self):
+        # An all-realtime queue grows past its bound rather than refuse
+        # the one class the paper guarantees.
+        queue = UplinkQueue(capacity=2)
+        for i in range(4):
+            assert queue.push(envelope(sequence=i))
+        assert len(queue) == 4
+        assert queue.total_shed == 0
+
+    def test_push_front_keeps_retry_turn(self):
+        queue = UplinkQueue(capacity=4)
+        queue.push(envelope(sequence=1))
+        queue.push_front(envelope(sequence=0))
+        assert queue.pop().sequence == 0
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff_s=2.0,
+            backoff_factor=2.0,
+            max_backoff_s=10.0,
+            jitter_frac=0.0,
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff_s(a, rng) for a in (1, 2, 3, 4, 5)]
+        assert delays == [2.0, 4.0, 8.0, 10.0, 10.0]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(jitter_frac=0.25)
+        a = [policy.backoff_s(1, np.random.default_rng(5)) for _ in range(1)]
+        b = [policy.backoff_s(1, np.random.default_rng(5)) for _ in range(1)]
+        assert a == b
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            delay = policy.backoff_s(1, rng)
+            assert 1.5 <= delay <= 2.5
+
+    def test_zero_jitter_consumes_no_randomness(self):
+        policy = RetryPolicy(jitter_frac=0.0)
+        rng = np.random.default_rng(9)
+        policy.backoff_s(1, rng)
+        untouched = np.random.default_rng(9)
+        assert rng.random() == untouched.random()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_frac=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0, np.random.default_rng(0))
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=30.0)
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == CLOSED
+        breaker.record_failure(3.0)
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(10.0)
+
+    def test_probe_admitted_at_exact_retry_instant(self):
+        # Regression guard: retry_at_s() and allow() must agree at the
+        # exact returned float, or a probe scheduled for that instant
+        # spins forever (seen with opened_at values where the naive
+        # ``now - opened >= cooldown`` rounds the wrong way).
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=30.0)
+        breaker.record_failure(234.69810342751738)
+        retry_at = breaker.retry_at_s(240.0)
+        assert breaker.allow(retry_at)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)  # the probe
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        breaker.record_failure(10.0)
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert breaker.retry_at_s(11.0) == 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=0.0)
+
+
+class TestResilientUplinkClient:
+    def test_submit_frames_and_enqueues(self):
+        client = ResilientUplinkClient("v7", seed=0)
+        env = client.submit(b"log", REALTIME_OPS, 1.0)
+        assert env.vehicle_id == "v7"
+        assert env.sequence == 0
+        assert client.submit(b"log2", REALTIME_OPS, 2.0).sequence == 1
+        assert len(client.queue) == 2
+        assert client.report.submitted_by_class == {REALTIME_OPS: 2}
+        assert client.report.submitted_realtime_keys == (
+            "v7/realtime_ops/0",
+            "v7/realtime_ops/1",
+        )
+
+    def test_realtime_never_gives_up(self):
+        client = ResilientUplinkClient("v0", seed=0)
+        env = envelope()
+        assert not client.give_up(env, attempt=10_000)
+        metrics_env = envelope(log_class=METRICS)
+        assert client.give_up(
+            metrics_env, client.policy.max_attempts_non_realtime
+        )
+
+    def test_spool_and_drain_round_trip(self):
+        client = ResilientUplinkClient("v0", seed=0)
+        env = client.submit(b"log", REALTIME_OPS, 0.0)
+        client.queue.pop()
+        client.spool(env)
+        assert client.spooled_envelopes == (env,)
+        assert client.storage.used_bytes == len(env.to_wire())
+        assert client.drain_spool() == 1
+        assert client.spooled_envelopes == ()
+        assert len(client.queue) == 1
+        assert client.report.spooled == 1
+        assert client.report.spool_drained == 1
+
+    def test_pop_spooled_is_fifo(self):
+        client = ResilientUplinkClient("v0", seed=0)
+        first, second = envelope(sequence=0), envelope(sequence=1)
+        client.spool(first)
+        client.spool(second)
+        assert client.pop_spooled() is first
+        assert client.pop_spooled() is second
+        assert client.pop_spooled() is None
+
+    def test_finalize_counts_pending_and_keys(self):
+        client = ResilientUplinkClient("v0", seed=0)
+        client.submit(b"a", REALTIME_OPS, 0.0)
+        spooled = client.submit(b"b", REALTIME_OPS, 1.0)
+        client.submit(b"c", METRICS, 2.0)
+        # Move one realtime envelope to the spool by hand.
+        queue_entries = [e for e in client.queue.peek_all()]
+        client.queue._entries.remove(spooled)
+        client.spool(spooled)
+        report = client.finalize()
+        assert report.pending_by_class == {REALTIME_OPS: 2, METRICS: 1}
+        assert set(report.pending_realtime_keys) == {
+            "v0/realtime_ops/0",
+            "v0/realtime_ops/1",
+        }
+        assert len(queue_entries) == 3
+
+    def test_backoff_stream_is_per_vehicle(self):
+        a = ResilientUplinkClient("v0", seed=0)
+        b = ResilientUplinkClient("v1", seed=0)
+        same = ResilientUplinkClient("v0", seed=0)
+        assert a.backoff_s(1) != b.backoff_s(1)
+        assert ResilientUplinkClient("v0", seed=0).backoff_s(1) == same.backoff_s(1)

@@ -1,4 +1,4 @@
-"""Tests for the multi-workload bench gate (chaos + scheduler arms)."""
+"""Tests for the multi-workload bench gate (chaos/scheduler/ingest arms)."""
 
 import json
 
@@ -13,6 +13,7 @@ from repro.observability.regression import (
     load_snapshot,
     run_workload,
     snapshot_chaos,
+    snapshot_ingest,
     snapshot_scheduler,
     write_snapshot,
 )
@@ -20,6 +21,8 @@ from repro.observability.regression import (
 #: Small workload shapes keeping the module fast while still seeded.
 N_DRIVES = 4
 N_FRAMES = 80
+N_VEHICLES = 3
+N_LOGS = 4
 
 WALL_KEYS = ("wall_s_total", "wall_s_per_drive", "wall_us_per_frame")
 
@@ -106,6 +109,77 @@ class TestSchedulerWorkload:
             workload="scheduler",
         )
         assert gate_against_baseline(scheduler_snapshot, current=current).ok
+
+
+class TestIngestWorkload:
+    @pytest.fixture(scope="class")
+    def ingest_snapshot(self):
+        return snapshot_ingest(
+            seed=0, n_vehicles=N_VEHICLES, logs_per_vehicle=N_LOGS
+        )
+
+    def test_shape_and_tagging(self, ingest_snapshot):
+        metrics = ingest_snapshot.metrics
+        assert ingest_snapshot.workload == "ingest"
+        assert ingest_snapshot.params["n_vehicles"] == float(N_VEHICLES)
+        assert metrics["n_logs"] == float(N_VEHICLES * N_LOGS)
+        assert metrics["realtime_delivery_rate"] == 1.0
+        assert metrics["realtime_lost"] == 0.0
+        assert metrics["post_dedup_duplicates"] == 0.0
+        assert metrics["throughput_logs_per_s"] > 0
+        assert metrics["ingest_p50_s"] <= metrics["ingest_p99_s"]
+
+    def test_deterministic_per_seed(self, ingest_snapshot):
+        again = snapshot_ingest(
+            seed=0, n_vehicles=N_VEHICLES, logs_per_vehicle=N_LOGS
+        )
+        assert gated_view(again) == gated_view(ingest_snapshot)
+
+    def test_self_gate_passes(self, ingest_snapshot):
+        report = gate_against_baseline(ingest_snapshot)
+        assert report.ok, report.format_report()
+
+    def test_run_workload_respects_params(self, ingest_snapshot):
+        rerun = run_workload(ingest_snapshot)
+        assert rerun.workload == "ingest"
+        assert rerun.metrics["n_logs"] == float(N_VEHICLES * N_LOGS)
+
+    def test_delivery_rate_dip_fails_the_gate(self, ingest_snapshot):
+        worse = dict(ingest_snapshot.metrics)
+        worse["realtime_delivery_rate"] = 0.99  # zero downward tolerance
+        current = BenchmarkSnapshot(
+            name=ingest_snapshot.name,
+            seed=ingest_snapshot.seed,
+            duration_s=ingest_snapshot.duration_s,
+            metrics=worse,
+            workload="ingest",
+        )
+        report = gate_against_baseline(ingest_snapshot, current=current)
+        assert not report.ok
+        regressed = [f.metric for f in report.findings if f.regressed]
+        assert regressed == ["realtime_delivery_rate"]
+
+    def test_any_post_dedup_duplicate_fails_the_gate(self, ingest_snapshot):
+        worse = dict(ingest_snapshot.metrics)
+        worse["post_dedup_duplicates"] = 1.0
+        current = BenchmarkSnapshot(
+            name=ingest_snapshot.name,
+            seed=ingest_snapshot.seed,
+            duration_s=ingest_snapshot.duration_s,
+            metrics=worse,
+            workload="ingest",
+        )
+        report = gate_against_baseline(ingest_snapshot, current=current)
+        regressed = [f.metric for f in report.findings if f.regressed]
+        assert regressed == ["post_dedup_duplicates"]
+
+    def test_fleet_size_change_is_a_shape_problem(self, ingest_snapshot):
+        other = dict(ingest_snapshot.metrics)
+        other["n_logs"] = float(N_VEHICLES * N_LOGS + 1)
+        _f, problems = gate_metrics(
+            ingest_snapshot.metrics, other, WORKLOAD_TOLERANCES["ingest"]
+        )
+        assert any("n_logs" in p for p in problems)
 
 
 class TestDirectionAwareGate:
@@ -252,6 +326,31 @@ class TestCli:
         code = bench_gate_main(["check", "--baseline", baseline])
         assert code == 0
         assert "collision_rate" in capsys.readouterr().out
+
+    def test_snapshot_and_check_ingest(self, tmp_path, capsys):
+        baseline = str(tmp_path / "BENCH_ing.json")
+        code = bench_gate_main(
+            [
+                "snapshot",
+                "--workload",
+                "ingest",
+                "--name",
+                "ing",
+                "--vehicles",
+                str(N_VEHICLES),
+                "--logs",
+                str(N_LOGS),
+                "--out",
+                baseline,
+            ]
+        )
+        assert code == 0
+        assert "workload: ingest" in capsys.readouterr().out
+        code = bench_gate_main(["check", "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "realtime_delivery_rate" in out
 
     def test_trace_rejected_for_non_closedloop(self, tmp_path, capsys):
         baseline = str(tmp_path / "BENCH_ch2.json")
