@@ -29,6 +29,11 @@ The library is organized as the paper is:
   fault injection, heartbeat/watchdog health monitoring with an MTTR
   restart model, and the graceful-degradation supervisor.
 * :mod:`repro.cloud` — Fig. 1 offline services: maps, training, uplink.
+* :mod:`repro.fleetops` — the fleet-scale campaign engine: a supervised
+  multi-process worker pool (heartbeats, retries, straggler speculation,
+  serial degradation) with a crash-consistent checkpoint journal,
+  executing chaos/invariant/drill cells bit-identically to the serial
+  paths.
 * :mod:`repro.observability` — per-frame span tracing (Perfetto export),
   a metrics registry with streaming percentiles, Eq. 1 deadline-miss
   attribution, and the ``bench-gate`` perf-regression gate over the
@@ -51,6 +56,7 @@ __version__ = "1.0.0"
 from . import (
     cloud,
     core,
+    fleetops,
     hw,
     lidar,
     observability,
@@ -68,6 +74,7 @@ from . import (
 __all__ = [
     "cloud",
     "core",
+    "fleetops",
     "hw",
     "lidar",
     "observability",

@@ -14,6 +14,7 @@ from . import (  # noqa: F401  (imports register the experiments)
     extensions_study,
     codesign_study,
     fault_campaign,
+    fleet_campaign,
     ingest_campaign,
     latency_study,
     lidar_study,

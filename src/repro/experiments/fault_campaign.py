@@ -117,15 +117,41 @@ def radar_blackout_scenario() -> FaultScenario:
     )
 
 
+#: Drill scenarios by name — the registry the fleet engine's
+#: :class:`~repro.fleetops.cells.DrillCell` keys into, so a cell can
+#: name its scenario with a picklable string instead of carrying the
+#: scenario object across a process boundary.
+DRILL_SCENARIOS = {
+    "camera_blackout": camera_blackout_scenario,
+    "can_loss_burst": can_loss_burst_scenario,
+    "perception_outage": perception_outage_scenario,
+    "gps_denial": gps_denial_scenario,
+    "radar_blackout": radar_blackout_scenario,
+}
+
+#: Campaign order (part of the contract — tables and cells index by it).
+DRILL_ORDER = (
+    "camera_blackout",
+    "can_loss_burst",
+    "perception_outage",
+    "gps_denial",
+    "radar_blackout",
+)
+
+
+def drill_scenario(name: str) -> FaultScenario:
+    """Build the named drill scenario (raises ``KeyError`` on unknown)."""
+    try:
+        return DRILL_SCENARIOS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown drill scenario {name!r}; known: {DRILL_ORDER}"
+        ) from None
+
+
 def default_scenarios() -> List[FaultScenario]:
     """The campaign's default sweep (order is part of the contract)."""
-    return [
-        camera_blackout_scenario(),
-        can_loss_burst_scenario(),
-        perception_outage_scenario(),
-        gps_denial_scenario(),
-        radar_blackout_scenario(),
-    ]
+    return [DRILL_SCENARIOS[name]() for name in DRILL_ORDER]
 
 
 #: Scenarios expected to collide when the safety net is disabled.

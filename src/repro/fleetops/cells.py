@@ -1,0 +1,339 @@
+"""The campaign cell: one pure, picklable unit of fleet work.
+
+Every campaign the repo runs — chaos sweeps
+(:func:`repro.robustness.chaos.run_chaos_campaign`), the corridor
+invariant matrix (:func:`repro.testing.invariants.run_invariant_matrix`),
+and the fault-drill ablation
+(:func:`repro.experiments.fault_campaign.run_campaign`) — decomposes into
+``scenario x seed x fault`` cells.  This module gives those cells one
+shared entry point:
+
+* :class:`CellSpec` names a cell completely: its kind, its position in
+  campaign order, and a frozen kind-specific payload.  Specs are small,
+  hashable, and picklable, so they cross process boundaries and key the
+  campaign journal.
+* :func:`run_cell` executes a spec and returns a :class:`CellResult`.
+  It is a *pure function of the spec*: all randomness derives from seeds
+  the spec carries, so a cell produces a bit-identical result whether it
+  runs in-process, in a worker four retries deep, or speculatively on
+  two workers at once.  That purity is the whole determinism contract of
+  the fleet engine — first result wins and nothing is lost by
+  discarding duplicates.
+
+The serial campaign paths run the very same function (see
+:func:`repro.robustness.chaos.run_chaos_campaign`), which is what makes
+"fleet results bit-identical to serial" a structural property instead of
+a test hope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: The cell kinds :func:`run_cell` can execute.
+CELL_KINDS = ("chaos", "invariant", "drill")
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One drive of a chaos campaign: ``(campaign config, drive index)``."""
+
+    config: "object"  # repro.robustness.chaos.ChaosConfig
+    drive_index: int
+
+    @property
+    def cell_id(self) -> str:
+        arm = "net" if self.config.safety_net else "raw"
+        corridor = self.config.corridor or "drill-lane"
+        return (
+            f"chaos:{corridor}:{self.config.seed}:"
+            f"{self.drive_index}:{arm}"
+        )
+
+
+@dataclass(frozen=True)
+class InvariantCell:
+    """One corridor invariant-harness cell: ``(scenario name, seed)``."""
+
+    name: str
+    seed: int
+    deadline_budget_s: Optional[float] = None
+
+    @property
+    def cell_id(self) -> str:
+        return f"invariant:{self.name}:{self.seed}"
+
+
+@dataclass(frozen=True)
+class DrillCell:
+    """One fault-campaign drill: a named scenario with or without the net."""
+
+    scenario: str
+    safety_net: bool = True
+    seed: int = 0
+
+    @property
+    def cell_id(self) -> str:
+        arm = "net" if self.safety_net else "raw"
+        return f"drill:{self.scenario}:{arm}:{self.seed}"
+
+
+CellPayload = Union[ChaosCell, InvariantCell, DrillCell]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of a campaign, named completely and picklable.
+
+    ``index`` is the cell's position in campaign order — the serial path
+    executes specs in index order, and the fleet path sorts results back
+    into it, so aggregation sees the identical sequence either way.
+    """
+
+    kind: str
+    index: int
+    cell: CellPayload
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ValueError(
+                f"unknown cell kind {self.kind!r}; known: {CELL_KINDS}"
+            )
+        if self.index < 0:
+            raise ValueError("cell index must be non-negative")
+
+    @property
+    def cell_id(self) -> str:
+        """The stable identity key (journal, dedup, speculative merge)."""
+        return self.cell.cell_id
+
+
+@dataclass(frozen=True)
+class DrillRecord:
+    """Compact, picklable outcome of one fault drill."""
+
+    scenario: str
+    safety_net: bool
+    seed: int
+    collided: bool
+    stopped: bool
+    entered_safe_stop: bool
+    final_mode: str
+    min_clearance_m: float
+    reactive_interventions: int
+    restarts: int
+    worst_availability: float
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The outcome of one executed cell.
+
+    ``fingerprint`` is the bit-exact identity of the underlying drive
+    (see :func:`repro.testing.invariants.drive_fingerprint`): two
+    results with equal fingerprints took the same trajectory tick for
+    tick.  ``wall_s`` is machine-dependent and excluded from every
+    determinism comparison.
+    """
+
+    cell_id: str
+    index: int
+    kind: str
+    fingerprint: Tuple
+    summary: Dict[str, float]
+    record: object
+    sim_duration_s: float
+    wall_s: float
+
+    def identity(self) -> Tuple:
+        """The machine-independent view (what bit-identity compares)."""
+        return (self.cell_id, self.index, self.kind, self.fingerprint)
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def _run_chaos_cell(spec: CellSpec) -> CellResult:
+    from ..robustness.chaos import run_chaos_drive
+    from ..testing.invariants import drive_fingerprint
+
+    cell: ChaosCell = spec.cell
+    started = time.perf_counter()
+    record, result = run_chaos_drive(cell.config, cell.drive_index)
+    wall_s = time.perf_counter() - started
+    summary = {
+        "collided": float(record.collided),
+        "stopped": float(record.stopped),
+        "entered_safe_stop": float(record.entered_safe_stop),
+        "min_clearance_m": record.min_clearance_m,
+        "reactive_interventions": float(record.reactive_interventions),
+        "deadline_misses": float(record.deadline_misses),
+    }
+    return CellResult(
+        cell_id=spec.cell_id,
+        index=spec.index,
+        kind=spec.kind,
+        fingerprint=drive_fingerprint(result),
+        summary=summary,
+        record=record,
+        sim_duration_s=cell.config.duration_s,
+        wall_s=wall_s,
+    )
+
+
+def _run_invariant_cell(spec: CellSpec) -> CellResult:
+    from ..testing.invariants import run_invariant_cell
+
+    cell: InvariantCell = spec.cell
+    started = time.perf_counter()
+    outcome = run_invariant_cell(
+        cell.name, cell.seed, deadline_budget_s=cell.deadline_budget_s
+    )
+    wall_s = time.perf_counter() - started
+    summary = {
+        "collided": float(outcome.collided),
+        "entered_safe_stop": float(outcome.entered_safe_stop),
+        "violations": float(len(outcome.violations)),
+        "checks": float(len(outcome.checked)),
+        "deadline_misses": float(outcome.deadline_misses),
+    }
+    return CellResult(
+        cell_id=spec.cell_id,
+        index=spec.index,
+        kind=spec.kind,
+        fingerprint=dataclasses.astuple(outcome),
+        summary=summary,
+        record=outcome,
+        sim_duration_s=0.0,
+        wall_s=wall_s,
+    )
+
+
+def _run_drill_cell(spec: CellSpec) -> CellResult:
+    from ..experiments.fault_campaign import (
+        DRILL_DURATION_S,
+        drill_scenario,
+        run_drill,
+    )
+    from ..testing.invariants import drive_fingerprint
+
+    cell: DrillCell = spec.cell
+    scenario = drill_scenario(cell.scenario)
+    started = time.perf_counter()
+    result = run_drill(scenario, safety_net=cell.safety_net, seed=cell.seed)
+    wall_s = time.perf_counter() - started
+    health = result.health
+    record = DrillRecord(
+        scenario=cell.scenario,
+        safety_net=cell.safety_net,
+        seed=cell.seed,
+        collided=result.collided,
+        stopped=result.stopped,
+        entered_safe_stop=result.entered_safe_stop,
+        final_mode=result.final_mode,
+        min_clearance_m=result.min_obstacle_clearance_m,
+        reactive_interventions=result.ops.reactive_overrides,
+        restarts=0 if health is None else health.total_restarts,
+        worst_availability=(
+            1.0 if health is None else health.worst_availability
+        ),
+    )
+    summary = {
+        "collided": float(record.collided),
+        "stopped": float(record.stopped),
+        "reactive_interventions": float(record.reactive_interventions),
+        "restarts": float(record.restarts),
+    }
+    return CellResult(
+        cell_id=spec.cell_id,
+        index=spec.index,
+        kind=spec.kind,
+        fingerprint=drive_fingerprint(result),
+        summary=summary,
+        record=record,
+        sim_duration_s=DRILL_DURATION_S,
+        wall_s=wall_s,
+    )
+
+
+_RUNNERS = {
+    "chaos": _run_chaos_cell,
+    "invariant": _run_invariant_cell,
+    "drill": _run_drill_cell,
+}
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Execute one cell — the single code path serial and fleet share.
+
+    Pure per spec: every random draw derives from seeds the spec
+    carries, so re-running a spec anywhere reproduces the identical
+    :class:`CellResult` (modulo the informational ``wall_s``).
+    """
+    return _RUNNERS[spec.kind](spec)
+
+
+# -- grid builders -------------------------------------------------------------
+
+
+def chaos_cells(config, start: int = 0) -> Iterator[CellSpec]:
+    """Lazily yield a chaos campaign's cells in drive order.
+
+    This is the generator behind
+    :func:`repro.robustness.chaos.iter_cells`; nothing is materialized,
+    so a million-drive campaign costs nothing to enumerate and the fleet
+    engine streams cells exactly as the serial path does.
+    """
+    for index in range(start, config.n_drives):
+        yield CellSpec(
+            kind="chaos",
+            index=index,
+            cell=ChaosCell(config=config, drive_index=index),
+        )
+
+
+def invariant_cells(
+    names: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (0, 1, 2),
+    start_index: int = 0,
+) -> List[CellSpec]:
+    """The corridor invariant matrix as a flat cell list."""
+    from ..scene.corridors import corridor_names
+
+    specs: List[CellSpec] = []
+    index = start_index
+    for name in names if names is not None else corridor_names():
+        for seed in seeds:
+            specs.append(
+                CellSpec(
+                    kind="invariant",
+                    index=index,
+                    cell=InvariantCell(name=name, seed=seed),
+                )
+            )
+            index += 1
+    return specs
+
+
+def drill_cells(
+    scenarios: Optional[Sequence[str]] = None,
+    safety_net: bool = True,
+    seed: int = 0,
+    start_index: int = 0,
+) -> List[CellSpec]:
+    """The fault-campaign drill sweep as a flat cell list."""
+    from ..experiments.fault_campaign import DRILL_ORDER
+
+    specs: List[CellSpec] = []
+    for offset, name in enumerate(scenarios or DRILL_ORDER):
+        specs.append(
+            CellSpec(
+                kind="drill",
+                index=start_index + offset,
+                cell=DrillCell(scenario=name, safety_net=safety_net, seed=seed),
+            )
+        )
+    return specs

@@ -7,6 +7,7 @@ Usage::
     python -m repro.observability.bench_gate snapshot --workload chaos
     python -m repro.observability.bench_gate snapshot --workload scheduler
     python -m repro.observability.bench_gate snapshot --workload ingest
+    python -m repro.observability.bench_gate snapshot --workload fleet
 
     # CI: re-run the seeded workload named by the baseline, fail on any
     # gated-metric regression, and (closed loop only) export the drive's
@@ -16,6 +17,7 @@ Usage::
     python -m repro.observability.bench_gate check --baseline BENCH_chaos.json
     python -m repro.observability.bench_gate check --baseline BENCH_scheduler.json
     python -m repro.observability.bench_gate check --baseline BENCH_ingest.json
+    python -m repro.observability.bench_gate check --baseline BENCH_fleet.json
 
 ``check`` reads the workload to replay from the baseline snapshot itself
 and exits non-zero when any gated metric regresses beyond its tolerance
@@ -29,6 +31,8 @@ import sys
 
 from .regression import (
     CHAOS_WORKLOAD_DRIVES,
+    FLEET_WORKLOAD_CELLS,
+    FLEET_WORKLOAD_WORKERS,
     INGEST_WORKLOAD_LOGS,
     INGEST_WORKLOAD_VEHICLES,
     SCHEDULER_WORKLOAD_FRAMES,
@@ -37,6 +41,7 @@ from .regression import (
     load_snapshot,
     snapshot_chaos,
     snapshot_closedloop,
+    snapshot_fleet,
     snapshot_ingest,
     snapshot_path,
     snapshot_scheduler,
@@ -94,6 +99,18 @@ def main(argv=None) -> int:
         help="realtime logs per vehicle (ingest workload only)",
     )
     snap.add_argument(
+        "--cells",
+        type=int,
+        default=FLEET_WORKLOAD_CELLS,
+        help="campaign cells (fleet workload only)",
+    )
+    snap.add_argument(
+        "--workers",
+        type=int,
+        default=FLEET_WORKLOAD_WORKERS,
+        help="worker-pool size (fleet workload only)",
+    )
+    snap.add_argument(
         "--out", default=None, help="output path (default BENCH_<name>.json)"
     )
 
@@ -136,6 +153,13 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 n_vehicles=args.vehicles,
                 logs_per_vehicle=args.logs,
+            )
+        elif args.workload == "fleet":
+            snapshot = snapshot_fleet(
+                name=name,
+                seed=args.seed,
+                n_cells=args.cells,
+                n_workers=args.workers,
             )
         else:
             snapshot = snapshot_closedloop(

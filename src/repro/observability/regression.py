@@ -63,6 +63,20 @@ WORKLOAD_TOLERANCES: Dict[str, Dict[str, float]] = {
         "realtime_delivery_rate": 0.0,
         "post_dedup_duplicates": 0.0,
     },
+    # The fleet workload gates the campaign engine's exactly-once
+    # accounting at zero tolerance (a lost or duplicated cell is a
+    # correctness bug, never noise) and the measured envelope exactly,
+    # alongside campaign throughput (downward, generous tolerance —
+    # wall-clock on shared CI is noisy; the correctness gates are the
+    # sharp ones).
+    "fleet": {
+        "cells_per_s": 0.5,
+        "lost_cells": 0.0,
+        "duplicate_cells": 0.0,
+        "failed_cells": 0.0,
+        "collision_rate": 0.0,
+        "deadline_misses": 0.0,
+    },
 }
 
 #: Which way each gated metric regresses.  Default is "upper" (bigger is
@@ -72,6 +86,7 @@ DEFAULT_DIRECTIONS: Dict[str, str] = {
     "throughput_hz": "lower",
     "throughput_logs_per_s": "lower",
     "realtime_delivery_rate": "lower",
+    "cells_per_s": "lower",
 }
 
 #: Workload-shape invariants: when present in both snapshots these must
@@ -82,6 +97,7 @@ SHAPE_INVARIANTS = (
     "n_drives",
     "frames",
     "n_logs",
+    "n_cells",
 )
 
 #: Snapshot format version (bump on incompatible metric renames).
@@ -365,6 +381,80 @@ def snapshot_ingest(
     )
 
 
+#: The fleet workload's campaign shape: enough short drill-lane cells
+#: that worker scheduling genuinely interleaves, small enough to gate
+#: every CI run even with the worker pool running on one core.
+FLEET_WORKLOAD_CELLS = 24
+FLEET_WORKLOAD_WORKERS = 4
+FLEET_WORKLOAD_DURATION_S = 2.0
+
+
+def snapshot_fleet(
+    name: str = "fleet",
+    seed: int = 0,
+    n_cells: int = FLEET_WORKLOAD_CELLS,
+    n_workers: int = FLEET_WORKLOAD_WORKERS,
+) -> BenchmarkSnapshot:
+    """Run the seeded fleet-campaign workload across the worker pool.
+
+    Drives *n_cells* chaos cells through the supervised fleet engine
+    (:mod:`repro.fleetops`) with journaling off (CI gates the resume
+    path separately).  Exactly-once accounting (zero lost, zero
+    duplicated, zero failed cells) and the measured safety envelope are
+    gated at zero tolerance — they are deterministic per seed; campaign
+    throughput in cells/sec gates downward with a generous tolerance.
+    """
+    from ..fleetops.campaign import (
+        FleetCampaignConfig,
+        fleet_summary,
+        run_fleet_campaign,
+    )
+    from ..fleetops.supervisor import FleetConfig
+    from ..robustness.chaos import ChaosConfig
+
+    config = FleetCampaignConfig(
+        chaos=ChaosConfig(
+            n_drives=n_cells,
+            seed=seed,
+            safety_net=True,
+            duration_s=FLEET_WORKLOAD_DURATION_S,
+        ),
+        fleet=FleetConfig(n_workers=n_workers, seed=seed),
+    )
+    result = run_fleet_campaign(config)
+    flat = fleet_summary(result)
+    metrics: Dict[str, float] = {
+        "n_cells": flat["n_cells"],
+        "cells_per_s": flat["cells_per_s"],
+        "lost_cells": flat["lost_cells"],
+        "duplicate_cells": flat["duplicate_cells"],
+        "failed_cells": flat["failed_cells"],
+        "collision_rate": flat["collision_rate"],
+        "safe_stop_rate": flat["safe_stop_rate"],
+        "deadline_misses": flat["deadline_misses"],
+        "retries": flat["retries"],
+        "worker_crashes": flat["worker_crashes"],
+        "degraded_to_serial": flat["degraded_to_serial"],
+        "risk_adjusted_profit_per_day_usd": flat[
+            "risk_adjusted_profit_per_day_usd"
+        ],
+        # Informational only (machine-dependent): never gated.
+        "wall_s_total": flat["wall_s"],
+        "wall_s_per_cell": flat["wall_s"] / max(1, n_cells),
+    }
+    return BenchmarkSnapshot(
+        name=name,
+        seed=seed,
+        duration_s=FLEET_WORKLOAD_DURATION_S,
+        metrics=metrics,
+        workload="fleet",
+        params={
+            "n_cells": float(n_cells),
+            "n_workers": float(n_workers),
+        },
+    )
+
+
 def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
     """Re-run the seeded workload a baseline snapshot describes."""
     if baseline.workload == "closedloop":
@@ -404,6 +494,17 @@ def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
                 baseline.params.get(
                     "metrics_per_vehicle", INGEST_WORKLOAD_METRICS
                 )
+            ),
+        )
+    if baseline.workload == "fleet":
+        return snapshot_fleet(
+            name=baseline.name,
+            seed=baseline.seed,
+            n_cells=int(
+                baseline.params.get("n_cells", FLEET_WORKLOAD_CELLS)
+            ),
+            n_workers=int(
+                baseline.params.get("n_workers", FLEET_WORKLOAD_WORKERS)
             ),
         )
     raise ValueError(f"unknown workload {baseline.workload!r}")

@@ -523,13 +523,34 @@ class ChaosCampaignResult:
     envelope: EnvelopeReport
 
 
+def iter_cells(config: Optional[ChaosConfig] = None, start: int = 0):
+    """Lazily yield the campaign's cells in drive order.
+
+    Each yielded :class:`~repro.fleetops.cells.CellSpec` is small,
+    hashable, and picklable, and executes through the same
+    :func:`~repro.fleetops.cells.run_cell` entry point the serial
+    campaign uses — hand them to a
+    :class:`~repro.fleetops.supervisor.FleetSupervisor` and the fleet
+    result is bit-identical to the serial one.  Nothing is materialized:
+    enumerating a million-drive campaign costs a generator, not a list.
+    """
+    from ..fleetops.cells import chaos_cells
+
+    return chaos_cells(config or ChaosConfig(), start=start)
+
+
 def run_chaos_campaign(config: Optional[ChaosConfig] = None) -> ChaosCampaignResult:
-    """Sweep ``config.n_drives`` sampled scenarios through the SoV."""
+    """Sweep ``config.n_drives`` sampled scenarios through the SoV.
+
+    Serial reference path: executes :func:`iter_cells` one cell at a
+    time through :func:`~repro.fleetops.cells.run_cell` — the identical
+    code path the fleet engine's workers run, which is what makes fleet
+    campaigns bit-identical to this function by construction.
+    """
+    from ..fleetops.cells import run_cell
+
     config = config or ChaosConfig()
-    records = []
-    for index in range(config.n_drives):
-        record, _result = run_chaos_drive(config, index)
-        records.append(record)
+    records = [run_cell(spec).record for spec in iter_cells(config)]
     return ChaosCampaignResult(
         config=config,
         records=records,

@@ -1,0 +1,174 @@
+"""Tests for the campaign cell layer (specs, purity, picklability)."""
+
+import pickle
+import types
+
+import pytest
+
+from repro.experiments.fault_campaign import (
+    DRILL_ORDER,
+    DRILL_SCENARIOS,
+    drill_scenario,
+)
+from repro.fleetops.cells import (
+    CellSpec,
+    ChaosCell,
+    DrillCell,
+    InvariantCell,
+    chaos_cells,
+    drill_cells,
+    invariant_cells,
+    run_cell,
+)
+from repro.robustness.chaos import (
+    ChaosConfig,
+    iter_cells,
+    run_chaos_campaign,
+    run_chaos_drive,
+)
+
+CFG = ChaosConfig(n_drives=3, seed=7, duration_s=2.0)
+
+
+class TestSpecs:
+    def test_cell_ids_are_stable_and_unique(self):
+        specs = list(chaos_cells(CFG))
+        ids = [s.cell_id for s in specs]
+        assert len(set(ids)) == len(ids)
+        assert ids[0] == "chaos:drill-lane:7:0:net"
+
+    def test_corridor_and_arm_in_chaos_id(self):
+        cfg = ChaosConfig(
+            n_drives=1, seed=1, safety_net=False, corridor="slalom"
+        )
+        spec = next(chaos_cells(cfg))
+        assert spec.cell_id == "chaos:slalom:1:0:raw"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            CellSpec(kind="quantum", index=0, cell=DrillCell("gps_denial"))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CellSpec(kind="drill", index=-1, cell=DrillCell("gps_denial"))
+
+    def test_chaos_cells_is_lazy(self):
+        huge = ChaosConfig(n_drives=10**9, seed=0)
+        gen = chaos_cells(huge)
+        assert isinstance(gen, types.GeneratorType)
+        assert next(gen).index == 0
+
+    def test_iter_cells_matches_chaos_cells(self):
+        assert [s.cell_id for s in iter_cells(CFG)] == [
+            s.cell_id for s in chaos_cells(CFG)
+        ]
+
+    def test_invariant_and_drill_grids(self):
+        inv = invariant_cells(names=["cluttered_stop"], seeds=(0, 1))
+        assert [s.cell_id for s in inv] == [
+            "invariant:cluttered_stop:0",
+            "invariant:cluttered_stop:1",
+        ]
+        drills = drill_cells()
+        assert [s.cell.scenario for s in drills] == list(DRILL_ORDER)
+        assert all(s.kind == "drill" for s in drills)
+
+
+class TestDrillRegistry:
+    def test_registry_covers_order(self):
+        assert set(DRILL_SCENARIOS) == set(DRILL_ORDER)
+
+    def test_drill_scenario_builds_named(self):
+        for name in DRILL_ORDER:
+            assert drill_scenario(name).name == name
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown drill scenario"):
+            drill_scenario("meteor_strike")
+
+
+class TestRunCell:
+    def test_chaos_cell_matches_direct_drive(self):
+        spec = next(chaos_cells(CFG))
+        result = run_cell(spec)
+        record, _ = run_chaos_drive(CFG, 0)
+        assert result.record == record
+        assert result.kind == "chaos"
+        assert result.summary["collided"] == float(record.collided)
+
+    def test_purity_same_spec_same_identity(self):
+        spec = list(chaos_cells(CFG))[1]
+        assert run_cell(spec).identity() == run_cell(spec).identity()
+
+    def test_wall_s_excluded_from_identity(self):
+        spec = next(chaos_cells(CFG))
+        a, b = run_cell(spec), run_cell(spec)
+        assert a.identity() == b.identity()
+        assert "wall_s" not in str(a.identity())
+
+    def test_serial_campaign_routes_through_run_cell(self):
+        # The refactored serial path and run_cell agree record-for-record.
+        campaign = run_chaos_campaign(CFG)
+        cells = [run_cell(s).record for s in iter_cells(CFG)]
+        assert campaign.records == cells
+
+    def test_drill_cell_runs(self):
+        result = run_cell(drill_cells(scenarios=["gps_denial"])[0])
+        assert result.kind == "drill"
+        assert result.record.scenario == "gps_denial"
+        assert result.summary["collided"] == 0.0
+
+    def test_invariant_cell_runs(self):
+        result = run_cell(invariant_cells(names=["cluttered_stop"], seeds=(0,))[0])
+        assert result.kind == "invariant"
+        assert result.summary["violations"] == 0.0
+
+
+class TestPicklability:
+    """Every campaign dataclass must cross a process boundary intact."""
+
+    def test_specs_round_trip(self):
+        for spec in (
+            next(chaos_cells(CFG)),
+            invariant_cells(names=["cluttered_stop"], seeds=(0,))[0],
+            drill_cells(scenarios=["gps_denial"])[0],
+        ):
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert clone.cell_id == spec.cell_id
+
+    def test_chaos_result_round_trips(self):
+        result = run_cell(next(chaos_cells(CFG)))
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.identity() == result.identity()
+        assert clone.record == result.record
+        assert clone.summary == result.summary
+
+    def test_campaign_reports_round_trip(self):
+        # The aggregates the fleet engine journals and ships around.
+        campaign = run_chaos_campaign(CFG)
+        clone = pickle.loads(pickle.dumps(campaign.envelope))
+        assert clone == campaign.envelope
+        records = pickle.loads(pickle.dumps(campaign.records))
+        assert records == campaign.records
+
+    def test_drive_result_round_trips(self):
+        _, result = run_chaos_drive(CFG, 0)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.collided == result.collided
+        assert clone.final_mode == result.final_mode
+        assert clone.min_obstacle_clearance_m == result.min_obstacle_clearance_m
+
+    def test_ingest_report_round_trips(self):
+        from repro.cloud.ingestion import IngestCampaignConfig, run_ingest_campaign
+
+        outcome = run_ingest_campaign(
+            IngestCampaignConfig(n_vehicles=2, logs_per_vehicle=2, seed=0)
+        )
+        clone = pickle.loads(pickle.dumps(outcome.report))
+        assert clone == outcome.report
+
+    def test_fault_scenarios_round_trip(self):
+        for name in DRILL_ORDER:
+            scenario = drill_scenario(name)
+            assert pickle.loads(pickle.dumps(scenario)) == scenario

@@ -1,0 +1,154 @@
+"""Tests for the crash-consistent campaign journal."""
+
+import json
+
+import pytest
+
+from repro.fleetops.cells import chaos_cells, run_cell
+from repro.fleetops.injection import (
+    corrupt_journal_record,
+    truncate_journal_tail,
+)
+from repro.fleetops.journal import (
+    JOURNAL_VERSION,
+    CampaignJournal,
+    campaign_signature,
+    load_journal,
+    truncate_to_valid_prefix,
+)
+from repro.robustness.chaos import ChaosConfig
+
+CFG = ChaosConfig(n_drives=4, seed=11, duration_s=2.0)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return list(chaos_cells(CFG))
+
+
+@pytest.fixture(scope="module")
+def results(specs):
+    return [run_cell(s) for s in specs]
+
+
+def write_full(path, specs, results, meta=None):
+    with CampaignJournal(str(path)) as journal:
+        journal.write_header(campaign_signature(specs), len(specs), meta)
+        for i, result in enumerate(results):
+            journal.append_cell(result, attempt=0, worker=i % 2)
+
+
+class TestRoundTrip:
+    def test_full_journal_recovers_everything(self, tmp_path, specs, results):
+        path = tmp_path / "journal.jsonl"
+        write_full(path, specs, results, meta={"note": "x"})
+        state = load_journal(str(path))
+        assert state.campaign == campaign_signature(specs)
+        assert state.header["n_cells"] == len(specs)
+        assert state.header["meta"] == {"note": "x"}
+        assert state.tail_dropped == 0
+        assert list(state.results) == [s.cell_id for s in specs]
+
+    def test_recovered_results_are_bit_identical(
+        self, tmp_path, specs, results
+    ):
+        path = tmp_path / "journal.jsonl"
+        write_full(path, specs, results)
+        state = load_journal(str(path))
+        for original in results:
+            recovered = state.results[original.cell_id]
+            assert recovered.identity() == original.identity()
+            assert recovered.record == original.record
+
+    def test_missing_journal_is_empty_state(self, tmp_path):
+        state = load_journal(str(tmp_path / "absent.jsonl"))
+        assert state.header is None
+        assert state.results == {}
+
+    def test_signature_depends_on_grid(self, specs):
+        other = list(chaos_cells(ChaosConfig(n_drives=4, seed=12)))
+        assert campaign_signature(specs) != campaign_signature(other)
+        assert campaign_signature(specs) == campaign_signature(list(specs))
+
+
+class TestCrashRecovery:
+    def test_torn_tail_drops_only_the_last_record(
+        self, tmp_path, specs, results
+    ):
+        path = tmp_path / "journal.jsonl"
+        write_full(path, specs, results)
+        truncate_journal_tail(str(path), drop_bytes=30)
+        state = load_journal(str(path))
+        assert state.tail_dropped == 1
+        assert list(state.results) == [s.cell_id for s in specs[:-1]]
+
+    def test_corrupt_mid_record_cuts_the_prefix_there(
+        self, tmp_path, specs, results
+    ):
+        path = tmp_path / "journal.jsonl"
+        write_full(path, specs, results)
+        corrupt_journal_record(str(path), line_index=2)  # cell 1 of 4
+        state = load_journal(str(path))
+        assert list(state.results) == [specs[0].cell_id]
+        assert state.tail_dropped == 3  # corrupted line + all after it
+
+    def test_checksum_catches_field_tampering(self, tmp_path, specs, results):
+        path = tmp_path / "journal.jsonl"
+        write_full(path, specs, results)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["attempt"] = 99  # same shape, different content
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        state = load_journal(str(path))
+        assert state.results == {}
+        assert state.tail_dropped == len(specs)
+
+    def test_version_bump_ends_the_prefix(self, tmp_path, specs, results):
+        path = tmp_path / "journal.jsonl"
+        write_full(path, specs, results)
+        state = load_journal(str(path))
+        assert state.lines_read == len(specs) + 1
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[3])
+        record["v"] = JOURNAL_VERSION + 1
+        record.pop("crc")
+        from repro.fleetops.journal import _seal
+
+        lines[3] = json.dumps(_seal(record), sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        assert len(load_journal(str(path)).results) == 2
+
+    def test_duplicate_cells_keep_first(self, tmp_path, specs, results):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(str(path)) as journal:
+            journal.write_header(campaign_signature(specs), len(specs))
+            journal.append_cell(results[0], attempt=0, worker=0)
+            journal.append_cell(results[0], attempt=1, worker=1)
+        state = load_journal(str(path))
+        assert state.duplicates_dropped == 1
+        assert len(state.results) == 1
+
+    def test_truncate_to_valid_prefix_enables_clean_append(
+        self, tmp_path, specs, results
+    ):
+        path = tmp_path / "journal.jsonl"
+        write_full(path, specs, results)
+        truncate_journal_tail(str(path), drop_bytes=30)
+        state = load_journal(str(path))
+        truncate_to_valid_prefix(state)
+        # Re-append the dropped cell: a fresh load now sees everything.
+        with CampaignJournal(str(path)) as journal:
+            journal.append_cell(results[-1], attempt=1, worker=0)
+        healed = load_journal(str(path))
+        assert healed.tail_dropped == 0
+        assert list(healed.results) == [s.cell_id for s in specs]
+
+    def test_blank_line_treated_as_torn(self, tmp_path, specs, results):
+        path = tmp_path / "journal.jsonl"
+        write_full(path, specs, results)
+        with open(path, "a") as fh:
+            fh.write("\n")
+        state = load_journal(str(path))
+        assert state.tail_dropped == 1
+        assert len(state.results) == len(specs)

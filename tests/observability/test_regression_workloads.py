@@ -1,4 +1,4 @@
-"""Tests for the multi-workload bench gate (chaos/scheduler/ingest arms)."""
+"""Tests for the multi-workload bench gate (chaos/scheduler/ingest/fleet)."""
 
 import json
 
@@ -13,6 +13,7 @@ from repro.observability.regression import (
     load_snapshot,
     run_workload,
     snapshot_chaos,
+    snapshot_fleet,
     snapshot_ingest,
     snapshot_scheduler,
     write_snapshot,
@@ -23,8 +24,16 @@ N_DRIVES = 4
 N_FRAMES = 80
 N_VEHICLES = 3
 N_LOGS = 4
+N_CELLS = 6
+N_WORKERS = 2
 
-WALL_KEYS = ("wall_s_total", "wall_s_per_drive", "wall_us_per_frame")
+WALL_KEYS = (
+    "wall_s_total",
+    "wall_s_per_drive",
+    "wall_us_per_frame",
+    "wall_s_per_cell",
+    "cells_per_s",
+)
 
 
 def gated_view(snapshot):
@@ -180,6 +189,77 @@ class TestIngestWorkload:
             ingest_snapshot.metrics, other, WORKLOAD_TOLERANCES["ingest"]
         )
         assert any("n_logs" in p for p in problems)
+
+
+class TestFleetWorkload:
+    @pytest.fixture(scope="class")
+    def fleet_snapshot(self):
+        return snapshot_fleet(seed=0, n_cells=N_CELLS, n_workers=N_WORKERS)
+
+    def test_shape_and_tagging(self, fleet_snapshot):
+        metrics = fleet_snapshot.metrics
+        assert fleet_snapshot.workload == "fleet"
+        assert fleet_snapshot.params == {
+            "n_cells": float(N_CELLS),
+            "n_workers": float(N_WORKERS),
+        }
+        assert metrics["n_cells"] == float(N_CELLS)
+        assert metrics["lost_cells"] == 0.0
+        assert metrics["duplicate_cells"] == 0.0
+        assert metrics["failed_cells"] == 0.0
+        assert metrics["collision_rate"] == 0.0
+        assert metrics["cells_per_s"] > 0
+        assert metrics["wall_s_total"] > 0
+
+    def test_deterministic_per_seed(self, fleet_snapshot):
+        again = snapshot_fleet(seed=0, n_cells=N_CELLS, n_workers=N_WORKERS)
+        assert gated_view(again) == gated_view(fleet_snapshot)
+
+    def test_self_gate_passes(self, fleet_snapshot):
+        report = gate_against_baseline(fleet_snapshot)
+        assert report.ok, report.format_report()
+
+    def test_run_workload_respects_params(self, fleet_snapshot):
+        rerun = run_workload(fleet_snapshot)
+        assert rerun.workload == "fleet"
+        assert rerun.metrics["n_cells"] == float(N_CELLS)
+
+    def test_any_lost_cell_fails_the_gate(self, fleet_snapshot):
+        worse = dict(fleet_snapshot.metrics)
+        worse["lost_cells"] = 1.0  # zero tolerance
+        current = BenchmarkSnapshot(
+            name=fleet_snapshot.name,
+            seed=fleet_snapshot.seed,
+            duration_s=fleet_snapshot.duration_s,
+            metrics=worse,
+            workload="fleet",
+        )
+        report = gate_against_baseline(fleet_snapshot, current=current)
+        assert not report.ok
+        regressed = [f.metric for f in report.findings if f.regressed]
+        assert regressed == ["lost_cells"]
+
+    def test_throughput_collapse_fails_the_gate(self, fleet_snapshot):
+        worse = dict(fleet_snapshot.metrics)
+        worse["cells_per_s"] *= 0.3  # past the 50% downward tolerance
+        current = BenchmarkSnapshot(
+            name=fleet_snapshot.name,
+            seed=fleet_snapshot.seed,
+            duration_s=fleet_snapshot.duration_s,
+            metrics=worse,
+            workload="fleet",
+        )
+        report = gate_against_baseline(fleet_snapshot, current=current)
+        regressed = [f.metric for f in report.findings if f.regressed]
+        assert regressed == ["cells_per_s"]
+
+    def test_campaign_size_change_is_a_shape_problem(self, fleet_snapshot):
+        other = dict(fleet_snapshot.metrics)
+        other["n_cells"] = float(N_CELLS + 1)
+        _f, problems = gate_metrics(
+            fleet_snapshot.metrics, other, WORKLOAD_TOLERANCES["fleet"]
+        )
+        assert any("n_cells" in p for p in problems)
 
 
 class TestDirectionAwareGate:
@@ -351,6 +431,32 @@ class TestCli:
         assert code == 0
         assert "PASS" in out
         assert "realtime_delivery_rate" in out
+
+    def test_snapshot_and_check_fleet(self, tmp_path, capsys):
+        baseline = str(tmp_path / "BENCH_fl.json")
+        code = bench_gate_main(
+            [
+                "snapshot",
+                "--workload",
+                "fleet",
+                "--name",
+                "fl",
+                "--cells",
+                str(N_CELLS),
+                "--workers",
+                str(N_WORKERS),
+                "--out",
+                baseline,
+            ]
+        )
+        assert code == 0
+        assert "workload: fleet" in capsys.readouterr().out
+        code = bench_gate_main(["check", "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "lost_cells" in out
+        assert "cells_per_s" in out
 
     def test_trace_rejected_for_non_closedloop(self, tmp_path, capsys):
         baseline = str(tmp_path / "BENCH_ch2.json")
