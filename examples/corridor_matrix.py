@@ -8,9 +8,13 @@ harness over the whole ``scenario x seed`` matrix.  Finishes with a
 chaos campaign routed down one corridor, demonstrating that the chaos
 sampler's fault draws compose with a corridor's own fault schedule.
 
+The matrix runs on the fault-tolerant fleet substrate by default
+(identical results cell for cell — run_cell is pure per spec); pass
+``--serial`` for the in-process path.
+
 Usage::
 
-    python examples/corridor_matrix.py [seed ...]
+    python examples/corridor_matrix.py [--serial] [seed ...]
 """
 
 import sys
@@ -21,8 +25,11 @@ from repro.testing.invariants import run_invariant_matrix
 
 
 def main() -> None:
-    seeds = [int(s) for s in sys.argv[1:]] or [0, 1, 2]
-    print(f"Corridor scenario suite — seeds {seeds}")
+    argv = sys.argv[1:]
+    serial = "--serial" in argv
+    seeds = [int(s) for s in argv if s != "--serial"] or [0, 1, 2]
+    engine = "serial" if serial else "fleet"
+    print(f"Corridor scenario suite — seeds {seeds} ({engine} engine)")
     print("=" * 78)
 
     print("\n-- the suite ----------------------------------------------------")
@@ -42,7 +49,7 @@ def main() -> None:
         print(f"      {scenario.description}")
 
     print("\n-- invariant matrix ---------------------------------------------")
-    report = run_invariant_matrix(seeds=seeds)
+    report = run_invariant_matrix(seeds=seeds, engine=engine)
     print(report.format_report())
 
     print("\n-- chaos over a corridor ----------------------------------------")

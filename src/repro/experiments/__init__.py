@@ -19,6 +19,7 @@ from . import (  # noqa: F401  (imports register the experiments)
     latency_study,
     lidar_study,
     platform_study,
+    procgen_campaign,
     scenario_matrix,
     sync_study,
 )

@@ -13,6 +13,11 @@ engagement whenever the sonar threshold is crossed.
 The expected shape, mirrored by ``tests/testing/test_invariants.py``:
 **zero violations across the whole matrix** — the paper's prose claims
 hold on every corridor the suite can generate.
+
+Since PR 8 the sweep runs on the fault-tolerant fleet substrate
+(:mod:`repro.fleetops`) by default — cells are pure per spec, so the
+fleet matrix is identical to the serial one cell for cell
+(``examples/corridor_matrix.py --serial`` drives the serial path).
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from .base import ExperimentResult, Row, register
 
 #: Seeds swept per scenario (each reseeds geometry jitter + fault draws).
 MATRIX_SEEDS = (0, 1, 2)
+#: Worker-pool size for the default fleet-substrate sweep.
+MATRIX_WORKERS = 4
 
 
 @register("scenario_matrix")
@@ -32,7 +39,9 @@ def scenario_matrix() -> ExperimentResult:
     safety net engaged (Sec. IV's "last line of defense") and zero
     accounting inconsistencies in the Eq. 1 ledger.
     """
-    report = run_invariant_matrix(seeds=MATRIX_SEEDS)
+    report = run_invariant_matrix(
+        seeds=MATRIX_SEEDS, engine="fleet", n_workers=MATRIX_WORKERS
+    )
     summary = report.summary()
     rows = [
         Row(

@@ -20,13 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import zlib
+
 from ..core.fleet import FleetTcoModel, paper_compute_tiers
 from ..robustness.chaos import (
     ChaosCampaignResult,
     ChaosConfig,
     aggregate_envelope,
 )
-from .cells import CellResult, chaos_cells
+from .cells import CellResult, chaos_cells, procgen_cells
 from .injection import WorkerFaultPlan
 from .supervisor import FleetConfig, FleetRunReport, FleetSupervisor
 
@@ -148,6 +150,100 @@ def run_fleet_campaign(
     return FleetCampaignResult(
         config=config, report=report, campaign=campaign, rollup=rollup
     )
+
+
+@dataclass
+class ProcGenCampaignResult:
+    """A fleet sweep over procedurally generated invariant cells."""
+
+    space: "object"  # repro.scene.procgen.ProcGenSpace
+    generator_seed: int
+    report: FleetRunReport
+    matrix: "object"  # repro.testing.invariants.MatrixReport
+    #: CRC32 over every cell's scene checksum, in index order — one
+    #: number that pins the entire generated campaign's geometry.
+    campaign_checksum: int
+    topology_counts: Dict[str, int]
+
+
+def run_procgen_campaign(
+    space=None,
+    generator_seed: int = 0,
+    n_cells: int = 200,
+    fleet: Optional[FleetConfig] = None,
+    journal_path: Optional[str] = None,
+    fault_plan: Optional[WorkerFaultPlan] = None,
+    check_determinism: bool = True,
+) -> ProcGenCampaignResult:
+    """Sweep *n_cells* generated scenarios across the fleet pool.
+
+    Each cell samples scene ``(generator_seed, index)`` from *space*
+    (None: the default :class:`~repro.scene.procgen.ProcGenSpace`),
+    checks the scene-regeneration invariant plus the five drive
+    invariants, and reports its scene checksum; the campaign checksum
+    folds those into one number, so two runs generated identical scenes
+    iff the checksums match.  With ``journal_path`` set, an interrupted
+    campaign resumes with exactly-once cell accounting.
+    """
+    from ..testing.invariants import MatrixReport
+
+    if space is None:
+        from ..scene.procgen import DEFAULT_SPACE
+
+        space = DEFAULT_SPACE
+    specs = list(
+        procgen_cells(
+            space=space,
+            generator_seed=generator_seed,
+            n_cells=n_cells,
+            check_determinism=check_determinism,
+        )
+    )
+    supervisor = FleetSupervisor(fleet or FleetConfig())
+    report = supervisor.run(
+        specs,
+        journal_path=journal_path,
+        fault_plan=fault_plan,
+        meta={
+            "kind": "procgen",
+            "generator_seed": generator_seed,
+            "n_cells": n_cells,
+            "intensity": space.intensity,
+        },
+    )
+    if not report.ok:
+        raise RuntimeError(
+            f"procgen campaign incomplete: lost={report.lost_cells} "
+            f"duplicates={report.duplicate_cells} "
+            f"failed={list(report.failed_cells)}"
+        )
+    ordered = sorted(report.results, key=lambda r: r.index)
+    outcomes = [result.record for result in ordered]
+    checksum = 0
+    topology_counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        checksum = zlib.crc32(
+            str(outcome.scene_checksum).encode("ascii"), checksum
+        )
+        topology = outcome.scenario.split(":", 1)[1].split("[", 1)[0]
+        topology_counts[topology] = topology_counts.get(topology, 0) + 1
+    return ProcGenCampaignResult(
+        space=space,
+        generator_seed=generator_seed,
+        report=report,
+        matrix=MatrixReport(cells=outcomes),
+        campaign_checksum=checksum,
+        topology_counts=topology_counts,
+    )
+
+
+def procgen_summary(result: ProcGenCampaignResult) -> Dict[str, float]:
+    """Flat numeric view of one generated campaign (rows, snapshots)."""
+    flat = dict(result.report.summary())
+    flat.update(result.matrix.summary())
+    flat["campaign_checksum"] = float(result.campaign_checksum)
+    flat["n_topologies"] = float(len(result.topology_counts))
+    return flat
 
 
 def fleet_summary(result: FleetCampaignResult) -> Dict[str, float]:

@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 #: The cell kinds :func:`run_cell` can execute.
-CELL_KINDS = ("chaos", "invariant", "drill")
+CELL_KINDS = ("chaos", "invariant", "drill", "procgen")
 
 
 @dataclass(frozen=True)
@@ -61,10 +61,38 @@ class InvariantCell:
     name: str
     seed: int
     deadline_budget_s: Optional[float] = None
+    check_determinism: bool = True
 
     @property
     def cell_id(self) -> str:
-        return f"invariant:{self.name}:{self.seed}"
+        # The default (determinism-checked) id predates the flag; only
+        # the opt-out spells it, so historical journal ids stay valid.
+        suffix = "" if self.check_determinism else ":nodet"
+        return f"invariant:{self.name}:{self.seed}{suffix}"
+
+
+@dataclass(frozen=True)
+class ProcGenCell:
+    """One generated-scenario invariant cell: ``(space, seed, index)``.
+
+    The :class:`~repro.scene.procgen.ProcGenSpace` rides inside the
+    payload (frozen, picklable), so workers regenerate the scene from
+    the coordinates alone — the same purity contract every cell kind
+    obeys.
+    """
+
+    space: "object"  # repro.scene.procgen.ProcGenSpace
+    generator_seed: int
+    cell_index: int
+    check_determinism: bool = True
+
+    @property
+    def cell_id(self) -> str:
+        suffix = "" if self.check_determinism else ":nodet"
+        return (
+            f"procgen:{self.generator_seed}:{self.cell_index}"
+            f":i{self.space.intensity:g}{suffix}"
+        )
 
 
 @dataclass(frozen=True)
@@ -81,7 +109,7 @@ class DrillCell:
         return f"drill:{self.scenario}:{arm}:{self.seed}"
 
 
-CellPayload = Union[ChaosCell, InvariantCell, DrillCell]
+CellPayload = Union[ChaosCell, InvariantCell, DrillCell, ProcGenCell]
 
 
 @dataclass(frozen=True)
@@ -190,7 +218,10 @@ def _run_invariant_cell(spec: CellSpec) -> CellResult:
     cell: InvariantCell = spec.cell
     started = time.perf_counter()
     outcome = run_invariant_cell(
-        cell.name, cell.seed, deadline_budget_s=cell.deadline_budget_s
+        cell.name,
+        cell.seed,
+        check_determinism=cell.check_determinism,
+        deadline_budget_s=cell.deadline_budget_s,
     )
     wall_s = time.perf_counter() - started
     summary = {
@@ -259,10 +290,43 @@ def _run_drill_cell(spec: CellSpec) -> CellResult:
     )
 
 
+def _run_procgen_cell(spec: CellSpec) -> CellResult:
+    from ..testing.invariants import run_generated_cell
+
+    cell: ProcGenCell = spec.cell
+    started = time.perf_counter()
+    outcome = run_generated_cell(
+        space=cell.space,
+        generator_seed=cell.generator_seed,
+        cell_index=cell.cell_index,
+        check_determinism=cell.check_determinism,
+    )
+    wall_s = time.perf_counter() - started
+    summary = {
+        "collided": float(outcome.collided),
+        "entered_safe_stop": float(outcome.entered_safe_stop),
+        "violations": float(len(outcome.violations)),
+        "checks": float(len(outcome.checked)),
+        "deadline_misses": float(outcome.deadline_misses),
+        "scene_checksum": float(outcome.scene_checksum or 0),
+    }
+    return CellResult(
+        cell_id=spec.cell_id,
+        index=spec.index,
+        kind=spec.kind,
+        fingerprint=dataclasses.astuple(outcome),
+        summary=summary,
+        record=outcome,
+        sim_duration_s=0.0,
+        wall_s=wall_s,
+    )
+
+
 _RUNNERS = {
     "chaos": _run_chaos_cell,
     "invariant": _run_invariant_cell,
     "drill": _run_drill_cell,
+    "procgen": _run_procgen_cell,
 }
 
 
@@ -299,6 +363,8 @@ def invariant_cells(
     names: Optional[Sequence[str]] = None,
     seeds: Sequence[int] = (0, 1, 2),
     start_index: int = 0,
+    check_determinism: bool = True,
+    deadline_budget_s: Optional[float] = None,
 ) -> List[CellSpec]:
     """The corridor invariant matrix as a flat cell list."""
     from ..scene.corridors import corridor_names
@@ -311,11 +377,47 @@ def invariant_cells(
                 CellSpec(
                     kind="invariant",
                     index=index,
-                    cell=InvariantCell(name=name, seed=seed),
+                    cell=InvariantCell(
+                        name=name,
+                        seed=seed,
+                        deadline_budget_s=deadline_budget_s,
+                        check_determinism=check_determinism,
+                    ),
                 )
             )
             index += 1
     return specs
+
+
+def procgen_cells(
+    space=None,
+    generator_seed: int = 0,
+    n_cells: int = 200,
+    start_index: int = 0,
+    check_determinism: bool = True,
+) -> Iterator[CellSpec]:
+    """Lazily yield a generated-scenario campaign's cells in index order.
+
+    Workers rebuild each scene from ``(space, generator_seed,
+    cell_index)`` alone, so enumerating a huge campaign materializes
+    nothing but coordinates.
+    """
+    if space is None:
+        from ..scene.procgen import DEFAULT_SPACE
+
+        space = DEFAULT_SPACE
+    for offset in range(n_cells):
+        index = start_index + offset
+        yield CellSpec(
+            kind="procgen",
+            index=index,
+            cell=ProcGenCell(
+                space=space,
+                generator_seed=generator_seed,
+                cell_index=index,
+                check_determinism=check_determinism,
+            ),
+        )
 
 
 def drill_cells(

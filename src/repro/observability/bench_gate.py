@@ -8,6 +8,7 @@ Usage::
     python -m repro.observability.bench_gate snapshot --workload scheduler
     python -m repro.observability.bench_gate snapshot --workload ingest
     python -m repro.observability.bench_gate snapshot --workload fleet
+    python -m repro.observability.bench_gate snapshot --workload procgen
 
     # CI: re-run the seeded workload named by the baseline, fail on any
     # gated-metric regression, and (closed loop only) export the drive's
@@ -18,6 +19,7 @@ Usage::
     python -m repro.observability.bench_gate check --baseline BENCH_scheduler.json
     python -m repro.observability.bench_gate check --baseline BENCH_ingest.json
     python -m repro.observability.bench_gate check --baseline BENCH_fleet.json
+    python -m repro.observability.bench_gate check --baseline BENCH_procgen.json
 
 ``check`` reads the workload to replay from the baseline snapshot itself
 and exits non-zero when any gated metric regresses beyond its tolerance
@@ -35,6 +37,8 @@ from .regression import (
     FLEET_WORKLOAD_WORKERS,
     INGEST_WORKLOAD_LOGS,
     INGEST_WORKLOAD_VEHICLES,
+    PROCGEN_WORKLOAD_CELLS,
+    PROCGEN_WORKLOAD_WORKERS,
     SCHEDULER_WORKLOAD_FRAMES,
     WORKLOAD_TOLERANCES,
     gate_against_baseline,
@@ -44,6 +48,7 @@ from .regression import (
     snapshot_fleet,
     snapshot_ingest,
     snapshot_path,
+    snapshot_procgen,
     snapshot_scheduler,
     write_snapshot,
 )
@@ -101,14 +106,14 @@ def main(argv=None) -> int:
     snap.add_argument(
         "--cells",
         type=int,
-        default=FLEET_WORKLOAD_CELLS,
-        help="campaign cells (fleet workload only)",
+        default=None,
+        help="campaign cells (fleet and procgen workloads)",
     )
     snap.add_argument(
         "--workers",
         type=int,
-        default=FLEET_WORKLOAD_WORKERS,
-        help="worker-pool size (fleet workload only)",
+        default=None,
+        help="worker-pool size (fleet and procgen workloads)",
     )
     snap.add_argument(
         "--out", default=None, help="output path (default BENCH_<name>.json)"
@@ -158,8 +163,15 @@ def main(argv=None) -> int:
             snapshot = snapshot_fleet(
                 name=name,
                 seed=args.seed,
-                n_cells=args.cells,
-                n_workers=args.workers,
+                n_cells=args.cells or FLEET_WORKLOAD_CELLS,
+                n_workers=args.workers or FLEET_WORKLOAD_WORKERS,
+            )
+        elif args.workload == "procgen":
+            snapshot = snapshot_procgen(
+                name=name,
+                seed=args.seed,
+                n_cells=args.cells or PROCGEN_WORKLOAD_CELLS,
+                n_workers=args.workers or PROCGEN_WORKLOAD_WORKERS,
             )
         else:
             snapshot = snapshot_closedloop(

@@ -77,6 +77,20 @@ WORKLOAD_TOLERANCES: Dict[str, Dict[str, float]] = {
         "collision_rate": 0.0,
         "deadline_misses": 0.0,
     },
+    # The procgen workload sweeps generated scenarios through the fleet
+    # engine and the invariant harness: the invariant verdict, the
+    # exactly-once accounting, and the safety envelope gate at zero
+    # tolerance, and the scene_fingerprint shape invariant (below)
+    # pins scene generation bit for bit — any change to the generator's
+    # draws fails the gate as a shape change, not a tolerance miss.
+    "procgen": {
+        "cells_per_s": 0.5,
+        "violations": 0.0,
+        "lost_cells": 0.0,
+        "duplicate_cells": 0.0,
+        "failed_cells": 0.0,
+        "collision_rate": 0.0,
+    },
 }
 
 #: Which way each gated metric regresses.  Default is "upper" (bigger is
@@ -98,6 +112,7 @@ SHAPE_INVARIANTS = (
     "frames",
     "n_logs",
     "n_cells",
+    "scene_fingerprint",
 )
 
 #: Snapshot format version (bump on incompatible metric renames).
@@ -455,6 +470,69 @@ def snapshot_fleet(
     )
 
 
+#: The procgen workload's shape: enough generated cells that every
+#: topology family appears, small enough to gate every CI run with the
+#: scene-regeneration + drive-determinism double-check per cell.
+PROCGEN_WORKLOAD_CELLS = 12
+PROCGEN_WORKLOAD_WORKERS = 4
+
+
+def snapshot_procgen(
+    name: str = "procgen",
+    seed: int = 0,
+    n_cells: int = PROCGEN_WORKLOAD_CELLS,
+    n_workers: int = PROCGEN_WORKLOAD_WORKERS,
+) -> BenchmarkSnapshot:
+    """Run the seeded procedural-scenario workload (scene + invariants).
+
+    Sweeps *n_cells* scenes sampled from the default
+    :class:`~repro.scene.procgen.ProcGenSpace` through the fleet engine
+    with the full invariant harness (scene regeneration + the five drive
+    invariants per cell).  The invariant verdict, exactly-once
+    accounting, and collision rate gate at zero tolerance;
+    ``scene_fingerprint`` — the campaign-level CRC over every generated
+    scene — is a shape invariant, so the gate fails the moment scene
+    generation changes bit for bit.  Throughput in cells/sec gates
+    downward with a generous tolerance.
+    """
+    from ..fleetops.campaign import procgen_summary, run_procgen_campaign
+    from ..fleetops.supervisor import FleetConfig
+
+    result = run_procgen_campaign(
+        generator_seed=seed,
+        n_cells=n_cells,
+        fleet=FleetConfig(n_workers=n_workers, seed=seed),
+    )
+    flat = procgen_summary(result)
+    metrics: Dict[str, float] = {
+        "n_cells": flat["n_cells"],
+        "cells_per_s": flat["cells_per_s"],
+        "violations": flat["violations"],
+        "checks_run": flat["checks_run"],
+        "collision_rate": flat["collision_rate"],
+        "safe_stop_rate": flat["safe_stop_rate"],
+        "lost_cells": flat["lost_cells"],
+        "duplicate_cells": flat["duplicate_cells"],
+        "failed_cells": flat["failed_cells"],
+        "n_topologies": flat["n_topologies"],
+        "scene_fingerprint": flat["campaign_checksum"],
+        # Informational only (machine-dependent): never gated.
+        "wall_s_total": flat["wall_s"],
+        "wall_s_per_cell": flat["wall_s"] / max(1, n_cells),
+    }
+    return BenchmarkSnapshot(
+        name=name,
+        seed=seed,
+        duration_s=0.0,
+        metrics=metrics,
+        workload="procgen",
+        params={
+            "n_cells": float(n_cells),
+            "n_workers": float(n_workers),
+        },
+    )
+
+
 def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
     """Re-run the seeded workload a baseline snapshot describes."""
     if baseline.workload == "closedloop":
@@ -505,6 +583,17 @@ def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
             ),
             n_workers=int(
                 baseline.params.get("n_workers", FLEET_WORKLOAD_WORKERS)
+            ),
+        )
+    if baseline.workload == "procgen":
+        return snapshot_procgen(
+            name=baseline.name,
+            seed=baseline.seed,
+            n_cells=int(
+                baseline.params.get("n_cells", PROCGEN_WORKLOAD_CELLS)
+            ),
+            n_workers=int(
+                baseline.params.get("n_workers", PROCGEN_WORKLOAD_WORKERS)
             ),
         )
     raise ValueError(f"unknown workload {baseline.workload!r}")

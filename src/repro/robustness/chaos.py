@@ -237,12 +237,14 @@ class FaultSpace:
 class ChaosConfig:
     """One chaos campaign: N seeded drives down the drill corridor.
 
-    ``corridor`` retargets the campaign at a named multi-obstacle
-    scenario from :mod:`repro.scene.corridors` instead of the default
-    single-obstacle drill lane: each drive regenerates the corridor
-    world from its own drive seed (so geometry jitters per drive, like
-    a real campaign route) and the chaos-sampled faults are layered on
-    top of any fault schedule the corridor carries built in.
+    ``corridor`` retargets the campaign at any registered scene instead
+    of the default single-obstacle drill lane — a bare corridor name
+    (``"slalom"``), a qualified one (``"corridor:slalom"``), or a
+    generated scene family (``"procgen:crossroads"``); see
+    :mod:`repro.scene.providers`.  Each drive regenerates the scene
+    from its own drive seed (so geometry jitters per drive, like a real
+    campaign route) and the chaos-sampled faults are layered on top of
+    any fault schedule the scene carries built in.
     """
 
     n_drives: int = 200
@@ -252,19 +254,20 @@ class ChaosConfig:
     obstacle_distance_m: float = 25.0
     initial_speed_mps: float = 5.6
     safety_net: bool = True
-    #: Named corridor scenario to drive (None: single-obstacle drill).
+    #: Registered scene to drive (None: single-obstacle drill).  Bare
+    #: names resolve through the default ``corridor`` provider.
     corridor: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_drives <= 0:
             raise ValueError("campaign needs at least one drive")
         if self.corridor is not None:
-            from ..scene.corridors import corridor_names
+            from ..scene.providers import is_known_scene, scene_names
 
-            if self.corridor not in corridor_names():
+            if not is_known_scene(self.corridor):
                 raise ValueError(
-                    f"unknown corridor {self.corridor!r}; "
-                    f"known: {corridor_names()}"
+                    f"unknown scene {self.corridor!r}; "
+                    f"known: {scene_names()}"
                 )
 
 
@@ -319,12 +322,13 @@ def run_chaos_drive(config: ChaosConfig, index: int):
     scenario = scenario_for_drive(config.space, config.seed, index)
     duration_s = config.duration_s
     if config.corridor is not None:
-        # Campaign drives down a named multi-obstacle corridor: the
+        # Campaign drives down a registered multi-obstacle scene: the
         # world regenerates per drive seed, chaos faults stack on any
-        # schedule the corridor variant carries built in.
-        from ..scene.corridors import generate_corridor, make_corridor_sov
+        # schedule the scene variant carries built in.
+        from ..scene.corridors import make_corridor_sov
+        from ..scene.providers import resolve_scene
 
-        corridor = generate_corridor(
+        corridor = resolve_scene(
             config.corridor, drive_seed(config.seed, index)
         )
         sov = make_corridor_sov(

@@ -124,7 +124,7 @@ def generate_corridor(name: str, seed: int = 0) -> CorridorScenario:
     digest = sum(ord(c) * (i + 1) for i, c in enumerate(name))
     rng = np.random.default_rng(np.random.SeedSequence((seed, digest)))
     scenario = builder(rng, seed)
-    _check_spawn_clearance(scenario)
+    check_spawn_clearance(scenario)
     return scenario
 
 
@@ -133,8 +133,12 @@ def generate_suite(seed: int = 0) -> List[CorridorScenario]:
     return [generate_corridor(name, seed) for name in corridor_names()]
 
 
-def _check_spawn_clearance(scenario: CorridorScenario) -> None:
-    """Generated worlds must never drop an obstacle on the start pose."""
+def check_spawn_clearance(scenario: CorridorScenario) -> None:
+    """Generated worlds must never drop an obstacle on the start pose.
+
+    Shared with every scene provider (:mod:`repro.scene.providers`): the
+    procedural generator enforces the identical spawn guarantee.
+    """
     for obstacle in scenario.world.obstacles:
         clearance = obstacle.distance_to(0.0, 0.0)
         if clearance < SPAWN_CLEAR_RADIUS_M:
@@ -143,6 +147,10 @@ def _check_spawn_clearance(scenario: CorridorScenario) -> None:
                 f"{obstacle.obstacle_id} only {clearance:.2f} m from the ego "
                 f"start pose (need {SPAWN_CLEAR_RADIUS_M} m)"
             )
+
+
+#: Backwards-compatible alias (pre-provider-registry spelling).
+_check_spawn_clearance = check_spawn_clearance
 
 
 def _landmarks(
@@ -565,3 +573,21 @@ def _occluded_crossing_stalled(
             description="perception stall while the pedestrian crosses",
         ),
     )
+
+
+# -- provider registration -----------------------------------------------------
+#
+# The hand-named corridor library is the *default* scene provider: bare
+# scene names everywhere in the repo ("slalom", "narrow_gap", ...) keep
+# resolving here, while qualified ids ("corridor:slalom",
+# "procgen:crossroads") address any registered provider.
+
+from .providers import SceneProvider, register_scene_provider  # noqa: E402
+
+register_scene_provider(
+    SceneProvider(
+        name="corridor",
+        list_scenes=corridor_names,
+        build=generate_corridor,
+    )
+)

@@ -42,16 +42,15 @@ whole repro recipe.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..scene.corridors import (
     CorridorScenario,
     corridor_names,
-    generate_corridor,
     make_corridor_sov,
 )
+from ..scene.providers import resolve_scene
 
 #: Radar-corrupting fault kinds: a cell whose schedule includes one of
 #: these skips the reactive-engagement check (the premise is void).
@@ -66,6 +65,13 @@ INVARIANT_NAMES: Tuple[str, ...] = (
     "residency_sums_to_one",
     "reactive_engagement",
 )
+
+#: Generated cells check one more invariant before driving: sampling the
+#: same ``(generator_seed, cell_index)`` again rebuilds the scene bit
+#: for bit (:func:`repro.scene.procgen.scene_fingerprint` equality).
+GENERATED_INVARIANT_NAMES: Tuple[str, ...] = (
+    "scene_regeneration",
+) + INVARIANT_NAMES
 
 #: Tolerance on the residency-sum check (pure float addition error).
 _RESIDENCY_TOL = 1e-9
@@ -105,6 +111,9 @@ class CellOutcome:
     deadline_misses: int
     checked: Tuple[str, ...]
     violations: Tuple[InvariantViolation, ...]
+    #: Scene determinism fingerprint (generated cells only; see
+    #: :func:`repro.scene.procgen.scene_checksum`).
+    scene_checksum: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -232,37 +241,30 @@ def _radar_is_corrupted(scenario: CorridorScenario) -> bool:
     )
 
 
-def run_invariant_cell(
-    name: str,
-    seed: int = 0,
-    check_determinism: bool = True,
-    deadline_budget_s: Optional[float] = None,
-    **config_overrides,
+def _evaluate_cell(
+    one_drive,
+    label: str,
+    seed: int,
+    check_determinism: bool,
+    pre_checked: Tuple[str, ...] = (),
+    pre_violations: Tuple[InvariantViolation, ...] = (),
+    scene_checksum: Optional[int] = None,
 ) -> CellOutcome:
-    """Drive one cell under the protected configuration and check every
-    applicable invariant.
+    """The shared invariant check body: drive the cell via *one_drive*
+    (a zero-argument callable returning ``(scenario, sov, result)``,
+    pure per call) and evaluate every applicable invariant.
 
-    *deadline_budget_s* tightens the Eq. 1 budget for the accounting
-    invariant (None: the paper's worst-case avoidance budget).  Extra
-    keyword arguments pass through to
-    :class:`~repro.runtime.sov.SovConfig` — the determinism re-run uses
-    the identical configuration.
+    *pre_checked* / *pre_violations* carry scene-level checks the caller
+    ran before driving (the generated-cell regeneration invariant).
     """
-
-    def one_drive():
-        scenario = generate_corridor(name, seed)
-        sov = make_corridor_sov(scenario, safety_net=True, **config_overrides)
-        sov.enable_attribution(deadline_budget_s)
-        return scenario, sov, sov.drive(scenario.duration_s)
-
     scenario, sov, result = one_drive()
-    violations: List[InvariantViolation] = []
-    checked: List[str] = []
+    violations: List[InvariantViolation] = list(pre_violations)
+    checked: List[str] = list(pre_checked)
 
     def violate(invariant: str, detail: str) -> None:
         violations.append(
             InvariantViolation(
-                invariant=invariant, scenario=name, seed=seed, detail=detail
+                invariant=invariant, scenario=label, seed=seed, detail=detail
             )
         )
 
@@ -357,7 +359,7 @@ def run_invariant_cell(
             )
 
     return CellOutcome(
-        scenario=name,
+        scenario=label,
         seed=seed,
         collided=result.collided,
         stopped=result.stopped,
@@ -370,6 +372,101 @@ def run_invariant_cell(
         deadline_misses=0 if table is None else table.total_misses,
         checked=tuple(checked),
         violations=tuple(violations),
+        scene_checksum=scene_checksum,
+    )
+
+
+def run_invariant_cell(
+    name: str,
+    seed: int = 0,
+    check_determinism: bool = True,
+    deadline_budget_s: Optional[float] = None,
+    **config_overrides,
+) -> CellOutcome:
+    """Drive one cell under the protected configuration and check every
+    applicable invariant.
+
+    *name* is any registered scene spec (see
+    :mod:`repro.scene.providers`): a bare corridor name (``"slalom"``),
+    a qualified one, or a generated family (``"procgen:crossroads"``).
+    *deadline_budget_s* tightens the Eq. 1 budget for the accounting
+    invariant (None: the paper's worst-case avoidance budget).  Extra
+    keyword arguments pass through to
+    :class:`~repro.runtime.sov.SovConfig` — the determinism re-run uses
+    the identical configuration.
+    """
+
+    def one_drive():
+        scenario = resolve_scene(name, seed)
+        sov = make_corridor_sov(scenario, safety_net=True, **config_overrides)
+        sov.enable_attribution(deadline_budget_s)
+        return scenario, sov, sov.drive(scenario.duration_s)
+
+    return _evaluate_cell(one_drive, name, seed, check_determinism)
+
+
+def run_generated_cell(
+    space=None,
+    generator_seed: int = 0,
+    cell_index: int = 0,
+    topology: Optional[str] = None,
+    check_determinism: bool = True,
+    deadline_budget_s: Optional[float] = None,
+    **config_overrides,
+) -> CellOutcome:
+    """Check one procedurally generated cell ``(generator_seed,
+    cell_index)`` of *space* (None: the default
+    :class:`~repro.scene.procgen.ProcGenSpace`).
+
+    On top of the five drive invariants, generated cells check
+    ``scene_regeneration`` first: sampling the same pair again rebuilds
+    the scene bit for bit — the replay contract every fleet/chaos
+    consumer of generated scenes leans on.  The outcome carries the
+    scene's determinism checksum for campaign-level fingerprinting.
+    """
+    from ..scene.procgen import (
+        DEFAULT_SPACE,
+        scene_checksum as _scene_checksum,
+        scene_fingerprint,
+    )
+
+    space = DEFAULT_SPACE if space is None else space
+    scenario = space.sample(generator_seed, cell_index, topology=topology)
+    label = f"procgen:{scenario.topology}[{cell_index}]"
+    pre_checked = ("scene_regeneration",)
+    pre_violations: List[InvariantViolation] = []
+    regenerated = space.sample(generator_seed, cell_index, topology=topology)
+    fp_a = scene_fingerprint(scenario)
+    fp_b = scene_fingerprint(regenerated)
+    if fp_a != fp_b:
+        diffs = [
+            f"field {i}: {a!r} != {b!r}"
+            for i, (a, b) in enumerate(zip(fp_a, fp_b))
+            if a != b
+        ]
+        pre_violations.append(
+            InvariantViolation(
+                invariant="scene_regeneration",
+                scenario=label,
+                seed=generator_seed,
+                detail=f"regeneration diverged: {'; '.join(diffs[:3])}",
+            )
+        )
+
+    def one_drive():
+        fresh = space.sample(generator_seed, cell_index, topology=topology)
+        sov = make_corridor_sov(fresh, safety_net=True, **config_overrides)
+        sov.enable_attribution(deadline_budget_s)
+        return fresh, sov, sov.drive(fresh.duration_s)
+
+    return _evaluate_cell(
+        one_drive,
+        label,
+        generator_seed,
+        check_determinism,
+        pre_checked=pre_checked,
+        pre_violations=tuple(pre_violations),
+        scene_checksum=_scene_checksum(scenario),
     )
 
 
@@ -378,11 +475,51 @@ def run_invariant_matrix(
     seeds: Sequence[int] = (0, 1, 2),
     check_determinism: bool = True,
     deadline_budget_s: Optional[float] = None,
+    engine: str = "serial",
+    n_workers: int = 4,
     **config_overrides,
 ) -> MatrixReport:
-    """Sweep every ``scenario x seed`` cell (None: the whole suite)."""
+    """Sweep every ``scenario x seed`` cell (None: the whole suite).
+
+    ``engine="fleet"`` runs the sweep on the fault-tolerant fleet
+    substrate (:mod:`repro.fleetops`) with *n_workers* processes and
+    exactly-once accounting; cells come back in the same order as the
+    serial path.  Per-cell ``SovConfig`` overrides only ride the serial
+    path (they are not part of the picklable fleet cell contract).
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    if engine not in ("serial", "fleet"):
+        raise ValueError(f"unknown engine {engine!r}; use serial or fleet")
+    if engine == "fleet":
+        if config_overrides:
+            raise ValueError(
+                "SovConfig overrides require engine='serial' (fleet cells "
+                "carry only the picklable scenario/seed coordinates)"
+            )
+        from ..fleetops.cells import invariant_cells
+        from ..fleetops.supervisor import FleetConfig, FleetSupervisor
+
+        specs = list(
+            invariant_cells(
+                names=names,
+                seeds=seeds,
+                check_determinism=check_determinism,
+                deadline_budget_s=deadline_budget_s,
+            )
+        )
+        fleet_report = FleetSupervisor(FleetConfig(n_workers=n_workers)).run(
+            specs
+        )
+        if not fleet_report.ok:
+            raise RuntimeError(
+                "fleet invariant matrix incomplete: "
+                f"lost={fleet_report.lost_cells} "
+                f"duplicates={fleet_report.duplicate_cells} "
+                f"failed={len(fleet_report.failed_cells)}"
+            )
+        ordered = sorted(fleet_report.results, key=lambda r: r.index)
+        return MatrixReport(cells=[r.record for r in ordered])
     report = MatrixReport()
     for name in names if names is not None else corridor_names():
         for seed in seeds:

@@ -172,3 +172,65 @@ class TestPicklability:
         for name in DRILL_ORDER:
             scenario = drill_scenario(name)
             assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+
+class TestProcGenCells:
+    def test_cell_ids_encode_coordinates_and_intensity(self):
+        from repro.fleetops.cells import ProcGenCell, procgen_cells
+        from repro.scene.procgen import DEFAULT_SPACE
+
+        cell = ProcGenCell(
+            space=DEFAULT_SPACE.with_intensity(1.5),
+            generator_seed=3,
+            cell_index=7,
+        )
+        assert cell.cell_id == "procgen:3:7:i1.5"
+        assert (
+            ProcGenCell(
+                space=DEFAULT_SPACE,
+                generator_seed=0,
+                cell_index=0,
+                check_determinism=False,
+            ).cell_id
+            == "procgen:0:0:i1:nodet"
+        )
+        specs = list(procgen_cells(n_cells=3, start_index=5))
+        assert [s.index for s in specs] == [5, 6, 7]
+        assert all(s.kind == "procgen" for s in specs)
+        assert specs[0].cell.cell_index == 5
+
+    def test_invariant_cell_id_keeps_historical_spelling(self):
+        from repro.fleetops.cells import InvariantCell
+
+        assert InvariantCell(name="slalom", seed=2).cell_id == (
+            "invariant:slalom:2"
+        )
+        assert InvariantCell(
+            name="slalom", seed=2, check_determinism=False
+        ).cell_id == "invariant:slalom:2:nodet"
+
+    def test_run_cell_executes_procgen_kind(self):
+        from repro.fleetops.cells import procgen_cells, run_cell
+
+        spec = next(iter(procgen_cells(n_cells=1)))
+        result = run_cell(spec)
+        assert result.kind == "procgen"
+        assert result.summary["violations"] == 0.0
+        assert result.summary["scene_checksum"] > 0
+        assert result.record.scene_checksum == int(
+            result.summary["scene_checksum"]
+        )
+
+    def test_procgen_specs_and_results_pickle_round_trip(self):
+        import pickle
+
+        from repro.fleetops.cells import procgen_cells, run_cell
+
+        spec = next(iter(procgen_cells(n_cells=1)))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cell_id == spec.cell_id
+        result = run_cell(spec)
+        back = pickle.loads(pickle.dumps(result))
+        assert back.identity() == result.identity()
+        assert back.record == result.record

@@ -154,3 +154,27 @@ class TestCli:
         code = bench_gate_main(["check", "--baseline", baseline_path])
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestProcgenWorkloadGate:
+    """The procgen workload rides the same gate as the other five."""
+
+    def test_procgen_has_tolerances_and_shape_invariant(self):
+        from repro.observability.regression import (
+            SHAPE_INVARIANTS,
+            WORKLOAD_TOLERANCES,
+        )
+
+        assert "procgen" in WORKLOAD_TOLERANCES
+        assert WORKLOAD_TOLERANCES["procgen"]["violations"] == 0.0
+        assert "scene_fingerprint" in SHAPE_INVARIANTS
+
+    def test_scene_fingerprint_drift_is_a_problem(self):
+        # A generator draw change shifts the campaign checksum; the gate
+        # must read that as a workload-shape change, not a perf delta.
+        base = {"scene_fingerprint": 2.0, "cells_per_s": 1.0}
+        drifted = {"scene_fingerprint": 3.0, "cells_per_s": 1.0}
+        _findings, problems = gate_metrics(base, drifted)
+        assert any("workload changed" in p for p in problems)
+        _findings, ok_problems = gate_metrics(base, dict(base))
+        assert not any("workload changed" in p for p in ok_problems)

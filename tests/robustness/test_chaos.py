@@ -253,3 +253,34 @@ class TestFrontier:
             assert frontier is None
         else:
             assert frontier == 1.0
+
+
+class TestSceneProviderRouting:
+    """Chaos campaigns routed through the named scene-provider registry."""
+
+    def test_qualified_procgen_scene_is_accepted(self):
+        config = ChaosConfig(n_drives=1, corridor="procgen:crossroads")
+        assert config.corridor == "procgen:crossroads"
+
+    def test_unknown_provider_scene_lists_the_vocabulary(self):
+        with pytest.raises(ValueError, match="procgen:crossroads"):
+            ChaosConfig(n_drives=1, corridor="procgen:roundabout")
+
+    def test_chaos_drive_over_a_generated_scene_is_deterministic(self):
+        from repro.testing.invariants import drive_fingerprint
+
+        config = ChaosConfig(
+            n_drives=1, seed=3, safety_net=True, corridor="procgen:crossroads"
+        )
+        record_a, result_a = run_chaos_drive(config, 0)
+        record_b, result_b = run_chaos_drive(config, 0)
+        assert drive_fingerprint(result_a) == drive_fingerprint(result_b)
+        assert record_a.fault_kinds == record_b.fault_kinds
+
+    def test_generated_scene_resolves_per_drive_seed(self):
+        from repro.scene.providers import resolve_scene
+
+        scene = resolve_scene("procgen:straight", drive_seed(3, 0))
+        other = resolve_scene("procgen:straight", drive_seed(3, 1))
+        assert scene.topology == other.topology == "straight"
+        assert scene.generator_seed != other.generator_seed

@@ -1,0 +1,312 @@
+"""Unit tests for the procedural scenario generator."""
+
+import math
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.scene.procgen import (
+    DEFAULT_SPACE,
+    AgentScript,
+    GeneratedScenario,
+    MissionSpec,
+    ProcGenSpace,
+    SceneGenerationError,
+    ScriptPhase,
+    ScriptedWorld,
+    TOPOLOGIES,
+    evaluate_mission,
+    mission_range_sweep,
+    scene_checksum,
+    scene_fingerprint,
+    validate_scene,
+)
+from repro.scene.world import Agent
+
+
+class TestAgentScript:
+    def test_rejects_empty_and_unordered_phases(self):
+        with pytest.raises(ValueError):
+            AgentScript(agent_id=0, intent="x", phases=())
+        with pytest.raises(ValueError, match="increase"):
+            AgentScript(
+                agent_id=0,
+                intent="x",
+                phases=(
+                    ScriptPhase(2.0, 1.0, 0.0),
+                    ScriptPhase(1.0, 0.0, 0.0),
+                ),
+            )
+
+    def test_rejects_overspeed_and_nonfinite_phases(self):
+        with pytest.raises(ValueError, match="cap"):
+            AgentScript(
+                agent_id=0,
+                intent="x",
+                phases=(ScriptPhase(math.inf, 9.0, 0.0),),
+            )
+        with pytest.raises(ValueError, match="finite"):
+            AgentScript(
+                agent_id=0,
+                intent="x",
+                phases=(ScriptPhase(math.inf, math.nan, 0.0),),
+            )
+
+    def test_velocity_at_selects_the_active_phase(self):
+        script = AgentScript(
+            agent_id=0,
+            intent="x",
+            phases=(
+                ScriptPhase(1.0, 1.0, 0.0),
+                ScriptPhase(3.0, 0.0, 2.0),
+                ScriptPhase(math.inf, -1.0, 0.0),
+            ),
+        )
+        assert script.velocity_at(0.0) == (1.0, 0.0)
+        assert script.velocity_at(1.0) == (0.0, 2.0)  # boundary -> next
+        assert script.velocity_at(2.9) == (0.0, 2.0)
+        assert script.velocity_at(100.0) == (-1.0, 0.0)
+        assert script.max_speed_mps == 2.0
+
+    def test_displacement_integrates_across_phase_boundaries(self):
+        script = AgentScript(
+            agent_id=0,
+            intent="x",
+            phases=(
+                ScriptPhase(1.0, 2.0, 0.0),
+                ScriptPhase(2.0, 0.0, 1.0),
+                ScriptPhase(math.inf, -1.0, 0.0),
+            ),
+        )
+        # 0..3: 1 s at (2,0), 1 s at (0,1), 1 s at (-1,0).
+        assert script.displacement(0.0, 3.0) == pytest.approx((1.0, 1.0))
+        # Sub-interval fully inside one phase.
+        assert script.displacement(0.25, 0.75) == pytest.approx((1.0, 0.0))
+        # Past the last boundary the final phase holds forever.
+        assert script.displacement(5.0, 7.0) == pytest.approx((-2.0, 0.0))
+        with pytest.raises(ValueError):
+            script.displacement(1.0, 0.5)
+
+
+class TestScriptedWorld:
+    def _world(self, script):
+        vx, vy = script.velocity_at(0.0)
+        agent = Agent(agent_id=7, x_m=10.0, y_m=0.0, vx_mps=vx, vy_mps=vy)
+        return ScriptedWorld(agents=[agent], scripts={7: script})
+
+    def test_scripted_agent_follows_phases_exactly(self):
+        script = AgentScript(
+            agent_id=7,
+            intent="x",
+            phases=(ScriptPhase(1.0, 1.0, 0.0), ScriptPhase(math.inf, 0.0, 1.0)),
+        )
+        world = self._world(script)
+        for _ in range(400):  # 2 s at the sim tick
+            world.advance(0.005)
+        agent = world.agents[0]
+        assert agent.x_m == pytest.approx(11.0)
+        assert agent.y_m == pytest.approx(1.0)
+        # Stored velocity is the *current* phase (what perception sees).
+        assert (agent.vx_mps, agent.vy_mps) == (0.0, 1.0)
+
+    def test_unscripted_agents_keep_constant_velocity(self):
+        extra = Agent(agent_id=9, x_m=0.0, y_m=0.0, vx_mps=2.0, vy_mps=0.0)
+        world = ScriptedWorld(agents=[extra], scripts={})
+        world.advance(0.5)
+        assert world.agents[0].x_m == pytest.approx(1.0)
+
+    def test_advance_rejects_negative_dt(self):
+        with pytest.raises(ValueError):
+            ScriptedWorld().advance(-0.1)
+
+
+class TestProcGenSpace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcGenSpace(intensity=0.0)
+        with pytest.raises(ValueError, match="unknown topology"):
+            ProcGenSpace(topology_weights=(("roundabout", 1.0),))
+        with pytest.raises(ValueError):
+            ProcGenSpace(topology_weights=(("straight", 0.0),))
+        with pytest.raises(ValueError):
+            ProcGenSpace(dead_end_prob=1.5)
+        with pytest.raises(ValueError):
+            ProcGenSpace(max_regen_attempts=0)
+
+    def test_with_intensity_returns_new_frozen_space(self):
+        hot = DEFAULT_SPACE.with_intensity(2.0)
+        assert hot.intensity == 2.0
+        assert DEFAULT_SPACE.intensity == 1.0
+
+    def test_sample_is_bit_identical_per_pair(self):
+        first = DEFAULT_SPACE.sample(3, 5)
+        again = DEFAULT_SPACE.sample(3, 5)
+        assert scene_fingerprint(first) == scene_fingerprint(again)
+        assert scene_checksum(first) == scene_checksum(again)
+
+    def test_different_cells_differ(self):
+        checksums = {
+            scene_checksum(DEFAULT_SPACE.sample(0, index))
+            for index in range(8)
+        }
+        assert len(checksums) == 8
+
+    def test_forced_topology_and_unknown_topology(self):
+        scene = DEFAULT_SPACE.sample(0, 0, topology="narrowing_gap")
+        assert scene.topology == "narrowing_gap"
+        assert scene.n_lanes == 1
+        with pytest.raises(KeyError, match="unknown topology"):
+            DEFAULT_SPACE.sample(0, 0, topology="roundabout")
+
+    def test_topology_for_matches_sample(self):
+        for index in range(6):
+            assert (
+                DEFAULT_SPACE.topology_for(0, index)
+                == DEFAULT_SPACE.sample(0, index).topology
+            )
+
+    def test_space_is_picklable_with_scene_equal_after_round_trip(self):
+        space = pickle.loads(pickle.dumps(DEFAULT_SPACE.with_intensity(1.5)))
+        assert scene_fingerprint(space.sample(1, 2)) == scene_fingerprint(
+            DEFAULT_SPACE.with_intensity(1.5).sample(1, 2)
+        )
+
+    def test_sample_suite_covers_every_topology(self):
+        suite = DEFAULT_SPACE.sample_suite(0, 24)
+        assert {scene.topology for scene in suite} == set(TOPOLOGIES)
+
+
+class TestGeneratedScenes:
+    def test_generated_scenario_is_a_corridor_scenario(self):
+        scene = DEFAULT_SPACE.sample(0, 0)
+        assert isinstance(scene, GeneratedScenario)
+        assert scene.name == f"procgen:{scene.topology}"
+        assert scene.generator_seed == 0
+        assert scene.mission is not None
+        assert scene.mission.route_length_m >= scene.corridor_length_m
+
+    def test_validate_scene_rejects_mislabelled_blockage(self):
+        scene = DEFAULT_SPACE.sample(0, 0)
+        assert not scene.blocked
+        validate_scene(scene)
+        with pytest.raises(SceneGenerationError, match="dead-end"):
+            validate_scene(replace(scene, blocked=True))
+
+    def test_dead_end_cells_appear_and_carry_no_agents(self):
+        blocked = [
+            scene
+            for scene in DEFAULT_SPACE.sample_suite(0, 40)
+            if scene.blocked
+        ]
+        assert blocked, "expected at least one dead-end cell in 40 draws"
+        for scene in blocked:
+            assert not scene.world.agents
+            validate_scene(scene)
+
+    def test_junction_scenes_annotate_lanes_and_cross_traffic(self):
+        scene = DEFAULT_SPACE.sample(0, 0, topology="crossroads")
+        for sid in scene.lane_map.segment_ids:
+            annotations = scene.lane_map.segment(sid).annotations
+            assert any("junction:crossroads" in a for a in annotations)
+        assert any(
+            intent.startswith("crossing_") for intent in scene.intents
+        )
+
+    def test_checksum_reflects_geometry(self):
+        scene = DEFAULT_SPACE.sample(0, 0)
+        moved = replace(scene, corridor_length_m=scene.corridor_length_m + 1)
+        assert scene_checksum(moved) != scene_checksum(scene)
+
+
+class TestProviderRegistration:
+    def test_procgen_provider_is_registered(self):
+        from repro.scene.providers import resolve_scene, scene_names
+
+        names = scene_names()
+        for topology in TOPOLOGIES:
+            assert f"procgen:{topology}" in names
+        scene = resolve_scene("procgen:t_intersection", seed=9)
+        assert scene.topology == "t_intersection"
+        assert scene.generator_seed == 9
+
+    def test_bare_names_still_resolve_to_corridors(self):
+        from repro.scene.providers import resolve_scene
+
+        assert resolve_scene("slalom", seed=0).name == "slalom"
+
+
+class TestMissions:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MissionSpec(name="m", route_length_m=-1.0)
+        with pytest.raises(ValueError):
+            MissionSpec(name="m", route_length_m=1.0, cruise_speed_mps=0.0)
+        with pytest.raises(ValueError):
+            MissionSpec(name="m", route_length_m=1.0, reserve_frac=1.0)
+
+    def test_short_mission_is_feasible_long_is_not(self):
+        model = EnergyModel()
+        short = evaluate_mission(
+            MissionSpec(name="short", route_length_m=1000.0), model
+        )
+        assert short.feasible
+        assert short.state_of_charge > 0.9
+        long = evaluate_mission(
+            MissionSpec(
+                name="long",
+                route_length_m=short.limit_route_length_m * 2.0,
+            ),
+            model,
+        )
+        assert not long.feasible
+
+    def test_limit_is_the_feasibility_frontier(self):
+        model = EnergyModel()
+        limit = evaluate_mission(
+            MissionSpec(name="probe", route_length_m=0.0), model
+        ).limit_route_length_m
+        just_under = evaluate_mission(
+            MissionSpec(name="u", route_length_m=limit * 0.999), model
+        )
+        just_over = evaluate_mission(
+            MissionSpec(name="o", route_length_m=limit * 1.001), model
+        )
+        assert just_under.feasible
+        assert not just_over.feasible
+
+    def test_eq2_range_reduction_identity(self):
+        model = EnergyModel()
+        base = evaluate_mission(
+            MissionSpec(name="b", route_length_m=0.0, ad_power_w=0.0), model
+        ).limit_route_length_m
+        loaded = evaluate_mission(
+            MissionSpec(name="l", route_length_m=0.0), model
+        ).limit_route_length_m
+        expected = model.ad_power_w / (
+            model.vehicle_power_w + model.ad_power_w
+        )
+        assert 1.0 - loaded / base == pytest.approx(expected, abs=1e-12)
+
+    def test_dwell_draws_ad_power_only(self):
+        model = EnergyModel()
+        moving = evaluate_mission(
+            MissionSpec(name="m", route_length_m=5000.0), model
+        )
+        with_stops = evaluate_mission(
+            MissionSpec(
+                name="s", route_length_m=5000.0, n_stops=4, stop_dwell_s=60.0
+            ),
+            model,
+        )
+        extra_j = with_stops.energy_j - moving.energy_j
+        assert extra_j == pytest.approx(model.ad_power_w * 240.0)
+        assert with_stops.limit_route_length_m < moving.limit_route_length_m
+
+    def test_sweep_shape(self):
+        outcomes = mission_range_sweep(
+            [1000.0, 5000.0], [0.0, 175.0], EnergyModel()
+        )
+        assert len(outcomes) == 4
+        assert all(o.feasible for o in outcomes)

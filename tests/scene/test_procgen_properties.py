@@ -1,0 +1,91 @@
+"""Hypothesis properties for the generator's hard guarantees.
+
+Every sampled scene — any seed, any cell, any admissible intensity —
+must satisfy: bit-identical regeneration, spawn clearance at or above
+the corridor threshold, a traversability certificate consistent with its
+``blocked`` label, and moving agents that never teleport (per-tick
+displacement bounded by the script's top speed).
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.planning.collision import corridor_blocked_at
+from repro.scene.corridors import EGO_RADIUS_M, SPAWN_CLEAR_RADIUS_M
+from repro.scene.procgen import (
+    DEFAULT_SPACE,
+    MAX_AGENT_SPEED_MPS,
+    scene_fingerprint,
+)
+
+generator_seeds = st.integers(0, 2**32 - 1)
+cell_indices = st.integers(0, 10_000)
+intensities = st.sampled_from([0.5, 1.0, 1.5, 2.0])
+
+#: Scene sampling costs ~10 ms; keep the sweep broad but CI-sized.
+SCENE_EXAMPLES = 30
+
+
+def _space(intensity):
+    return DEFAULT_SPACE.with_intensity(intensity)
+
+
+@settings(max_examples=SCENE_EXAMPLES, deadline=None)
+@given(seed=generator_seeds, index=cell_indices, intensity=intensities)
+def test_same_pair_regenerates_bit_identically(seed, index, intensity):
+    space = _space(intensity)
+    assert scene_fingerprint(space.sample(seed, index)) == scene_fingerprint(
+        space.sample(seed, index)
+    )
+
+
+@settings(max_examples=SCENE_EXAMPLES, deadline=None)
+@given(seed=generator_seeds, index=cell_indices, intensity=intensities)
+def test_spawn_clearance_holds_everywhere(seed, index, intensity):
+    scene = _space(intensity).sample(seed, index)
+    for obstacle in scene.world.obstacles:
+        assert obstacle.distance_to(0.0, 0.0) >= SPAWN_CLEAR_RADIUS_M
+
+
+@settings(max_examples=SCENE_EXAMPLES, deadline=None)
+@given(seed=generator_seeds, index=cell_indices, intensity=intensities)
+def test_traversability_certificate_matches_blocked_label(
+    seed, index, intensity
+):
+    scene = _space(intensity).sample(seed, index)
+    blocked_at = corridor_blocked_at(
+        scene.world,
+        scene.lane_map,
+        scene.corridor_length_m,
+        ego_radius_m=EGO_RADIUS_M,
+    )
+    if scene.blocked:
+        assert blocked_at is not None
+    else:
+        assert blocked_at is None
+
+
+@settings(max_examples=SCENE_EXAMPLES, deadline=None)
+@given(
+    seed=generator_seeds,
+    index=cell_indices,
+    dt=st.sampled_from([0.005, 0.02, 0.1]),
+)
+def test_agents_never_teleport(seed, index, dt):
+    scene = DEFAULT_SPACE.sample(seed, index)
+    world = scene.world
+    bounds = {
+        agent_id: script.max_speed_mps
+        for agent_id, script in world.scripts.items()
+    }
+    assert all(b <= MAX_AGENT_SPEED_MPS for b in bounds.values())
+    ticks = int(scene.duration_s / dt)
+    for _ in range(min(ticks, 300)):
+        before = {a.agent_id: (a.x_m, a.y_m) for a in world.agents}
+        world.advance(dt)
+        for agent in world.agents:
+            x0, y0 = before[agent.agent_id]
+            step = math.hypot(agent.x_m - x0, agent.y_m - y0)
+            bound = bounds.get(agent.agent_id, agent.speed_mps)
+            assert step <= bound * dt + 1e-9

@@ -171,3 +171,64 @@ class TestViolationReporting:
         )
         assert not report.ok
         assert "run_invariant_cell('slalom', seed=0)" in report.format_report()
+
+
+class TestGeneratedCells:
+    def test_generated_cell_checks_regeneration_first(self):
+        from repro.testing.invariants import (
+            GENERATED_INVARIANT_NAMES,
+            run_generated_cell,
+        )
+
+        cell = run_generated_cell(generator_seed=0, cell_index=1)
+        assert cell.ok, cell.violations
+        assert cell.checked[0] == "scene_regeneration"
+        assert set(cell.checked) <= set(GENERATED_INVARIANT_NAMES)
+        assert cell.scene_checksum is not None
+
+    def test_generated_cell_matches_scene_checksum(self):
+        from repro.scene.procgen import DEFAULT_SPACE, scene_checksum
+        from repro.testing.invariants import run_generated_cell
+
+        cell = run_generated_cell(
+            generator_seed=2, cell_index=3, check_determinism=False
+        )
+        assert cell.scene_checksum == scene_checksum(
+            DEFAULT_SPACE.sample(2, 3)
+        )
+
+    def test_qualified_scene_names_route_through_providers(self):
+        cell = run_invariant_cell(
+            "procgen:straight", seed=1, check_determinism=False
+        )
+        assert cell.scenario == "procgen:straight"
+        assert cell.ok, cell.violations
+
+
+class TestFleetEngineMatrix:
+    def test_fleet_matrix_matches_serial(self):
+        names = ("slalom", "cluttered_stop")
+        serial = run_invariant_matrix(
+            names=names, seeds=(0,), check_determinism=False
+        )
+        fleet = run_invariant_matrix(
+            names=names,
+            seeds=(0,),
+            check_determinism=False,
+            engine="fleet",
+            n_workers=2,
+        )
+        assert [c for c in fleet.cells] == [c for c in serial.cells]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_invariant_matrix(names=("slalom",), seeds=(0,), engine="boat")
+
+    def test_fleet_engine_rejects_config_overrides(self):
+        with pytest.raises(ValueError, match="serial"):
+            run_invariant_matrix(
+                names=("slalom",),
+                seeds=(0,),
+                engine="fleet",
+                reactive_enabled=False,
+            )
