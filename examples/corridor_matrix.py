@@ -12,9 +12,17 @@ The matrix runs on the fault-tolerant fleet substrate by default
 (identical results cell for cell — run_cell is pure per spec); pass
 ``--serial`` for the in-process path.
 
+Every violation the report prints carries a replay one-liner; paste it
+back here to re-run that single cell serially, with an optional
+Perfetto trace of the failing drive::
+
+    python examples/corridor_matrix.py --cell-id invariant:slalom:1 \
+        [--trace out.json]
+
 Usage::
 
     python examples/corridor_matrix.py [--serial] [seed ...]
+    python examples/corridor_matrix.py --cell-id <id> [--trace PATH]
 """
 
 import sys
@@ -24,8 +32,22 @@ from repro.scene.corridors import corridor_names, generate_corridor
 from repro.testing.invariants import run_invariant_matrix
 
 
+def replay_main(argv) -> None:
+    """The ``--cell-id`` path: re-run one named cell and exit."""
+    from repro.triage.replay import replay_cell
+
+    cell_id = argv[argv.index("--cell-id") + 1]
+    trace = (
+        argv[argv.index("--trace") + 1] if "--trace" in argv else None
+    )
+    result = replay_cell(cell_id, trace_path=trace)
+    sys.exit(1 if getattr(result.record, "violations", ()) else 0)
+
+
 def main() -> None:
     argv = sys.argv[1:]
+    if "--cell-id" in argv:
+        replay_main(argv)
     serial = "--serial" in argv
     seeds = [int(s) for s in argv if s != "--serial"] or [0, 1, 2]
     engine = "serial" if serial else "fleet"

@@ -8,9 +8,17 @@ drives one closed-loop, sweeps a small generated campaign through the
 fleet engine with the invariant harness, composes a generated scene with
 chaos fault draws, and finishes with the Eq. 2 mission-range frontier.
 
+Every violation the harness prints carries a replay one-liner; paste it
+back here to re-run that single generated cell serially, optionally
+exporting a Perfetto trace of the failing drive::
+
+    python examples/procgen_matrix.py --cell-id procgen:0:17:i1 \
+        [--trace out.json]
+
 Usage::
 
     python examples/procgen_matrix.py [generator_seed] [n_cells]
+    python examples/procgen_matrix.py --cell-id <id> [--trace PATH]
 """
 
 import sys
@@ -28,7 +36,21 @@ from repro.scene.procgen import (
 )
 
 
+def replay_main(argv) -> None:
+    """The ``--cell-id`` path: re-run one named cell and exit."""
+    from repro.triage.replay import replay_cell
+
+    cell_id = argv[argv.index("--cell-id") + 1]
+    trace = (
+        argv[argv.index("--trace") + 1] if "--trace" in argv else None
+    )
+    result = replay_cell(cell_id, trace_path=trace)
+    sys.exit(1 if getattr(result.record, "violations", ()) else 0)
+
+
 def main() -> None:
+    if "--cell-id" in sys.argv[1:]:
+        replay_main(sys.argv[1:])
     args = [int(a) for a in sys.argv[1:]]
     generator_seed = args[0] if args else 0
     n_cells = args[1] if len(args) > 1 else 8

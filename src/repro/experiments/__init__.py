@@ -22,6 +22,7 @@ from . import (  # noqa: F401  (imports register the experiments)
     procgen_campaign,
     scenario_matrix,
     sync_study,
+    triage_campaign,
 )
 from .base import (
     ExperimentResult,

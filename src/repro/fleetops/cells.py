@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 #: The cell kinds :func:`run_cell` can execute.
-CELL_KINDS = ("chaos", "invariant", "drill", "procgen")
+CELL_KINDS = ("chaos", "invariant", "drill", "procgen", "triage")
 
 
 @dataclass(frozen=True)
@@ -109,7 +109,66 @@ class DrillCell:
         return f"drill:{self.scenario}:{arm}:{self.seed}"
 
 
-CellPayload = Union[ChaosCell, InvariantCell, DrillCell, ProcGenCell]
+@dataclass(frozen=True)
+class TriageCell:
+    """One fully-explicit drive: the unit the failure-triage shrinker edits.
+
+    Unlike the campaign cell kinds — which name a *draw* (a config plus
+    an index into a seeded stream) — a triage cell carries the complete
+    fault schedule, the agent drop-set, the drive horizon, and the scene
+    coordinates explicitly, so the delta-debugging shrinker can remove
+    any single element and re-run the remainder bit-identically.
+
+    ``scene`` is ``"drill-lane"`` (the chaos single-obstacle lane), a
+    registered corridor name, or ``"procgen:<topology>"`` (regenerated
+    from ``space.sample(scene_seed, cell_index, topology=...)``).
+    ``faults`` is the *entire* schedule — any schedule the scene carries
+    built in is ignored, so the shrinker's subset is authoritative.
+    ``replica`` distinguishes flake-protocol re-executions of the same
+    underlying cell; replica 0 is the exact original.
+    """
+
+    scene: str = "drill-lane"
+    scene_seed: int = 0
+    sim_seed: int = 0
+    faults: Tuple = ()
+    drop_agents: Tuple[int, ...] = ()
+    duration_s: Optional[float] = None
+    safety_net: bool = False
+    invariant: str = "no_collision_or_safe_stop"
+    #: Drill-lane geometry (ignored for corridor/procgen scenes).
+    obstacle_distance_m: float = 25.0
+    initial_speed_mps: float = 5.6
+    #: Generator space for ``procgen:*`` scenes (frozen, picklable).
+    space: Optional["object"] = None
+    cell_index: int = 0
+    replica: int = 0
+    #: Provenance: the campaign cell id this violation was harvested from.
+    origin: str = ""
+
+    @property
+    def cell_id(self) -> str:
+        import zlib
+
+        ident = (
+            self.scene,
+            self.scene_seed,
+            self.sim_seed,
+            tuple(repr(f) for f in self.faults),
+            self.drop_agents,
+            self.duration_s,
+            self.safety_net,
+            self.invariant,
+            self.obstacle_distance_m,
+            self.initial_speed_mps,
+            repr(self.space),
+            self.cell_index,
+        )
+        crc = zlib.crc32(repr(ident).encode("utf-8"))
+        return f"triage:{self.scene}:{self.sim_seed}:{crc:08x}:r{self.replica}"
+
+
+CellPayload = Union[ChaosCell, InvariantCell, DrillCell, ProcGenCell, TriageCell]
 
 
 @dataclass(frozen=True)
@@ -175,6 +234,11 @@ class CellResult:
     record: object
     sim_duration_s: float
     wall_s: float
+    #: Worker-side exception traceback, when this result came out of an
+    #: in-process fallback after pool attempts died (see
+    #: :class:`repro.fleetops.supervisor.FleetRunReport.failure_details`).
+    #: Diagnostic only — excluded from :meth:`identity`.
+    error: Optional[str] = None
 
     def identity(self) -> Tuple:
         """The machine-independent view (what bit-identity compares)."""
@@ -322,11 +386,42 @@ def _run_procgen_cell(spec: CellSpec) -> CellResult:
     )
 
 
+def _run_triage_cell(spec: CellSpec) -> CellResult:
+    from ..testing.invariants import drive_fingerprint
+    from ..triage.oracle import execute_triage_cell
+
+    cell: TriageCell = spec.cell
+    started = time.perf_counter()
+    outcome, result = execute_triage_cell(cell)
+    wall_s = time.perf_counter() - started
+    summary = {
+        "violated": float(outcome.violated),
+        "collided": float(outcome.collided),
+        "stopped": float(outcome.stopped),
+        "entered_safe_stop": float(outcome.entered_safe_stop),
+        "min_clearance_m": outcome.min_clearance_m,
+        "n_faults": float(outcome.n_faults),
+        "n_agents": float(outcome.n_agents),
+        "duration_s": outcome.duration_s,
+    }
+    return CellResult(
+        cell_id=spec.cell_id,
+        index=spec.index,
+        kind=spec.kind,
+        fingerprint=drive_fingerprint(result),
+        summary=summary,
+        record=outcome,
+        sim_duration_s=outcome.duration_s,
+        wall_s=wall_s,
+    )
+
+
 _RUNNERS = {
     "chaos": _run_chaos_cell,
     "invariant": _run_invariant_cell,
     "drill": _run_drill_cell,
     "procgen": _run_procgen_cell,
+    "triage": _run_triage_cell,
 }
 
 
@@ -418,6 +513,97 @@ def procgen_cells(
                 check_determinism=check_determinism,
             ),
         )
+
+
+# -- cell-id parsing -----------------------------------------------------------
+
+
+def parse_cell_id(cell_id: str) -> CellSpec:
+    """Rebuild a runnable :class:`CellSpec` from a printed cell id.
+
+    This is the inverse of the ``cell_id`` properties for the campaign
+    kinds whose ids are self-describing — ``invariant:``, ``procgen:``,
+    ``chaos:``, and ``drill:`` — so a violation's repro line can be
+    replayed with nothing but the id (see
+    :func:`repro.triage.replay.replay_cell`).  Triage ids embed a CRC of
+    an explicit payload and cannot be reconstructed from the id alone;
+    replay those from the regression corpus instead.
+    """
+    parts = cell_id.split(":")
+    kind = parts[0]
+    try:
+        if kind == "invariant":
+            # invariant:{name}:{seed}[:nodet]
+            check = parts[-1] != "nodet"
+            if check:
+                name, seed = ":".join(parts[1:-1]), int(parts[-1])
+            else:
+                name, seed = ":".join(parts[1:-2]), int(parts[-2])
+            return CellSpec(
+                kind="invariant",
+                index=0,
+                cell=InvariantCell(name=name, seed=seed, check_determinism=check),
+            )
+        if kind == "procgen":
+            # procgen:{generator_seed}:{cell_index}:i{intensity}[:nodet]
+            from ..scene.procgen import DEFAULT_SPACE
+
+            check = parts[-1] != "nodet"
+            fields = parts[1:] if check else parts[1:-1]
+            generator_seed, cell_index = int(fields[0]), int(fields[1])
+            intensity = float(fields[2][1:])
+            space = DEFAULT_SPACE.with_intensity(intensity)
+            return CellSpec(
+                kind="procgen",
+                index=cell_index,
+                cell=ProcGenCell(
+                    space=space,
+                    generator_seed=generator_seed,
+                    cell_index=cell_index,
+                    check_determinism=check,
+                ),
+            )
+        if kind == "chaos":
+            # chaos:{corridor}:{seed}:{index}:{net|raw}; the corridor
+            # segment may itself contain ':' (procgen:crossroads), so
+            # split the fixed fields off the right.
+            from ..robustness.chaos import ChaosConfig
+
+            arm = parts[-1]
+            if arm not in ("net", "raw"):
+                raise ValueError(f"bad chaos arm {arm!r}")
+            seed, index = int(parts[-3]), int(parts[-2])
+            corridor = ":".join(parts[1:-3])
+            config = ChaosConfig(
+                n_drives=index + 1,
+                seed=seed,
+                safety_net=(arm == "net"),
+                corridor=None if corridor == "drill-lane" else corridor,
+            )
+            return CellSpec(
+                kind="chaos",
+                index=index,
+                cell=ChaosCell(config=config, drive_index=index),
+            )
+        if kind == "drill":
+            # drill:{scenario}:{arm}:{seed}
+            scenario = ":".join(parts[1:-2])
+            arm, seed = parts[-2], int(parts[-1])
+            if arm not in ("net", "raw"):
+                raise ValueError(f"bad drill arm {arm!r}")
+            return CellSpec(
+                kind="drill",
+                index=0,
+                cell=DrillCell(
+                    scenario=scenario, safety_net=(arm == "net"), seed=seed
+                ),
+            )
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"unparseable cell id {cell_id!r}: {exc}") from exc
+    raise ValueError(
+        f"cell id kind {kind!r} is not replayable from its id "
+        "(known: invariant, procgen, chaos, drill)"
+    )
 
 
 def drill_cells(

@@ -37,6 +37,7 @@ cells, zero duplicated cells.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import multiprocessing as mp
 import queue as queue_mod
@@ -132,6 +133,10 @@ class FleetRunReport:
     degraded_to_serial: bool = False
     dropped_messages: int = 0
     failed_cells: Tuple[str, ...] = ()
+    #: cell_id -> last worker-side exception traceback, for every cell
+    #: that errored at least once (failed cells keep theirs; cells that
+    #: eventually completed carry it on ``CellResult.error`` instead).
+    failure_details: Dict[str, str] = field(default_factory=dict)
     wall_s: float = 0.0
     journal_path: Optional[str] = None
 
@@ -416,6 +421,9 @@ class FleetSupervisor:
                 result = run_cell(spec)
             except Exception:
                 failed.append(spec.cell_id)
+                report.failure_details[spec.cell_id] = traceback.format_exc(
+                    limit=8
+                )
                 continue
             completed[spec.cell_id] = result
             report.serial_fallback_cells += 1
@@ -481,6 +489,12 @@ class FleetSupervisor:
             if result.cell_id in completed:
                 report.duplicates_discarded += 1
                 return
+            # A cell that errored on earlier attempts but completed here
+            # carries the last traceback as diagnostic payload (it is
+            # excluded from identity(), so bit-identity is unaffected).
+            detail = report.failure_details.pop(result.cell_id, None)
+            if detail is not None and result.error is None:
+                result = dataclasses.replace(result, error=detail)
             completed[result.cell_id] = result
             wall_times.append(result.wall_s)
             cells.pop(result.cell_id, None)
@@ -513,6 +527,9 @@ class FleetSupervisor:
                 result = run_cell(state.spec)
             except Exception:
                 abandoned.append(cell_id)
+                report.failure_details[cell_id] = traceback.format_exc(
+                    limit=8
+                )
                 return
             report.serial_fallback_cells += 1
             accept(result, attempt=state.dispatches, worker=-1)
@@ -594,6 +611,7 @@ class FleetSupervisor:
                         accept(payload, attempt=attempt, worker=worker_id)
                     else:
                         report.cell_errors += 1
+                        report.failure_details[cell_id] = payload
                         schedule_retry(cell_id)
                     continue  # drain eagerly before supervision passes
 

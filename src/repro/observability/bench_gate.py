@@ -9,6 +9,7 @@ Usage::
     python -m repro.observability.bench_gate snapshot --workload ingest
     python -m repro.observability.bench_gate snapshot --workload fleet
     python -m repro.observability.bench_gate snapshot --workload procgen
+    python -m repro.observability.bench_gate snapshot --workload triage
 
     # CI: re-run the seeded workload named by the baseline, fail on any
     # gated-metric regression, and (closed loop only) export the drive's
@@ -20,6 +21,7 @@ Usage::
     python -m repro.observability.bench_gate check --baseline BENCH_ingest.json
     python -m repro.observability.bench_gate check --baseline BENCH_fleet.json
     python -m repro.observability.bench_gate check --baseline BENCH_procgen.json
+    python -m repro.observability.bench_gate check --baseline BENCH_triage.json
 
 ``check`` reads the workload to replay from the baseline snapshot itself
 and exits non-zero when any gated metric regresses beyond its tolerance
@@ -40,6 +42,9 @@ from .regression import (
     PROCGEN_WORKLOAD_CELLS,
     PROCGEN_WORKLOAD_WORKERS,
     SCHEDULER_WORKLOAD_FRAMES,
+    TRIAGE_WORKLOAD_CHAOS,
+    TRIAGE_WORKLOAD_PROCGEN,
+    TRIAGE_WORKLOAD_REPLICAS,
     WORKLOAD_TOLERANCES,
     gate_against_baseline,
     load_snapshot,
@@ -50,6 +55,7 @@ from .regression import (
     snapshot_path,
     snapshot_procgen,
     snapshot_scheduler,
+    snapshot_triage,
     write_snapshot,
 )
 from .tracing import Tracer
@@ -116,6 +122,12 @@ def main(argv=None) -> int:
         help="worker-pool size (fleet and procgen workloads)",
     )
     snap.add_argument(
+        "--replicas",
+        type=int,
+        default=TRIAGE_WORKLOAD_REPLICAS,
+        help="flake-protocol replicas (triage workload only)",
+    )
+    snap.add_argument(
         "--out", default=None, help="output path (default BENCH_<name>.json)"
     )
 
@@ -172,6 +184,14 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 n_cells=args.cells or PROCGEN_WORKLOAD_CELLS,
                 n_workers=args.workers or PROCGEN_WORKLOAD_WORKERS,
+            )
+        elif args.workload == "triage":
+            snapshot = snapshot_triage(
+                name=name,
+                seed=args.seed,
+                n_chaos=TRIAGE_WORKLOAD_CHAOS,
+                n_procgen=TRIAGE_WORKLOAD_PROCGEN,
+                n_replicas=args.replicas,
             )
         else:
             snapshot = snapshot_closedloop(

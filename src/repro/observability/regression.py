@@ -91,6 +91,19 @@ WORKLOAD_TOLERANCES: Dict[str, Dict[str, float]] = {
         "failed_cells": 0.0,
         "collision_rate": 0.0,
     },
+    # The triage workload gates the failure-triage contracts: every
+    # minimized counterexample must still violate and every corpus
+    # record must replay bit-identically (both zero tolerance,
+    # regressing downward), the mean shrink reduction must not decay,
+    # and nothing may land in quarantine.  Shrink throughput gates
+    # downward with a generous tolerance (wall-clock on shared CI).
+    "triage": {
+        "mean_reduction_ratio": 0.0,
+        "minimized_still_violates_rate": 0.0,
+        "corpus_replay_pass_rate": 0.0,
+        "corpus_quarantined": 0.0,
+        "shrink_evals_per_s": 0.5,
+    },
 }
 
 #: Which way each gated metric regresses.  Default is "upper" (bigger is
@@ -101,6 +114,10 @@ DEFAULT_DIRECTIONS: Dict[str, str] = {
     "throughput_logs_per_s": "lower",
     "realtime_delivery_rate": "lower",
     "cells_per_s": "lower",
+    "mean_reduction_ratio": "lower",
+    "minimized_still_violates_rate": "lower",
+    "corpus_replay_pass_rate": "lower",
+    "shrink_evals_per_s": "lower",
 }
 
 #: Workload-shape invariants: when present in both snapshots these must
@@ -113,6 +130,9 @@ SHAPE_INVARIANTS = (
     "n_logs",
     "n_cells",
     "scene_fingerprint",
+    "n_violations",
+    "shrink_evaluations",
+    "corpus_records",
 )
 
 #: Snapshot format version (bump on incompatible metric renames).
@@ -533,6 +553,84 @@ def snapshot_procgen(
     )
 
 
+#: The triage workload's shape: the same seeded injection campaign the
+#: ``triage_campaign`` experiment runs — both arms contribute
+#: violations, both failure classes appear, and the whole loop
+#: (harvest, shrink, dedup, classify, file, replay) executes.
+TRIAGE_WORKLOAD_CHAOS = 12
+TRIAGE_WORKLOAD_PROCGEN = 10
+TRIAGE_WORKLOAD_REPLICAS = 4
+
+
+def snapshot_triage(
+    name: str = "triage",
+    seed: int = 0,
+    n_chaos: int = TRIAGE_WORKLOAD_CHAOS,
+    n_procgen: int = TRIAGE_WORKLOAD_PROCGEN,
+    n_replicas: int = TRIAGE_WORKLOAD_REPLICAS,
+) -> BenchmarkSnapshot:
+    """Run the seeded failure-triage workload end to end.
+
+    Harvests injected violations across the chaos and procgen arms,
+    delta-debugs each one, deduplicates by failure fingerprint,
+    flake-classifies the survivors, files them in a throwaway corpus,
+    and replays it.  The triage contracts gate at zero tolerance —
+    every minimized cell still violates, every record replays
+    bit-identically — and the violation/evaluation counts are shape
+    invariants (they are deterministic per seed, so any drift means the
+    workload itself changed).  Shrink throughput gates downward.
+    """
+    import tempfile
+
+    from ..triage.campaign import (
+        TriageCampaignConfig,
+        run_triage_campaign,
+        triage_summary,
+    )
+
+    config = TriageCampaignConfig(
+        seed=seed,
+        n_chaos=n_chaos,
+        n_procgen=n_procgen,
+        n_replicas=n_replicas,
+    )
+    with tempfile.TemporaryDirectory() as corpus_dir:
+        result = run_triage_campaign(config, corpus_dir=corpus_dir)
+        flat = triage_summary(result)
+    metrics: Dict[str, float] = {
+        "n_candidates": flat["n_candidates"],
+        "n_violations": flat["n_violations"],
+        "unique_failures": flat["unique_failures"],
+        "duplicates_merged": flat["duplicates_merged"],
+        "mean_reduction_ratio": flat["mean_reduction_ratio"],
+        "minimized_still_violates_rate": flat[
+            "minimized_still_violates_rate"
+        ],
+        "shrink_evaluations": flat["shrink_evaluations"],
+        "shrink_evals_per_s": flat["shrink_evals_per_s"],
+        "corpus_records": flat["corpus_records"],
+        "corpus_replay_pass_rate": flat["corpus_replay_pass_rate"],
+        "corpus_quarantined": flat["corpus_quarantined"],
+        "n_deterministic": flat["n_deterministic"],
+        "n_flaky": flat["n_flaky"],
+        "n_unreproducible": flat["n_unreproducible"],
+        # Informational only (machine-dependent): never gated.
+        "wall_s_total": flat["wall_s"],
+    }
+    return BenchmarkSnapshot(
+        name=name,
+        seed=seed,
+        duration_s=0.0,
+        metrics=metrics,
+        workload="triage",
+        params={
+            "n_chaos": float(n_chaos),
+            "n_procgen": float(n_procgen),
+            "n_replicas": float(n_replicas),
+        },
+    )
+
+
 def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
     """Re-run the seeded workload a baseline snapshot describes."""
     if baseline.workload == "closedloop":
@@ -594,6 +692,20 @@ def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
             ),
             n_workers=int(
                 baseline.params.get("n_workers", PROCGEN_WORKLOAD_WORKERS)
+            ),
+        )
+    if baseline.workload == "triage":
+        return snapshot_triage(
+            name=baseline.name,
+            seed=baseline.seed,
+            n_chaos=int(
+                baseline.params.get("n_chaos", TRIAGE_WORKLOAD_CHAOS)
+            ),
+            n_procgen=int(
+                baseline.params.get("n_procgen", TRIAGE_WORKLOAD_PROCGEN)
+            ),
+            n_replicas=int(
+                baseline.params.get("n_replicas", TRIAGE_WORKLOAD_REPLICAS)
             ),
         )
     raise ValueError(f"unknown workload {baseline.workload!r}")

@@ -78,6 +78,11 @@ DEFAULT_KIND_WEIGHTS: Tuple[Tuple[str, float], ...] = (
 )
 
 
+#: Seed-stream domain tag for composed triage fault schedules (distinct
+#: from the per-drive chaos scenario stream, 0xC4A05).
+_STREAM_SCHEDULE = 0x5C8ED
+
+
 def _uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
     return float(lo + (hi - lo) * rng.random())
 
@@ -228,6 +233,39 @@ class FaultSpace:
             faults=faults,
             description=f"chaos-sampled: {' + '.join(chosen)}",
         )
+
+    def sample_schedule(
+        self,
+        campaign_seed: int,
+        index: int,
+        n_draws: int,
+        stream: int = _STREAM_SCHEDULE,
+    ) -> Tuple["Fault", ...]:
+        """Compose *n_draws* independent scenario draws into one flat
+        fault schedule — the haystack the failure-triage shrinker
+        subsets.
+
+        Each draw gets its own :class:`numpy.random.SeedSequence` keyed
+        by ``(campaign_seed, index, draw, stream)``, so the schedule is
+        bit-identical per coordinate and any *subset* of it is exactly
+        re-runnable (delta debugging removes draws; it never re-rolls
+        them).  Unlike :meth:`sample_scenario`, composition across draws
+        is not double-blind gated — composed schedules are the
+        *injection* vocabulary, deliberately harsher than the admission-
+        gated campaign distribution.
+        """
+        if n_draws < 0:
+            raise ValueError("n_draws must be non-negative")
+        faults: List[Fault] = []
+        for draw in range(n_draws):
+            rng = np.random.default_rng(
+                np.random.SeedSequence((campaign_seed, index, draw, stream))
+            )
+            scenario = self.sample_scenario(
+                rng, name=f"schedule-{campaign_seed}-{index}-{draw}"
+            )
+            faults.extend(scenario.faults)
+        return tuple(faults)
 
 
 # -- campaign configuration ----------------------------------------------------

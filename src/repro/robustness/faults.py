@@ -259,6 +259,27 @@ class FaultScenario:
     def kinds(self) -> List[str]:
         return sorted({f.kind for f in self.faults})
 
+    def subset(self, indices: "Sequence[int]") -> "FaultScenario":
+        """The schedule restricted to the fault positions in *indices*.
+
+        The delta-debugging edit hook: triage shrinks a schedule by
+        dropping draws, never by re-rolling them, so any subset replays
+        the surviving faults bit-identically.  Order is preserved and
+        indices are de-duplicated; out-of-range indices raise.
+        """
+        keep = sorted(set(indices))
+        for i in keep:
+            if not 0 <= i < len(self.faults):
+                raise IndexError(
+                    f"fault index {i} out of range for "
+                    f"{len(self.faults)}-fault schedule"
+                )
+        return FaultScenario(
+            name=f"{self.name}-subset",
+            faults=tuple(self.faults[i] for i in keep),
+            description=self.description,
+        )
+
 
 #: The scenario a harness gets when none is supplied: injects nothing.
 EMPTY_SCENARIO = FaultScenario(name="nominal", faults=())

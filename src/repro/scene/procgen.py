@@ -76,6 +76,15 @@ TOPOLOGIES: Tuple[str, ...] = (
     "t_intersection",
 )
 
+#: Structural-complexity ladder, simplest first: the fallback order the
+#: failure-triage shrinker walks when simplifying a violating scene.
+TOPOLOGY_COMPLEXITY: Tuple[str, ...] = (
+    "straight",
+    "narrowing_gap",
+    "t_intersection",
+    "crossroads",
+)
+
 #: Generated scenes start the ego at the corridor suite's cruise speed.
 INITIAL_SPEED_MPS = 5.6
 
@@ -994,6 +1003,21 @@ class ProcGenSpace:
     def with_intensity(self, intensity: float) -> "ProcGenSpace":
         """This space with the difficulty dial set to *intensity*."""
         return replace(self, intensity=intensity)
+
+    @staticmethod
+    def simpler_topologies(topology: str) -> Tuple[str, ...]:
+        """Strictly simpler topologies than *topology*, simplest first.
+
+        The scene-simplification hook for the failure-triage shrinker:
+        it retargets a violating ``procgen:<topology>`` cell at each of
+        these in order and keeps the simplest scene that still violates.
+        """
+        if topology not in TOPOLOGY_COMPLEXITY:
+            raise ValueError(
+                f"unknown topology {topology!r}; known: {TOPOLOGIES}"
+            )
+        rank = TOPOLOGY_COMPLEXITY.index(topology)
+        return TOPOLOGY_COMPLEXITY[:rank]
 
     def topology_for(
         self, generator_seed: int, cell_index: int

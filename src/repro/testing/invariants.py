@@ -79,12 +79,19 @@ _RESIDENCY_TOL = 1e-9
 
 @dataclass(frozen=True)
 class InvariantViolation:
-    """One invariant failing on one cell — a pinned reproduction."""
+    """One invariant failing on one cell — a pinned reproduction.
+
+    ``cell_id`` is the campaign cell id the violation occurred in (when
+    the caller knows it), which makes :meth:`replay_command` a paste-able
+    serial replay with tracing enabled — the line every violation report
+    prints, and the entry point the failure-triage shrinker consumes.
+    """
 
     invariant: str
     scenario: str
     seed: int
     detail: str
+    cell_id: str = ""
 
     def repro(self) -> str:
         """The one-liner that reproduces this violation."""
@@ -92,6 +99,17 @@ class InvariantViolation:
             f"run_invariant_cell({self.scenario!r}, seed={self.seed})"
             f"  # {self.invariant}"
         )
+
+    def replay_command(self) -> str:
+        """The shell one-liner that replays this cell serially, traced."""
+        if not self.cell_id:
+            return self.repro()
+        tool = (
+            "examples/procgen_matrix.py"
+            if self.cell_id.startswith("procgen:")
+            else "examples/corridor_matrix.py"
+        )
+        return f"python {tool} --cell-id {self.cell_id}"
 
 
 @dataclass(frozen=True)
@@ -114,6 +132,13 @@ class CellOutcome:
     #: Scene determinism fingerprint (generated cells only; see
     #: :func:`repro.scene.procgen.scene_checksum`).
     scene_checksum: Optional[int] = None
+    #: Stage the Eq. 1 attribution charged the most deadline misses to
+    #: ("none" when no miss was recorded) — one leg of the failure
+    #: fingerprint (:func:`repro.triage.fingerprint.failure_fingerprint`).
+    dominant_stage: str = "none"
+    #: Degradation-mode trajectory, starting at NOMINAL, one entry per
+    #: supervisor transition — the third fingerprint leg.
+    mode_trajectory: Tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -194,6 +219,8 @@ class MatrixReport:
             )
         for violation in self.violations:
             lines.append(f"  !! {violation.repro()}: {violation.detail}")
+            if violation.cell_id:
+                lines.append(f"     replay: {violation.replay_command()}")
         return "\n".join(lines)
 
 
@@ -231,6 +258,133 @@ def drive_fingerprint(result) -> Tuple:
     )
 
 
+def dominant_attribution_stage(result) -> str:
+    """The stage charged the most Eq. 1 deadline misses ("none" if none).
+
+    Ties break toward the alphabetically-first stage so the answer is
+    stable across processes — it feeds the failure fingerprint.
+    """
+    table = getattr(result, "attribution", None)
+    if table is None or not table.by_stage:
+        return "none"
+    return max(sorted(table.by_stage), key=lambda s: table.by_stage[s])
+
+
+def degradation_trajectory(sov) -> Tuple[str, ...]:
+    """The mode path the degradation supervisor walked this drive.
+
+    Always starts at NOMINAL; one entry per supervisor transition.  A
+    drive with the supervisor disabled reports just ``("NOMINAL",)``.
+    """
+    machine = getattr(sov, "degradation", None)
+    transitions = getattr(machine, "transitions", None) or ()
+    return ("NOMINAL",) + tuple(t.mode.name for t in transitions)
+
+
+def check_drive_invariant(
+    invariant: str,
+    result,
+    blocked: bool = False,
+    sov=None,
+    result2=None,
+    faults: Sequence = (),
+) -> Tuple[bool, str]:
+    """Evaluate one named drive invariant on a completed drive.
+
+    The standalone single-invariant face of :func:`_evaluate_cell`, used
+    by the failure-triage oracle to ask "does this candidate still
+    violate the *same* invariant?" without re-running the whole harness.
+    Returns ``(violated, detail)``.
+
+    *blocked* is the scene's impassability flag; *result2* is a second
+    drive of the identical cell (required for ``replay_determinism``);
+    *sov* is required for ``reactive_engagement``; *faults* is the
+    cell's fault schedule (radar-corrupting kinds void the
+    reactive-engagement premise, matching the matrix harness).
+    """
+    if invariant == "replay_determinism":
+        if result2 is None:
+            raise ValueError("replay_determinism needs a second drive")
+        fp_a, fp_b = drive_fingerprint(result), drive_fingerprint(result2)
+        if fp_a != fp_b:
+            diffs = [
+                f"field {i}: {a!r} != {b!r}"
+                for i, (a, b) in enumerate(zip(fp_a, fp_b))
+                if a != b
+            ]
+            return True, f"re-run diverged: {'; '.join(diffs[:3])}"
+        return False, ""
+    if invariant == "no_collision_or_safe_stop":
+        if result.collided:
+            return True, (
+                f"{result.ops.collisions} collision tick(s), min clearance "
+                f"{result.min_obstacle_clearance_m:.3f} m"
+            )
+        if blocked and not (result.stopped or result.entered_safe_stop):
+            return True, (
+                "blocked corridor but the vehicle neither stopped nor "
+                "entered SAFE_STOP (final speed "
+                f"{result.final_state.speed_mps:.2f} m/s)"
+            )
+        return False, ""
+    if invariant == "deadline_accounting":
+        table = result.attribution
+        if table is None:
+            return True, "attribution table missing"
+        try:
+            table.check_consistency()
+        except AssertionError as exc:
+            return True, str(exc)
+        if table.total_misses > table.ticks_observed:
+            return True, (
+                f"{table.total_misses} misses exceed "
+                f"{table.ticks_observed} observed ticks"
+            )
+        if len(table.records) != table.total_misses:
+            return True, (
+                f"{len(table.records)} miss records vs total "
+                f"{table.total_misses}"
+            )
+        if table.total_misses != sum(table.by_stage.values()):
+            return True, (
+                "per-stage charges do not sum to the total "
+                f"({sum(table.by_stage.values())} vs {table.total_misses})"
+            )
+        return False, ""
+    if invariant == "residency_sums_to_one":
+        residency = result.mode_residency
+        total = sum(residency.values())
+        if abs(total - 1.0) > _RESIDENCY_TOL:
+            return True, f"residency fractions sum to {total!r}"
+        for mode, frac in residency.items():
+            if not 0.0 <= frac <= 1.0:
+                return True, f"residency[{mode}] = {frac!r} outside [0, 1]"
+        return False, ""
+    if invariant == "reactive_engagement":
+        if sov is None:
+            raise ValueError("reactive_engagement needs the sov instance")
+        if any(
+            getattr(f, "kind", "") in _RADAR_CORRUPTING
+            and getattr(f, "sensor", "") == "radar"
+            for f in faults
+        ):
+            return False, ""  # lying radar voids the premise
+        engagements = (
+            result.ops.reactive_overrides + result.ops.reactive_holds
+        )
+        threshold = sov.reactive.threshold_m
+        if result.ops.min_forward_range_m <= threshold and engagements == 0:
+            return True, (
+                f"forward range reached "
+                f"{result.ops.min_forward_range_m:.2f} m (threshold "
+                f"{threshold:.2f} m) but the reactive path never engaged"
+            )
+        return False, ""
+    raise ValueError(
+        f"unknown invariant {invariant!r}; known: {INVARIANT_NAMES}"
+    )
+
+
 def _radar_is_corrupted(scenario: CorridorScenario) -> bool:
     if scenario.fault_scenario is None:
         return False
@@ -249,6 +403,7 @@ def _evaluate_cell(
     pre_checked: Tuple[str, ...] = (),
     pre_violations: Tuple[InvariantViolation, ...] = (),
     scene_checksum: Optional[int] = None,
+    cell_id: str = "",
 ) -> CellOutcome:
     """The shared invariant check body: drive the cell via *one_drive*
     (a zero-argument callable returning ``(scenario, sov, result)``,
@@ -256,6 +411,8 @@ def _evaluate_cell(
 
     *pre_checked* / *pre_violations* carry scene-level checks the caller
     ran before driving (the generated-cell regeneration invariant).
+    *cell_id* stamps violations with the campaign cell id so reports can
+    print a paste-able ``--cell-id`` replay line.
     """
     scenario, sov, result = one_drive()
     violations: List[InvariantViolation] = list(pre_violations)
@@ -264,7 +421,11 @@ def _evaluate_cell(
     def violate(invariant: str, detail: str) -> None:
         violations.append(
             InvariantViolation(
-                invariant=invariant, scenario=label, seed=seed, detail=detail
+                invariant=invariant,
+                scenario=label,
+                seed=seed,
+                detail=detail,
+                cell_id=cell_id,
             )
         )
 
@@ -373,6 +534,8 @@ def _evaluate_cell(
         checked=tuple(checked),
         violations=tuple(violations),
         scene_checksum=scene_checksum,
+        dominant_stage=dominant_attribution_stage(result),
+        mode_trajectory=degradation_trajectory(sov),
     )
 
 
@@ -402,7 +565,14 @@ def run_invariant_cell(
         sov.enable_attribution(deadline_budget_s)
         return scenario, sov, sov.drive(scenario.duration_s)
 
-    return _evaluate_cell(one_drive, name, seed, check_determinism)
+    suffix = "" if check_determinism else ":nodet"
+    return _evaluate_cell(
+        one_drive,
+        name,
+        seed,
+        check_determinism,
+        cell_id=f"invariant:{name}:{seed}{suffix}",
+    )
 
 
 def run_generated_cell(
@@ -433,6 +603,11 @@ def run_generated_cell(
     space = DEFAULT_SPACE if space is None else space
     scenario = space.sample(generator_seed, cell_index, topology=topology)
     label = f"procgen:{scenario.topology}[{cell_index}]"
+    suffix = "" if check_determinism else ":nodet"
+    cell_id = (
+        f"procgen:{generator_seed}:{cell_index}"
+        f":i{space.intensity:g}{suffix}"
+    )
     pre_checked = ("scene_regeneration",)
     pre_violations: List[InvariantViolation] = []
     regenerated = space.sample(generator_seed, cell_index, topology=topology)
@@ -450,6 +625,7 @@ def run_generated_cell(
                 scenario=label,
                 seed=generator_seed,
                 detail=f"regeneration diverged: {'; '.join(diffs[:3])}",
+                cell_id=cell_id,
             )
         )
 
@@ -467,6 +643,7 @@ def run_generated_cell(
         pre_checked=pre_checked,
         pre_violations=tuple(pre_violations),
         scene_checksum=_scene_checksum(scenario),
+        cell_id=cell_id,
     )
 
 

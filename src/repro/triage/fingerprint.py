@@ -1,0 +1,47 @@
+"""Failure fingerprinting: dedup violations across campaigns.
+
+Two violations are "the same failure" when they violate the same
+invariant, the Eq. 1 attribution charges the same dominant stage, and
+the degradation supervisor walked the same mode trajectory — the triple
+that characterizes *how* the stack failed rather than *where in the
+campaign grid* it happened to surface.  The fingerprint is a stable
+sha256 prefix of that triple (never Python's ``hash()``, which is
+per-process salted), so corpus filenames and cross-campaign dedup agree
+on every machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+#: Hex digits kept from the digest — 64 bits, comfortably collision-free
+#: for any plausible corpus size, short enough for filenames and logs.
+FINGERPRINT_HEX_DIGITS = 16
+
+
+def failure_fingerprint(
+    invariant: str,
+    dominant_stage: str,
+    mode_trajectory: Sequence[str],
+) -> str:
+    """The stable identity of one failure mode."""
+    blob = repr((invariant, dominant_stage, tuple(mode_trajectory)))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return digest[:FINGERPRINT_HEX_DIGITS]
+
+
+def outcome_fingerprint(outcome) -> str:
+    """Fingerprint a :class:`~repro.triage.oracle.TriageOutcome`.
+
+    The invariant-kind component is the outcome's ``violation_kind`` —
+    invariant name plus failure class — so a collision and a
+    blocked-corridor overrun of the same invariant stay distinct
+    failures even when neither produced a deadline miss (dominant stage
+    ``none``) or a degradation transition (trajectory ``('NOMINAL',)``),
+    as is typical for unprotected harvest drives.
+    """
+    kind = getattr(outcome, "violation_kind", None) or outcome.invariant
+    return failure_fingerprint(
+        kind, outcome.dominant_stage, outcome.mode_trajectory
+    )

@@ -1,0 +1,324 @@
+"""Delta-debugging counterexample shrinker (Zeller's ddmin, four axes).
+
+A campaign violation arrives as a haystack: a multi-draw fault schedule
+composed with a generated scene full of scripted agents, driven for tens
+of seconds.  :class:`Shrinker` reduces it to the needle — the minimal
+cell that still violates the same invariant — by greedy minimization
+along four axes, in fixed order:
+
+1. **Scene simplification** — a ``procgen:<topology>`` scene falls back
+   toward the simplest topology that still violates
+   (:meth:`~repro.scene.procgen.ProcGenSpace.simpler_topologies`);
+   adopting a simpler scene resets the agent drop-set, since agent
+   identities belong to the scene that spawned them.
+2. **Fault-schedule subset** — :func:`ddmin` over the explicit fault
+   tuple.  Subsets re-run the surviving faults bit-identically (the
+   schedule is data, not a seed), so the result is 1-minimal: removing
+   any single remaining fault makes the violation vanish.
+3. **Agent-script subset** — :func:`ddmin` over the scene's agent ids;
+   the kept set's complement becomes ``drop_agents``.
+4. **Time-horizon truncation** — binary search for the shortest drive
+   prefix that still exhibits the failure, at a fixed resolution.  Only
+   collision violations truncate: a "blocked but never stopped" verdict
+   on a truncated prefix would be vacuous (the vehicle may simply not
+   have arrived yet), so non-collision violations keep their horizon.
+
+Every candidate is validated through the same
+``run_cell``/``drive_fingerprint`` machinery the campaigns use, and
+evaluations are memoized by cell id — the shrinker itself consumes no
+randomness, so shrinking is deterministic per input cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+def ddmin(
+    items: Sequence,
+    test: Callable[[Tuple], bool],
+    granularity: int = 2,
+) -> Tuple:
+    """Zeller's ddmin: a 1-minimal subsequence of *items* passing *test*.
+
+    *test* takes a tuple (a subsequence of *items*, order preserved) and
+    returns True when the property of interest — "still violates" —
+    holds.  The full sequence must pass.  The result is 1-minimal:
+    removing any single element makes *test* fail.  Deterministic: no
+    randomness, and candidate order depends only on the input.
+    """
+    current = tuple(items)
+    if not test(current):
+        raise ValueError("ddmin requires the full input to pass the test")
+    if len(current) <= 1:
+        return current
+    n = max(2, min(granularity, len(current)))
+    while len(current) >= 2:
+        chunk = len(current) / n
+        subsets = [
+            current[int(i * chunk): int((i + 1) * chunk)] for i in range(n)
+        ]
+        subsets = [s for s in subsets if s]
+        reduced = False
+        # Try each subset alone (reduce to subset) ...
+        for subset in subsets:
+            if len(subset) < len(current) and test(subset):
+                current = subset
+                n = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # ... then each complement (reduce to complement).
+        if n > 2:
+            for i in range(len(subsets)):
+                complement = tuple(
+                    x for j, s in enumerate(subsets) if j != i for x in s
+                )
+                if len(complement) < len(current) and test(complement):
+                    current = complement
+                    n = max(2, n - 1)
+                    reduced = True
+                    break
+        if reduced:
+            continue
+        if n >= len(current):
+            break
+        n = min(len(current), n * 2)
+    return current
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """One violation's minimization transcript."""
+
+    original: "object"  # TriageCell
+    minimized: "object"  # TriageCell
+    original_outcome: "object"  # TriageOutcome
+    minimized_outcome: "object"  # TriageOutcome
+    minimized_fingerprint: Tuple
+    evaluations: int
+    original_faults: int
+    minimized_faults: int
+    original_agents: int
+    minimized_agents: int
+    original_duration_s: float
+    minimized_duration_s: float
+    #: Axis-by-axis log lines, for the triage report.
+    steps: Tuple[str, ...]
+
+    @property
+    def still_violates(self) -> bool:
+        return bool(self.minimized_outcome.violated) and (
+            self.minimized_outcome.invariant
+            == self.original_outcome.invariant
+        )
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of (fault draws + agents) the shrinker removed."""
+        before = self.original_faults + self.original_agents
+        after = self.minimized_faults + self.minimized_agents
+        if before == 0:
+            return 0.0
+        return (before - after) / before
+
+
+class Shrinker:
+    """Greedy four-axis minimizer over :class:`TriageCell` candidates.
+
+    ``max_evaluations`` bounds the total candidate drives (the axes
+    degrade gracefully — whatever the budget allowed stands, and the
+    result is still a verified violating cell).  ``time_resolution_s``
+    is the truncation grid; ``min_duration_s`` the shortest horizon the
+    time axis will propose.
+    """
+
+    def __init__(
+        self,
+        time_resolution_s: float = 0.5,
+        min_duration_s: float = 0.5,
+        max_evaluations: int = 400,
+    ):
+        if time_resolution_s <= 0:
+            raise ValueError("time resolution must be positive")
+        if max_evaluations < 1:
+            raise ValueError("need at least one evaluation")
+        self.time_resolution_s = time_resolution_s
+        self.min_duration_s = min_duration_s
+        self.max_evaluations = max_evaluations
+        self._cache: Dict[str, "object"] = {}
+        self.evaluations = 0
+
+    # -- candidate evaluation --------------------------------------------------
+
+    def _run(self, cell):
+        """Execute *cell* (memoized by cell id); returns the CellResult."""
+        from ..fleetops.cells import CellSpec, run_cell
+
+        key = cell.cell_id
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.evaluations >= self.max_evaluations:
+            return None
+        self.evaluations += 1
+        result = run_cell(CellSpec(kind="triage", index=0, cell=cell))
+        self._cache[key] = result
+        return result
+
+    def _violates(self, cell, reference) -> bool:
+        """Does *cell* still violate the same way as *reference*?
+
+        "Same way" = same invariant (carried by the cell) and the same
+        collided/failed-to-stop flavor — a truncated prefix that
+        manufactures a *different* failure is not a valid reduction.
+        """
+        result = self._run(cell)
+        if result is None:
+            return False
+        outcome = result.record
+        return bool(
+            outcome.violated and outcome.collided == reference.collided
+        )
+
+    # -- the four axes ---------------------------------------------------------
+
+    def shrink(self, cell) -> ShrinkResult:
+        """Minimize *cell* (which must violate its target invariant)."""
+        baseline = self._run(cell)
+        if baseline is None or not baseline.record.violated:
+            raise ValueError(
+                f"cell {cell.cell_id} does not violate "
+                f"{cell.invariant!r}; nothing to shrink"
+            )
+        reference = baseline.record
+        steps: List[str] = []
+        current = cell
+
+        current = self._simplify_scene(current, reference, steps)
+        current = self._shrink_faults(current, reference, steps)
+        current = self._shrink_agents(current, reference, steps)
+        current = self._truncate_time(current, reference, steps)
+
+        final = self._run(current)
+        assert final is not None and final.record.violated
+        from .oracle import base_duration_s
+
+        return ShrinkResult(
+            original=cell,
+            minimized=current,
+            original_outcome=reference,
+            minimized_outcome=final.record,
+            minimized_fingerprint=final.fingerprint,
+            evaluations=self.evaluations,
+            original_faults=len(cell.faults),
+            minimized_faults=len(current.faults),
+            original_agents=reference.n_agents,
+            minimized_agents=final.record.n_agents,
+            original_duration_s=base_duration_s(cell),
+            minimized_duration_s=final.record.duration_s,
+            steps=tuple(steps),
+        )
+
+    def _simplify_scene(self, cell, reference, steps: List[str]):
+        if not cell.scene.startswith("procgen:"):
+            return cell
+        from ..scene.procgen import DEFAULT_SPACE, ProcGenSpace
+
+        topology = cell.scene.split(":", 1)[1]
+        space = DEFAULT_SPACE if cell.space is None else cell.space
+        for simpler in ProcGenSpace.simpler_topologies(topology):
+            candidate = dataclasses.replace(
+                cell,
+                scene=f"procgen:{simpler}",
+                drop_agents=(),  # agent ids belong to the old scene
+            )
+            if self._violates(candidate, reference):
+                steps.append(f"scene: {topology} -> {simpler}")
+                return candidate
+        return cell
+
+    def _shrink_faults(self, cell, reference, steps: List[str]):
+        if not cell.faults:
+            return cell
+
+        def keep(subset: Tuple) -> bool:
+            return self._violates(
+                dataclasses.replace(cell, faults=subset), reference
+            )
+
+        minimized = ddmin(cell.faults, keep)
+        if len(minimized) < len(cell.faults):
+            steps.append(f"faults: {len(cell.faults)} -> {len(minimized)}")
+        return dataclasses.replace(cell, faults=minimized)
+
+    def _shrink_agents(self, cell, reference, steps: List[str]):
+        from .oracle import scene_agent_ids
+
+        universe = scene_agent_ids(cell)
+        kept_now = tuple(a for a in universe if a not in set(cell.drop_agents))
+        if not kept_now:
+            return cell
+
+        def keep(subset: Tuple) -> bool:
+            drop = tuple(a for a in universe if a not in set(subset))
+            return self._violates(
+                dataclasses.replace(cell, drop_agents=drop), reference
+            )
+
+        minimized = ddmin(kept_now, keep)
+        if len(minimized) < len(kept_now):
+            steps.append(f"agents: {len(kept_now)} -> {len(minimized)}")
+        drop = tuple(a for a in universe if a not in set(minimized))
+        return dataclasses.replace(cell, drop_agents=drop)
+
+    def _truncate_time(self, cell, reference, steps: List[str]):
+        # Only collisions truncate meaningfully: they happen at a fixed
+        # sim time, so "violates" is monotone in the horizon and binary
+        # search applies.  Failure-to-stop verdicts need the full
+        # horizon to be non-vacuous.
+        if not reference.collided:
+            return cell
+        from .oracle import base_duration_s
+
+        full = base_duration_s(cell)
+        resolution = self.time_resolution_s
+        lo_steps = max(1, int(round(self.min_duration_s / resolution)))
+        hi_steps = max(lo_steps, int(round(full / resolution)))
+        if hi_steps <= lo_steps:
+            return cell
+
+        def violates_at(n_steps: int) -> bool:
+            duration = min(full, n_steps * resolution)
+            return self._violates(
+                dataclasses.replace(cell, duration_s=duration), reference
+            )
+
+        # Invariant: violates_at(hi) holds (the full horizon violates).
+        lo, hi = lo_steps - 1, hi_steps
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if violates_at(mid):
+                hi = mid
+            else:
+                lo = mid
+        duration = min(full, hi * resolution)
+        if duration < full:
+            steps.append(f"duration: {full:g} s -> {duration:g} s")
+        return dataclasses.replace(cell, duration_s=duration)
+
+
+def shrink_violation(
+    cell,
+    time_resolution_s: float = 0.5,
+    max_evaluations: int = 400,
+) -> ShrinkResult:
+    """Convenience wrapper: shrink one violating cell with fresh state."""
+    shrinker = Shrinker(
+        time_resolution_s=time_resolution_s,
+        max_evaluations=max_evaluations,
+    )
+    return shrinker.shrink(cell)

@@ -1,0 +1,187 @@
+"""Regression-corpus discipline: round-trip, corruption, bit-exact replay.
+
+Mirrors the crash-consistency tests of the fleet journal
+(``tests/fleetops/test_journal.py``): a record survives the disk
+round-trip exactly, a corrupt file is quarantined rather than trusted or
+fatal, and the replay sweep detects any divergence from the filed drive
+fingerprint.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.fleetops.cells import CellSpec, TriageCell, run_cell
+from repro.robustness.faults import FaultWindow, SensorDropoutFault
+from repro.triage.corpus import (
+    CORRUPT_SUFFIX,
+    CorpusError,
+    CorpusRecord,
+    load_corpus,
+    load_record,
+    record_path,
+    replay_corpus,
+    save_record,
+)
+from repro.triage.fingerprint import outcome_fingerprint
+
+
+def violating_cell(sim_seed: int = 7) -> TriageCell:
+    return TriageCell(
+        scene="drill-lane",
+        sim_seed=sim_seed,
+        faults=(
+            SensorDropoutFault(sensor="camera", window=FaultWindow(0.0, 3.0)),
+        ),
+        safety_net=False,
+        duration_s=2.5,
+        obstacle_distance_m=8.0,
+    )
+
+
+def make_record(sim_seed: int = 7) -> CorpusRecord:
+    cell = violating_cell(sim_seed)
+    result = run_cell(CellSpec(kind="triage", index=0, cell=cell))
+    assert result.record.violated
+    return CorpusRecord(
+        fingerprint=outcome_fingerprint(result.record),
+        invariant=cell.invariant,
+        origin="test:origin",
+        label="deterministic",
+        cell=cell,
+        outcome=result.record,
+        drive_fingerprint=tuple(result.fingerprint),
+        reduction_ratio=0.75,
+    )
+
+
+def test_record_round_trips_exactly(tmp_path):
+    record = make_record()
+    path = save_record(str(tmp_path), record)
+    loaded = load_record(path)
+    assert loaded.fingerprint == record.fingerprint
+    assert loaded.invariant == record.invariant
+    assert loaded.origin == record.origin
+    assert loaded.label == record.label
+    assert loaded.cell == record.cell
+    assert loaded.outcome == record.outcome
+    assert loaded.drive_fingerprint == record.drive_fingerprint
+    assert loaded.reduction_ratio == record.reduction_ratio
+
+
+def test_save_is_atomic_no_tmp_left_behind(tmp_path):
+    record = make_record()
+    save_record(str(tmp_path), record)
+    assert sorted(os.listdir(tmp_path)) == [f"{record.fingerprint}.json"]
+
+
+def test_corrupt_record_is_quarantined_not_fatal(tmp_path):
+    good = make_record(7)
+    save_record(str(tmp_path), good)
+    # A second record, then flip bytes in its payload.
+    bad = dataclasses.replace(make_record(11), fingerprint="feedfacecafebeef")
+    bad_path = save_record(str(tmp_path), bad)
+    with open(bad_path) as fh:
+        data = json.load(fh)
+    data["label"] = "tampered"  # breaks the CRC seal
+    with open(bad_path, "w") as fh:
+        json.dump(data, fh)
+
+    state = load_corpus(str(tmp_path))
+    assert [r.fingerprint for r in state.records] == [good.fingerprint]
+    assert state.quarantined == [bad_path]
+    assert os.path.exists(bad_path + CORRUPT_SUFFIX)
+    assert not os.path.exists(bad_path)
+
+
+def test_truncated_record_is_quarantined(tmp_path):
+    record = make_record()
+    path = save_record(str(tmp_path), record)
+    with open(path) as fh:
+        text = fh.read()
+    with open(path, "w") as fh:
+        fh.write(text[: len(text) // 2])
+    state = load_corpus(str(tmp_path))
+    assert state.records == []
+    assert state.quarantined == [path]
+
+
+def test_version_mismatch_raises(tmp_path):
+    record = make_record()
+    path = save_record(str(tmp_path), record)
+    with open(path) as fh:
+        data = json.load(fh)
+    data["v"] = 99
+    del data["crc"]
+    from repro.fleetops.journal import _seal
+
+    with open(path, "w") as fh:
+        json.dump(_seal(data), fh)
+    with pytest.raises(CorpusError):
+        load_record(path)
+
+
+def test_non_json_files_are_ignored(tmp_path):
+    record = make_record()
+    save_record(str(tmp_path), record)
+    (tmp_path / "notes.txt").write_text("not a record")
+    (tmp_path / "partial.json.tmp").write_text("{")
+    state = load_corpus(str(tmp_path))
+    assert len(state.records) == 1
+    assert state.quarantined == []
+
+
+def test_replay_passes_for_faithful_record(tmp_path):
+    save_record(str(tmp_path), make_record())
+    report = replay_corpus(str(tmp_path))
+    assert report.n_records == 1
+    assert report.n_pass == 1
+    assert report.ok
+    assert report.pass_rate == 1.0
+
+
+def test_replay_detects_fingerprint_divergence(tmp_path):
+    record = make_record()
+    forged = dataclasses.replace(
+        record,
+        drive_fingerprint=tuple(
+            list(record.drive_fingerprint[:-1]) + [("forged", 1)]
+        ),
+    )
+    save_record(str(tmp_path), forged)
+    report = replay_corpus(str(tmp_path))
+    assert not report.ok
+    assert report.failures[0][0] == record.fingerprint
+    assert "fingerprint" in report.failures[0][1]
+
+
+def test_replay_detects_no_longer_violating_cell(tmp_path):
+    record = make_record()
+    # File the record under a protected (passing) variant of the cell.
+    passing = dataclasses.replace(
+        record.cell, faults=(), safety_net=True
+    )
+    forged = dataclasses.replace(record, cell=passing)
+    save_record(str(tmp_path), forged)
+    report = replay_corpus(str(tmp_path))
+    assert not report.ok
+    assert "no longer violates" in report.failures[0][1]
+
+
+def test_replay_of_empty_corpus_passes_vacuously(tmp_path):
+    report = replay_corpus(str(tmp_path / "missing"))
+    assert report.n_records == 0
+    assert report.ok
+    assert report.pass_rate == 1.0
+
+
+def test_overwrite_same_fingerprint_keeps_one_file(tmp_path):
+    record = make_record()
+    save_record(str(tmp_path), record)
+    save_record(str(tmp_path), record)
+    assert os.listdir(tmp_path) == [f"{record.fingerprint}.json"]
+    assert record_path(str(tmp_path), record).endswith(
+        f"{record.fingerprint}.json"
+    )
