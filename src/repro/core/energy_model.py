@@ -48,7 +48,17 @@ class PowerInventory:
 
     @property
     def total_power_w(self) -> float:
-        return sum(c.total_power_w for c in self.components)
+        """Explicit left-fold in declared component order.
+
+        The fold order is part of the contract: inventories built by
+        :meth:`with_component` / :meth:`without` must report bit-identical
+        totals for identical component sequences, so the reduction must
+        not depend on any intermediate container's iteration order.
+        """
+        total = 0.0
+        for c in self.components:
+            total += c.total_power_w
+        return total
 
     def breakdown(self) -> Dict[str, float]:
         """Component name -> total watts."""

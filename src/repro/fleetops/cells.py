@@ -248,14 +248,12 @@ class CellResult:
 # -- execution -----------------------------------------------------------------
 
 
-def _run_chaos_cell(spec: CellSpec) -> CellResult:
-    from ..robustness.chaos import run_chaos_drive
+def _chaos_cell_result(
+    spec: CellSpec, record, result, wall_s: float
+) -> CellResult:
     from ..testing.invariants import drive_fingerprint
 
     cell: ChaosCell = spec.cell
-    started = time.perf_counter()
-    record, result = run_chaos_drive(cell.config, cell.drive_index)
-    wall_s = time.perf_counter() - started
     summary = {
         "collided": float(record.collided),
         "stopped": float(record.stopped),
@@ -274,6 +272,16 @@ def _run_chaos_cell(spec: CellSpec) -> CellResult:
         sim_duration_s=cell.config.duration_s,
         wall_s=wall_s,
     )
+
+
+def _run_chaos_cell(spec: CellSpec) -> CellResult:
+    from ..robustness.chaos import run_chaos_drive
+
+    cell: ChaosCell = spec.cell
+    started = time.perf_counter()
+    record, result = run_chaos_drive(cell.config, cell.drive_index)
+    wall_s = time.perf_counter() - started
+    return _chaos_cell_result(spec, record, result, wall_s)
 
 
 def _run_invariant_cell(spec: CellSpec) -> CellResult:
@@ -433,6 +441,76 @@ def run_cell(spec: CellSpec) -> CellResult:
     :class:`CellResult` (modulo the informational ``wall_s``).
     """
     return _RUNNERS[spec.kind](spec)
+
+
+CELL_ENGINES = ("serial", "batched")
+
+
+def run_cells(
+    specs: Sequence[CellSpec], engine: str = "serial"
+) -> List[CellResult]:
+    """Execute many cells; ``engine="batched"`` advances every chaos
+    cell's vehicle in lockstep through the vectorized multi-drive
+    stepper (:mod:`repro.runtime.batched`).
+
+    The engine is an execution strategy, not a semantic knob: batched
+    results are bit-identical to serial ones (``CellResult.identity()``
+    equality, enforced by the differential suite and the CI batched
+    smoke job).  Cell kinds without a batched build path (drill, triage,
+    invariant, procgen) run through :func:`run_cell` unchanged, so a
+    mixed campaign is always safe.  Results come back in spec order.
+    """
+    if engine not in CELL_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; use one of {CELL_ENGINES}"
+        )
+    specs = list(specs)
+    if engine == "serial":
+        return [run_cell(spec) for spec in specs]
+    from ..robustness.chaos import build_chaos_drive, chaos_drive_record
+    from ..runtime.batched import drive_batch
+
+    results: List[Optional[CellResult]] = [None] * len(specs)
+    chaos_positions: List[int] = []
+    for i, spec in enumerate(specs):
+        if spec.kind == "chaos":
+            chaos_positions.append(i)
+        else:
+            results[i] = run_cell(spec)
+    if chaos_positions:
+        started = time.perf_counter()
+        built = []
+        for i in chaos_positions:
+            cell: ChaosCell = specs[i].cell
+            built.append(build_chaos_drive(cell.config, cell.drive_index))
+        drive_results = drive_batch(
+            [sov for _scn, sov, _dur in built],
+            [duration for _scn, _sov, duration in built],
+        )
+        wall_s = (time.perf_counter() - started) / len(chaos_positions)
+        for pos, (scenario, _sov, _dur), result in zip(
+            chaos_positions, built, drive_results
+        ):
+            spec = specs[pos]
+            record = chaos_drive_record(
+                spec.cell.config, spec.cell.drive_index, scenario, result
+            )
+            results[pos] = _chaos_cell_result(spec, record, result, wall_s)
+    return [r for r in results if r is not None]
+
+
+def campaign_crc(results: Sequence[CellResult]) -> int:
+    """Order-independent CRC32 over a campaign's cell identities.
+
+    Two campaigns with equal CRCs produced bit-identical outcomes for
+    every cell (`identity()` excludes the informational ``wall_s``), no
+    matter which engine, worker count, or completion order produced
+    them — the single number the CI batched-smoke job compares.
+    """
+    import zlib
+
+    payload = repr(tuple(sorted(r.identity() for r in results)))
+    return zlib.crc32(payload.encode("utf-8"))
 
 
 # -- grid builders -------------------------------------------------------------

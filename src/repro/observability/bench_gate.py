@@ -10,6 +10,7 @@ Usage::
     python -m repro.observability.bench_gate snapshot --workload fleet
     python -m repro.observability.bench_gate snapshot --workload procgen
     python -m repro.observability.bench_gate snapshot --workload triage
+    python -m repro.observability.bench_gate snapshot --workload batched
 
     # CI: re-run the seeded workload named by the baseline, fail on any
     # gated-metric regression, and (closed loop only) export the drive's
@@ -22,6 +23,7 @@ Usage::
     python -m repro.observability.bench_gate check --baseline BENCH_fleet.json
     python -m repro.observability.bench_gate check --baseline BENCH_procgen.json
     python -m repro.observability.bench_gate check --baseline BENCH_triage.json
+    python -m repro.observability.bench_gate check --baseline BENCH_batched.json
 
 ``check`` reads the workload to replay from the baseline snapshot itself
 and exits non-zero when any gated metric regresses beyond its tolerance
@@ -34,6 +36,7 @@ import argparse
 import sys
 
 from .regression import (
+    BATCHED_WORKLOAD_DURATION_S,
     CHAOS_WORKLOAD_DRIVES,
     FLEET_WORKLOAD_CELLS,
     FLEET_WORKLOAD_WORKERS,
@@ -52,6 +55,7 @@ from .regression import (
     snapshot_closedloop,
     snapshot_fleet,
     snapshot_ingest,
+    snapshot_batched,
     snapshot_path,
     snapshot_procgen,
     snapshot_scheduler,
@@ -89,7 +93,7 @@ def main(argv=None) -> int:
         "--drives",
         type=int,
         default=CHAOS_WORKLOAD_DRIVES,
-        help="campaign size (chaos workload only)",
+        help="campaign size (chaos and batched workloads)",
     )
     snap.add_argument(
         "--frames",
@@ -184,6 +188,13 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 n_cells=args.cells or PROCGEN_WORKLOAD_CELLS,
                 n_workers=args.workers or PROCGEN_WORKLOAD_WORKERS,
+            )
+        elif args.workload == "batched":
+            snapshot = snapshot_batched(
+                name=name,
+                seed=args.seed,
+                n_drives=args.drives,
+                duration_s=BATCHED_WORKLOAD_DURATION_S,
             )
         elif args.workload == "triage":
             snapshot = snapshot_triage(

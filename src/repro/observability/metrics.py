@@ -126,7 +126,17 @@ class _P2Quantile:
 
 
 class StreamingHistogram:
-    """Count/sum/min/max plus P² estimates for a fixed quantile set."""
+    """Count/sum/min/max plus P² estimates for a fixed quantile set.
+
+    Determinism contract: every statistic is a pure left-fold over the
+    observation sequence.  ``sum`` accumulates in arrival order, each
+    P² estimator updates its five markers from one observation at a time
+    (estimators are independent, so their relative update order cannot
+    affect any estimate), and no randomness is consumed anywhere.  Two
+    histograms fed the same value sequence therefore produce bit-identical
+    summaries — which is what lets histogram output appear in replayed /
+    differential drive comparisons without tolerances.
+    """
 
     DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
 

@@ -104,6 +104,18 @@ WORKLOAD_TOLERANCES: Dict[str, Dict[str, float]] = {
         "corpus_quarantined": 0.0,
         "shrink_evals_per_s": 0.5,
     },
+    # The batched workload races the batched multi-drive stepper against
+    # the serial engine on the same N corridor drives.  Equivalence gates
+    # at zero tolerance (one diverging drive fingerprint fails
+    # immediately — the stepper's whole contract is bit-identity), and
+    # the measured speedup gates *downward* with a generous tolerance
+    # (wall-clock ratios on shared CI are noisy; losing half the
+    # vectorization win is still a regression worth failing on).
+    "batched": {
+        "fingerprint_mismatches": 0.0,
+        "collisions": 0.0,
+        "speedup": 0.5,
+    },
 }
 
 #: Which way each gated metric regresses.  Default is "upper" (bigger is
@@ -118,6 +130,7 @@ DEFAULT_DIRECTIONS: Dict[str, str] = {
     "minimized_still_violates_rate": "lower",
     "corpus_replay_pass_rate": "lower",
     "shrink_evals_per_s": "lower",
+    "speedup": "lower",
 }
 
 #: Workload-shape invariants: when present in both snapshots these must
@@ -631,6 +644,87 @@ def snapshot_triage(
     )
 
 
+#: The batched workload's shape: one drive per corridor plus wrap-around
+#: repeats up to N, long enough that the stepper's lockstep/retirement
+#: machinery is exercised across heterogeneous scene durations.
+BATCHED_WORKLOAD_DRIVES = 16
+BATCHED_WORKLOAD_DURATION_S = 8.0
+
+
+def snapshot_batched(
+    name: str = "batched",
+    seed: int = 0,
+    n_drives: int = BATCHED_WORKLOAD_DRIVES,
+    duration_s: float = BATCHED_WORKLOAD_DURATION_S,
+) -> BenchmarkSnapshot:
+    """Race the batched multi-drive stepper against the serial engine.
+
+    Builds the same *n_drives* corridor drives twice (corridors cycled,
+    seeds offset from *seed*), runs one set serially through
+    ``SystemsOnAVehicle.drive`` and the other through
+    :func:`~repro.runtime.batched.drive_batch`, and snapshots:
+
+    * ``fingerprint_mismatches`` — drives whose
+      :func:`~repro.testing.invariants.drive_fingerprint` diverged
+      between engines (the equivalence contract; gated at zero);
+    * ``speedup`` — aggregate ticks/s, batched over serial (gated
+      downward — the vectorization win must not silently erode);
+    * per-engine ticks/s plus wall-clock totals (informational).
+    """
+    from ..runtime.batched import drive_batch
+    from ..scene.corridors import corridor_names, make_corridor_sov
+    from ..scene.providers import resolve_scene
+    from ..testing.invariants import drive_fingerprint
+
+    names = sorted(corridor_names())
+
+    def build(index: int):
+        scenario = resolve_scene(names[index % len(names)], seed + index)
+        sov = make_corridor_sov(scenario, safety_net=True)
+        sov.enable_attribution()
+        return sov
+
+    serial_sovs = [build(i) for i in range(n_drives)]
+    started = time.perf_counter()
+    serial_results = [sov.drive(duration_s) for sov in serial_sovs]
+    serial_wall_s = time.perf_counter() - started
+
+    batched_sovs = [build(i) for i in range(n_drives)]
+    started = time.perf_counter()
+    batched_results = drive_batch(
+        batched_sovs, [duration_s] * n_drives
+    )
+    batched_wall_s = time.perf_counter() - started
+
+    mismatches = sum(
+        drive_fingerprint(a) != drive_fingerprint(b)
+        for a, b in zip(serial_results, batched_results)
+    )
+    ticks = sum(r.ops.control_ticks for r in serial_results)
+    metrics: Dict[str, float] = {
+        "n_drives": float(n_drives),
+        "control_ticks": float(ticks),
+        "fingerprint_mismatches": float(mismatches),
+        "collisions": float(
+            sum(r.ops.collisions for r in serial_results)
+        ),
+        "speedup": (ticks / batched_wall_s) / (ticks / serial_wall_s),
+        # Informational only (machine-dependent): never gated.
+        "ticks_per_s_serial": ticks / serial_wall_s,
+        "ticks_per_s_batched": ticks / batched_wall_s,
+        "wall_s_serial": serial_wall_s,
+        "wall_s_batched": batched_wall_s,
+    }
+    return BenchmarkSnapshot(
+        name=name,
+        seed=seed,
+        duration_s=duration_s,
+        metrics=metrics,
+        workload="batched",
+        params={"n_drives": float(n_drives)},
+    )
+
+
 def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
     """Re-run the seeded workload a baseline snapshot describes."""
     if baseline.workload == "closedloop":
@@ -693,6 +787,15 @@ def run_workload(baseline: BenchmarkSnapshot, tracer=None) -> BenchmarkSnapshot:
             n_workers=int(
                 baseline.params.get("n_workers", PROCGEN_WORKLOAD_WORKERS)
             ),
+        )
+    if baseline.workload == "batched":
+        return snapshot_batched(
+            name=baseline.name,
+            seed=baseline.seed,
+            n_drives=int(
+                baseline.params.get("n_drives", BATCHED_WORKLOAD_DRIVES)
+            ),
+            duration_s=baseline.duration_s or BATCHED_WORKLOAD_DURATION_S,
         )
     if baseline.workload == "triage":
         return snapshot_triage(

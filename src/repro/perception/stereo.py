@@ -57,7 +57,15 @@ def _sad_disparity(
     d_min: int,
     d_max: int,
 ) -> Tuple[int, float]:
-    """Best disparity for one pixel by SAD search in [d_min, d_max]."""
+    """Best disparity for one pixel by SAD search in [d_min, d_max].
+
+    The SAD reduction runs in **logical C order** (row-major over the
+    window) regardless of the images' memory layout — ``np.sum`` on a
+    bare view would follow the *buffer* order, making the result depend
+    on whether the caller handed in C- or F-ordered images.  Pinning
+    the order keeps this scalar reference bit-identical to the
+    vectorized row kernel (:func:`_sad_disparity_row`).
+    """
     template = left[row - half : row + half + 1, col - half : col + half + 1]
     best_d, best_sad = d_min, float("inf")
     for d in range(d_min, d_max + 1):
@@ -65,9 +73,56 @@ def _sad_disparity(
         if c0 - half < 0:
             break
         patch = right[row - half : row + half + 1, c0 - half : c0 + half + 1]
-        sad = float(np.sum(np.abs(template - patch)))
+        sad = float(np.sum(np.ascontiguousarray(np.abs(template - patch))))
         if sad < best_sad:
             best_sad, best_d = sad, d
+    return best_d, best_sad
+
+
+def _sad_disparity_row(
+    left: np.ndarray,
+    right: np.ndarray,
+    row: int,
+    cols: np.ndarray,
+    half: int,
+    d_min: np.ndarray,
+    d_max: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_sad_disparity` for many pixels of one image row.
+
+    *cols* are the candidate column centers; *d_min*/*d_max* the
+    per-column search bands.  Returns ``(best_d, best_sad)`` arrays
+    bit-identical to calling the scalar search per column: each
+    candidate window is gathered as a contiguous ``(w, w)`` block and
+    summed in the same element order, and the ascending-d loop with a
+    strict ``<`` keeps the same lowest-disparity tie-break.
+    """
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    window = 2 * half + 1
+    width = left.shape[1]
+    left_rows = left[row - half : row + half + 1, :]
+    right_rows = right[row - half : row + half + 1, :]
+    best_sad = np.full(cols.shape[0], np.inf)
+    best_d = d_min.astype(np.int64).copy()
+    for d in range(int(d_min.min()), int(d_max.max()) + 1):
+        # The scalar loop breaks when the right window would cross the
+        # image edge (c - d - half < 0); the mask drops the same pairs.
+        active = (d >= d_min) & (d <= d_max) & (cols - d - half >= 0)
+        if not active.any():
+            continue
+        # diff[:, j] = |left[:, j + d] - right[:, j]|; the window for
+        # column center c starts at diff column (c - half - d).
+        diff = np.abs(left_rows[:, d:] - right_rows[:, : width - d])
+        if diff.shape[1] < window:
+            continue
+        windows = sliding_window_view(diff, (window, window))[0]
+        gathered = windows[cols[active] - half - d].reshape(-1, window * window)
+        sad = np.sum(gathered, axis=1)
+        improved = sad < best_sad[active]
+        active_idx = np.nonzero(active)[0][improved]
+        best_sad[active_idx] = sad[improved]
+        best_d[active_idx] = d
     return best_d, best_sad
 
 
@@ -97,17 +152,25 @@ class ElasLikeMatcher:
         texture_threshold = float(np.percentile(texture, 50))
         rows = range(half, h - half, self.grid_step_px)
         cols = range(half + self.max_disparity_px, w - half, self.grid_step_px)
-        support = np.full((len(list(rows)), len(list(cols))), np.nan)
+        col_list = np.array(list(cols), dtype=np.int64)
+        support = np.full((len(list(rows)), col_list.shape[0]), np.nan)
         for i, r in enumerate(range(half, h - half, self.grid_step_px)):
-            for j, c in enumerate(
-                range(half + self.max_disparity_px, w - half, self.grid_step_px)
-            ):
-                if texture[r, c] < texture_threshold:
-                    continue
-                d, _sad = _sad_disparity(
-                    left, right, r, c, half, 0, self.max_disparity_px
-                )
-                support[i, j] = d
+            textured = texture[r, col_list] >= texture_threshold
+            if not textured.any():
+                continue
+            active_cols = col_list[textured]
+            d, _sad = _sad_disparity_row(
+                left,
+                right,
+                r,
+                active_cols,
+                half,
+                np.zeros(active_cols.shape[0], dtype=np.int64),
+                np.full(
+                    active_cols.shape[0], self.max_disparity_px, dtype=np.int64
+                ),
+            )
+            support[i, textured] = d
         return support
 
     def _dense_prior(
@@ -141,14 +204,18 @@ class ElasLikeMatcher:
         prior = self._dense_prior(support, left.shape)
         disparity = np.zeros(left.shape)
         valid = np.zeros(left.shape, dtype=bool)
+        cols = np.arange(half + self.max_disparity_px, w - half, dtype=np.int64)
+        if cols.shape[0] == 0:
+            return StereoResult(disparity=disparity, valid_mask=valid)
         for r in range(half, h - half):
-            for c in range(half + self.max_disparity_px, w - half):
-                center = int(round(prior[r, c]))
-                d_min = max(0, center - self.band_px)
-                d_max = min(self.max_disparity_px, center + self.band_px)
-                d, sad = _sad_disparity(left, right, r, c, half, d_min, d_max)
-                disparity[r, c] = d
-                valid[r, c] = np.isfinite(sad)
+            center = np.rint(prior[r, cols]).astype(np.int64)
+            d_min = np.maximum(0, center - self.band_px)
+            d_max = np.minimum(self.max_disparity_px, center + self.band_px)
+            d, sad = _sad_disparity_row(
+                left, right, r, cols, half, d_min, d_max
+            )
+            disparity[r, cols] = d
+            valid[r, cols] = np.isfinite(sad)
         return StereoResult(disparity=disparity, valid_mask=valid)
 
 

@@ -56,16 +56,33 @@ class RelativeMotion:
 
 
 def _body_frame_positions(frame: Frame) -> Dict[int, Tuple[float, float]]:
-    """Per-landmark (forward, lateral) positions from bearing + depth."""
-    positions = {}
-    for obs in frame.observations:
-        if obs.depth_m is None or obs.depth_m <= 0:
-            continue
-        # u = cx + f * (-lateral) / forward  =>  lateral = -(u - cx) * Z / f
-        forward = obs.depth_m
-        lateral = -(obs.u_px - 160.0) * forward / 320.0
-        positions[obs.landmark_id] = (forward, lateral)
-    return positions
+    """Per-landmark (forward, lateral) positions from bearing + depth.
+
+    Vectorized over the frame's observations; the elementwise
+    ``-(u - cx) * Z / f`` is the same IEEE operation sequence as the
+    scalar expression, so each entry is bit-identical to the
+    per-observation loop this replaces.
+    """
+    usable = [
+        obs
+        for obs in frame.observations
+        if obs.depth_m is not None and obs.depth_m > 0
+    ]
+    if not usable:
+        return {}
+    n = len(usable)
+    # u = cx + f * (-lateral) / forward  =>  lateral = -(u - cx) * Z / f
+    forward = np.fromiter(
+        (obs.depth_m for obs in usable), dtype=np.float64, count=n
+    )
+    u_px = np.fromiter(
+        (obs.u_px for obs in usable), dtype=np.float64, count=n
+    )
+    lateral = -(u_px - 160.0) * forward / 320.0
+    return {
+        obs.landmark_id: (float(fwd), float(lat))
+        for obs, fwd, lat in zip(usable, forward, lateral)
+    }
 
 
 def estimate_relative_motion(

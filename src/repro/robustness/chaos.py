@@ -350,8 +350,17 @@ class ChaosDriveRecord:
     attribution: Optional[AttributionTable] = None
 
 
-def run_chaos_drive(config: ChaosConfig, index: int):
-    """Run drive *index* of the campaign; returns (record, DriveResult)."""
+def build_chaos_drive(config: ChaosConfig, index: int):
+    """Construct drive *index* without driving it.
+
+    Returns ``(scenario, sov, duration_s)`` — the configured vehicle
+    ready for either ``sov.drive(duration_s)`` (the serial path) or the
+    batched stepper (:mod:`repro.runtime.batched`), which advances many
+    such vehicles in lockstep.  Splitting construction from execution is
+    what lets a fleet campaign swap the engine without touching the
+    per-drive seeding contract: the sov built here is bit-identical
+    either way.
+    """
     from ..runtime.sov import SovConfig, SystemsOnAVehicle
     from ..scene.lanes import straight_corridor
     from ..scene.world import Obstacle, World
@@ -396,7 +405,13 @@ def run_chaos_drive(config: ChaosConfig, index: int):
     # Attribution is RNG-free bookkeeping: enabling it for every chaos
     # drive leaves the drive itself bit-identical to an unobserved run.
     sov.enable_attribution()
-    result = sov.drive(duration_s)
+    return scenario, sov, duration_s
+
+
+def chaos_drive_record(
+    config: ChaosConfig, index: int, scenario, result
+) -> ChaosDriveRecord:
+    """Summarize a completed drive into its campaign record."""
     health = result.health
     record = ChaosDriveRecord(
         index=index,
@@ -422,7 +437,14 @@ def run_chaos_drive(config: ChaosConfig, index: int):
         ),
         attribution=result.attribution,
     )
-    return record, result
+    return record
+
+
+def run_chaos_drive(config: ChaosConfig, index: int):
+    """Run drive *index* of the campaign; returns (record, DriveResult)."""
+    scenario, sov, duration_s = build_chaos_drive(config, index)
+    result = sov.drive(duration_s)
+    return chaos_drive_record(config, index, scenario, result), result
 
 
 def replay_drive(campaign_seed: int, index: int, safety_net: bool = True,

@@ -175,15 +175,23 @@ class DegradationStateMachine:
 
         A machine that never ticked reports full residency in its current
         mode.
+
+        The total is reduced by an explicit left-fold in
+        :class:`DegradationMode` declaration order — not ``sum()`` over
+        ``dict.values()`` — so the float result (and hence the drive
+        fingerprint it feeds) cannot drift if the accumulator dict is ever
+        rebuilt in a different key order.
         """
-        total = sum(self.mode_time_s.values())
+        total = 0.0
+        for m in DegradationMode:
+            total += self.mode_time_s[m.name]
         if total <= 0.0:
             return {
                 m.name: 1.0 if m is self.mode else 0.0
                 for m in DegradationMode
             }
         return {
-            name: time_s / total for name, time_s in self.mode_time_s.items()
+            m.name: self.mode_time_s[m.name] / total for m in DegradationMode
         }
 
     def _transition(

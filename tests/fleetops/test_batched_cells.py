@@ -1,0 +1,67 @@
+"""Tests for the batched cell engine and the campaign CRC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleetops.cells import (
+    CELL_ENGINES,
+    campaign_crc,
+    chaos_cells,
+    invariant_cells,
+    run_cell,
+    run_cells,
+)
+from repro.robustness.chaos import ChaosConfig, FaultSpace
+
+
+def _specs(n: int = 4, seed: int = 3):
+    config = ChaosConfig(n_drives=n, seed=seed, space=FaultSpace())
+    return list(chaos_cells(config))
+
+
+def test_run_cells_serial_equals_run_cell():
+    specs = _specs(2)
+    a = [r.identity() for r in run_cells(specs)]
+    b = [run_cell(s).identity() for s in specs]
+    assert a == b
+
+
+def test_batched_engine_bit_identical_to_serial():
+    specs = _specs(4)
+    serial = run_cells(specs)
+    batched = run_cells(specs, engine="batched")
+    assert [r.identity() for r in serial] == [
+        r.identity() for r in batched
+    ]
+    assert campaign_crc(serial) == campaign_crc(batched)
+    # Records (the campaign's analytic payload) must agree too.
+    for a, b in zip(serial, batched):
+        assert a.summary == b.summary
+        assert a.record.mode_residency == b.record.mode_residency
+        assert a.record.deadline_misses == b.record.deadline_misses
+
+
+def test_batched_engine_mixed_kinds_preserves_order():
+    chaos = _specs(2)
+    invariant = list(invariant_cells(names=["slalom"], seeds=(0,)))
+    # Interleave: invariant cell between the chaos cells.
+    specs = [chaos[0], invariant[0], chaos[1]]
+    serial = run_cells(specs)
+    batched = run_cells(specs, engine="batched")
+    assert [r.cell_id for r in batched] == [s.cell_id for s in specs]
+    assert [r.identity() for r in serial] == [
+        r.identity() for r in batched
+    ]
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_cells(_specs(1), engine="warp")
+    assert CELL_ENGINES == ("serial", "batched")
+
+
+def test_campaign_crc_is_order_independent_and_sensitive():
+    results = run_cells(_specs(3))
+    assert campaign_crc(results) == campaign_crc(list(reversed(results)))
+    assert campaign_crc(results) != campaign_crc(results[:2])

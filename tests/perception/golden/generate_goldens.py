@@ -1,0 +1,148 @@
+"""Regenerate the golden files for the perception/collision kernels.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/perception/golden/generate_goldens.py
+
+The goldens freeze the **pre-vectorization** outputs of the stereo block
+matcher, the VIO pipeline, and the trajectory collision checker on
+pinned, seeded inputs.  The vectorized rewrites must reproduce these
+files bit-for-bit (``test_golden_kernels.py``); regenerate only when a
+deliberate, reviewed behaviour change lands.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def stereo_golden() -> None:
+    from repro.perception.stereo import ElasLikeMatcher
+    from repro.scene.kitti_like import make_stereo_pair
+
+    pair = make_stereo_pair(shape=(48, 96), seed=5)
+    matcher = ElasLikeMatcher()
+    support = matcher._support_points(pair.left, pair.right)
+    prior = matcher._dense_prior(support, pair.left.shape)
+    result = matcher.match(pair)
+    np.savez_compressed(
+        os.path.join(HERE, "stereo_golden.npz"),
+        left=pair.left,
+        right=pair.right,
+        support=support,
+        prior=prior,
+        disparity=result.disparity,
+        valid_mask=result.valid_mask,
+    )
+    print(f"stereo: {int(result.valid_mask.sum())} valid px")
+
+
+def vio_golden() -> None:
+    from repro.perception.vio import VisualInertialOdometry
+    from repro.scene.kitti_like import SequenceGenerator
+    from repro.scene.trajectory import CircuitTrajectory
+    from repro.scene.world import Landmark, World
+
+    rng = np.random.default_rng(9)
+    n = 600
+    landmarks = [
+        Landmark(i, float(r * np.cos(t)), float(r * np.sin(t)), float(z))
+        for i, (t, r, z) in enumerate(
+            zip(
+                rng.uniform(0, 2 * np.pi, n),
+                rng.uniform(20.0, 45.0, n),
+                rng.uniform(0.5, 5.0, n),
+            )
+        )
+    ]
+    gen = SequenceGenerator(
+        CircuitTrajectory(radius_m=15.0, speed_mps=5.6),
+        world=World(landmarks=landmarks),
+        camera_rate_hz=10.0,
+        seed=2,
+    )
+    sequence = gen.generate(8.0)
+    vio = VisualInertialOdometry()
+    estimates = vio.run(sequence)
+    np.savez_compressed(
+        os.path.join(HERE, "vio_golden.npz"),
+        time_s=np.array([e.time_s for e in estimates]),
+        x_m=np.array([e.x_m for e in estimates]),
+        y_m=np.array([e.y_m for e in estimates]),
+        heading_rad=np.array([e.heading_rad for e in estimates]),
+        frames_dropped=np.array([vio.frames_dropped]),
+    )
+    print(f"vio: {len(estimates)} estimates, {vio.frames_dropped} dropped")
+
+
+def collision_golden() -> None:
+    from repro.planning.collision import TrajectoryPoint, check_trajectory
+    from repro.planning.prediction import PredictedState
+    from repro.scene.world import Obstacle
+
+    rng = np.random.default_rng(13)
+    steps, dt, n_cases = 10, 0.3, 25
+    times = [(k + 1) * dt for k in range(steps)]
+    tx = np.empty((n_cases, steps))
+    ty = np.empty((n_cases, steps))
+    obs = np.empty((n_cases, 2, 3))  # (x, y, r) per obstacle
+    pred = np.empty((n_cases, steps, 2, 3))  # (x, y, r) per prediction
+    collides = np.empty(n_cases, dtype=bool)
+    first_time = np.empty(n_cases)
+    colliding_id = np.empty(n_cases)
+    min_clearance = np.empty(n_cases)
+    for case in range(n_cases):
+        tx[case] = np.cumsum(rng.uniform(0.2, 1.5, steps))
+        ty[case] = rng.normal(0.0, 0.3, steps)
+        obs[case, :, 0] = rng.uniform(0.0, 12.0, 2)
+        obs[case, :, 1] = rng.normal(0.0, 4.0, 2)
+        obs[case, :, 2] = 0.4
+        pred[case, :, :, 0] = rng.uniform(0.0, 12.0, (steps, 2))
+        pred[case, :, :, 1] = rng.normal(0.0, 4.0, (steps, 2))
+        pred[case, :, :, 2] = 0.5
+        trajectory = [
+            TrajectoryPoint(time_s=times[k], x_m=tx[case, k],
+                            y_m=ty[case, k], speed_mps=3.0)
+            for k in range(steps)
+        ]
+        obstacles = [
+            Obstacle(obs[case, j, 0], obs[case, j, 1],
+                     radius_m=obs[case, j, 2], obstacle_id=j)
+            for j in range(2)
+        ]
+        predictions = [
+            PredictedState(object_id=j, time_s=times[k],
+                           x_m=pred[case, k, j, 0], y_m=pred[case, k, j, 1],
+                           radius_m=pred[case, k, j, 2])
+            for k in range(steps)
+            for j in range(2)
+        ]
+        report = check_trajectory(trajectory, predictions, obstacles)
+        collides[case] = report.collides
+        first_time[case] = (
+            np.nan if report.first_collision_time_s is None
+            else report.first_collision_time_s
+        )
+        colliding_id[case] = (
+            np.nan if report.colliding_object_id is None
+            else report.colliding_object_id
+        )
+        min_clearance[case] = report.min_clearance_m
+    np.savez_compressed(
+        os.path.join(HERE, "collision_golden.npz"),
+        times=np.array(times),
+        tx=tx, ty=ty, obs=obs, pred=pred,
+        collides=collides, first_time=first_time,
+        colliding_id=colliding_id, min_clearance=min_clearance,
+    )
+    print(f"collision: {int(collides.sum())}/{n_cases} colliding cases")
+
+
+if __name__ == "__main__":
+    stereo_golden()
+    vio_golden()
+    collision_golden()

@@ -1,0 +1,197 @@
+"""Golden tests: vectorized kernels reproduce pre-vectorization outputs.
+
+The files under ``golden/`` were generated from the scalar (loop-based)
+implementations on pinned, seeded inputs
+(``golden/generate_goldens.py``).  Every assertion here is exact — the
+vectorized rewrites changed no summation order, so no tolerances are
+needed anywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _load(name: str):
+    path = os.path.join(GOLDEN_DIR, name)
+    if not os.path.exists(path):  # pragma: no cover
+        pytest.skip(f"golden file missing: {name} (run generate_goldens.py)")
+    return np.load(path)
+
+
+class TestStereoGolden:
+    def test_match_reproduces_golden(self):
+        from repro.perception.stereo import ElasLikeMatcher
+        from repro.scene.kitti_like import make_stereo_pair
+
+        golden = _load("stereo_golden.npz")
+        pair = make_stereo_pair(shape=(48, 96), seed=5)
+        np.testing.assert_array_equal(pair.left, golden["left"])
+        np.testing.assert_array_equal(pair.right, golden["right"])
+        matcher = ElasLikeMatcher()
+        support = matcher._support_points(pair.left, pair.right)
+        np.testing.assert_array_equal(support, golden["support"])
+        prior = matcher._dense_prior(support, pair.left.shape)
+        np.testing.assert_array_equal(prior, golden["prior"])
+        result = matcher.match(pair)
+        np.testing.assert_array_equal(result.disparity, golden["disparity"])
+        np.testing.assert_array_equal(result.valid_mask, golden["valid_mask"])
+
+    def test_row_kernel_matches_scalar_search(self):
+        """The vectorized row search == the scalar per-pixel search."""
+        from repro.perception.stereo import (
+            _sad_disparity,
+            _sad_disparity_row,
+        )
+        from repro.scene.kitti_like import make_stereo_pair
+
+        pair = make_stereo_pair(shape=(32, 80), seed=8)
+        half, max_d = 2, 16
+        rng = np.random.default_rng(3)
+        cols = np.arange(half + max_d, 80 - half, dtype=np.int64)
+        centers = rng.integers(-2, max_d + 3, size=cols.shape[0])
+        d_min = np.maximum(0, centers - 3)
+        d_max = np.minimum(max_d, centers + 3)
+        for row in (half, 15, 29):
+            vec_d, vec_sad = _sad_disparity_row(
+                pair.left, pair.right, row, cols, half, d_min, d_max
+            )
+            for i, c in enumerate(cols):
+                ref_d, ref_sad = _sad_disparity(
+                    pair.left, pair.right, row, int(c), half,
+                    int(d_min[i]), int(d_max[i]),
+                )
+                assert vec_d[i] == ref_d
+                assert vec_sad[i] == ref_sad
+
+
+class TestVioGolden:
+    def test_vio_run_reproduces_golden(self):
+        from repro.perception.vio import VisualInertialOdometry
+        from repro.scene.kitti_like import SequenceGenerator
+        from repro.scene.trajectory import CircuitTrajectory
+        from repro.scene.world import Landmark, World
+
+        golden = _load("vio_golden.npz")
+        rng = np.random.default_rng(9)
+        n = 600
+        landmarks = [
+            Landmark(i, float(r * np.cos(t)), float(r * np.sin(t)), float(z))
+            for i, (t, r, z) in enumerate(
+                zip(
+                    rng.uniform(0, 2 * np.pi, n),
+                    rng.uniform(20.0, 45.0, n),
+                    rng.uniform(0.5, 5.0, n),
+                )
+            )
+        ]
+        gen = SequenceGenerator(
+            CircuitTrajectory(radius_m=15.0, speed_mps=5.6),
+            world=World(landmarks=landmarks),
+            camera_rate_hz=10.0,
+            seed=2,
+        )
+        sequence = gen.generate(8.0)
+        vio = VisualInertialOdometry()
+        estimates = vio.run(sequence)
+        np.testing.assert_array_equal(
+            np.array([e.x_m for e in estimates]), golden["x_m"]
+        )
+        np.testing.assert_array_equal(
+            np.array([e.y_m for e in estimates]), golden["y_m"]
+        )
+        np.testing.assert_array_equal(
+            np.array([e.heading_rad for e in estimates]), golden["heading_rad"]
+        )
+        assert vio.frames_dropped == int(golden["frames_dropped"][0])
+
+
+class TestCollisionGolden:
+    def _unpack(self, golden):
+        from repro.planning.collision import TrajectoryPoint
+        from repro.planning.prediction import PredictedState
+        from repro.scene.world import Obstacle
+
+        times = golden["times"]
+        cases = []
+        for case in range(golden["tx"].shape[0]):
+            trajectory = [
+                TrajectoryPoint(
+                    time_s=float(times[k]),
+                    x_m=float(golden["tx"][case, k]),
+                    y_m=float(golden["ty"][case, k]),
+                    speed_mps=3.0,
+                )
+                for k in range(times.shape[0])
+            ]
+            obstacles = [
+                Obstacle(
+                    float(golden["obs"][case, j, 0]),
+                    float(golden["obs"][case, j, 1]),
+                    radius_m=float(golden["obs"][case, j, 2]),
+                    obstacle_id=j,
+                )
+                for j in range(golden["obs"].shape[1])
+            ]
+            predictions = [
+                PredictedState(
+                    object_id=j,
+                    time_s=float(times[k]),
+                    x_m=float(golden["pred"][case, k, j, 0]),
+                    y_m=float(golden["pred"][case, k, j, 1]),
+                    radius_m=float(golden["pred"][case, k, j, 2]),
+                )
+                for k in range(times.shape[0])
+                for j in range(golden["pred"].shape[2])
+            ]
+            cases.append((trajectory, obstacles, predictions))
+        return cases
+
+    def test_check_trajectory_reproduces_golden(self):
+        from repro.planning.collision import check_trajectory
+
+        golden = _load("collision_golden.npz")
+        for case, (trajectory, obstacles, predictions) in enumerate(
+            self._unpack(golden)
+        ):
+            report = check_trajectory(trajectory, predictions, obstacles)
+            assert report.collides == bool(golden["collides"][case])
+            expected_time = golden["first_time"][case]
+            if np.isnan(expected_time):
+                assert report.first_collision_time_s is None
+            else:
+                assert report.first_collision_time_s == expected_time
+            expected_id = golden["colliding_id"][case]
+            if np.isnan(expected_id):
+                assert report.colliding_object_id is None
+            else:
+                assert report.colliding_object_id == int(expected_id)
+            assert report.min_clearance_m == golden["min_clearance"][case]
+
+    def test_collision_batch_reproduces_golden_verdicts(self):
+        """The batched kernel agrees with the frozen scalar verdicts."""
+        from repro.runtime import kernels
+
+        golden = _load("collision_golden.npz")
+        times = golden["times"]
+        collides, ttc = kernels.collision_batch(
+            golden["tx"],
+            golden["ty"],
+            list(times),
+            golden["obs"][:, :, 0],
+            golden["obs"][:, :, 1],
+            golden["obs"][:, :, 2],
+            golden["pred"][:, :, :, 0],
+            golden["pred"][:, :, :, 1],
+            golden["pred"][:, :, :, 2],
+        )
+        np.testing.assert_array_equal(collides, golden["collides"])
+        expected_ttc = np.where(
+            np.isnan(golden["first_time"]), 0.0, golden["first_time"]
+        )
+        np.testing.assert_array_equal(ttc, expected_ttc)

@@ -1,0 +1,101 @@
+"""Tests for the scalar-vs-batched differential equivalence harness.
+
+The fast slice here is tier-1; the full matrix (every corridor x seed x
+fault cell plus a procgen block, >= 200 cells) is ``slow``-marked and
+runs nightly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scene.corridors import corridor_names
+from repro.testing.differential import (
+    FINGERPRINT_FIELDS,
+    Mismatch,
+    differential_cells,
+    n_comparisons_per_cell,
+    run_differential_cell,
+    run_differential_matrix,
+)
+
+
+def test_fingerprint_fields_cover_fingerprint():
+    from repro.scene.providers import resolve_scene
+    from repro.scene.corridors import make_corridor_sov
+    from repro.testing.invariants import drive_fingerprint
+
+    scenario = resolve_scene("slalom", 0)
+    sov = make_corridor_sov(scenario, safety_net=True)
+    result = sov.drive(scenario.duration_s)
+    assert len(FINGERPRINT_FIELDS) == len(drive_fingerprint(result))
+
+
+def test_fast_slice_matches():
+    report = run_differential_matrix(
+        names=["slalom", "cluttered_stop"],
+        seeds=(0,),
+        fault_seeds=(None, 11),
+        n_procgen=1,
+        batch_size=3,
+    )
+    assert report.n_cells == 5
+    assert report.comparisons == 5 * n_comparisons_per_cell()
+    assert report.ok, report.format_report()
+    assert "MATCH" in report.format_report()
+
+
+def test_single_cell_repro_roundtrip():
+    assert run_differential_cell("diff:slalom:0") == []
+    assert run_differential_cell("diff:procgen:0:1") == []
+    with pytest.raises(ValueError):
+        run_differential_cell("invariant:slalom:0")
+
+
+def test_mismatch_repro_line_names_cell_and_field():
+    m = Mismatch(
+        cell_id="diff:slalom:3:f7", field="distance_m",
+        scalar=10.0, batched=10.5,
+    )
+    line = m.repro()
+    assert "diff:slalom:3:f7" in line
+    assert "distance_m" in line
+    assert "10.5" in line
+
+
+def test_cell_enumeration_grid_shape():
+    cells = differential_cells(
+        names=["slalom"], seeds=(0, 1), fault_seeds=(None, 5), n_procgen=2
+    )
+    ids = [c.cell_id for c in cells]
+    assert ids == [
+        "diff:slalom:0",
+        "diff:slalom:0:f5",
+        "diff:slalom:1",
+        "diff:slalom:1:f5",
+        "diff:procgen:0:0",
+        "diff:procgen:0:1",
+    ]
+
+
+def test_batch_size_validation():
+    with pytest.raises(ValueError):
+        run_differential_matrix(names=["slalom"], seeds=(0,), batch_size=0)
+
+
+@pytest.mark.slow
+def test_full_differential_matrix_nightly():
+    """The acceptance-bar sweep: >= 200 cells, zero mismatches.
+
+    Corridors x seeds x faults (10 x 5 x 3 = 150) plus 50 procgen
+    cells, batched in shared lockstep groups of 32.
+    """
+    report = run_differential_matrix(
+        names=list(corridor_names()),
+        seeds=(0, 1, 2, 3, 4),
+        fault_seeds=(None, 7, 23),
+        n_procgen=50,
+        batch_size=32,
+    )
+    assert report.n_cells >= 200
+    assert report.ok, report.format_report()

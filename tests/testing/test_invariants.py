@@ -232,3 +232,24 @@ class TestFleetEngineMatrix:
                 engine="fleet",
                 reactive_enabled=False,
             )
+
+
+class TestBatchedEngine:
+    def test_batched_engine_matches_serial(self):
+        names = ("slalom", "narrow_gap")
+        serial = run_invariant_matrix(
+            names=names, seeds=(0,), check_determinism=False
+        )
+        batched = run_invariant_matrix(
+            names=names, seeds=(0,), check_determinism=False,
+            engine="batched",
+        )
+        assert batched.cells == serial.cells
+
+    def test_batched_engine_runs_determinism_redrive(self):
+        report = run_invariant_matrix(
+            names=("slalom",), seeds=(0,), engine="batched"
+        )
+        [cell] = report.cells
+        assert "replay_determinism" in cell.checked
+        assert cell.ok, report.format_report()
